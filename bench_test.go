@@ -1,0 +1,222 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+//
+// Each BenchmarkTableN / BenchmarkFigureN runs the corresponding experiment
+// from internal/experiments (in quick mode so `go test -bench=.` stays
+// tractable; use `go run ./cmd/tetrisim run all` for full-size runs) and
+// prints the reproduced table once, so the bench log doubles as the
+// reproduction record. Timing reflects the full experiment, making the
+// suite a regression guard on simulator and scheduler performance.
+//
+// Micro-benchmarks at the bottom isolate the control-plane costs the paper
+// cares about: the DP planning latency (<10 ms claim, Appendix B), the
+// per-step cost-model evaluation, and the end-to-end simulation throughput.
+package tetriserve_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	tetriserve "tetriserve"
+	"tetriserve/internal/core"
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/experiments"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/sim"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+var printOnce sync.Map
+
+// runExperiment executes one registered experiment per bench iteration and
+// prints its tables on the first iteration only.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := experiments.Context{Quick: true, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := exp.Run(ctx)
+		if i == 0 {
+			if _, done := printOnce.LoadOrStore(id, true); !done {
+				b.StopTimer()
+				fmt.Printf("\n===== %s =====\n", exp.Title)
+				for _, t := range tables {
+					fmt.Println(t.String())
+				}
+				b.StartTimer()
+			}
+		}
+	}
+}
+
+// --- One benchmark per paper artifact. ---
+
+func BenchmarkFigure1(b *testing.B)  { runExperiment(b, "fig1") }
+func BenchmarkTable1(b *testing.B)   { runExperiment(b, "table1") }
+func BenchmarkFigure2(b *testing.B)  { runExperiment(b, "fig2") }
+func BenchmarkFigure3(b *testing.B)  { runExperiment(b, "fig3") }
+func BenchmarkFigure4(b *testing.B)  { runExperiment(b, "fig4") }
+func BenchmarkFigure7(b *testing.B)  { runExperiment(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)  { runExperiment(b, "fig8") }
+func BenchmarkFigure9(b *testing.B)  { runExperiment(b, "fig9") }
+func BenchmarkTable3(b *testing.B)   { runExperiment(b, "table3") }
+func BenchmarkFigure10(b *testing.B) { runExperiment(b, "fig10") }
+func BenchmarkFigure11(b *testing.B) { runExperiment(b, "fig11") }
+func BenchmarkFigure12(b *testing.B) { runExperiment(b, "fig12") }
+func BenchmarkFigure13(b *testing.B) { runExperiment(b, "fig13") }
+func BenchmarkFigure14(b *testing.B) { runExperiment(b, "fig14") }
+func BenchmarkFigure15(b *testing.B) { runExperiment(b, "fig15") }
+func BenchmarkTable4(b *testing.B)   { runExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B)   { runExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B)   { runExperiment(b, "table6") }
+
+// BenchmarkExtensionsAblation covers the mechanisms this reproduction adds
+// beyond the paper (eager admission, quantization-aware allocation, …).
+func BenchmarkExtensionsAblation(b *testing.B) { runExperiment(b, "ext1") }
+
+// --- Control-plane micro-benchmarks. ---
+
+var (
+	benchTopo = simgpu.H100x8()
+	benchMdl  = model.FLUX()
+	benchProf = costmodel.BuildProfile(
+		costmodel.NewEstimator(benchMdl, benchTopo), costmodel.ProfilerConfig{})
+)
+
+// BenchmarkPlanLatency measures one TetriServe round decision for queue
+// depths the paper tabulates — the <10 ms control-plane claim.
+func BenchmarkPlanLatency(b *testing.B) {
+	for _, depth := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("queue=%d", depth), func(b *testing.B) {
+			s := core.NewScheduler(benchProf, benchTopo, core.DefaultConfig())
+			resList := model.StandardResolutions()
+			pending := make([]*sched.RequestState, depth)
+			for i := range pending {
+				res := resList[i%len(resList)]
+				pending[i] = &sched.RequestState{
+					Req: &workload.Request{
+						ID:    workload.RequestID(i),
+						Res:   res,
+						Steps: 50,
+						SLO:   5 * time.Second,
+					},
+					Remaining:     50,
+					StepsByDegree: map[int]int{},
+				}
+			}
+			ctx := &sched.PlanContext{
+				Free:    benchTopo.AllMask(),
+				Pending: pending,
+				Profile: benchProf,
+				Topo:    benchTopo,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Plan(ctx)
+			}
+		})
+	}
+}
+
+// BenchmarkExhaustivePlanner measures the Appendix-B solver on the small
+// instances that are still tractable (R ∈ {1,2} on 4 GPUs).
+func BenchmarkExhaustivePlanner(b *testing.B) {
+	for _, r := range []int{1, 2} {
+		b.Run(fmt.Sprintf("reqs=%d", r), func(b *testing.B) {
+			st := map[int]time.Duration{}
+			for k := 1; k <= 4; k *= 2 {
+				st[k] = benchProf.StepTime(model.Res1024, k)
+			}
+			inst := sched.ExhaustiveInstance{N: 4, Degrees: []int{1, 2, 4}}
+			for i := 0; i < r; i++ {
+				inst.Requests = append(inst.Requests, sched.ExhaustiveRequest{
+					Deadline: 3 * time.Second,
+					Steps:    5,
+					StepTime: st,
+				})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sched.SolveExhaustive(inst, time.Minute)
+			}
+		})
+	}
+}
+
+// BenchmarkStepTimeEstimate measures one analytical cost-model evaluation.
+func BenchmarkStepTimeEstimate(b *testing.B) {
+	est := costmodel.NewEstimator(benchMdl, benchTopo)
+	group := simgpu.CanonicalGroup(0, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		est.StepTime(model.Res1024, group, 1)
+	}
+}
+
+// BenchmarkProfileLookup measures the scheduler-side table lookup.
+func BenchmarkProfileLookup(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchProf.StepTime(model.Res2048, 8)
+	}
+}
+
+// BenchmarkSimulation measures end-to-end simulated-serving throughput:
+// one full 150-request trace per iteration.
+func BenchmarkSimulation(b *testing.B) {
+	for _, name := range []string{"TetriServe", "xDiT-SP8"} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var sc sched.Scheduler
+				if name == "TetriServe" {
+					sc = core.NewScheduler(benchProf, benchTopo, core.DefaultConfig())
+				} else {
+					sc = sched.NewFixedSP(8)
+				}
+				reqs := workload.Generate(workload.GeneratorConfig{
+					Model:       benchMdl,
+					NumRequests: 150,
+					Seed:        uint64(i + 1),
+				})
+				if _, err := sim.Run(sim.Config{
+					Model: benchMdl, Topo: benchTopo, Scheduler: sc,
+					Requests: reqs, Profile: benchProf,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFacadeQuickstart exercises the public facade end to end.
+func BenchmarkFacadeQuickstart(b *testing.B) {
+	mdl := tetriserve.FLUX()
+	topo := tetriserve.H100x8()
+	prof := tetriserve.Profile(mdl, topo)
+	for i := 0; i < b.N; i++ {
+		s := tetriserve.NewScheduler(prof, topo, tetriserve.DefaultSchedulerConfig())
+		res, err := tetriserve.Simulate(tetriserve.SimConfig{
+			Model: mdl, Topo: topo, Scheduler: s, Profile: prof,
+			Requests: tetriserve.GenerateWorkload(tetriserve.WorkloadConfig{
+				Model: mdl, NumRequests: 60, Seed: uint64(i + 1),
+			}),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tetriserve.SAR(res) <= 0 {
+			b.Fatal("zero SAR")
+		}
+	}
+}

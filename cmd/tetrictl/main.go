@@ -1,0 +1,226 @@
+// Command tetrictl is the client for the tetriserve daemon.
+//
+//	tetrictl submit -prompt "a koi pond in autumn" -size 1024
+//	tetrictl status 3
+//	tetrictl stats
+//	tetrictl load -n 40 -rate 12 -mix uniform   # generate load and report SAR
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/stats"
+	"tetriserve/internal/workload"
+)
+
+func main() {
+	base := flag.String("server", "http://127.0.0.1:8900", "tetriserve base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cli := &client{base: *base, http: &http.Client{Timeout: 30 * time.Second}}
+	var err error
+	switch args[0] {
+	case "submit":
+		err = cmdSubmit(cli, args[1:])
+	case "status":
+		err = cmdStatus(cli, args[1:])
+	case "stats":
+		err = cmdStats(cli)
+	case "load":
+		err = cmdLoad(cli, args[1:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) postJSON(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decode(resp, out)
+}
+
+func (c *client) getJSON(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) error {
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("server returned %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+type jobView struct {
+	ID        int     `json:"id"`
+	State     string  `json:"state"`
+	LatencyNS int64   `json:"latency_ns"`
+	SLONS     int64   `json:"slo_ns"`
+	MetSLO    bool    `json:"met_slo"`
+	AvgDegree float64 `json:"avg_degree"`
+	Skipped   int     `json:"skipped_steps"`
+}
+
+func cmdSubmit(c *client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	prompt := fs.String("prompt", "a lighthouse on a cliff, oil painting", "prompt text")
+	size := fs.Int("size", 1024, "square output size in pixels")
+	slo := fs.Int64("slo-ms", 0, "deadline in ms (0 = per-resolution default)")
+	wait := fs.Bool("wait", false, "poll until completion")
+	_ = fs.Parse(args)
+
+	var job jobView
+	err := c.postJSON("/v1/images/generations", map[string]any{
+		"prompt": *prompt, "width": *size, "height": *size, "slo_ms": *slo,
+	}, &job)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %d accepted (%s)\n", job.ID, job.State)
+	if !*wait {
+		return nil
+	}
+	for {
+		time.Sleep(200 * time.Millisecond)
+		if err := c.getJSON(fmt.Sprintf("/v1/jobs/%d", job.ID), &job); err != nil {
+			return err
+		}
+		if job.State == "completed" {
+			fmt.Printf("job %d done: latency=%s met_slo=%v avg_degree=%.2f skipped=%d\n",
+				job.ID, time.Duration(job.LatencyNS), job.MetSLO, job.AvgDegree, job.Skipped)
+			return nil
+		}
+	}
+}
+
+func cmdStatus(c *client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: tetrictl status <job-id>")
+	}
+	var job map[string]any
+	if err := c.getJSON("/v1/jobs/"+args[0], &job); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(job)
+}
+
+func cmdStats(c *client) error {
+	var st map[string]any
+	if err := c.getJSON("/v1/stats", &st); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+func cmdLoad(c *client, args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	n := fs.Int("n", 40, "number of requests")
+	rate := fs.Float64("rate", 12, "arrival rate, req/min (in server virtual time; scaled by -speedup on the server)")
+	mixName := fs.String("mix", "uniform", "uniform | skewed")
+	speedup := fs.Float64("speedup", 20, "server speedup, to pace wall-clock arrivals")
+	seed := fs.Uint64("seed", 1, "trace seed")
+	_ = fs.Parse(args)
+
+	var mix workload.Mix
+	switch *mixName {
+	case "uniform":
+		mix = workload.UniformMix()
+	case "skewed":
+		mix = workload.SkewedMix(1.0)
+	default:
+		return fmt.Errorf("unknown mix %q", *mixName)
+	}
+	rng := stats.NewRNG(*seed)
+	sampler := workload.NewPromptSampler()
+	arr := workload.PoissonArrivals{PerMinute: *rate}
+
+	ids := make([]int, 0, *n)
+	for i := 0; i < *n; i++ {
+		gap := arr.NextGap(rng)
+		time.Sleep(time.Duration(float64(gap) / *speedup))
+		res := mix.Sample(rng)
+		p := sampler.Sample(rng)
+		var job jobView
+		err := c.postJSON("/v1/images/generations", map[string]any{
+			"prompt": p.Text, "width": res.W, "height": res.H,
+		}, &job)
+		if err != nil {
+			return err
+		}
+		ids = append(ids, job.ID)
+		fmt.Printf("submitted job %d (%s)\n", job.ID, res)
+	}
+	// Wait for completion and summarize.
+	met, done := 0, 0
+	for _, id := range ids {
+		for {
+			var job jobView
+			if err := c.getJSON(fmt.Sprintf("/v1/jobs/%d", id), &job); err != nil {
+				return err
+			}
+			if job.State == "completed" {
+				done++
+				if job.MetSLO {
+					met++
+				}
+				break
+			}
+			time.Sleep(150 * time.Millisecond)
+		}
+	}
+	fmt.Printf("completed %d/%d, SLO attainment %.2f\n", done, *n, float64(met)/float64(done))
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tetrictl [-server URL] submit [-prompt P] [-size 256|512|1024|2048] [-slo-ms N] [-wait]
+  tetrictl [-server URL] status <job-id>
+  tetrictl [-server URL] stats
+  tetrictl [-server URL] load [-n N] [-rate R] [-mix uniform|skewed] [-speedup S] [-seed N]`)
+	_ = model.StandardResolutions // documented sizes come from the model package
+}

@@ -1,0 +1,102 @@
+// Command tetriserve is the online serving daemon: it exposes the HTTP API
+// over the simulated GPU cluster, running TetriServe's round-based
+// scheduler (or a baseline, for comparison) in real time with a
+// configurable speed-up.
+//
+//	tetriserve -addr :8900 -model flux -topo h100 -speedup 20
+//	tetriserve -scheduler sp4          # serve with a fixed xDiT baseline
+//	tetriserve -cache                  # enable Nirvana-style caching
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"tetriserve/internal/cache"
+	"tetriserve/internal/core"
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/server"
+	"tetriserve/internal/simgpu"
+)
+
+func main() {
+	addr := flag.String("addr", ":8900", "listen address")
+	mdlName := flag.String("model", "flux", "model: flux | sd3")
+	topoName := flag.String("topo", "h100", "topology: h100 | a40")
+	speedup := flag.Float64("speedup", 20, "simulated seconds per wall second")
+	schedName := flag.String("scheduler", "tetriserve", "tetriserve | sp1 | sp2 | sp4 | sp8 | rssp | edf")
+	granularity := flag.Int("granularity", 5, "TetriServe step granularity per round")
+	useCache := flag.Bool("cache", false, "enable Nirvana-style approximate latent cache")
+	flag.Parse()
+
+	mdl, err := model.ByName(*mdlName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := simgpu.ByName(*topoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := buildScheduler(*schedName, *granularity, mdl, topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := server.DriverConfig{Model: mdl, Topo: topo, Scheduler: sc, Speedup: *speedup}
+	if *useCache {
+		cfg.Cache = cache.New(cache.DefaultConfig())
+	}
+	driver, err := server.NewDriver(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	driver.Start()
+	defer driver.Stop()
+
+	api := server.NewAPI(driver)
+	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		_ = srv.Close()
+	}()
+
+	log.Printf("tetriserve: %s on %s, scheduler=%s, speedup=%.0fx, listening on %s",
+		mdl.Name, topo.Name, sc.Name(), *speedup, *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}
+
+// buildScheduler resolves the -scheduler flag.
+func buildScheduler(name string, granularity int, mdl *model.Model, topo *simgpu.Topology) (sched.Scheduler, error) {
+	switch {
+	case name == "tetriserve":
+		prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
+		cfg := core.DefaultConfig()
+		cfg.StepGranularity = granularity
+		return core.NewScheduler(prof, topo, cfg), nil
+	case strings.HasPrefix(name, "sp"):
+		k, err := strconv.Atoi(strings.TrimPrefix(name, "sp"))
+		if err != nil || k <= 0 || k > topo.N {
+			return nil, fmt.Errorf("tetriserve: invalid fixed degree %q for %d GPUs", name, topo.N)
+		}
+		return sched.NewFixedSP(k), nil
+	case name == "rssp":
+		return sched.NewRSSP(topo.N), nil
+	case name == "edf":
+		return sched.NewEDF(), nil
+	}
+	return nil, fmt.Errorf("tetriserve: unknown scheduler %q", name)
+}

@@ -1,0 +1,74 @@
+package tetriserve_test
+
+import (
+	"fmt"
+	"time"
+
+	tetriserve "tetriserve"
+)
+
+// ExampleSimulate shows the minimal serving simulation: profile a model on
+// a cluster, build TetriServe, replay a deterministic trace, report SAR.
+func ExampleSimulate() {
+	mdl := tetriserve.FLUX()
+	topo := tetriserve.H100x8()
+	prof := tetriserve.Profile(mdl, topo)
+	sch := tetriserve.NewScheduler(prof, topo, tetriserve.DefaultSchedulerConfig())
+
+	res, err := tetriserve.Simulate(tetriserve.SimConfig{
+		Model: mdl, Topo: topo, Scheduler: sch, Profile: prof,
+		Requests: tetriserve.GenerateWorkload(tetriserve.WorkloadConfig{
+			Model: mdl, NumRequests: 8, Seed: 42,
+		}),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("served %d requests\n", len(res.Outcomes))
+	// Output: served 8 requests
+}
+
+// ExampleProfile shows the offline-profiled lookup table the scheduler
+// consults: per-step latency falls with the sequence-parallel degree.
+func ExampleProfile() {
+	prof := tetriserve.Profile(tetriserve.FLUX(), tetriserve.H100x8())
+	t1 := prof.StepTime(tetriserve.Res2048, 1)
+	t8 := prof.StepTime(tetriserve.Res2048, 8)
+	fmt.Printf("SP=8 is faster than SP=1: %v\n", t8 < t1)
+	fmt.Printf("fastest degree for 2048px: %d\n", prof.BestLatencyDegree(tetriserve.Res2048))
+	// Output:
+	// SP=8 is faster than SP=1: true
+	// fastest degree for 2048px: 8
+}
+
+// ExampleNewSLOPolicy shows the paper's per-resolution deadlines.
+func ExampleNewSLOPolicy() {
+	pol := tetriserve.NewSLOPolicy(1.0)
+	fmt.Println(pol.Budget(tetriserve.Res256))
+	fmt.Println(pol.Budget(tetriserve.Res2048))
+	// Output:
+	// 1.5s
+	// 5s
+}
+
+// ExampleNewScheduler shows TetriServe's round length: the scheduler packs
+// work into fixed rounds sized to hold StepGranularity reference steps.
+func ExampleNewScheduler() {
+	prof := tetriserve.Profile(tetriserve.FLUX(), tetriserve.H100x8())
+	sch := tetriserve.NewScheduler(prof, tetriserve.H100x8(), tetriserve.DefaultSchedulerConfig())
+	fmt.Printf("round-based: %v\n", sch.RoundDuration() > 0)
+	fmt.Printf("round fits budget: %v\n", sch.RoundDuration() < time.Second)
+	// Output:
+	// round-based: true
+	// round fits budget: true
+}
+
+// ExampleNewCache shows Nirvana-style approximate caching: a repeated
+// prompt skips a prefix of its denoising steps.
+func ExampleNewCache() {
+	c := tetriserve.NewCache()
+	p := tetriserve.Prompt{Text: "a koi pond in autumn", Theme: 7, Mods: []int{1, 2, 3}}
+	c.Insert(p, tetriserve.Res512)
+	fmt.Printf("steps skipped on rehit: %d of 50\n", c.Lookup(p, tetriserve.Res512, 50))
+	// Output: steps skipped on rehit: 25 of 50
+}

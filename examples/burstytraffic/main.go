@@ -1,0 +1,65 @@
+// Bursty traffic: reproduce the §6.3 stability story — a Markov-modulated
+// arrival process with 3x bursts, TetriServe versus the best fixed degree,
+// reported as a sliding-window SAR time series.
+//
+//	go run ./examples/burstytraffic
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tetriserve/internal/core"
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/metrics"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/sim"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/stats"
+	"tetriserve/internal/workload"
+)
+
+func main() {
+	mdl := model.FLUX()
+	topo := simgpu.H100x8()
+	prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
+
+	schedulers := []sched.Scheduler{
+		core.NewScheduler(prof, topo, core.DefaultConfig()),
+		sched.NewFixedSP(8),
+		sched.NewFixedSP(2),
+	}
+
+	fmt.Println("Bursty Uniform workload (avg 12 req/min, 3x bursts), SLO scale 1.5x")
+	fmt.Println()
+	for _, sc := range schedulers {
+		reqs := workload.Generate(workload.GeneratorConfig{
+			Model:       mdl,
+			Mix:         workload.UniformMix(),
+			Arrivals:    workload.NewBurstyArrivals(12),
+			SLO:         workload.NewSLOPolicy(1.5),
+			NumRequests: 240,
+			Seed:        5,
+		})
+		res, err := sim.Run(sim.Config{
+			Model: mdl, Topo: topo, Scheduler: sc,
+			Requests: reqs, Profile: prof, DropLateFactor: 4,
+		})
+		if err != nil {
+			panic(err)
+		}
+		pts := metrics.TimeSeriesSAR(res, 2*time.Minute)
+		var acc stats.Running
+		fmt.Printf("%-12s overall SAR %.2f\n", sc.Name(), metrics.SAR(res))
+		for _, p := range pts {
+			acc.Add(p[1])
+			bar := strings.Repeat("#", int(p[1]*40+0.5))
+			fmt.Printf("  t=%5.0fs  SAR %.2f |%-40s|\n", p[0], p[1], bar)
+		}
+		fmt.Printf("  window mean %.2f, stddev %.3f, min %.2f\n\n",
+			acc.Mean(), acc.Stddev(), acc.Min())
+	}
+	fmt.Println("TetriServe's window SAR stays high and tight; fixed degrees oscillate under bursts.")
+}

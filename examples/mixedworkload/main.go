@@ -1,0 +1,74 @@
+// Mixed workload: the paper's motivating scenario (Figure 1) scaled up —
+// heterogeneous resolutions with per-resolution deadlines, served by fixed
+// sequence parallelism (xDiT), the per-resolution oracle (RSSP), and
+// TetriServe's step-level scheduler, side by side.
+//
+//	go run ./examples/mixedworkload
+package main
+
+import (
+	"fmt"
+
+	"tetriserve/internal/core"
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/metrics"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/sim"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/tablefmt"
+	"tetriserve/internal/workload"
+)
+
+func main() {
+	mdl := model.FLUX()
+	topo := simgpu.H100x8()
+	prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
+
+	reqs := workload.Generate(workload.GeneratorConfig{
+		Model:       mdl,
+		Mix:         workload.UniformMix(),
+		Arrivals:    workload.PoissonArrivals{PerMinute: 12},
+		SLO:         workload.NewSLOPolicy(1.1),
+		NumRequests: 120,
+		Seed:        3,
+	})
+
+	schedulers := []sched.Scheduler{
+		core.NewScheduler(prof, topo, core.DefaultConfig()),
+		sched.NewFixedSP(1),
+		sched.NewFixedSP(2),
+		sched.NewFixedSP(4),
+		sched.NewFixedSP(8),
+		sched.NewRSSP(topo.N),
+		sched.NewEDF(),
+	}
+
+	t := tablefmt.New("Mixed Uniform workload, 12 req/min, SLO scale 1.1x (FLUX on 8xH100)",
+		"Scheduler", "SAR", "256", "512", "1024", "2048", "mean lat (s)", "GPU util")
+	for _, sc := range schedulers {
+		cloned := make([]*workload.Request, len(reqs))
+		for i, r := range reqs {
+			c := *r
+			cloned[i] = &c
+		}
+		res, err := sim.Run(sim.Config{
+			Model: mdl, Topo: topo, Scheduler: sc,
+			Requests: cloned, Profile: prof, DropLateFactor: 4,
+		})
+		if err != nil {
+			panic(err)
+		}
+		by := metrics.SARByResolution(res)
+		t.AddRow(sc.Name(),
+			fmt.Sprintf("%.2f", metrics.SAR(res)),
+			fmt.Sprintf("%.2f", by[model.Res256]),
+			fmt.Sprintf("%.2f", by[model.Res512]),
+			fmt.Sprintf("%.2f", by[model.Res1024]),
+			fmt.Sprintf("%.2f", by[model.Res2048]),
+			fmt.Sprintf("%.2f", metrics.MeanLatency(res)),
+			fmt.Sprintf("%.0f%%", 100*metrics.Utilization(res)))
+	}
+	t.AddNote("fixed degrees only suit some resolutions; TetriServe adapts per step and wins overall")
+	fmt.Print(t.String())
+}

@@ -1,0 +1,83 @@
+// Nirvana cache: combine TetriServe's step-level scheduling with
+// approximate latent caching (§6.2, Table 3). Cache hits skip a prefix of
+// denoising steps; the scheduler adapts parallelism to the shortened,
+// variable step counts.
+//
+//	go run ./examples/nirvanacache
+package main
+
+import (
+	"fmt"
+
+	"tetriserve/internal/cache"
+	"tetriserve/internal/core"
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/metrics"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/sim"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/stats"
+	"tetriserve/internal/tablefmt"
+	"tetriserve/internal/workload"
+)
+
+func main() {
+	mdl := model.FLUX()
+	topo := simgpu.H100x8()
+	prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
+
+	t := tablefmt.New("Nirvana-style caching × scheduling (Uniform, 12 req/min, SLO 1.0x)",
+		"Configuration", "SAR", "mean lat (s)", "cache hit rate", "steps skipped")
+
+	for _, cfg := range []struct {
+		name   string
+		sc     func() sched.Scheduler
+		cached bool
+	}{
+		{"RSSP", func() sched.Scheduler { return sched.NewRSSP(topo.N) }, false},
+		{"TetriServe", func() sched.Scheduler { return core.NewScheduler(prof, topo, core.DefaultConfig()) }, false},
+		{"RSSP + Nirvana", func() sched.Scheduler { return sched.NewRSSP(topo.N) }, true},
+		{"TetriServe + Nirvana", func() sched.Scheduler { return core.NewScheduler(prof, topo, core.DefaultConfig()) }, true},
+	} {
+		reqs := workload.Generate(workload.GeneratorConfig{
+			Model:       mdl,
+			Mix:         workload.UniformMix(),
+			Arrivals:    workload.PoissonArrivals{PerMinute: 12},
+			SLO:         workload.NewSLOPolicy(1.0),
+			NumRequests: 200,
+			Seed:        11,
+		})
+		simCfg := sim.Config{
+			Model: mdl, Topo: topo, Scheduler: cfg.sc(),
+			Requests: reqs, Profile: prof, DropLateFactor: 4,
+		}
+		var c *cache.Cache
+		if cfg.cached {
+			// Warm the cache with 10k requests from the same corpus.
+			c = cache.New(cache.DefaultConfig())
+			sampler := workload.NewPromptSampler()
+			rng := stats.NewRNG(99)
+			resList := model.StandardResolutions()
+			for i := 0; i < 10000; i++ {
+				c.Insert(sampler.Sample(rng), resList[rng.Intn(len(resList))])
+			}
+			simCfg.Trimmer = &cache.Trimmer{C: c}
+		}
+		res, err := sim.Run(simCfg)
+		if err != nil {
+			panic(err)
+		}
+		hit, skipped := "-", "-"
+		if c != nil {
+			hit = fmt.Sprintf("%.0f%%", 100*c.HitRate())
+			skipped = fmt.Sprint(c.SkippedSteps())
+		}
+		t.AddRow(cfg.name,
+			fmt.Sprintf("%.2f", metrics.SAR(res)),
+			fmt.Sprintf("%.2f", metrics.MeanLatency(res)),
+			hit, skipped)
+	}
+	t.AddNote("caching shortens requests; step-level scheduling exploits the freed capacity — the gains compose")
+	fmt.Print(t.String())
+}

@@ -1,0 +1,68 @@
+// Quickstart: serve a small mixed-resolution trace with TetriServe on a
+// simulated 8xH100 node and print what happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"tetriserve/internal/core"
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/metrics"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sim"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+func main() {
+	// 1. Pick a model and a cluster.
+	mdl := model.FLUX()
+	topo := simgpu.H100x8()
+
+	// 2. Offline-profile the cost model (the paper's lookup table).
+	prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
+	fmt.Printf("profiled %s on %s; 1024x1024 per-step times:", mdl.Name, topo.Name)
+	for _, k := range prof.Degrees() {
+		fmt.Printf("  SP=%d %.1fms", k, float64(prof.StepTime(model.Res1024, k).Microseconds())/1000)
+	}
+	fmt.Println()
+
+	// 3. Generate a 40-request mixed workload at 12 req/min, SLO scale 1.0x.
+	reqs := workload.Generate(workload.GeneratorConfig{
+		Model:       mdl,
+		Mix:         workload.UniformMix(),
+		Arrivals:    workload.PoissonArrivals{PerMinute: 12},
+		SLO:         workload.NewSLOPolicy(1.0),
+		NumRequests: 40,
+		Seed:        7,
+	})
+
+	// 4. Serve it with TetriServe's deadline-aware round-based scheduler.
+	scheduler := core.NewScheduler(prof, topo, core.DefaultConfig())
+	fmt.Printf("round duration τ = %s\n\n", scheduler.RoundDuration().Round(time.Millisecond))
+
+	res, err := sim.Run(sim.Config{
+		Model:     mdl,
+		Topo:      topo,
+		Scheduler: scheduler,
+		Requests:  reqs,
+		Profile:   prof,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// 5. Inspect the outcome.
+	fmt.Printf("%-6s %-10s %-9s %-9s %-9s %-6s %s\n",
+		"req", "resolution", "arrival", "deadline", "latency", "met", "avg SP")
+	for _, o := range res.Outcomes {
+		fmt.Printf("%-6d %-10s %-9s %-9s %-9s %-6v %.1f\n",
+			o.ID, o.Res, o.Arrival.Round(time.Millisecond), o.Deadline.Round(time.Millisecond),
+			o.Latency.Round(time.Millisecond), o.Met, o.AvgDegree)
+	}
+	fmt.Printf("\nSLO attainment: %.2f   mean latency: %.2fs   GPU utilization: %.0f%%\n",
+		metrics.SAR(res), metrics.MeanLatency(res), 100*metrics.Utilization(res))
+}

@@ -1,0 +1,3 @@
+module tetriserve
+
+go 1.22

@@ -1,0 +1,207 @@
+// Package cache implements a Nirvana-style approximate latent cache
+// (Agarwal et al., NSDI'24; §6.2 "Compatibility with Cache-Based Diffusion
+// Acceleration"). Incoming prompts are embedded and matched against
+// previously served prompts; the similarity decides how many initial
+// denoising steps can be skipped by reusing a cached intermediate latent,
+// k ∈ {5, 10, 15, 20, 25} of N = 50 by default. The cache holds a fixed
+// number of entries with LRU eviction and is warmed before measurement.
+//
+// In place of CLIP, prompts are embedded with a deterministic pseudo-
+// embedding derived from the synthetic corpus's theme/modifier structure:
+// prompts sharing a theme are close, and each shared style modifier pulls
+// them closer. Only the similarity→steps-skipped mapping matters to the
+// serving system, and this reproduces it without a neural network.
+package cache
+
+import (
+	"container/list"
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/workload"
+)
+
+// Config tunes the cache.
+type Config struct {
+	// Capacity is the maximum number of cached latents.
+	Capacity int
+	// SkipLevels are the candidate skip depths, ascending.
+	SkipLevels []int
+	// Thresholds are the minimum similarities required for each skip
+	// level (same length as SkipLevels, ascending): similarity ≥
+	// Thresholds[i] allows skipping SkipLevels[i] steps.
+	Thresholds []float64
+	// MaxSkipFraction caps skipped steps as a fraction of the request's
+	// step count so short requests keep enough denoising.
+	MaxSkipFraction float64
+}
+
+// DefaultConfig mirrors the paper's Nirvana setup: k ∈ {5,10,15,20,25} of
+// N = 50, a 10k-entry cache with LRU eviction.
+func DefaultConfig() Config {
+	return Config{
+		Capacity:        10000,
+		SkipLevels:      []int{5, 10, 15, 20, 25},
+		Thresholds:      []float64{0.50, 0.62, 0.74, 0.86, 0.95},
+		MaxSkipFraction: 0.5,
+	}
+}
+
+// entry is one cached latent.
+type entry struct {
+	prompt workload.Prompt
+	res    model.Resolution
+	elem   *list.Element
+}
+
+// bucketKey groups entries by (theme, resolution): cross-theme similarity
+// can never clear the lowest skip threshold, and latents are
+// resolution-specific, so lookups only scan the matching bucket.
+type bucketKey struct {
+	theme int
+	res   model.Resolution
+}
+
+// Cache is the approximate latent store. It is not safe for concurrent use;
+// the simulator and server serialize access.
+type Cache struct {
+	cfg     Config
+	lru     *list.List // front = most recent; values are *entry
+	buckets map[bucketKey]map[*entry]struct{}
+
+	hits   int
+	misses int
+	// skippedSteps accumulates total steps saved.
+	skippedSteps int
+}
+
+// New returns an empty cache.
+func New(cfg Config) *Cache {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 10000
+	}
+	if len(cfg.SkipLevels) == 0 || len(cfg.SkipLevels) != len(cfg.Thresholds) {
+		d := DefaultConfig()
+		cfg.SkipLevels, cfg.Thresholds = d.SkipLevels, d.Thresholds
+	}
+	if cfg.MaxSkipFraction <= 0 || cfg.MaxSkipFraction > 1 {
+		cfg.MaxSkipFraction = 0.5
+	}
+	return &Cache{
+		cfg:     cfg,
+		lru:     list.New(),
+		buckets: make(map[bucketKey]map[*entry]struct{}),
+	}
+}
+
+// Similarity scores two prompts in [0, 1]: theme identity dominates, shared
+// modifiers refine. Different themes are considered dissimilar (their base
+// latents would not be reusable).
+func Similarity(a, b workload.Prompt) float64 {
+	if a.Theme != b.Theme {
+		return 0.1
+	}
+	shared := a.SharedMods(b)
+	denom := len(a.Mods)
+	if len(b.Mods) > denom {
+		denom = len(b.Mods)
+	}
+	if denom == 0 {
+		return 1.0
+	}
+	return 0.55 + 0.45*float64(shared)/float64(denom)
+}
+
+// Lookup returns how many initial steps can be skipped for a prompt at a
+// resolution given the current cache contents, and refreshes the LRU
+// position of the entry used. Latents are resolution-specific, so only
+// same-resolution entries match.
+func (c *Cache) Lookup(p workload.Prompt, res model.Resolution, steps int) int {
+	var best *entry
+	bestSim := 0.0
+	for e := range c.buckets[bucketKey{p.Theme, res}] {
+		sim := Similarity(p, e.prompt)
+		if sim > bestSim {
+			bestSim = sim
+			best = e
+		}
+	}
+	skip := 0
+	for i, th := range c.cfg.Thresholds {
+		if bestSim >= th {
+			skip = c.cfg.SkipLevels[i]
+		}
+	}
+	if maxSkip := int(float64(steps) * c.cfg.MaxSkipFraction); skip > maxSkip {
+		skip = maxSkip
+	}
+	if skip > 0 && best != nil {
+		c.lru.MoveToFront(best.elem)
+		c.hits++
+		c.skippedSteps += skip
+	} else {
+		c.misses++
+		skip = 0
+	}
+	return skip
+}
+
+// Insert stores a served prompt's latent, evicting the LRU entry at
+// capacity.
+func (c *Cache) Insert(p workload.Prompt, res model.Resolution) {
+	e := &entry{prompt: p, res: res}
+	e.elem = c.lru.PushFront(e)
+	key := bucketKey{p.Theme, res}
+	if c.buckets[key] == nil {
+		c.buckets[key] = make(map[*entry]struct{})
+	}
+	c.buckets[key][e] = struct{}{}
+	for c.lru.Len() > c.cfg.Capacity {
+		back := c.lru.Back()
+		old := back.Value.(*entry)
+		c.lru.Remove(back)
+		okey := bucketKey{old.prompt.Theme, old.res}
+		delete(c.buckets[okey], old)
+		if len(c.buckets[okey]) == 0 {
+			delete(c.buckets, okey)
+		}
+	}
+}
+
+// Len returns the number of cached latents.
+func (c *Cache) Len() int { return c.lru.Len() }
+
+// HitRate returns hits/(hits+misses) over all lookups.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// SkippedSteps returns total steps saved by cache hits.
+func (c *Cache) SkippedSteps() int { return c.skippedSteps }
+
+// Warm pre-populates the cache from a corpus sampled like the live traffic,
+// mirroring the paper's 10k-request warm-up.
+func (c *Cache) Warm(prompts []workload.Prompt, res []model.Resolution) {
+	for i, p := range prompts {
+		c.Insert(p, res[i%len(res)])
+	}
+}
+
+// Trimmer adapts the cache to the simulator's StepTrimmer hook.
+type Trimmer struct {
+	C *Cache
+}
+
+// OnArrival implements sim.StepTrimmer.
+func (t *Trimmer) OnArrival(p workload.Prompt, res model.Resolution, steps int, _ time.Duration) int {
+	return t.C.Lookup(p, res, steps)
+}
+
+// OnComplete implements sim.StepTrimmer.
+func (t *Trimmer) OnComplete(p workload.Prompt, res model.Resolution, _ time.Duration) {
+	t.C.Insert(p, res)
+}

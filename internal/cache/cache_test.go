@@ -1,0 +1,187 @@
+package cache
+
+import (
+	"testing"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/stats"
+	"tetriserve/internal/workload"
+)
+
+func p(theme int, mods ...int) workload.Prompt {
+	return workload.Prompt{Text: "t", Theme: theme, Mods: mods}
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	a := p(1, 1, 2, 3)
+	if got := Similarity(a, a); got != 1.0 {
+		t.Fatalf("self-similarity = %v, want 1", got)
+	}
+	if got := Similarity(a, p(2, 1, 2, 3)); got != 0.1 {
+		t.Fatalf("cross-theme similarity = %v, want 0.1", got)
+	}
+	// Same theme, more shared mods → higher similarity.
+	s0 := Similarity(a, p(1, 4, 5, 6))
+	s1 := Similarity(a, p(1, 1, 5, 6))
+	s2 := Similarity(a, p(1, 1, 2, 6))
+	if !(s0 < s1 && s1 < s2 && s2 < 1.0) {
+		t.Fatalf("similarity not monotone in shared mods: %v %v %v", s0, s1, s2)
+	}
+	// Symmetry.
+	if Similarity(a, p(1, 1, 5, 6)) != Similarity(p(1, 1, 5, 6), a) {
+		t.Fatal("similarity not symmetric")
+	}
+}
+
+func TestLookupMissOnEmptyCache(t *testing.T) {
+	c := New(DefaultConfig())
+	if skip := c.Lookup(p(1, 1, 2, 3), model.Res512, 50); skip != 0 {
+		t.Fatalf("empty cache returned skip %d", skip)
+	}
+	if c.HitRate() != 0 {
+		t.Fatal("miss not recorded")
+	}
+}
+
+func TestLookupSkipGrowsWithSimilarity(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Insert(p(1, 1, 2, 3), model.Res512)
+	// Identical prompt → max skip (clamped to half the steps).
+	full := c.Lookup(p(1, 1, 2, 3), model.Res512, 50)
+	if full != 25 {
+		t.Fatalf("identical prompt skip = %d, want 25 (max level)", full)
+	}
+	partial := c.Lookup(p(1, 1, 9, 10), model.Res512, 50)
+	if partial <= 0 || partial >= full {
+		t.Fatalf("partial match skip = %d, want in (0, %d)", partial, full)
+	}
+}
+
+func TestLookupResolutionSpecific(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Insert(p(1, 1, 2, 3), model.Res512)
+	if skip := c.Lookup(p(1, 1, 2, 3), model.Res1024, 50); skip != 0 {
+		t.Fatalf("latents are resolution-specific; cross-res skip = %d", skip)
+	}
+}
+
+func TestLookupThemeSpecific(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Insert(p(1, 1, 2, 3), model.Res512)
+	if skip := c.Lookup(p(2, 1, 2, 3), model.Res512, 50); skip != 0 {
+		t.Fatalf("cross-theme lookup returned skip %d", skip)
+	}
+}
+
+func TestMaxSkipFractionClamp(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Insert(p(1, 1, 2, 3), model.Res512)
+	if skip := c.Lookup(p(1, 1, 2, 3), model.Res512, 10); skip > 5 {
+		t.Fatalf("skip %d exceeds half of 10 steps", skip)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Capacity = 3
+	c := New(cfg)
+	c.Insert(p(1, 1), model.Res256)
+	c.Insert(p(2, 1), model.Res256)
+	c.Insert(p(3, 1), model.Res256)
+	// Touch theme 1 so theme 2 becomes LRU.
+	c.Lookup(p(1, 1), model.Res256, 50)
+	c.Insert(p(4, 1), model.Res256)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if skip := c.Lookup(p(2, 1), model.Res256, 50); skip != 0 {
+		t.Fatal("LRU entry (theme 2) should have been evicted")
+	}
+	if skip := c.Lookup(p(1, 1), model.Res256, 50); skip == 0 {
+		t.Fatal("recently used entry (theme 1) was evicted")
+	}
+}
+
+func TestHitRateAndSkippedSteps(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Insert(p(1, 1, 2, 3), model.Res256)
+	c.Lookup(p(1, 1, 2, 3), model.Res256, 50) // hit
+	c.Lookup(p(9, 1), model.Res256, 50)       // miss
+	if got := c.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+	if c.SkippedSteps() != 25 {
+		t.Fatalf("skipped steps = %d, want 25", c.SkippedSteps())
+	}
+}
+
+func TestWarm(t *testing.T) {
+	c := New(DefaultConfig())
+	sampler := workload.NewPromptSampler()
+	rng := stats.NewRNG(1)
+	var prompts []workload.Prompt
+	for i := 0; i < 500; i++ {
+		prompts = append(prompts, sampler.Sample(rng))
+	}
+	c.Warm(prompts, model.StandardResolutions())
+	if c.Len() != 500 {
+		t.Fatalf("Len after warm = %d", c.Len())
+	}
+}
+
+func TestWarmedCacheHitsOften(t *testing.T) {
+	c := New(DefaultConfig())
+	sampler := workload.NewPromptSampler()
+	rng := stats.NewRNG(2)
+	resList := model.StandardResolutions()
+	for i := 0; i < 10000; i++ {
+		c.Insert(sampler.Sample(rng), resList[rng.Intn(len(resList))])
+	}
+	hits := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		if c.Lookup(sampler.Sample(rng), resList[rng.Intn(len(resList))], 50) > 0 {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; frac < 0.5 {
+		t.Fatalf("warmed cache hit rate %.2f; the Table 3 gains need substantial reuse", frac)
+	}
+}
+
+func TestConfigValidationDefaults(t *testing.T) {
+	c := New(Config{Capacity: -5, SkipLevels: []int{1, 2}, Thresholds: []float64{0.5}})
+	// Mismatched levels/thresholds fall back to defaults.
+	c.Insert(p(1, 1, 2, 3), model.Res256)
+	if skip := c.Lookup(p(1, 1, 2, 3), model.Res256, 50); skip != 25 {
+		t.Fatalf("defaulted config skip = %d", skip)
+	}
+}
+
+func TestTrimmerAdapters(t *testing.T) {
+	c := New(DefaultConfig())
+	tr := &Trimmer{C: c}
+	tr.OnComplete(p(1, 1, 2, 3), model.Res512, 0)
+	if got := tr.OnArrival(p(1, 1, 2, 3), model.Res512, 50, 0); got != 25 {
+		t.Fatalf("trimmer skip = %d", got)
+	}
+}
+
+func TestEvictionKeepsBucketsConsistent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Capacity = 10
+	c := New(cfg)
+	rng := stats.NewRNG(3)
+	sampler := workload.NewPromptSampler()
+	resList := model.StandardResolutions()
+	for i := 0; i < 1000; i++ {
+		c.Insert(sampler.Sample(rng), resList[rng.Intn(len(resList))])
+		if c.Len() > 10 {
+			t.Fatal("capacity exceeded")
+		}
+	}
+	// All lookups must still work without stale entries.
+	for i := 0; i < 100; i++ {
+		c.Lookup(sampler.Sample(rng), resList[rng.Intn(len(resList))], 50)
+	}
+}

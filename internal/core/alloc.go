@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+)
+
+// option is one DP choice for a request this round: run q steps at the
+// given degree, or (represented separately) run nothing.
+type option struct {
+	// degree is the sequence-parallel degree A_i^m (also the knapsack
+	// width w_i).
+	degree int
+	// planSteps is s_i^m — how many of the request's remaining steps the
+	// minimal-GPU-hour plan assigns to this degree.
+	planSteps int
+	// stepTime is the profiled T_i(A_i^m).
+	stepTime time.Duration
+	// q is how many steps fit in this round's window (q_i^m, clipped).
+	q int
+	// survive is sv_i(m): not definitely late at the next round start if
+	// this option runs.
+	survive bool
+}
+
+// candidate is a request together with its per-round options.
+type candidate struct {
+	st *sched.RequestState
+	// options holds runnable options (q > 0), lowest degree first —
+	// matching Figure 6's shape of spending cheap degrees early.
+	options []option
+	// surviveNone is sv_i(none).
+	surviveNone bool
+	// tmin is the fastest profiled step time for the resolution.
+	tmin time.Duration
+}
+
+// buildCandidate runs the §4.2.1 deadline-aware GPU allocation for one
+// request: find the minimal-GPU-hour mix of degrees meeting the deadline,
+// then derive this round's options from the mix. Returns nil when the
+// request has no remaining steps.
+func (s *Scheduler) buildCandidate(prof *costmodel.Profile, now, tNext time.Duration, st *sched.RequestState) *candidate {
+	if st.Remaining <= 0 {
+		return nil
+	}
+	res := st.Req.Res
+	budget := st.Deadline() - now
+	tmin, _ := prof.MinStepTime(res)
+
+	mix := s.minGPUHourMix(prof, res, st.Remaining, budget)
+	c := &candidate{st: st, tmin: tmin}
+	c.surviveNone = tNext+time.Duration(st.Remaining)*tmin <= st.Deadline()
+
+	window := s.window()
+	for _, entry := range mix {
+		q := int(window / entry.stepTime)
+		if q <= 0 {
+			continue // Algorithm 1 line 6 discards zero-progress options.
+		}
+		if q > entry.planSteps {
+			q = entry.planSteps
+		}
+		remainingAfter := st.Remaining - q
+		survive := tNext+time.Duration(remainingAfter)*tmin <= st.Deadline()
+		c.options = append(c.options, option{
+			degree:    entry.degree,
+			planSteps: entry.planSteps,
+			stepTime:  entry.stepTime,
+			q:         q,
+			survive:   survive,
+		})
+	}
+	return c
+}
+
+// mixEntry is one (degree, steps) element of an allocation plan.
+type mixEntry struct {
+	degree    int
+	planSteps int
+	stepTime  time.Duration
+}
+
+// minGPUHourMix solves §4.2.1's per-request optimization over the profiled
+// lookup table: split the remaining steps across at most two degrees so
+// that total time fits the budget while total GPU-seconds are minimized.
+// Two degrees suffice because GPU-seconds g(k)=k·T(k) and latency T(k) move
+// in opposite directions along the profiled frontier, so the optimum is a
+// split between two frontier points (the shape Figure 6 depicts). When even
+// the fastest degree misses the budget, the fastest single-degree plan is
+// returned so the request still makes best progress.
+func (s *Scheduler) minGPUHourMix(prof *costmodel.Profile, res model.Resolution, steps int, budget time.Duration) []mixEntry {
+	degrees := prof.Degrees()
+	window := s.window()
+	type cfg struct {
+		k int
+		t time.Duration
+		g float64 // GPU-seconds per step
+	}
+	cfgs := make([]cfg, 0, len(degrees))
+	for _, k := range degrees {
+		t := prof.StepTime(res, k)
+		q := int(window / t)
+		if q <= 0 {
+			continue // degree cannot complete a step within a round
+		}
+		eff := t
+		if s.cfg.QuantizationAwareMix {
+			// Round quantization: q steps occupy the whole window, so the
+			// *effective* per-step time (and GPU-hour cost) a degree pays
+			// under round-based execution is window/q, not T(k). Planning
+			// with effective times steers the mix away from degrees whose
+			// steps tile the round poorly.
+			eff = window / time.Duration(q)
+		}
+		cfgs = append(cfgs, cfg{k: k, t: eff, g: float64(k) * eff.Seconds()})
+	}
+	if len(cfgs) == 0 {
+		// Window shorter than every step time can only happen with a
+		// pathological granularity; fall back to raw profile times.
+		for _, k := range degrees {
+			t := prof.StepTime(res, k)
+			cfgs = append(cfgs, cfg{k: k, t: t, g: float64(k) * t.Seconds()})
+		}
+	}
+
+	bestCost := -1.0
+	var best []mixEntry
+	consider := func(cost float64, mix []mixEntry) {
+		if bestCost < 0 || cost < bestCost-1e-12 {
+			bestCost = cost
+			best = mix
+		}
+	}
+
+	// Single-degree plans.
+	for _, c := range cfgs {
+		if time.Duration(steps)*c.t <= budget {
+			consider(float64(steps)*c.g, []mixEntry{{degree: c.k, planSteps: steps, stepTime: c.t}})
+		}
+	}
+	// Two-degree plans: x steps at a slower/cheaper degree, the rest at a
+	// faster one, with x maximized subject to the deadline.
+	for _, slow := range cfgs {
+		for _, fast := range cfgs {
+			if fast.t >= slow.t || slow.g >= fast.g {
+				continue // need fast strictly faster and slow strictly cheaper
+			}
+			if time.Duration(steps)*fast.t > budget {
+				continue // even all-fast misses; no feasible split
+			}
+			slack := budget - time.Duration(steps)*fast.t
+			x := int(slack / (slow.t - fast.t))
+			if x <= 0 {
+				continue
+			}
+			if x >= steps {
+				continue // degenerates to the all-slow single plan
+			}
+			cost := float64(x)*slow.g + float64(steps-x)*fast.g
+			consider(cost, []mixEntry{
+				{degree: slow.k, planSteps: x, stepTime: slow.t},
+				{degree: fast.k, planSteps: steps - x, stepTime: fast.t},
+			})
+		}
+	}
+
+	if best != nil {
+		// Lowest degree first: spend cheap parallelism early, scale up
+		// closer to the deadline (Figure 6).
+		sort.Slice(best, func(i, j int) bool { return best[i].degree < best[j].degree })
+		return best
+	}
+
+	// Infeasible even at maximum parallelism: run everything at the
+	// latency-optimal degree (the caller's definitely-late filter normally
+	// prevents reaching here, but mid-round drift can).
+	fastest := cfgs[0]
+	for _, c := range cfgs[1:] {
+		if c.t < fastest.t {
+			fastest = c
+		}
+	}
+	return []mixEntry{{degree: fastest.k, planSteps: steps, stepTime: fastest.t}}
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+var (
+	testTopo = simgpu.H100x8()
+	testProf = costmodel.BuildProfile(
+		costmodel.NewEstimator(model.FLUX(), testTopo), costmodel.ProfilerConfig{})
+)
+
+func newTestScheduler(t *testing.T, mutate ...func(*Config)) *Scheduler {
+	t.Helper()
+	cfg := DefaultConfig()
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	return NewScheduler(testProf, testTopo, cfg)
+}
+
+func mkState(id int, res model.Resolution, remaining int, arrival, slo time.Duration) *sched.RequestState {
+	return &sched.RequestState{
+		Req: &workload.Request{
+			ID:      workload.RequestID(id),
+			Res:     res,
+			Steps:   remaining,
+			Arrival: arrival,
+			SLO:     slo,
+		},
+		Remaining:     remaining,
+		StepsByDegree: map[int]int{},
+	}
+}
+
+// mixTotalTime sums the plan's execution time at the per-degree effective
+// (round-quantized) step times the scheduler plans with.
+func mixTotalTime(s *Scheduler, mix []mixEntry) time.Duration {
+	total := time.Duration(0)
+	for _, e := range mix {
+		total += time.Duration(e.planSteps) * e.stepTime
+	}
+	return total
+}
+
+func mixSteps(mix []mixEntry) int {
+	n := 0
+	for _, e := range mix {
+		n += e.planSteps
+	}
+	return n
+}
+
+func mixGPUSeconds(mix []mixEntry) float64 {
+	g := 0.0
+	for _, e := range mix {
+		g += float64(e.degree) * float64(e.planSteps) * e.stepTime.Seconds()
+	}
+	return g
+}
+
+func TestMixCoversAllSteps(t *testing.T) {
+	s := newTestScheduler(t)
+	for _, res := range model.StandardResolutions() {
+		for _, budget := range []time.Duration{2 * time.Second, 5 * time.Second, 20 * time.Second} {
+			mix := s.minGPUHourMix(testProf, res, 50, budget)
+			if mixSteps(mix) != 50 {
+				t.Fatalf("%v budget %v: mix covers %d steps, want 50", res, budget, mixSteps(mix))
+			}
+			if len(mix) > 2 {
+				t.Fatalf("mix uses %d degrees; the optimum needs at most two", len(mix))
+			}
+		}
+	}
+}
+
+func TestMixMeetsBudgetWhenFeasible(t *testing.T) {
+	s := newTestScheduler(t)
+	// 1024px, 50 steps: feasible within 3s only at degree ≥ 4 (or a mix).
+	mix := s.minGPUHourMix(testProf, model.Res1024, 50, 3*time.Second)
+	if got := mixTotalTime(s, mix); got > 3*time.Second {
+		t.Fatalf("mix misses the budget: %v > 3s (mix %+v)", got, mix)
+	}
+}
+
+func TestMixIsGPUHourMinimal(t *testing.T) {
+	s := newTestScheduler(t)
+	// Brute-force over all (x steps at kA, rest at kB) splits and compare.
+	res := model.Res1024
+	steps := 50
+	budget := 3 * time.Second
+	mix := s.minGPUHourMix(testProf, res, steps, budget)
+	got := mixGPUSeconds(mix)
+
+	window := s.window()
+	eff := map[int]time.Duration{}
+	for _, k := range testProf.Degrees() {
+		t0 := testProf.StepTime(res, k)
+		q := int(window / t0)
+		if q > 0 {
+			eff[k] = window / time.Duration(q)
+		}
+	}
+	best := -1.0
+	for kA, tA := range eff {
+		for kB, tB := range eff {
+			for x := 0; x <= steps; x++ {
+				total := time.Duration(x)*tA + time.Duration(steps-x)*tB
+				if total > budget {
+					continue
+				}
+				cost := float64(x)*float64(kA)*tA.Seconds() + float64(steps-x)*float64(kB)*tB.Seconds()
+				if best < 0 || cost < best {
+					best = cost
+				}
+			}
+		}
+	}
+	if best < 0 {
+		t.Fatal("brute force found no feasible plan but the scheduler did")
+	}
+	if got > best*1.0001 {
+		t.Fatalf("mix GPU-seconds %.4f exceeds brute-force optimum %.4f", got, best)
+	}
+}
+
+func TestMixPrefersCheapDegreesWithSlack(t *testing.T) {
+	s := newTestScheduler(t)
+	// With a huge budget, 256px should run entirely at SP=1 (cheapest).
+	mix := s.minGPUHourMix(testProf, model.Res256, 50, time.Minute)
+	if len(mix) != 1 || mix[0].degree != 1 {
+		t.Fatalf("with slack the mix should be all-SP1: %+v", mix)
+	}
+}
+
+func TestMixScalesUpUnderPressure(t *testing.T) {
+	s := newTestScheduler(t)
+	loose := s.minGPUHourMix(testProf, model.Res1024, 50, 30*time.Second)
+	tight := s.minGPUHourMix(testProf, model.Res1024, 50, 2*time.Second)
+	maxDeg := func(m []mixEntry) int {
+		d := 0
+		for _, e := range m {
+			if e.degree > d {
+				d = e.degree
+			}
+		}
+		return d
+	}
+	if maxDeg(tight) <= maxDeg(loose) {
+		t.Fatalf("tighter budgets need higher degrees: tight %+v vs loose %+v", tight, loose)
+	}
+}
+
+func TestMixLowDegreeFirst(t *testing.T) {
+	s := newTestScheduler(t)
+	mix := s.minGPUHourMix(testProf, model.Res1024, 50, 2800*time.Millisecond)
+	for i := 1; i < len(mix); i++ {
+		if mix[i].degree <= mix[i-1].degree {
+			t.Fatalf("mix should be ordered low degree first (Figure 6): %+v", mix)
+		}
+	}
+}
+
+func TestMixInfeasibleFallsBackToFastest(t *testing.T) {
+	s := newTestScheduler(t)
+	mix := s.minGPUHourMix(testProf, model.Res2048, 50, time.Millisecond)
+	if len(mix) != 1 {
+		t.Fatalf("fallback should be single degree: %+v", mix)
+	}
+	// Fastest usable degree for 2048px is 8.
+	if mix[0].degree != 8 {
+		t.Fatalf("fallback degree = %d, want 8", mix[0].degree)
+	}
+}
+
+func TestBuildCandidateQuantities(t *testing.T) {
+	s := newTestScheduler(t)
+	st := mkState(1, model.Res1024, 50, 0, 3*time.Second)
+	c := s.buildCandidate(testProf, 0, s.RoundDuration(), st)
+	if c == nil || len(c.options) == 0 {
+		t.Fatal("active feasible request should yield options")
+	}
+	for _, o := range c.options {
+		if o.q <= 0 {
+			t.Fatalf("Algorithm 1 discards q=0 options, got %+v", o)
+		}
+		if o.q > o.planSteps {
+			t.Fatalf("q exceeds planned steps: %+v", o)
+		}
+		wantQ := int(s.window() / o.stepTime)
+		if wantQ > o.planSteps {
+			wantQ = o.planSteps
+		}
+		if o.q != wantQ {
+			t.Fatalf("q = %d, want %d", o.q, wantQ)
+		}
+	}
+}
+
+func TestBuildCandidateSurvival(t *testing.T) {
+	s := newTestScheduler(t)
+	// Plenty of slack: surviving without running must be possible.
+	slack := mkState(1, model.Res256, 50, 0, 30*time.Second)
+	c := s.buildCandidate(testProf, 0, s.RoundDuration(), slack)
+	if !c.surviveNone {
+		t.Fatal("request with huge slack should survive a skipped round")
+	}
+	// 2048px at its 5s SLO: skipping the first round is fatal.
+	urgent := mkState(2, model.Res2048, 50, 0, 5*time.Second)
+	cu := s.buildCandidate(testProf, 0, s.RoundDuration(), urgent)
+	if cu.surviveNone {
+		t.Fatal("2048px@1.0x cannot afford to skip the first round")
+	}
+	ran := false
+	for _, o := range cu.options {
+		if o.survive {
+			ran = true
+		}
+	}
+	if !ran {
+		t.Fatal("some option should keep the urgent request alive")
+	}
+}
+
+func TestBuildCandidateNilForFinished(t *testing.T) {
+	s := newTestScheduler(t)
+	st := mkState(1, model.Res256, 0, 0, time.Second)
+	if c := s.buildCandidate(testProf, 0, s.RoundDuration(), st); c != nil {
+		t.Fatal("finished request should yield no candidate")
+	}
+}

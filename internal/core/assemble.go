@@ -1,0 +1,368 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"tetriserve/internal/sched"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+// placed is an in-progress assignment before final emission.
+type placed struct {
+	cand     *candidate
+	degree   int
+	steps    int
+	stepTime time.Duration
+	group    simgpu.Mask
+	// members is non-nil once continuous batching merged several requests.
+	members []*candidate
+	// bestEffort marks the ≤1-GPU lane for already-late requests.
+	bestEffort bool
+	// aligned reports the block fits the round window (the tick waits for
+	// aligned blocks only).
+	aligned bool
+}
+
+// assemble turns DP selections into concrete assignments: placement
+// (preservation-aware), selective continuous batching, work-conserving
+// admission of unselected requests, the best-effort lane for late requests,
+// and elastic scale-up across all of them.
+func (s *Scheduler) assemble(ctx *sched.PlanContext, sels []selection, cands []*candidate, late []*sched.RequestState) []sched.Assignment {
+	free := ctx.Free
+
+	// --- Placement (big groups first to limit fragmentation). ---
+	ordered := make([]selection, 0, len(sels))
+	for _, sel := range sels {
+		if sel.optIdx >= 0 {
+			ordered = append(ordered, sel)
+		}
+	}
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].cand.options[ordered[i].optIdx].degree >
+			ordered[j].cand.options[ordered[j].optIdx].degree
+	})
+
+	var placedList []*placed
+	selected := make(map[workload.RequestID]bool)
+	for _, sel := range ordered {
+		opt := sel.cand.options[sel.optIdx]
+		p := s.place(ctx, free, sel.cand, opt.degree)
+		if p == nil {
+			s.placementFailures++
+			continue
+		}
+		free = free.Without(p.group)
+		placedList = append(placedList, p)
+		selected[sel.cand.st.Req.ID] = true
+	}
+
+	// --- Selective continuous batching (§5). ---
+	if s.cfg.SelectiveBatching {
+		free = s.batchSmall(ctx, placedList, free)
+	}
+
+	// --- Work-conserving admission of DP-skipped requests. ---
+	unplaced := make([]*candidate, 0)
+	for _, c := range cands {
+		if !selected[c.st.Req.ID] && len(c.options) > 0 {
+			unplaced = append(unplaced, c)
+		}
+	}
+	sort.SliceStable(unplaced, func(i, j int) bool {
+		return unplaced[i].st.Deadline() < unplaced[j].st.Deadline()
+	})
+	for _, c := range unplaced {
+		if free == 0 {
+			break
+		}
+		opt := c.options[0]
+		p := s.place(ctx, free, c, opt.degree)
+		if p == nil {
+			continue
+		}
+		free = free.Without(p.group)
+		placedList = append(placedList, p)
+	}
+
+	// --- Best-effort lane for definitely-late requests (§4.2.2): at most
+	// one GPU each, from leftovers only, scaled up later if GPUs idle. ---
+	if s.cfg.BestEffortLane {
+		sort.SliceStable(late, func(i, j int) bool { return late[i].Deadline() < late[j].Deadline() })
+		window := s.window()
+		// Budget the lane: already-running late blocks (multi-round SP=1
+		// blocks from earlier rounds) count against the cap so stragglers
+		// cannot starve on-time requests of capacity.
+		budget := s.cfg.BestEffortGPUs
+		for _, st := range ctx.Running {
+			if st.DefinitelyLate(ctx.Now, ctx.Profile) {
+				budget--
+			}
+		}
+		for _, st := range late {
+			if budget <= 0 || free.Count() == 0 {
+				break
+			}
+			budget--
+			g := sched.AlignedGroup(ctx.Topo, free, 1, st.LastGroup)
+			if g == 0 {
+				break
+			}
+			t := ctx.Profile.StepTime(st.Req.Res, 1)
+			q := int(window / t)
+			aligned := true
+			if q < 1 {
+				// A single step exceeds the round: run it as a
+				// multi-round block the tick does not wait for.
+				q = 1
+				aligned = false
+			}
+			if q > st.Remaining {
+				q = st.Remaining
+			}
+			free = free.Without(g)
+			placedList = append(placedList, &placed{
+				cand:       &candidate{st: st},
+				degree:     1,
+				steps:      q,
+				stepTime:   t,
+				group:      g,
+				bestEffort: true,
+				aligned:    aligned,
+			})
+		}
+	}
+
+	// --- Elastic scale-up over everything placed (§4.2.3). ---
+	if s.cfg.ElasticScaleUp {
+		free = s.scaleUp(ctx, placedList, free)
+	}
+
+	// --- Emit. ---
+	var plan []sched.Assignment
+	for _, p := range placedList {
+		if p == nil || p.group == 0 {
+			continue // absorbed into a batch
+		}
+		ids := []workload.RequestID{p.cand.st.Req.ID}
+		for _, m := range p.members {
+			ids = append(ids, m.st.Req.ID)
+		}
+		plan = append(plan, sched.Assignment{
+			Requests:     ids,
+			Group:        p.group,
+			Steps:        p.steps,
+			RoundAligned: p.aligned,
+			BestEffort:   p.bestEffort,
+		})
+	}
+	return plan
+}
+
+// place maps a (candidate, degree) onto a concrete free group, degrading to
+// smaller degrees when alignment fails. Returns nil if not even one GPU is
+// available.
+func (s *Scheduler) place(ctx *sched.PlanContext, free simgpu.Mask, c *candidate, degree int) *placed {
+	window := s.window()
+	for k := degree; k >= 1; k /= 2 {
+		t := ctx.Profile.StepTime(c.st.Req.Res, k)
+		q := int(window / t)
+		if q <= 0 {
+			continue
+		}
+		if q > c.st.Remaining {
+			q = c.st.Remaining
+		}
+		var g simgpu.Mask
+		if s.cfg.PlacementPreservation {
+			g = sched.AlignedGroup(ctx.Topo, free, k, c.st.LastGroup)
+		} else {
+			g = sched.RandomGroup(free, k, s.rng)
+		}
+		if g == 0 {
+			continue
+		}
+		return &placed{cand: c, degree: k, steps: q, stepTime: t, group: g, aligned: true}
+	}
+	return nil
+}
+
+// batchSmall merges width-1 placements of the same small resolution into
+// continuous batches when every member's survival is preserved, freeing the
+// donors' GPUs. Returns the updated free mask.
+func (s *Scheduler) batchSmall(ctx *sched.PlanContext, placedList []*placed, free simgpu.Mask) simgpu.Mask {
+	tNext := ctx.Now + s.tau
+	byRes := map[string][]*placed{}
+	for _, p := range placedList {
+		if p.degree != 1 || len(p.members) > 0 || p.bestEffort {
+			continue
+		}
+		// Latent tokens = pixels/16² for both models; batching only pays
+		// for small resolutions that underutilize a GPU.
+		tokens := p.cand.st.Req.Res.Pixels() / 256
+		if ctx.Profile.Has(p.cand.st.Req.Res) && tokens <= s.cfg.BatchTokenCap {
+			key := p.cand.st.Req.Res.String()
+			byRes[key] = append(byRes[key], p)
+		}
+	}
+	keys := make([]string, 0, len(byRes))
+	for k := range byRes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		group := byRes[key]
+		if len(group) < 2 {
+			continue
+		}
+		sort.SliceStable(group, func(i, j int) bool {
+			return group[i].cand.st.Deadline() < group[j].cand.st.Deadline()
+		})
+		host := group[0]
+		for _, donor := range group[1:] {
+			bs := 1 + len(host.members) + 1
+			if bs > s.cfg.MaxBatch {
+				break
+			}
+			tb := ctx.Profile.StepTimeBatch(host.cand.st.Req.Res, 1, profiledBatch(bs))
+			qb := int(s.window() / tb)
+			if qb <= 0 {
+				break
+			}
+			// Joint step count: every member advances up to `steps` this
+			// round (clipped to its own remaining by the engine).
+			steps := qb
+			members := append([]*candidate{host.cand}, host.members...)
+			members = append(members, donor.cand)
+			ok := true
+			for _, m := range members {
+				st := steps
+				if st > m.st.Remaining {
+					st = m.st.Remaining
+				}
+				after := m.st.Remaining - st
+				if tNext+time.Duration(after)*m.tmin > m.st.Deadline() {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if steps > host.cand.st.Remaining {
+				steps = host.cand.st.Remaining
+			}
+			if steps <= 0 {
+				continue
+			}
+			host.members = append(host.members, donor.cand)
+			host.steps = steps
+			host.stepTime = tb
+			free = free.Union(donor.group)
+			donor.group = 0 // mark absorbed; emission skips group 0
+		}
+	}
+	return free
+}
+
+// scaleUp grants leftover GPUs to placed requests whose per-step time
+// improves at double the degree, prioritizing active (non-late) requests,
+// then the largest per-round gain — §4.2.3's work-conserving elastic
+// scale-up, which the paper applies to best-effort requests too.
+func (s *Scheduler) scaleUp(ctx *sched.PlanContext, placedList []*placed, free simgpu.Mask) simgpu.Mask {
+	window := s.window()
+	for {
+		var best *placed
+		var bestGroup simgpu.Mask
+		bestGain := time.Duration(0)
+		bestExtraSteps := -1
+		bestActive := false
+		better := func(active bool, extra int, gain time.Duration) bool {
+			if best == nil {
+				return true
+			}
+			if active != bestActive {
+				return active
+			}
+			if extra != bestExtraSteps {
+				return extra > bestExtraSteps
+			}
+			return gain > bestGain
+		}
+		for _, p := range placedList {
+			if p == nil || p.group == 0 || len(p.members) > 0 {
+				continue
+			}
+			k2 := p.degree * 2
+			if k2 > ctx.Topo.N {
+				continue
+			}
+			t2 := ctx.Profile.StepTime(p.cand.st.Req.Res, k2)
+			if t2 >= p.stepTime {
+				continue // no benefit from extra parallelism (T(k') < T(k))
+			}
+			// Prefer growing in place via the free buddy; otherwise move to
+			// any aligned group assembled from free GPUs plus its own.
+			var g simgpu.Mask
+			if buddy := sched.BuddyOf(ctx.Topo, p.group); buddy != 0 && buddy&^free == 0 {
+				g = p.group.Union(buddy)
+			} else {
+				g = sched.AlignedGroup(ctx.Topo, free.Union(p.group), k2, p.group)
+			}
+			if g == 0 {
+				continue
+			}
+			q2 := int(window / t2)
+			if q2 <= 0 {
+				q2 = 1 // still a multi-round improvement for huge steps
+			}
+			if q2 > p.cand.st.Remaining {
+				q2 = p.cand.st.Remaining
+			}
+			extraSteps := q2 - p.steps
+			if extraSteps < 0 {
+				continue
+			}
+			gain := time.Duration(p.steps)*(p.stepTime-t2) + time.Duration(extraSteps)*t2
+			if better(!p.bestEffort, extraSteps, gain) {
+				best = p
+				bestGroup = g
+				bestGain = gain
+				bestExtraSteps = extraSteps
+				bestActive = !p.bestEffort
+			}
+		}
+		if best == nil {
+			return free
+		}
+		k2 := best.degree * 2
+		free = free.Union(best.group).Without(bestGroup)
+		best.group = bestGroup
+		best.degree = k2
+		best.stepTime = ctx.Profile.StepTime(best.cand.st.Req.Res, k2)
+		q := int(window / best.stepTime)
+		if q <= 0 {
+			q = 1
+		}
+		if q > best.cand.st.Remaining {
+			q = best.cand.st.Remaining
+		}
+		best.steps = q
+		best.aligned = time.Duration(best.steps)*best.stepTime <= window
+	}
+}
+
+// profiledBatch rounds a batch size up to the next profiled power of two
+// (the lookup table is built for bs ∈ {1,2,4,8}); the estimate is
+// conservative for in-between sizes.
+func profiledBatch(bs int) int {
+	b := 1
+	for b < bs {
+		b *= 2
+	}
+	if b > 8 {
+		b = 8
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package core
+
+// This file implements Algorithm 1's group-knapsack dynamic program: per
+// request choose at most one option (one of its planned GPU allocations, or
+// none), total width ≤ the free GPU capacity, maximizing the number of
+// requests that survive to the next round.
+//
+// Values are encoded as survivors·survivalWeight + progress so that, among
+// packings with equal survivor counts, the DP prefers making progress on
+// more requests (the work-conserving tie-break; leftover capacity is later
+// recycled by elastic scale-up regardless).
+
+const survivalWeight = 1 << 20
+
+// selection records the DP's decision for one candidate.
+type selection struct {
+	cand *candidate
+	// optIdx indexes cand.options; -1 means "none".
+	optIdx int
+}
+
+// packDP runs the dynamic program over capacity GPUs and reconstructs the
+// chosen options via back-pointers. Runtime O(R·N·|O|), space O(R·N) —
+// the tractability claim of §4.2.2.
+func (s *Scheduler) packDP(cands []*candidate, capacity int) []selection {
+	if capacity < 0 {
+		capacity = 0
+	}
+	const minusInf = -1 << 40
+	dp := make([]int64, capacity+1)
+	for c := range dp {
+		dp[c] = minusInf
+	}
+	dp[0] = 0
+	// choice[i][c] = option index picked for candidate i when the first
+	// i+1 candidates consume exactly c GPUs (-1 = none, -2 = unreachable).
+	choice := make([][]int8, len(cands))
+
+	for i, cand := range cands {
+		next := make([]int64, capacity+1)
+		ch := make([]int8, capacity+1)
+		for c := 0; c <= capacity; c++ {
+			// Option "none": width 0.
+			v := dp[c]
+			ch[c] = -2
+			if v > minusInf {
+				nv := v + noneValue(cand)
+				next[c] = nv
+				ch[c] = -1
+			} else {
+				next[c] = minusInf
+			}
+			for oi, opt := range cand.options {
+				w := opt.degree
+				if w > c {
+					continue
+				}
+				if dp[c-w] <= minusInf {
+					continue
+				}
+				nv := dp[c-w] + optionValue(opt)
+				if nv > next[c] {
+					next[c] = nv
+					ch[c] = int8(oi)
+				}
+			}
+		}
+		dp = next
+		choice[i] = ch
+	}
+
+	// Pick the best value at the smallest capacity achieving it.
+	bestC, bestV := 0, int64(minusInf)
+	for c := 0; c <= capacity; c++ {
+		if dp[c] > bestV {
+			bestV = dp[c]
+			bestC = c
+		}
+	}
+
+	// Reconstruct.
+	sels := make([]selection, 0, len(cands))
+	c := bestC
+	for i := len(cands) - 1; i >= 0; i-- {
+		oi := choice[i][c]
+		if oi == -2 {
+			// Unreachable cells cannot appear on the optimal path.
+			panic("core: DP reconstruction hit unreachable state")
+		}
+		if oi >= 0 {
+			sels = append(sels, selection{cand: cands[i], optIdx: int(oi)})
+			c -= cands[i].options[oi].degree
+		} else {
+			sels = append(sels, selection{cand: cands[i], optIdx: -1})
+		}
+	}
+	// Restore input order (purely cosmetic but deterministic).
+	for l, r := 0, len(sels)-1; l < r; l, r = l+1, r-1 {
+		sels[l], sels[r] = sels[r], sels[l]
+	}
+	return sels
+}
+
+func noneValue(c *candidate) int64 {
+	if c.surviveNone {
+		return survivalWeight
+	}
+	return 0
+}
+
+func optionValue(o option) int64 {
+	v := int64(1) // progress tie-break
+	if o.survive {
+		v += survivalWeight
+	}
+	return v
+}

@@ -1,0 +1,201 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/simgpu"
+)
+
+func fluxEst() *Estimator {
+	return NewEstimator(model.FLUX(), simgpu.H100x8())
+}
+
+func sd3Est() *Estimator {
+	return NewEstimator(model.SD3(), simgpu.A40x4())
+}
+
+func TestComputeTimeScalesDown(t *testing.T) {
+	e := fluxEst()
+	prev := time.Duration(0)
+	for _, k := range []int{8, 4, 2, 1} {
+		ct := e.ComputeTime(model.Res2048, k, 1)
+		if ct <= prev {
+			t.Fatalf("compute time should grow as degree shrinks: k=%d got %v after %v", k, ct, prev)
+		}
+		prev = ct
+	}
+}
+
+func TestComputeTimeSublinearSpeedup(t *testing.T) {
+	e := fluxEst()
+	// Splitting small kernels loses per-GPU efficiency, so compute speedup
+	// is below k.
+	t1 := e.ComputeTime(model.Res256, 1, 1)
+	t8 := e.ComputeTime(model.Res256, 8, 1)
+	speedup := float64(t1) / float64(t8)
+	if speedup >= 8 {
+		t.Fatalf("compute speedup %v should be sublinear for 256px", speedup)
+	}
+}
+
+func TestCommTimeZeroForSingleGPU(t *testing.T) {
+	e := fluxEst()
+	if e.CommTime(model.Res2048, simgpu.MaskOf(3), 1) != 0 {
+		t.Fatal("single-GPU group should not communicate")
+	}
+}
+
+func TestCommGrowsWithDegree(t *testing.T) {
+	e := fluxEst()
+	c2 := e.CommTimeDegree(model.Res512, 2, 1)
+	c8 := e.CommTimeDegree(model.Res512, 8, 1)
+	if c8 <= c2 {
+		t.Fatalf("comm time should grow with degree: k=2 %v, k=8 %v", c2, c8)
+	}
+}
+
+// TestFigure2Shape: the calibrated comm fractions reproduce the paper's
+// qualitative claims — small inputs exceed 30% comm at SP=8 (BS=4), the
+// largest stays under 10%, and the fraction decreases with resolution.
+func TestFigure2Shape(t *testing.T) {
+	e := fluxEst()
+	if frac := e.CommFraction(model.Res256, 8, 4); frac < 0.30 {
+		t.Errorf("256px comm fraction at SP=8 = %.2f, want > 0.30", frac)
+	}
+	if frac := e.CommFraction(model.Res2048, 8, 4); frac > 0.10 {
+		t.Errorf("2048px comm fraction at SP=8 = %.2f, want < 0.10", frac)
+	}
+	prev := 1.0
+	for _, res := range model.StandardResolutions() {
+		frac := e.CommFraction(res, 8, 4)
+		if frac >= prev {
+			t.Errorf("comm fraction should fall with resolution; %v has %.3f ≥ %.3f", res, frac, prev)
+		}
+		prev = frac
+	}
+}
+
+// TestFigure3Shape: scaling efficiency is sublinear everywhere, near-linear
+// for 2048px, poor for 256px.
+func TestFigure3Shape(t *testing.T) {
+	e := fluxEst()
+	for _, res := range model.StandardResolutions() {
+		for _, k := range []int{2, 4, 8} {
+			eff := e.ScalingEfficiency(res, k, 1)
+			if eff >= 1.0 {
+				t.Errorf("%v at SP=%d: efficiency %.2f should be sublinear", res, k, eff)
+			}
+			if eff <= 0 {
+				t.Errorf("%v at SP=%d: nonpositive efficiency", res, k)
+			}
+		}
+	}
+	if eff := e.ScalingEfficiency(model.Res2048, 8, 1); eff < 0.75 {
+		t.Errorf("2048px SP=8 efficiency %.2f, want ≥ 0.75 (near-linear)", eff)
+	}
+	if eff := e.ScalingEfficiency(model.Res256, 8, 1); eff > 0.5 {
+		t.Errorf("256px SP=8 efficiency %.2f, want ≤ 0.5 (poor scaling)", eff)
+	}
+}
+
+// TestSLOFeasibilityShape pins the calibration the whole evaluation relies
+// on: which degrees can meet the paper's base SLOs when a request runs
+// alone (§6.1 targets 1.5/2/3/5 s).
+func TestSLOFeasibilityShape(t *testing.T) {
+	e := fluxEst()
+	steps := 50
+	total := func(res model.Resolution, k int) time.Duration {
+		return time.Duration(steps) * e.StepTimeDegree(res, k, 1)
+	}
+	if total(model.Res256, 1) > 1500*time.Millisecond {
+		t.Error("256px must fit its 1.5s SLO at SP=1")
+	}
+	if total(model.Res1024, 1) < 3*time.Second {
+		t.Error("1024px at SP=1 should miss its 3s SLO (forcing parallelism)")
+	}
+	if total(model.Res1024, 4) > 3*time.Second {
+		t.Error("1024px must fit its 3s SLO at SP=4")
+	}
+	if total(model.Res2048, 4) < 5*time.Second {
+		t.Error("2048px at SP=4 should miss its 5s SLO")
+	}
+	if total(model.Res2048, 8) > 5*time.Second {
+		t.Error("2048px must fit its 5s SLO at SP=8 when alone")
+	}
+}
+
+func TestA40PCIePenalty(t *testing.T) {
+	e := sd3Est()
+	// A misaligned pair crosses PCIe and must be slower than the NVLink
+	// pair at the same degree.
+	nv := e.StepTime(model.Res1024, simgpu.MaskOf(0, 1), 1)
+	pcie := e.StepTime(model.Res1024, simgpu.MaskOf(1, 2), 1)
+	if pcie <= nv {
+		t.Fatalf("PCIe-crossing pair (%v) should be slower than NVLink pair (%v)", pcie, nv)
+	}
+}
+
+func TestStepTimePanicsOnInvalidGroup(t *testing.T) {
+	e := fluxEst()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid group should panic")
+		}
+	}()
+	e.StepTime(model.Res256, simgpu.MaskOf(0, 1, 2), 1)
+}
+
+func TestBatchingSavesTime(t *testing.T) {
+	e := fluxEst()
+	// One batched step of 4 small images beats 4 separate steps.
+	batched := e.StepTimeDegree(model.Res256, 1, 4)
+	separate := 4 * e.StepTimeDegree(model.Res256, 1, 1)
+	if batched >= separate {
+		t.Fatalf("batching should save time: batched %v vs 4 separate %v", batched, separate)
+	}
+}
+
+func TestLatentTransferNegligible(t *testing.T) {
+	e := fluxEst()
+	for _, res := range model.StandardResolutions() {
+		transfer := e.LatentTransferTime(res, 1)
+		fastest := time.Duration(1 << 62)
+		for _, k := range []int{1, 2, 4, 8} {
+			if st := e.StepTimeDegree(res, k, 1); st < fastest {
+				fastest = st
+			}
+		}
+		frac := float64(transfer) / float64(fastest)
+		if frac > 0.0005 { // Table 4: < 0.05%
+			t.Errorf("%v: latent transfer is %.4f%% of fastest step, want < 0.05%%", res, 100*frac)
+		}
+	}
+}
+
+func TestDecodeTimeSmall(t *testing.T) {
+	e := fluxEst()
+	// §5: decode wall-clock is very small relative to diffusion.
+	decode := e.DecodeTime(model.Res2048)
+	diffusion := 50 * e.StepTimeDegree(model.Res2048, 8, 1)
+	if float64(decode) > 0.05*float64(diffusion) {
+		t.Fatalf("decode %v should be <5%% of diffusion %v", decode, diffusion)
+	}
+}
+
+func TestGPUSecondsIncreaseWithDegree(t *testing.T) {
+	e := fluxEst()
+	// Sublinear scaling means GPU-seconds per step rise with parallelism
+	// for every resolution — the trade-off the allocator navigates.
+	for _, res := range model.StandardResolutions() {
+		prev := 0.0
+		for _, k := range []int{1, 2, 4, 8} {
+			g := e.GPUSeconds(res, k, 1)
+			if g <= prev {
+				t.Errorf("%v: GPU-seconds should rise with degree (k=%d: %v after %v)", res, k, g, prev)
+			}
+			prev = g
+		}
+	}
+}

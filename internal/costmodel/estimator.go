@@ -1,0 +1,134 @@
+// Package costmodel predicts per-step execution time for a (model,
+// topology, resolution, GPU group, batch size) combination and packages
+// those predictions into the offline-profiled lookup table that TetriServe's
+// scheduler consumes (§4.2.1 "Offline Profiling for Cost Model").
+//
+// One denoising step decomposes into three terms:
+//
+//	step = compute + communication + kernel launch
+//
+// Compute divides the step's FLOPs across the group, with a per-GPU kernel
+// efficiency that degrades when the local token count shrinks (Figure 3's
+// sublinear scaling). Communication charges the Ulysses all-to-all
+// collectives: per collective, every GPU exchanges (k−1)/k of its local
+// shard over the group's bottleneck link (NVLink inside an island, PCIe
+// across islands on the A40 node), plus a per-hop latency term that grows
+// with the degree (Figure 2's comm-share blow-up at small resolutions).
+package costmodel
+
+import (
+	"fmt"
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/simgpu"
+)
+
+// Estimator predicts step latency analytically.
+type Estimator struct {
+	Model *model.Model
+	Topo  *simgpu.Topology
+}
+
+// NewEstimator pairs a model with a topology.
+func NewEstimator(m *model.Model, t *simgpu.Topology) *Estimator {
+	if m == nil || t == nil {
+		panic("costmodel: nil model or topology")
+	}
+	return &Estimator{Model: m, Topo: t}
+}
+
+// ComputeTime returns the pure-GEMM portion of one step for a batch of bs
+// images at res split across k GPUs.
+func (e *Estimator) ComputeTime(res model.Resolution, k, bs int) time.Duration {
+	if k <= 0 || bs <= 0 {
+		panic("costmodel: non-positive degree or batch")
+	}
+	flops := e.Model.StepFLOPs(res) * float64(bs) / float64(k)
+	tokensPerGPU := float64(e.Model.JointSeqLen(res)*bs) / float64(k)
+	sustained := e.Topo.HW.SustainedFLOPS(tokensPerGPU)
+	return time.Duration(flops / sustained * float64(time.Second))
+}
+
+// CommTime returns the sequence-parallel communication portion of one step
+// over the given GPU group. Single-GPU groups communicate nothing.
+func (e *Estimator) CommTime(res model.Resolution, group simgpu.Mask, bs int) time.Duration {
+	k := group.Count()
+	if k <= 1 {
+		return 0
+	}
+	link := e.Topo.GroupLink(group)
+	colls := float64(e.Model.CollectivesPerStep())
+	// Each all-to-all moves (k-1)/k of every GPU's 1/k shard.
+	bytesPerGPU := e.Model.CommBytesPerCollective(res, bs) * float64(k-1) / float64(k*k)
+	transfer := bytesPerGPU / link.Bandwidth
+	perColl := time.Duration(transfer*float64(time.Second)) + time.Duration(k-1)*link.Latency
+	return time.Duration(colls * float64(perColl))
+}
+
+// CommTimeDegree is CommTime over the canonical buddy-aligned group of the
+// given degree — what offline profiling measures.
+func (e *Estimator) CommTimeDegree(res model.Resolution, k, bs int) time.Duration {
+	return e.CommTime(res, simgpu.CanonicalGroup(0, k), bs)
+}
+
+// StepTime returns the full predicted latency of one denoising step for a
+// batch of bs images at res on the given group.
+func (e *Estimator) StepTime(res model.Resolution, group simgpu.Mask, bs int) time.Duration {
+	if err := e.Topo.ValidGroup(group); err != nil {
+		panic(fmt.Sprintf("costmodel: %v", err))
+	}
+	k := group.Count()
+	return e.ComputeTime(res, k, bs) + e.CommTime(res, group, bs) + e.Topo.HW.KernelLaunch
+}
+
+// StepTimeDegree is StepTime on the canonical group of the given degree.
+func (e *Estimator) StepTimeDegree(res model.Resolution, k, bs int) time.Duration {
+	return e.StepTime(res, simgpu.CanonicalGroup(0, k), bs)
+}
+
+// CommFraction returns communication's share of step time — the quantity
+// plotted in Figure 2.
+func (e *Estimator) CommFraction(res model.Resolution, k, bs int) float64 {
+	total := e.StepTimeDegree(res, k, bs)
+	if total == 0 {
+		return 0
+	}
+	return float64(e.CommTimeDegree(res, k, bs)) / float64(total)
+}
+
+// ScalingEfficiency returns T(1)/(k·T(k)) — Figure 3's end-to-end scaling
+// efficiency of sequence parallelism.
+func (e *Estimator) ScalingEfficiency(res model.Resolution, k, bs int) float64 {
+	t1 := e.StepTimeDegree(res, 1, bs)
+	tk := e.StepTimeDegree(res, k, bs)
+	if tk == 0 {
+		return 0
+	}
+	return float64(t1) / (float64(k) * float64(tk))
+}
+
+// LatentTransferTime returns the time to hand a request's latent between GPU
+// groups when parallelism changes between steps (§5 "Latent Transfer";
+// quantified in Table 4). A small fixed cost covers the async-handoff
+// bookkeeping; the payload itself moves at NVLink speed.
+func (e *Estimator) LatentTransferTime(res model.Resolution, bs int) time.Duration {
+	const fixed = 5 * time.Microsecond
+	bytes := e.Model.LatentBytes(res) * float64(bs)
+	return fixed + time.Duration(bytes/e.Topo.NVLink.Bandwidth*float64(time.Second))
+}
+
+// DecodeTime returns the VAE decode latency for one image at res on a
+// single GPU. It is small relative to the diffusion steps (§5) but its
+// activation footprint forces sequential decoding.
+func (e *Estimator) DecodeTime(res model.Resolution) time.Duration {
+	flops := e.Model.DecodeFLOPs(res)
+	sustained := e.Topo.HW.SustainedFLOPS(float64(e.Model.Tokens(res)))
+	return time.Duration(flops/sustained*float64(time.Second)) + e.Topo.HW.KernelLaunch
+}
+
+// GPUSeconds returns GPU·seconds consumed by one step at degree k — the
+// quantity the deadline-aware allocator minimizes (k × T(k), §4.2.1).
+func (e *Estimator) GPUSeconds(res model.Resolution, k, bs int) float64 {
+	return float64(k) * e.StepTimeDegree(res, k, bs).Seconds()
+}

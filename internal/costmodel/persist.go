@@ -1,0 +1,94 @@
+package costmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"tetriserve/internal/model"
+)
+
+// In production the offline profiling pass runs once per (model, hardware)
+// pair and its lookup table is shipped with the deployment; this file makes
+// the Profile a durable artifact (JSON) so the daemon can load it instead
+// of re-profiling at startup.
+
+// profileJSON is the serialized form.
+type profileJSON struct {
+	Model   string             `json:"model"`
+	Topo    string             `json:"topology"`
+	Noise   float64            `json:"noise"`
+	Degrees []int              `json:"degrees"`
+	Entries []profileEntryJSON `json:"entries"`
+}
+
+type profileEntryJSON struct {
+	W       int     `json:"w"`
+	H       int     `json:"h"`
+	Degree  int     `json:"degree"`
+	Batch   int     `json:"batch"`
+	MeanUS  int64   `json:"mean_us"`
+	CV      float64 `json:"cv"`
+	Samples int     `json:"samples"`
+}
+
+// MarshalJSON implements json.Marshaler with deterministic entry order.
+func (p *Profile) MarshalJSON() ([]byte, error) {
+	out := profileJSON{
+		Model:   p.ModelName,
+		Topo:    p.TopoName,
+		Noise:   p.Noise,
+		Degrees: p.degrees,
+	}
+	keys := make([]Key, 0, len(p.entries))
+	for k := range p.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Res.Pixels() != b.Res.Pixels() {
+			return a.Res.Pixels() < b.Res.Pixels()
+		}
+		if a.Degree != b.Degree {
+			return a.Degree < b.Degree
+		}
+		return a.Batch < b.Batch
+	})
+	for _, k := range keys {
+		e := p.entries[k]
+		out.Entries = append(out.Entries, profileEntryJSON{
+			W: k.Res.W, H: k.Res.H, Degree: k.Degree, Batch: k.Batch,
+			MeanUS: e.Mean.Microseconds(), CV: e.CV, Samples: e.Samples,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var in profileJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("costmodel: decoding profile: %w", err)
+	}
+	if len(in.Degrees) == 0 || len(in.Entries) == 0 {
+		return fmt.Errorf("costmodel: profile missing degrees or entries")
+	}
+	p.ModelName = in.Model
+	p.TopoName = in.Topo
+	p.Noise = in.Noise
+	p.degrees = in.Degrees
+	p.entries = make(map[Key]Entry, len(in.Entries))
+	for _, e := range in.Entries {
+		if e.MeanUS <= 0 {
+			return fmt.Errorf("costmodel: non-positive step time for %dx%d k=%d", e.W, e.H, e.Degree)
+		}
+		key := Key{Res: model.Resolution{W: e.W, H: e.H}, Degree: e.Degree, Batch: e.Batch}
+		p.entries[key] = Entry{
+			Mean:    time.Duration(e.MeanUS) * time.Microsecond,
+			CV:      e.CV,
+			Samples: e.Samples,
+		}
+	}
+	return nil
+}

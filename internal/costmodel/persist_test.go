@@ -1,0 +1,70 @@
+package costmodel
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tetriserve/internal/model"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	orig := buildFluxProfile(t)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Profile
+	if err := json.Unmarshal(data, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ModelName != orig.ModelName || loaded.TopoName != orig.TopoName {
+		t.Fatal("metadata lost in round trip")
+	}
+	if loaded.Noise != orig.Noise {
+		t.Fatal("noise lost")
+	}
+	for _, res := range model.StandardResolutions() {
+		for _, k := range orig.Degrees() {
+			a := orig.StepTime(res, k)
+			b := loaded.StepTime(res, k)
+			// Serialization truncates to microseconds.
+			diff := a - b
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1000 {
+				t.Fatalf("step time drifted across round trip: %v vs %v", a, b)
+			}
+		}
+	}
+	// A loaded profile must drive the lookup helpers identically.
+	if _, ka := orig.MinStepTime(model.Res2048); true {
+		if _, kb := loaded.MinStepTime(model.Res2048); ka != kb {
+			t.Fatal("fastest degree changed across round trip")
+		}
+	}
+}
+
+func TestProfileSerializationDeterministic(t *testing.T) {
+	p := buildFluxProfile(t)
+	a, _ := json.Marshal(p)
+	b, _ := json.Marshal(p)
+	if string(a) != string(b) {
+		t.Fatal("profile serialization not deterministic")
+	}
+}
+
+func TestProfileUnmarshalValidation(t *testing.T) {
+	cases := []string{
+		`{}`,
+		`{"degrees":[1],"entries":[]}`,
+		`{"degrees":[1],"entries":[{"w":256,"h":256,"degree":1,"batch":1,"mean_us":0}]}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		var p Profile
+		if err := json.Unmarshal([]byte(c), &p); err == nil {
+			t.Errorf("invalid profile %q accepted", c)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package costmodel
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/stats"
+)
+
+// Key identifies one profiled configuration.
+type Key struct {
+	Res    model.Resolution
+	Degree int
+	Batch  int
+}
+
+// Entry is one profiled measurement: the mean per-step latency and its
+// coefficient of variation over the profiling runs (Table 1 reports CVs
+// below 0.7 %, which is what makes deadline-aware scheduling viable).
+type Entry struct {
+	Mean    time.Duration
+	CV      float64
+	Samples int
+}
+
+// Profile is the offline-profiled lookup table the scheduler consults at
+// runtime (§4.2.1): per (resolution, degree, batch), the expected step time
+// and derived GPU-seconds. Lookups never touch the analytical model, exactly
+// as the paper's scheduler only reads pre-profiled values.
+type Profile struct {
+	ModelName string
+	TopoName  string
+	// Noise is the relative step-time jitter (σ/μ) observed while
+	// profiling; the engine reuses it when executing.
+	Noise   float64
+	degrees []int
+	entries map[Key]Entry
+}
+
+// Degrees returns the profiled sequence-parallel degrees in ascending order.
+func (p *Profile) Degrees() []int { return p.degrees }
+
+// MaxDegree returns the largest profiled degree.
+func (p *Profile) MaxDegree() int { return p.degrees[len(p.degrees)-1] }
+
+// Lookup returns the entry for an exact key.
+func (p *Profile) Lookup(res model.Resolution, k, bs int) (Entry, bool) {
+	e, ok := p.entries[Key{res, k, bs}]
+	return e, ok
+}
+
+// StepTime returns the profiled per-step latency at degree k, batch 1.
+// Unprofiled configurations panic: the scheduler must never silently invent
+// latencies for workloads it was not calibrated on.
+func (p *Profile) StepTime(res model.Resolution, k int) time.Duration {
+	return p.StepTimeBatch(res, k, 1)
+}
+
+// StepTimeBatch returns the profiled per-step latency for a batch of bs.
+func (p *Profile) StepTimeBatch(res model.Resolution, k, bs int) time.Duration {
+	e, ok := p.entries[Key{res, k, bs}]
+	if !ok {
+		panic(fmt.Sprintf("costmodel: unprofiled configuration %v k=%d bs=%d", res, k, bs))
+	}
+	return e.Mean
+}
+
+// GPUSeconds returns k × T(res,k) — the per-step GPU-hour cost the
+// deadline-aware allocator minimizes.
+func (p *Profile) GPUSeconds(res model.Resolution, k int) float64 {
+	return float64(k) * p.StepTime(res, k).Seconds()
+}
+
+// MinStepTime returns the fastest profiled per-step latency for res and the
+// degree achieving it — T_i^min in Algorithm 1's survival bound.
+func (p *Profile) MinStepTime(res model.Resolution) (time.Duration, int) {
+	best := time.Duration(0)
+	bestK := 0
+	for _, k := range p.degrees {
+		t := p.StepTime(res, k)
+		if bestK == 0 || t < best {
+			best, bestK = t, k
+		}
+	}
+	return best, bestK
+}
+
+// BestLatencyDegree returns the degree minimizing per-step latency.
+func (p *Profile) BestLatencyDegree(res model.Resolution) int {
+	_, k := p.MinStepTime(res)
+	return k
+}
+
+// Resolutions returns the profiled resolutions sorted by token count.
+func (p *Profile) Resolutions() []model.Resolution {
+	seen := map[model.Resolution]bool{}
+	var out []model.Resolution
+	for k := range p.entries {
+		if !seen[k.Res] {
+			seen[k.Res] = true
+			out = append(out, k.Res)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pixels() < out[j].Pixels() })
+	return out
+}
+
+// Has reports whether res was profiled at degree 1, batch 1.
+func (p *Profile) Has(res model.Resolution) bool {
+	_, ok := p.entries[Key{res, 1, 1}]
+	return ok
+}
+
+// ProfilerConfig controls offline profiling.
+type ProfilerConfig struct {
+	// Resolutions to profile; defaults to the paper's four.
+	Resolutions []model.Resolution
+	// Batches to profile; defaults to {1, 2, 4, 8}.
+	Batches []int
+	// Samples per configuration; defaults to 20 (the paper profiles CV
+	// over 20 steps).
+	Samples int
+	// Noise is the relative per-step jitter σ/μ; defaults to 0.002,
+	// consistent with Table 1's sub-0.7 % CVs.
+	Noise float64
+	// Seed makes profiling deterministic.
+	Seed uint64
+}
+
+func (c *ProfilerConfig) defaults() {
+	if len(c.Resolutions) == 0 {
+		c.Resolutions = model.StandardResolutions()
+	}
+	if len(c.Batches) == 0 {
+		c.Batches = []int{1, 2, 4, 8}
+	}
+	if c.Samples <= 0 {
+		c.Samples = 20
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.002
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// BuildProfile runs offline profiling: it "executes" Samples steps per
+// (resolution, degree, batch) on the canonical GPU groups with measurement
+// noise and records the mean and CV — producing the same artifact the
+// paper's offline profiler produces on hardware.
+func BuildProfile(est *Estimator, cfg ProfilerConfig) *Profile {
+	cfg.defaults()
+	rng := stats.NewRNG(cfg.Seed)
+	p := &Profile{
+		ModelName: est.Model.Name,
+		TopoName:  est.Topo.Name,
+		Noise:     cfg.Noise,
+		degrees:   est.Topo.Degrees(),
+		entries:   make(map[Key]Entry),
+	}
+	for _, res := range cfg.Resolutions {
+		for _, k := range p.degrees {
+			group := simgpu.CanonicalGroup(0, k)
+			for _, bs := range cfg.Batches {
+				mean := est.StepTime(res, group, bs)
+				var acc stats.Running
+				for s := 0; s < cfg.Samples; s++ {
+					sample := Jitter(mean, cfg.Noise, rng)
+					acc.Add(sample.Seconds())
+				}
+				p.entries[Key{res, k, bs}] = Entry{
+					Mean:    time.Duration(acc.Mean() * float64(time.Second)),
+					CV:      acc.CV(),
+					Samples: cfg.Samples,
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Extend profiles an additional resolution on demand and folds it into the
+// table — how the serving daemon admits resolutions outside the standard
+// four without restarting (the analytical estimator stands in for a quick
+// online profiling pass; determinism comes from a resolution-derived seed).
+// Extending an already-profiled resolution is a no-op.
+func (p *Profile) Extend(est *Estimator, res model.Resolution) {
+	if p.Has(res) {
+		return
+	}
+	if !res.Valid() {
+		panic(fmt.Sprintf("costmodel: cannot profile invalid resolution %v", res))
+	}
+	sub := BuildProfile(est, ProfilerConfig{
+		Resolutions: []model.Resolution{res},
+		Noise:       p.Noise,
+		Seed:        uint64(res.W)<<20 ^ uint64(res.H) ^ 42,
+	})
+	for k, e := range sub.entries {
+		p.entries[k] = e
+	}
+}
+
+// Jitter perturbs a nominal duration by Gaussian noise with relative σ,
+// clamped to stay positive. Both the profiler and the execution engine use
+// it so the scheduler sees exactly the variability the engine produces.
+func Jitter(mean time.Duration, sigma float64, rng *stats.RNG) time.Duration {
+	if sigma <= 0 {
+		return mean
+	}
+	f := rng.Norm(1, sigma)
+	if f < 0.5 {
+		f = 0.5
+	}
+	return time.Duration(float64(mean) * f)
+}

@@ -1,0 +1,304 @@
+// Package engine is the execution engine (§3): a simulated pool of GPU
+// workers that executes step blocks produced by a scheduler. It owns the
+// physics the scheduler cannot see directly:
+//
+//   - actual step latency on the *concrete* GPU group (misaligned groups on
+//     the A40 node cross PCIe and run slower than the profile promised);
+//   - per-step execution noise (Table 1's sub-percent CVs);
+//   - parallel-reconfiguration overhead when a request's group changes
+//     between rounds: latent transfer (§5, Table 4), NCCL group warm-up,
+//     and a remap stall — the costs placement preservation avoids;
+//   - sequential per-request VAE decoding (§5), which bounds decoder
+//     activation memory and appends a small tail latency;
+//   - HBM accounting for weights, warm communicator buffers, step
+//     activations, and decoder activations.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/stats"
+	"tetriserve/internal/workload"
+)
+
+// Config tunes engine physics.
+type Config struct {
+	// Noise is the relative per-step jitter; defaults to the profile's.
+	Noise float64
+	// RemapStall is the fixed control/state-transfer stall paid when a
+	// request resumes on a different GPU set than it last ran on.
+	RemapStall time.Duration
+	// Seed drives the jitter stream.
+	Seed uint64
+	// PrewarmCanonical warms buddy-aligned groups at startup (§5).
+	PrewarmCanonical bool
+	// SequentialDecode serializes VAE decoding per request (§5). Turning
+	// it off lets decodes overlap — faster tail but unbounded decoder
+	// memory (the OOM risk the paper designs against).
+	SequentialDecode bool
+}
+
+// DefaultConfig returns the paper-faithful engine configuration.
+func DefaultConfig() Config {
+	return Config{
+		RemapStall:       25 * time.Millisecond,
+		Seed:             11,
+		PrewarmCanonical: true,
+		SequentialDecode: true,
+	}
+}
+
+// RunID identifies an in-flight step block.
+type RunID int
+
+// Run is one executing step block.
+type Run struct {
+	ID    RunID
+	Asg   sched.Assignment
+	Start time.Duration
+	End   time.Duration
+	// Overhead is the non-productive prefix (dispatch + reconfiguration).
+	Overhead time.Duration
+	// StepTime is the realized per-step latency on the concrete group.
+	StepTime time.Duration
+	// Steps maps each member to the step count it actually executes
+	// (members of a batch may exit early).
+	Steps map[workload.RequestID]int
+	// Degree is the group size.
+	Degree int
+	// Batched reports len(Asg.Requests) > 1.
+	Batched bool
+	// Res is the (shared) resolution of the block's members.
+	Res model.Resolution
+}
+
+// Engine executes step blocks on the simulated cluster.
+type Engine struct {
+	topo   *simgpu.Topology
+	mdl    *model.Model
+	est    *costmodel.Estimator
+	groups *simgpu.GroupRegistry
+	rng    *stats.RNG
+	cfg    Config
+
+	free    simgpu.Mask
+	runs    map[RunID]*Run
+	nextRun RunID
+
+	// latents tracks where each request's latent currently lives.
+	latents map[workload.RequestID]simgpu.Mask
+	// decodeTail is when the sequential decoder frees up.
+	decodeTail time.Duration
+
+	// Telemetry.
+	gpuBusySeconds  float64
+	latentTransfers int
+	remaps          int
+	warmups         int
+	decodePeakBytes float64
+	stepPeakBytes   float64
+}
+
+// New builds an engine over the topology for one model.
+func New(mdl *model.Model, topo *simgpu.Topology, prof *costmodel.Profile, cfg Config) *Engine {
+	if cfg.Noise == 0 && prof != nil {
+		cfg.Noise = prof.Noise
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 11
+	}
+	e := &Engine{
+		topo:    topo,
+		mdl:     mdl,
+		est:     costmodel.NewEstimator(mdl, topo),
+		groups:  simgpu.NewGroupRegistry(topo),
+		rng:     stats.NewRNG(cfg.Seed),
+		cfg:     cfg,
+		free:    topo.AllMask(),
+		runs:    make(map[RunID]*Run),
+		latents: make(map[workload.RequestID]simgpu.Mask),
+	}
+	if cfg.PrewarmCanonical {
+		e.groups.PrewarmCanonical()
+	}
+	return e
+}
+
+// Free returns the idle GPU mask.
+func (e *Engine) Free() simgpu.Mask { return e.free }
+
+// Running returns the number of in-flight blocks.
+func (e *Engine) Running() int { return len(e.runs) }
+
+// GPUBusySeconds returns accumulated GPU·seconds of executed blocks.
+func (e *Engine) GPUBusySeconds() float64 { return e.gpuBusySeconds }
+
+// LatentTransfers returns how many cross-group latent handoffs occurred.
+func (e *Engine) LatentTransfers() int { return e.latentTransfers }
+
+// Remaps returns how many blocks resumed on a different GPU set.
+func (e *Engine) Remaps() int { return e.remaps }
+
+// Warmups returns how many cold-group warmups were paid at run start.
+func (e *Engine) Warmups() int { return e.warmups }
+
+// Start begins executing an assignment at time now. states supplies the
+// request tracker entries for the members; dispatchDelay is the scheduler's
+// control-plane latency charged before compute begins.
+func (e *Engine) Start(now time.Duration, asg sched.Assignment, states map[workload.RequestID]*sched.RequestState, dispatchDelay time.Duration) (*Run, error) {
+	if asg.Group&^e.free != 0 {
+		return nil, fmt.Errorf("engine: group %v not free (free=%v)", asg.Group, e.free)
+	}
+	if err := e.topo.ValidGroup(asg.Group); err != nil {
+		return nil, err
+	}
+	var res model.Resolution
+	steps := make(map[workload.RequestID]int, len(asg.Requests))
+	overhead := dispatchDelay
+	maxReconf := time.Duration(0)
+	for i, id := range asg.Requests {
+		st, ok := states[id]
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown request %d", id)
+		}
+		if i == 0 {
+			res = st.Req.Res
+		} else if st.Req.Res != res {
+			return nil, fmt.Errorf("engine: batch mixes resolutions")
+		}
+		n := asg.Steps
+		if n > st.Remaining {
+			n = st.Remaining
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("engine: request %d has no remaining steps", id)
+		}
+		steps[id] = n
+		// Reconfiguration: moving a latent to a new group costs a
+		// transfer plus a remap stall (first placement costs nothing).
+		if prev, started := e.latents[id]; started && prev != asg.Group {
+			reconf := e.est.LatentTransferTime(st.Req.Res, 1) + e.cfg.RemapStall
+			if reconf > maxReconf {
+				maxReconf = reconf
+			}
+			e.latentTransfers++
+			e.remaps++
+		}
+	}
+	overhead += maxReconf
+	if w := e.groups.EnsureWarm(asg.Group); w > 0 {
+		overhead += w
+		e.warmups++
+	}
+
+	bs := len(asg.Requests)
+	nominal := e.est.StepTime(res, asg.Group, bs)
+	// One jitter draw scales the whole block; per-step noise averages out
+	// as 1/√q, which the single draw approximates conservatively.
+	realized := costmodel.Jitter(nominal, e.cfg.Noise, e.rng)
+	maxSteps := 0
+	for _, n := range steps {
+		if n > maxSteps {
+			maxSteps = n
+		}
+	}
+	dur := overhead + time.Duration(maxSteps)*realized
+
+	run := &Run{
+		ID:       e.nextRun,
+		Asg:      asg,
+		Start:    now,
+		End:      now + dur,
+		Overhead: overhead,
+		StepTime: realized,
+		Steps:    steps,
+		Degree:   asg.Group.Count(),
+		Batched:  bs > 1,
+		Res:      res,
+	}
+	e.nextRun++
+	e.runs[run.ID] = run
+	e.free = e.free.Without(asg.Group)
+	if act := e.mdl.StepActivationBytes(res, bs); act > e.stepPeakBytes {
+		e.stepPeakBytes = act
+	}
+	return run, nil
+}
+
+// Finish retires a run at its end time, freeing its GPUs and updating
+// latent placement. It must be called exactly once per run.
+func (e *Engine) Finish(run *Run) error {
+	if _, ok := e.runs[run.ID]; !ok {
+		return fmt.Errorf("engine: run %d not in flight", run.ID)
+	}
+	delete(e.runs, run.ID)
+	e.free = e.free.Union(run.Asg.Group)
+	e.gpuBusySeconds += float64(run.Degree) * (run.End - run.Start).Seconds()
+	for id := range run.Steps {
+		e.latents[id] = run.Asg.Group
+	}
+	return nil
+}
+
+// Decode schedules the VAE decode of a finished request and returns its
+// completion time. With SequentialDecode the decoder is a single-slot
+// queue (bounding activation memory); otherwise decodes overlap freely.
+func (e *Engine) Decode(now time.Duration, res model.Resolution) time.Duration {
+	d := e.est.DecodeTime(res)
+	if act := e.mdl.DecodeActivationBytes(res); act > e.decodePeakBytes {
+		e.decodePeakBytes = act
+	}
+	if !e.cfg.SequentialDecode {
+		return now + d
+	}
+	start := now
+	if e.decodeTail > start {
+		start = e.decodeTail
+	}
+	e.decodeTail = start + d
+	return e.decodeTail
+}
+
+// ReleaseLatent forgets a request's latent (after decode/drop).
+func (e *Engine) ReleaseLatent(id workload.RequestID) {
+	delete(e.latents, id)
+}
+
+// LatentLocation reports where a request's latent lives (0 if none).
+func (e *Engine) LatentLocation(id workload.RequestID) simgpu.Mask {
+	return e.latents[id]
+}
+
+// MemoryUsage estimates current HBM use on one GPU: resident weights, warm
+// communicator buffers, live step activations (sharded across the group),
+// and one decoder activation when the sequential decoder may run here.
+func (e *Engine) MemoryUsage(gpu simgpu.GPUID) float64 {
+	total := e.mdl.WeightBytes + e.groups.WarmMemoryBytes(gpu)
+	for _, run := range e.runs {
+		if !run.Asg.Group.Has(gpu) {
+			continue
+		}
+		bs := len(run.Asg.Requests)
+		total += e.mdl.StepActivationBytes(run.Res, bs) / float64(run.Degree)
+	}
+	return total
+}
+
+// MemoryHeadroom returns the minimum free HBM across GPUs given current
+// load plus the worst-case decoder activation; negative values indicate the
+// out-of-memory risk §5's sequential decoding exists to avoid.
+func (e *Engine) MemoryHeadroom(worstDecode model.Resolution) float64 {
+	head := e.topo.HW.HBMBytes
+	for g := 0; g < e.topo.N; g++ {
+		free := e.topo.HW.HBMBytes - e.MemoryUsage(simgpu.GPUID(g))
+		if free < head {
+			head = free
+		}
+	}
+	return head - e.mdl.DecodeActivationBytes(worstDecode)
+}

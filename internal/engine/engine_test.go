@@ -1,0 +1,395 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+var (
+	testMdl  = model.FLUX()
+	testTopo = simgpu.H100x8()
+	testProf = costmodel.BuildProfile(
+		costmodel.NewEstimator(testMdl, testTopo), costmodel.ProfilerConfig{})
+)
+
+func newEngine(t *testing.T, mutate ...func(*Config)) *Engine {
+	t.Helper()
+	cfg := DefaultConfig()
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	return New(testMdl, testTopo, testProf, cfg)
+}
+
+func mkStates(res model.Resolution, remaining int, ids ...int) map[workload.RequestID]*sched.RequestState {
+	out := map[workload.RequestID]*sched.RequestState{}
+	for _, id := range ids {
+		out[workload.RequestID(id)] = &sched.RequestState{
+			Req: &workload.Request{
+				ID:    workload.RequestID(id),
+				Res:   res,
+				Steps: remaining,
+				SLO:   5 * time.Second,
+			},
+			Remaining:     remaining,
+			StepsByDegree: map[int]int{},
+		}
+	}
+	return out
+}
+
+func asg(group simgpu.Mask, steps int, ids ...int) sched.Assignment {
+	reqs := make([]workload.RequestID, len(ids))
+	for i, id := range ids {
+		reqs[i] = workload.RequestID(id)
+	}
+	return sched.Assignment{Requests: reqs, Group: group, Steps: steps}
+}
+
+func TestStartMarksGPUsBusy(t *testing.T) {
+	e := newEngine(t)
+	states := mkStates(model.Res1024, 50, 1)
+	run, err := e.Start(0, asg(simgpu.MaskOf(0, 1), 5, 1), states, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Free().Overlaps(simgpu.MaskOf(0, 1)) {
+		t.Fatal("started GPUs still marked free")
+	}
+	if e.Running() != 1 {
+		t.Fatal("run not tracked")
+	}
+	if err := e.Finish(run); err != nil {
+		t.Fatal(err)
+	}
+	if e.Free() != testTopo.AllMask() {
+		t.Fatal("GPUs not freed after Finish")
+	}
+	if e.Running() != 0 {
+		t.Fatal("run still tracked after Finish")
+	}
+}
+
+func TestStartRejectsBusyGroup(t *testing.T) {
+	e := newEngine(t)
+	states := mkStates(model.Res1024, 50, 1, 2)
+	if _, err := e.Start(0, asg(simgpu.MaskOf(0, 1), 5, 1), states, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Start(0, asg(simgpu.MaskOf(1, 2)|simgpu.MaskOf(0), 5, 2), states, 0); err == nil {
+		t.Fatal("overlapping group accepted")
+	}
+}
+
+func TestStartRejectsUnknownRequest(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.Start(0, asg(simgpu.MaskOf(0), 5, 99), mkStates(model.Res256, 10, 1), 0); err == nil {
+		t.Fatal("unknown request accepted")
+	}
+}
+
+func TestStartRejectsMixedBatch(t *testing.T) {
+	e := newEngine(t)
+	states := mkStates(model.Res256, 10, 1)
+	for id, st := range mkStates(model.Res512, 10, 2) {
+		states[id] = st
+	}
+	if _, err := e.Start(0, asg(simgpu.MaskOf(0), 5, 1, 2), states, 0); err == nil {
+		t.Fatal("mixed-resolution batch accepted")
+	}
+}
+
+func TestStartRejectsExhaustedRequest(t *testing.T) {
+	e := newEngine(t)
+	states := mkStates(model.Res256, 0, 1)
+	if _, err := e.Start(0, asg(simgpu.MaskOf(0), 1, 1), states, 0); err == nil {
+		t.Fatal("request with no remaining steps accepted")
+	}
+}
+
+func TestRunDurationTracksProfile(t *testing.T) {
+	e := newEngine(t, func(c *Config) { c.Noise = 0 })
+	states := mkStates(model.Res1024, 50, 1)
+	group := simgpu.MaskOf(0, 1, 2, 3)
+	run, err := e.Start(0, asg(group, 10, 1), states, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * testProf.StepTime(model.Res1024, 4)
+	got := run.End - run.Start
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	// Profile carries tiny sampling noise; 1% tolerance.
+	if float64(diff) > 0.01*float64(want) {
+		t.Fatalf("block duration %v, want ≈%v", got, want)
+	}
+}
+
+func TestStepsClippedToRemaining(t *testing.T) {
+	e := newEngine(t)
+	states := mkStates(model.Res256, 3, 1, 2)
+	states[2].Remaining = 10
+	run, err := e.Start(0, asg(simgpu.MaskOf(0), 8, 1, 2), states, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Steps[1] != 3 || run.Steps[2] != 8 {
+		t.Fatalf("steps = %v, want member 1 clipped to 3", run.Steps)
+	}
+}
+
+func TestReconfigurationCharged(t *testing.T) {
+	e := newEngine(t, func(c *Config) { c.Noise = 0 })
+	states := mkStates(model.Res1024, 50, 1)
+	g1 := simgpu.MaskOf(0, 1)
+	run1, err := e.Start(0, asg(g1, 5, 1), states, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run1.Overhead != 0 {
+		t.Fatalf("first placement should cost nothing, got %v", run1.Overhead)
+	}
+	e.Finish(run1)
+
+	// Same group again: no reconfiguration.
+	run2, _ := e.Start(run1.End, asg(g1, 5, 1), states, 0)
+	if run2.Overhead != 0 {
+		t.Fatalf("same-group continuation should cost nothing, got %v", run2.Overhead)
+	}
+	e.Finish(run2)
+
+	// Different group: latent transfer + remap stall.
+	run3, _ := e.Start(run2.End, asg(simgpu.MaskOf(4, 5), 5, 1), states, 0)
+	if run3.Overhead < e.cfg.RemapStall {
+		t.Fatalf("remap overhead %v should include the %v stall", run3.Overhead, e.cfg.RemapStall)
+	}
+	e.Finish(run3)
+	if e.Remaps() != 1 || e.LatentTransfers() != 1 {
+		t.Fatalf("remaps=%d transfers=%d, want 1/1", e.Remaps(), e.LatentTransfers())
+	}
+}
+
+func TestWarmupChargedOnceForColdGroups(t *testing.T) {
+	e := newEngine(t, func(c *Config) {
+		c.Noise = 0
+		c.PrewarmCanonical = false
+	})
+	states := mkStates(model.Res1024, 50, 1)
+	g := simgpu.MaskOf(0, 1)
+	run1, _ := e.Start(0, asg(g, 5, 1), states, 0)
+	if run1.Overhead == 0 {
+		t.Fatal("cold group should pay warm-up")
+	}
+	e.Finish(run1)
+	run2, _ := e.Start(run1.End, asg(g, 5, 1), states, 0)
+	if run2.Overhead != 0 {
+		t.Fatalf("warm group charged again: %v", run2.Overhead)
+	}
+	e.Finish(run2)
+	if e.Warmups() != 1 {
+		t.Fatalf("warmups = %d, want 1", e.Warmups())
+	}
+}
+
+func TestPrewarmAvoidsCanonicalWarmups(t *testing.T) {
+	e := newEngine(t, func(c *Config) { c.Noise = 0 })
+	states := mkStates(model.Res1024, 50, 1)
+	run, _ := e.Start(0, asg(simgpu.MaskOf(0, 1, 2, 3), 5, 1), states, 0)
+	if run.Overhead != 0 {
+		t.Fatalf("prewarmed canonical group paid %v", run.Overhead)
+	}
+}
+
+func TestMisalignedGroupSlowerOnA40(t *testing.T) {
+	topo := simgpu.A40x4()
+	mdl := model.SD3()
+	prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
+	cfg := DefaultConfig()
+	cfg.Noise = 0
+	eng := New(mdl, topo, prof, cfg)
+	states := mkStates(model.Res1024, 50, 1, 2)
+
+	aligned, err := eng.Start(0, asg(simgpu.MaskOf(0, 1), 5, 1), states, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := eng.Start(0, asg(simgpu.MaskOf(2)|simgpu.MaskOf(3), 5, 2), states, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cross
+	eng.Finish(aligned)
+	eng.Finish(cross)
+
+	// Now compare NVLink pair {0,1} vs PCIe-crossing pair {1,2}.
+	eng2 := New(mdl, topo, prof, cfg)
+	nv, err := eng2.Start(0, asg(simgpu.MaskOf(0, 1), 5, 1), mkStates(model.Res1024, 50, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2.Finish(nv)
+	pc, err := eng2.Start(nv.End, asg(simgpu.MaskOf(1, 2), 5, 2), mkStates(model.Res1024, 50, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2.Finish(pc)
+	if pc.StepTime <= nv.StepTime {
+		t.Fatalf("PCIe-crossing pair step %v should exceed NVLink pair %v", pc.StepTime, nv.StepTime)
+	}
+}
+
+func TestFinishTwiceErrors(t *testing.T) {
+	e := newEngine(t)
+	states := mkStates(model.Res256, 10, 1)
+	run, _ := e.Start(0, asg(simgpu.MaskOf(0), 5, 1), states, 0)
+	if err := e.Finish(run); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Finish(run); err == nil {
+		t.Fatal("double Finish accepted")
+	}
+}
+
+func TestGPUBusyAccounting(t *testing.T) {
+	e := newEngine(t, func(c *Config) { c.Noise = 0 })
+	states := mkStates(model.Res1024, 50, 1)
+	run, _ := e.Start(0, asg(simgpu.MaskOf(0, 1, 2, 3), 10, 1), states, 0)
+	e.Finish(run)
+	want := 4 * (run.End - run.Start).Seconds()
+	if got := e.GPUBusySeconds(); got != want {
+		t.Fatalf("GPUBusySeconds = %v, want %v", got, want)
+	}
+}
+
+func TestSequentialDecodeQueues(t *testing.T) {
+	e := newEngine(t)
+	d1 := e.Decode(0, model.Res2048)
+	d2 := e.Decode(0, model.Res2048)
+	if d2 <= d1 {
+		t.Fatal("sequential decode should serialize concurrent requests")
+	}
+	// Third decode arriving after the queue drained starts fresh.
+	d3 := e.Decode(d2+time.Second, model.Res256)
+	if d3 <= d2+time.Second {
+		t.Fatal("decode after idle should start immediately")
+	}
+}
+
+func TestConcurrentDecodeWhenDisabled(t *testing.T) {
+	e := newEngine(t, func(c *Config) { c.SequentialDecode = false })
+	d1 := e.Decode(0, model.Res2048)
+	d2 := e.Decode(0, model.Res2048)
+	if d1 != d2 {
+		t.Fatal("concurrent decode should not serialize")
+	}
+}
+
+func TestLatentLifecycle(t *testing.T) {
+	e := newEngine(t)
+	states := mkStates(model.Res512, 10, 1)
+	run, _ := e.Start(0, asg(simgpu.MaskOf(2), 5, 1), states, 0)
+	e.Finish(run)
+	if e.LatentLocation(1) != simgpu.MaskOf(2) {
+		t.Fatalf("latent location = %v", e.LatentLocation(1))
+	}
+	e.ReleaseLatent(1)
+	if e.LatentLocation(1) != 0 {
+		t.Fatal("latent not released")
+	}
+}
+
+func TestMemoryUsageIncludesComponents(t *testing.T) {
+	e := newEngine(t)
+	base := e.MemoryUsage(0)
+	if base < testMdl.WeightBytes {
+		t.Fatal("memory must include resident weights")
+	}
+	states := mkStates(model.Res2048, 50, 1)
+	run, _ := e.Start(0, asg(simgpu.MaskOf(0, 1), 5, 1), states, 0)
+	withRun := e.MemoryUsage(0)
+	if withRun <= base {
+		t.Fatal("running block should add activation memory")
+	}
+	if e.MemoryUsage(7) != base {
+		t.Fatal("uninvolved GPU charged for the run")
+	}
+	e.Finish(run)
+}
+
+func TestMemoryHeadroomPositiveInSteadyState(t *testing.T) {
+	e := newEngine(t)
+	states := mkStates(model.Res2048, 50, 1)
+	run, _ := e.Start(0, asg(testTopo.AllMask(), 5, 1), states, 0)
+	if head := e.MemoryHeadroom(model.Res2048); head <= 0 {
+		t.Fatalf("sequential decoding should leave positive HBM headroom, got %.1f GB", head/1e9)
+	}
+	e.Finish(run)
+}
+
+func TestJitterWithinBounds(t *testing.T) {
+	e := newEngine(t)
+	states := mkStates(model.Res1024, 1000, 1)
+	nominal := testProf.StepTime(model.Res1024, 2)
+	for i := 0; i < 50; i++ {
+		run, err := e.Start(0, asg(simgpu.MaskOf(0, 1), 5, 1), states, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := float64(run.StepTime-nominal) / float64(nominal)
+		if rel < -0.05 || rel > 0.05 {
+			t.Fatalf("realized step time deviates %.2f%% from profile", 100*rel)
+		}
+		e.Finish(run)
+	}
+}
+
+// TestConcurrentDecodeOOMRisk quantifies the §5 motivation for sequential
+// decoding: each 2048px decode pins gigabytes of activations, so only a
+// bounded number of concurrent decodes fit in the HBM headroom — sequential
+// execution caps the exposure at one regardless of queue depth.
+func TestConcurrentDecodeOOMRisk(t *testing.T) {
+	e := newEngine(t)
+	seqHead := e.MemoryHeadroom(model.Res2048)
+	if seqHead <= 0 {
+		t.Fatalf("sequential decoding should keep positive headroom, got %.1f GB", seqHead/1e9)
+	}
+	act := testMdl.DecodeActivationBytes(model.Res2048)
+	if act < 1e9 {
+		t.Fatalf("2048px decode activation %.1f GB too small to motivate sequential decode", act/1e9)
+	}
+	// A burst of this many concurrent decodes would exhaust the headroom;
+	// it must be a finite, plausible burst size (not astronomically large).
+	oomBurst := int(seqHead/act) + 1
+	if oomBurst > 64 {
+		t.Fatalf("OOM would need %d concurrent decodes; the memory model is too loose", oomBurst)
+	}
+}
+
+// TestDispatchDelayShiftsBlock checks the control-plane latency is charged
+// before compute starts (within per-step jitter).
+func TestDispatchDelayShiftsBlock(t *testing.T) {
+	e := newEngine(t)
+	states := mkStates(model.Res256, 10, 1)
+	withDelay, err := e.Start(0, asg(simgpu.MaskOf(0), 5, 1), states, 8*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Finish(withDelay)
+	without, _ := e.Start(withDelay.End, asg(simgpu.MaskOf(0), 5, 1), states, 0)
+	e.Finish(without)
+	diff := (withDelay.End - withDelay.Start) - (without.End - without.Start) - 8*time.Millisecond
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > time.Millisecond {
+		t.Fatalf("dispatch delay off by %v", diff)
+	}
+}

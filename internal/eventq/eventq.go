@@ -1,0 +1,105 @@
+// Package eventq provides the priority queue at the heart of the
+// discrete-event simulator: events ordered by firing time, with a stable
+// sequence-number tiebreak so that simultaneous events fire in the order
+// they were scheduled. Events can be cancelled in O(log n) via the handle
+// returned at push time.
+package eventq
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback. Payload interpretation is up to the caller.
+type Event struct {
+	At      time.Duration // firing time
+	Kind    int           // caller-defined discriminator
+	Payload any
+
+	seq   uint64 // insertion order, breaks ties deterministically
+	index int    // heap index, -1 once popped or cancelled
+}
+
+// Handle identifies a scheduled event for cancellation.
+type Handle struct{ ev *Event }
+
+// Queue is a min-heap of events keyed by (At, seq). The zero value is ready
+// to use. Queue is not safe for concurrent use; the simulator owns it.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push schedules an event and returns a cancellation handle.
+func (q *Queue) Push(at time.Duration, kind int, payload any) Handle {
+	ev := &Event{At: at, Kind: kind, Payload: payload, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, ev)
+	return Handle{ev: ev}
+}
+
+// Peek returns the earliest pending event without removing it, or nil.
+func (q *Queue) Peek() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Pop removes and returns the earliest pending event, or nil if empty.
+func (q *Queue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	ev := heap.Pop(&q.h).(*Event)
+	return ev
+}
+
+// Cancel removes the event behind h if it is still pending. It reports
+// whether anything was removed. Cancelling twice is a harmless no-op.
+func (q *Queue) Cancel(h Handle) bool {
+	if h.ev == nil || h.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&q.h, h.ev.index)
+	return true
+}
+
+// Valid reports whether the handle still refers to a pending event.
+func (h Handle) Valid() bool { return h.ev != nil && h.ev.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,182 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Fatal("new queue not empty")
+	}
+	if q.Peek() != nil || q.Pop() != nil {
+		t.Fatal("empty queue should peek/pop nil")
+	}
+}
+
+func TestOrderingByTime(t *testing.T) {
+	var q Queue
+	q.Push(3*time.Second, 0, "c")
+	q.Push(1*time.Second, 0, "a")
+	q.Push(2*time.Second, 0, "b")
+	var got []string
+	for q.Len() > 0 {
+		got = append(got, q.Pop().Payload.(string))
+	}
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("pop order %v, want [a b c]", got)
+	}
+}
+
+func TestStableTiebreak(t *testing.T) {
+	var q Queue
+	for i := 0; i < 100; i++ {
+		q.Push(time.Second, 0, i)
+	}
+	for i := 0; i < 100; i++ {
+		if got := q.Pop().Payload.(int); got != i {
+			t.Fatalf("simultaneous events popped out of insertion order: got %d at position %d", got, i)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue
+	q.Push(time.Second, 7, nil)
+	ev := q.Peek()
+	if ev == nil || ev.Kind != 7 {
+		t.Fatal("peek returned wrong event")
+	}
+	if q.Len() != 1 {
+		t.Fatal("peek removed the event")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	h1 := q.Push(1*time.Second, 0, "a")
+	q.Push(2*time.Second, 0, "b")
+	if !h1.Valid() {
+		t.Fatal("fresh handle should be valid")
+	}
+	if !q.Cancel(h1) {
+		t.Fatal("cancel of pending event should succeed")
+	}
+	if h1.Valid() {
+		t.Fatal("handle should be invalid after cancel")
+	}
+	if q.Cancel(h1) {
+		t.Fatal("double cancel should be a no-op returning false")
+	}
+	if got := q.Pop().Payload.(string); got != "b" {
+		t.Fatalf("cancelled event leaked: got %q", got)
+	}
+}
+
+func TestCancelAfterPop(t *testing.T) {
+	var q Queue
+	h := q.Push(time.Second, 0, nil)
+	q.Pop()
+	if q.Cancel(h) {
+		t.Fatal("cancel after pop should return false")
+	}
+}
+
+func TestCancelMiddleKeepsHeapValid(t *testing.T) {
+	var q Queue
+	var handles []Handle
+	for i := 0; i < 50; i++ {
+		handles = append(handles, q.Push(time.Duration(i)*time.Millisecond, 0, i))
+	}
+	// Remove every third event.
+	for i := 0; i < 50; i += 3 {
+		q.Cancel(handles[i])
+	}
+	last := time.Duration(-1)
+	for q.Len() > 0 {
+		ev := q.Pop()
+		if ev.At < last {
+			t.Fatalf("heap order violated after cancels: %v after %v", ev.At, last)
+		}
+		last = ev.At
+		if ev.Payload.(int)%3 == 0 {
+			t.Fatalf("cancelled event %d survived", ev.Payload)
+		}
+	}
+}
+
+// TestMatchesReferenceSort pushes random events and verifies pop order
+// equals a stable sort by (time, insertion order).
+func TestMatchesReferenceSort(t *testing.T) {
+	check := func(times []uint16) bool {
+		if len(times) > 512 {
+			times = times[:512]
+		}
+		var q Queue
+		type ref struct {
+			at  time.Duration
+			seq int
+		}
+		var want []ref
+		for i, raw := range times {
+			at := time.Duration(raw) * time.Millisecond
+			q.Push(at, 0, i)
+			want = append(want, ref{at, i})
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		for _, w := range want {
+			ev := q.Pop()
+			if ev == nil || ev.At != w.at || ev.Payload.(int) != w.seq {
+				return false
+			}
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q Queue
+	last := time.Duration(-1)
+	pushed, popped := 0, 0
+	for i := 0; i < 10000; i++ {
+		if q.Len() == 0 || rng.Intn(2) == 0 {
+			// Time must not go backwards relative to last pop to mimic
+			// simulator usage.
+			at := last + time.Duration(rng.Intn(1000))*time.Microsecond
+			if at < 0 {
+				at = 0
+			}
+			q.Push(at, 0, nil)
+			pushed++
+		} else {
+			ev := q.Pop()
+			if ev.At < last {
+				t.Fatalf("event time went backwards: %v after %v", ev.At, last)
+			}
+			last = ev.At
+			popped++
+		}
+	}
+	if popped+q.Len() != pushed {
+		t.Fatalf("event conservation violated: pushed %d, popped %d, left %d", pushed, popped, q.Len())
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var q Queue
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		q.Push(time.Duration(rng.Intn(1_000_000)), 0, nil)
+		if q.Len() > 1024 {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tetriserve/internal/core"
+	"tetriserve/internal/metrics"
+	"tetriserve/internal/tablefmt"
+	"tetriserve/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:      "table5",
+		Title:   "Table 5 — Ablation of scheduling mechanisms",
+		Summary: "DP schedule alone, + GPU placement preservation, + elastic scale-up; SAR and mean latency on Uniform and Skewed mixes at 1.0x/1.5x.",
+		Run:     runTable5,
+	})
+}
+
+// ablationVariant builds a TetriServe config for one Table 5 row.
+func ablationVariant(name string) core.Config {
+	cfg := core.DefaultConfig()
+	switch name {
+	case "TetriServe schedule":
+		cfg.PlacementPreservation = false
+		cfg.ElasticScaleUp = false
+	case "+ Placement":
+		cfg.PlacementPreservation = true
+		cfg.ElasticScaleUp = false
+	case "+ Elastic Scale-Up":
+		cfg.PlacementPreservation = true
+		cfg.ElasticScaleUp = true
+	default:
+		panic("experiments: unknown ablation variant " + name)
+	}
+	return cfg
+}
+
+// AblationVariants lists the Table 5 rows in order.
+func AblationVariants() []string {
+	return []string{"TetriServe schedule", "+ Placement", "+ Elastic Scale-Up"}
+}
+
+func runTable5(ctx Context) []*tablefmt.Table {
+	ctx = ctx.withDefaults()
+	f := fix("flux-h100")
+	var tables []*tablefmt.Table
+	for _, mix := range []workload.Mix{workload.UniformMix(), workload.SkewedMix(1.0)} {
+		t := tablefmt.New(
+			fmt.Sprintf("Table 5: ablation, %s mix (SAR / mean latency s)", mix.Name()),
+			"Variant", "SLO=1.0x SAR", "SLO=1.0x MeanLat", "SLO=1.5x SAR", "SLO=1.5x MeanLat")
+		for _, variant := range AblationVariants() {
+			row := []string{variant}
+			for _, scale := range []float64{1.0, 1.5} {
+				sc := core.NewScheduler(f.prof, f.topo, ablationVariant(variant))
+				res := runOne(f, sc, trace(ctx, f, mix, nil, scale))
+				row = append(row, fm(metrics.SAR(res)), fm(metrics.MeanLatency(res)))
+			}
+			t.AddRow(row...)
+		}
+		t.AddNote("placement preservation removes remap stalls and cold-group warmups; elastic scale-up recycles idle GPUs")
+		tables = append(tables, t)
+	}
+	return tables
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tetriserve/internal/metrics"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/sim"
+	"tetriserve/internal/tablefmt"
+	"tetriserve/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext2",
+		Title: "Additional baselines — deadline-aware greedy and throughput-max",
+		Summary: "Positions TetriServe against an EDF-greedy scheduler and a DDiT-style " +
+			"throughput maximizer: SLO attainment, raw throughput, and GPU efficiency.",
+		Run: runExt2,
+	})
+}
+
+func runExt2(ctx Context) []*tablefmt.Table {
+	ctx = ctx.withDefaults()
+	f := fix("flux-h100")
+	var tables []*tablefmt.Table
+	for _, mix := range []workload.Mix{workload.UniformMix(), workload.SkewedMix(1.0)} {
+		t := tablefmt.New(
+			fmt.Sprintf("Additional baselines, %s mix, %.0f req/min", mix.Name(), ctx.Rate),
+			"Scheduler", "SAR 1.0x", "SAR 1.5x", "mean lat (s)", "GPU-s/req", "util", "batched blocks")
+		makers := []func() sched.Scheduler{
+			func() sched.Scheduler { return newTetri(f) },
+			func() sched.Scheduler { return sched.NewEDF() },
+			func() sched.Scheduler { return sched.NewThroughput() },
+			func() sched.Scheduler { return newRSSP(f) },
+		}
+		for _, mk := range makers {
+			name := mk().Name()
+			var sar10, sar15 float64
+			var last *sim.Result
+			for _, scale := range []float64{1.0, 1.5} {
+				res := runOne(f, mk(), trace(ctx, f, mix, nil, scale))
+				if scale == 1.0 {
+					sar10 = metrics.SAR(res)
+				} else {
+					sar15 = metrics.SAR(res)
+					last = res
+				}
+			}
+			t.AddRow(name, fm(sar10), fm(sar15),
+				fm(metrics.MeanLatency(last)),
+				fm(metrics.GPUSecondsPerRequest(last)),
+				fm(metrics.Utilization(last)),
+				fm(metrics.BatchedShare(last)))
+		}
+		t.AddNote("Throughput-max minimizes GPU-seconds per request (best efficiency) but ignores deadlines — the DDiT contrast from §7")
+		tables = append(tables, t)
+	}
+	return tables
+}

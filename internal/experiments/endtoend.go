@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tetriserve/internal/cache"
+	"tetriserve/internal/metrics"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/sim"
+	"tetriserve/internal/stats"
+	"tetriserve/internal/tablefmt"
+	"tetriserve/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:      "fig7",
+		Title:   "Figure 7 — End-to-end performance, Uniform workload (FLUX, 8xH100)",
+		Summary: "SAR vs SLO scale for TetriServe, fixed xDiT variants, and RSSP; per-resolution spiders at 1.0x and 1.5x.",
+		Run:     func(ctx Context) []*tablefmt.Table { return runEndToEnd(ctx, workload.UniformMix(), "7") },
+	})
+	register(Experiment{
+		ID:      "fig8",
+		Title:   "Figure 8 — End-to-end performance, Skewed workload (FLUX, 8xH100)",
+		Summary: "Same comparison with resolutions biased toward large images (α=1.0).",
+		Run:     func(ctx Context) []*tablefmt.Table { return runEndToEnd(ctx, workload.SkewedMix(1.0), "8") },
+	})
+	register(Experiment{
+		ID:      "fig9",
+		Title:   "Figure 9 — End-to-end latency CDF under strict SLOs (1.0x)",
+		Summary: "Latency distribution over completed requests (timeouts dropped at 4x SLO), Uniform and Skewed mixes.",
+		Run:     runFig9,
+	})
+	register(Experiment{
+		ID:      "table3",
+		Title:   "Table 3 — SAR with Nirvana cache integration (12 req/min, 1.0x)",
+		Summary: "RSSP and TetriServe with and without approximate latent caching; cache-based step reduction and step-level scheduling compose.",
+		Run:     runTable3,
+	})
+}
+
+// runEndToEnd produces the Figure 7/8 family for a mix.
+func runEndToEnd(ctx Context, mix workload.Mix, figNo string) []*tablefmt.Table {
+	ctx = ctx.withDefaults()
+	f := fix("flux-h100")
+
+	main := tablefmt.New(
+		fmt.Sprintf("Figure %sa: SAR vs SLO scale, %s mix, %.0f req/min", figNo, mix.Name(), ctx.Rate),
+		append([]string{"Scheduler"}, scaleHeaders()...)...)
+	spiders := map[float64]*tablefmt.Table{
+		1.0: tablefmt.New(fmt.Sprintf("Figure %sb: per-resolution SAR at 1.0x", figNo),
+			"Scheduler", "256x256", "512x512", "1024x1024", "2048x2048"),
+		1.5: tablefmt.New(fmt.Sprintf("Figure %sc: per-resolution SAR at 1.5x", figNo),
+			"Scheduler", "256x256", "512x512", "1024x1024", "2048x2048"),
+	}
+
+	type mk func() sched.Scheduler
+	makers := []mk{func() sched.Scheduler { return newTetri(f) }}
+	for _, k := range f.topo.Degrees() {
+		k := k
+		makers = append(makers, func() sched.Scheduler { return newFixed(k) })
+	}
+	makers = append(makers, func() sched.Scheduler { return newRSSP(f) })
+
+	bestFixed := map[float64]float64{}
+	tetri := map[float64]float64{}
+	for _, mkSched := range makers {
+		name := mkSched().Name()
+		row := []string{name}
+		for _, scale := range workload.SLOScales() {
+			res := runOne(f, mkSched(), trace(ctx, f, mix, nil, scale))
+			sar := metrics.SAR(res)
+			row = append(row, fm(sar))
+			if name == "TetriServe" {
+				tetri[scale] = sar
+			} else if sar > bestFixed[scale] {
+				bestFixed[scale] = sar
+			}
+			if sp, ok := spiders[scale]; ok {
+				by := metrics.SARByResolution(res)
+				sp.AddRow(name, fm(by[model.Res256]), fm(by[model.Res512]),
+					fm(by[model.Res1024]), fm(by[model.Res2048]))
+			}
+		}
+		main.AddRow(row...)
+	}
+	for _, scale := range workload.SLOScales() {
+		if bestFixed[scale] > 0 {
+			main.AddNote("scale %.1fx: TetriServe %.2f vs best baseline %.2f (%+.0f%%)",
+				scale, tetri[scale], bestFixed[scale], 100*(tetri[scale]-bestFixed[scale])/bestFixed[scale])
+		}
+	}
+	return []*tablefmt.Table{main, spiders[1.0], spiders[1.5]}
+}
+
+func runFig9(ctx Context) []*tablefmt.Table {
+	ctx = ctx.withDefaults()
+	f := fix("flux-h100")
+	var tables []*tablefmt.Table
+	for _, mix := range []workload.Mix{workload.UniformMix(), workload.SkewedMix(1.0)} {
+		t := tablefmt.New(
+			fmt.Sprintf("Figure 9: completed-request latency, %s mix, SLO scale 1.0x", mix.Name()),
+			"Scheduler", "p50 (s)", "p90 (s)", "p99 (s)", "mean (s)", "completed", "P(lat<=5s)", "P(lat<=10s)")
+		scheds := schedulerSet(f)
+		for _, sc := range scheds {
+			res := runOne(f, sc, trace(ctx, f, mix, nil, 1.0),
+				func(c *sim.Config) { c.DropLateFactor = 4.0 })
+			lats := metrics.CompletedLatencies(res)
+			cdf := stats.NewCDF(lats)
+			t.AddRow(sc.Name(),
+				fm(stats.Percentile(lats, 50)), fm(stats.Percentile(lats, 90)),
+				fm(stats.Percentile(lats, 99)), fm(stats.Mean(lats)),
+				fmt.Sprint(len(lats)),
+				fm(cdf.At(5)), fm(cdf.At(10)))
+		}
+		t.AddNote("CDF computed over completed requests only; timeouts (4x SLO) excluded, as in the paper")
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func runTable3(ctx Context) []*tablefmt.Table {
+	ctx = ctx.withDefaults()
+	f := fix("flux-h100")
+	t := tablefmt.New("Table 3: SAR with Nirvana integration (12 req/min, SLO 1.0x)",
+		"Workload", "RSSP", "TetriServe", "RSSP+Nirvana", "TetriServe+Nirvana")
+
+	for _, mix := range []workload.Mix{workload.UniformMix(), workload.SkewedMix(1.0)} {
+		row := []string{mix.Name()}
+		for _, cached := range []bool{false, true} {
+			for _, mk := range []func() sched.Scheduler{
+				func() sched.Scheduler { return newRSSP(f) },
+				func() sched.Scheduler { return newTetri(f) },
+			} {
+				var opts []func(*sim.Config)
+				if cached {
+					c := warmCache(ctx, f)
+					opts = append(opts, func(cfg *sim.Config) { cfg.Trimmer = &cache.Trimmer{C: c} })
+				}
+				res := runOne(f, mk(), trace(ctx, f, mix, nil, 1.0), opts...)
+				row = append(row, fm(metrics.SAR(res)))
+			}
+		}
+		// Column order above is RSSP, TetriServe, RSSP+N, TetriServe+N.
+		t.AddRow(row...)
+	}
+	t.AddNote("cache warmed with 10k requests; k ∈ {5..25} of 50 steps skipped on similarity hits")
+	return []*tablefmt.Table{t}
+}
+
+// warmCache builds a Nirvana cache warmed with 10k synthetic requests drawn
+// from the same prompt corpus the trace uses (§6.2).
+func warmCache(ctx Context, f *fixture) *cache.Cache {
+	c := cache.New(cache.DefaultConfig())
+	sampler := workload.NewPromptSampler()
+	rng := stats.NewRNG(ctx.Seed + 9999)
+	warmN := 10000
+	if ctx.Quick {
+		warmN = 3000
+	}
+	resList := model.StandardResolutions()
+	for i := 0; i < warmN; i++ {
+		c.Insert(sampler.Sample(rng), resList[rng.Intn(len(resList))])
+	}
+	return c
+}

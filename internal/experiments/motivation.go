@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tetriserve/internal/metrics"
+	"tetriserve/internal/model"
+	"tetriserve/internal/tablefmt"
+	"tetriserve/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:      "table1",
+		Title:   "Table 1 — Input-size characteristics of FLUX.1-dev",
+		Summary: "Latent tokens, total TFLOPs (50 steps), and per-step execution-time CV per SP degree on 8xH100.",
+		Run:     runTable1,
+	})
+	register(Experiment{
+		ID:      "fig2",
+		Title:   "Figure 2 — Communication share of step time (FLUX, 8xH100, BS=4)",
+		Summary: "Percentage of per-step time spent in sequence-parallel collectives; small resolutions are dominated by communication at high degrees.",
+		Run:     runFig2,
+	})
+	register(Experiment{
+		ID:      "fig3",
+		Title:   "Figure 3 — End-to-end scaling efficiency of sequence parallelism",
+		Summary: "T(1)/(k·T(k)) per resolution and batch size; large inputs scale near-linearly, small ones poorly.",
+		Run:     runFig3,
+	})
+	register(Experiment{
+		ID:      "fig4",
+		Title:   "Figure 4 — Fixed-degree xDiT under the Uniform workload",
+		Summary: "(a) overall SAR of fixed strategies vs SLO scale; (b) per-resolution SAR at 12 req/min showing each degree only suits some resolutions.",
+		Run:     runFig4,
+	})
+}
+
+func runTable1(ctx Context) []*tablefmt.Table {
+	ctx = ctx.withDefaults()
+	f := fix("flux-h100")
+	t := tablefmt.New("Table 1: FLUX.1-dev input characteristics (8xH100)",
+		"Image Size", "Tokens", "TFLOPs", "SP=1 CV", "SP=2 CV", "SP=4 CV", "SP=8 CV")
+	for _, res := range model.StandardResolutions() {
+		row := []string{
+			res.String(),
+			fmt.Sprint(f.mdl.Tokens(res)),
+			fmt.Sprintf("%.2f", f.mdl.TotalFLOPs(res)/1e12),
+		}
+		for _, k := range f.topo.Degrees() {
+			e, ok := f.prof.Lookup(res, k, 1)
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f%%", 100*e.CV))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper anchors: 556.48 / 1388.24 / 5045.92 / 24964.72 TFLOPs; CVs < 0.7%%")
+	return []*tablefmt.Table{t}
+}
+
+func runFig2(ctx Context) []*tablefmt.Table {
+	f := fix("flux-h100")
+	const bs = 4
+	t := tablefmt.New("Figure 2: communication % of step time (FLUX, BS=4)",
+		"Image Size", "SP=1", "SP=2", "SP=4", "SP=8")
+	for _, res := range model.StandardResolutions() {
+		row := []string{res.String()}
+		for _, k := range f.topo.Degrees() {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*f.est.CommFraction(res, k, bs)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("expected shape: >30%% for 256x256 at SP=8, <10%% for 2048x2048 at SP=8")
+	return []*tablefmt.Table{t}
+}
+
+func runFig3(ctx Context) []*tablefmt.Table {
+	f := fix("flux-h100")
+	var tables []*tablefmt.Table
+	for _, bs := range []int{1, 2, 4} {
+		t := tablefmt.New(fmt.Sprintf("Figure 3: scaling efficiency T(1)/(k·T(k)) (FLUX, BS=%d)", bs),
+			"Image Size", "SP=1", "SP=2", "SP=4", "SP=8")
+		for _, res := range model.StandardResolutions() {
+			row := []string{res.String()}
+			for _, k := range f.topo.Degrees() {
+				row = append(row, fm(f.est.ScalingEfficiency(res, k, bs)))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	tables[0].AddNote("larger resolutions scale better; efficiency is sublinear everywhere")
+	return tables
+}
+
+func runFig4(ctx Context) []*tablefmt.Table {
+	ctx = ctx.withDefaults()
+	f := fix("flux-h100")
+	mix := workload.UniformMix()
+
+	// (a) Overall SAR of fixed strategies across SLO scales.
+	ta := tablefmt.New("Figure 4a: SAR of fixed xDiT variants, Uniform mix, 12 req/min",
+		append([]string{"Scheduler"}, scaleHeaders()...)...)
+	// (b) Spider at SLO scale 1.0.
+	tb := tablefmt.New("Figure 4b: per-resolution SAR at SLO scale 1.0x",
+		"Scheduler", "256x256", "512x512", "1024x1024", "2048x2048")
+
+	for _, k := range f.topo.Degrees() {
+		rowA := []string{fmt.Sprintf("xDiT SP=%d", k)}
+		for _, scale := range workload.SLOScales() {
+			res := runOne(f, newFixed(k), trace(ctx, f, mix, nil, scale))
+			rowA = append(rowA, fm(metrics.SAR(res)))
+		}
+		ta.AddRow(rowA...)
+
+		res := runOne(f, newFixed(k), trace(ctx, f, mix, nil, 1.0))
+		by := metrics.SARByResolution(res)
+		tb.AddRow(fmt.Sprintf("xDiT SP=%d", k),
+			fm(by[model.Res256]), fm(by[model.Res512]), fm(by[model.Res1024]), fm(by[model.Res2048]))
+	}
+	ta.AddNote("no fixed strategy exceeds the others across the board; see Figure 7 for TetriServe")
+	return []*tablefmt.Table{ta, tb}
+}
+
+func scaleHeaders() []string {
+	var out []string
+	for _, s := range workload.SLOScales() {
+		out = append(out, fmt.Sprintf("%.1fx", s))
+	}
+	return out
+}

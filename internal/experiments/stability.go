@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"tetriserve/internal/metrics"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/stats"
+	"tetriserve/internal/tablefmt"
+	"tetriserve/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:      "fig10",
+		Title:   "Figure 10 — SAR stability under bursty traffic (Uniform, 12 req/min, 1.5x)",
+		Summary: "Sliding-window SAR over time; TetriServe stays high and stable while fixed strategies oscillate.",
+		Run:     runFig10,
+	})
+	register(Experiment{
+		ID:      "fig11",
+		Title:   "Figure 11 — Average parallel degree per request over time (TetriServe)",
+		Summary: "Steps-weighted mean SP degree per resolution; intensive requests receive more GPUs.",
+		Run:     runFig11,
+	})
+}
+
+func runFig10(ctx Context) []*tablefmt.Table {
+	ctx = ctx.withDefaults()
+	f := fix("flux-h100")
+	mix := workload.UniformMix()
+	window := 2 * time.Minute
+
+	summary := tablefmt.New("Figure 10: sliding-window SAR under bursty arrivals (Uniform, 1.5x)",
+		"Scheduler", "overall SAR", "window mean", "window stddev", "window min")
+	series := tablefmt.New("Figure 10 (series): window-center seconds vs SAR",
+		"Scheduler", "t(s)", "SAR")
+
+	type mk func() sched.Scheduler
+	makers := []mk{func() sched.Scheduler { return newTetri(f) }}
+	for _, k := range f.topo.Degrees() {
+		k := k
+		makers = append(makers, func() sched.Scheduler { return newFixed(k) })
+	}
+	for _, mkSched := range makers {
+		sc := mkSched()
+		arr := workload.NewBurstyArrivals(ctx.Rate)
+		res := runOne(f, sc, trace(ctx, f, mix, arr, 1.5))
+		pts := metrics.TimeSeriesSAR(res, window)
+		var acc stats.Running
+		for _, p := range pts {
+			acc.Add(p[1])
+			series.AddRow(sc.Name(), fmt.Sprintf("%.0f", p[0]), fm(p[1]))
+		}
+		summary.AddRow(sc.Name(), fm(metrics.SAR(res)), fm(acc.Mean()), fm(acc.Stddev()), fm(acc.Min()))
+	}
+	summary.AddNote("lower stddev and higher min indicate robustness to bursts (§6.3)")
+	return []*tablefmt.Table{summary, series}
+}
+
+func runFig11(ctx Context) []*tablefmt.Table {
+	ctx = ctx.withDefaults()
+	f := fix("flux-h100")
+	arr := workload.NewBurstyArrivals(ctx.Rate)
+	res := runOne(f, newTetri(f), trace(ctx, f, workload.UniformMix(), arr, 1.5))
+
+	mean := metrics.MeanDegreeByResolution(res)
+	t := tablefmt.New("Figure 11: steps-weighted average SP degree per request (TetriServe, Uniform, 1.5x)",
+		"Resolution", "mean degree", "requests")
+	counts := map[model.Resolution]int{}
+	for _, o := range res.Outcomes {
+		if !o.Dropped {
+			counts[o.Res]++
+		}
+	}
+	for _, r := range model.StandardResolutions() {
+		t.AddRow(r.String(), fm(mean[r]), fmt.Sprint(counts[r]))
+	}
+	t.AddNote("intensive resolutions receive higher degrees; small ones stay near SP=1 (§6.3)")
+
+	timeline := tablefmt.New("Figure 11 (series): per-request average degree over arrival time",
+		"Resolution", "arrival t(s)", "avg degree")
+	tl := metrics.DegreeTimeline(res)
+	for _, r := range model.StandardResolutions() {
+		pts := tl[r]
+		// Sample at most 20 points per resolution to keep output readable.
+		stride := 1
+		if len(pts) > 20 {
+			stride = len(pts) / 20
+		}
+		for i := 0; i < len(pts); i += stride {
+			timeline.AddRow(r.String(), fmt.Sprintf("%.0f", pts[i][0]), fm(pts[i][1]))
+		}
+	}
+	return []*tablefmt.Table{t, timeline}
+}

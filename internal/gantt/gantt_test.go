@@ -1,0 +1,103 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/sim"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+func mkResult() *sim.Result {
+	return &sim.Result{
+		NGPU: 4,
+		Runs: []sim.RunRecord{
+			{
+				Start: 0, End: time.Second, Degree: 2,
+				Requests: []workload.RequestID{1},
+				Res:      model.Res1024,
+				Group:    simgpu.MaskOf(0, 1),
+			},
+			{
+				Start: time.Second, End: 2 * time.Second, Degree: 1,
+				Requests: []workload.RequestID{2, 3},
+				Res:      model.Res256,
+				Group:    simgpu.MaskOf(3),
+				Batched:  true,
+			},
+		},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	out := Render(mkResult(), Config{Width: 20})
+	if !strings.Contains(out, "GPU0") || !strings.Contains(out, "GPU3") {
+		t.Fatalf("missing GPU rows:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Header + 4 GPU rows + legend.
+	if len(lines) < 6 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	// GPU0 busy for the first half: its row should start with the glyph
+	// for request 1 and contain idle dots later.
+	var gpu0 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "GPU0") {
+			gpu0 = l
+		}
+	}
+	if !strings.Contains(gpu0, "1") || !strings.Contains(gpu0, ".") {
+		t.Fatalf("GPU0 row wrong: %q", gpu0)
+	}
+}
+
+func TestRenderBatchedGlyph(t *testing.T) {
+	out := Render(mkResult(), Config{Width: 20})
+	if !strings.Contains(out, "#") {
+		t.Fatalf("batched block should render as '#':\n%s", out)
+	}
+}
+
+func TestRenderCustomRunes(t *testing.T) {
+	out := Render(mkResult(), Config{
+		Width: 20,
+		Runes: map[workload.RequestID]rune{1: 'L'},
+	})
+	if !strings.Contains(out, "L=req1") {
+		t.Fatalf("legend missing custom rune:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(&sim.Result{NGPU: 2}, Config{})
+	if !strings.Contains(out, "empty timeline") {
+		t.Fatalf("empty result should say so: %q", out)
+	}
+}
+
+func TestRenderWindow(t *testing.T) {
+	out := Render(mkResult(), Config{Width: 10, From: 1500 * time.Millisecond, To: 2 * time.Second})
+	// Request 1 ended at 1s; only the batch should appear.
+	if strings.Contains(out, "1=req1") && strings.Contains(out, " 1") {
+		t.Fatalf("out-of-window block rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("in-window batch missing:\n%s", out)
+	}
+}
+
+func TestRenderIdleGPUsAllDots(t *testing.T) {
+	out := Render(mkResult(), Config{Width: 20})
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "GPU2") {
+			body := l[strings.Index(l, "|")+1 : strings.LastIndex(l, "|")]
+			if strings.Trim(body, ".") != "" {
+				t.Fatalf("GPU2 never ran anything but shows %q", body)
+			}
+		}
+	}
+}

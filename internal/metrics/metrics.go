@@ -1,0 +1,181 @@
+// Package metrics computes the paper's evaluation quantities from a
+// simulation result: SLO Attainment Ratio (overall and per resolution, the
+// spider plots), end-to-end latency statistics and CDFs over completed
+// requests, time-series SAR for the burst-stability plots, average
+// parallelism degree timelines, and GPU utilization.
+package metrics
+
+import (
+	"sort"
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/sim"
+	"tetriserve/internal/stats"
+)
+
+// SAR returns the SLO Attainment Ratio: the fraction of all requests
+// (dropped included) that completed within their deadline.
+func SAR(res *sim.Result) float64 {
+	if len(res.Outcomes) == 0 {
+		return 0
+	}
+	met := 0
+	for _, o := range res.Outcomes {
+		if o.Met {
+			met++
+		}
+	}
+	return float64(met) / float64(len(res.Outcomes))
+}
+
+// SARByResolution returns per-resolution SAR — the spider-plot axes of
+// Figures 4, 7 and 8.
+func SARByResolution(res *sim.Result) map[model.Resolution]float64 {
+	met := map[model.Resolution]int{}
+	total := map[model.Resolution]int{}
+	for _, o := range res.Outcomes {
+		total[o.Res]++
+		if o.Met {
+			met[o.Res]++
+		}
+	}
+	out := make(map[model.Resolution]float64, len(total))
+	for r, n := range total {
+		out[r] = float64(met[r]) / float64(n)
+	}
+	return out
+}
+
+// CompletedLatencies returns end-to-end latencies in seconds over completed
+// (non-dropped) requests — the Figure 9 population.
+func CompletedLatencies(res *sim.Result) []float64 {
+	var xs []float64
+	for _, o := range res.Outcomes {
+		if !o.Dropped {
+			xs = append(xs, o.Latency.Seconds())
+		}
+	}
+	return xs
+}
+
+// MeanLatency returns the mean completed latency in seconds (Table 5).
+func MeanLatency(res *sim.Result) float64 {
+	return stats.Mean(CompletedLatencies(res))
+}
+
+// LatencyCDF builds the empirical latency CDF over completed requests.
+func LatencyCDF(res *sim.Result) *stats.CDF {
+	return stats.NewCDF(CompletedLatencies(res))
+}
+
+// P99Latency returns the 99th-percentile completed latency in seconds.
+func P99Latency(res *sim.Result) float64 {
+	return stats.Percentile(CompletedLatencies(res), 99)
+}
+
+// TimeSeriesSAR computes SAR over a sliding window of completions/deadline
+// expiries ordered by arrival time — Figure 10's stability view. Each point
+// is (window-center seconds, SAR within the window).
+func TimeSeriesSAR(res *sim.Result, window time.Duration) [][2]float64 {
+	if len(res.Outcomes) == 0 || window <= 0 {
+		return nil
+	}
+	outs := append([]sim.Outcome(nil), res.Outcomes...)
+	sort.Slice(outs, func(i, j int) bool { return outs[i].Arrival < outs[j].Arrival })
+	end := outs[len(outs)-1].Arrival
+	var pts [][2]float64
+	for t := time.Duration(0); t <= end; t += window / 2 {
+		lo, hi := t, t+window
+		met, total := 0, 0
+		for _, o := range outs {
+			if o.Arrival >= lo && o.Arrival < hi {
+				total++
+				if o.Met {
+					met++
+				}
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		center := (lo + hi) / 2
+		pts = append(pts, [2]float64{center.Seconds(), float64(met) / float64(total)})
+	}
+	return pts
+}
+
+// DegreeTimeline returns, per resolution, (request arrival seconds,
+// steps-weighted average SP degree) points — Figure 11's view of how
+// TetriServe shapes parallelism per request over time.
+func DegreeTimeline(res *sim.Result) map[model.Resolution][][2]float64 {
+	out := map[model.Resolution][][2]float64{}
+	outs := append([]sim.Outcome(nil), res.Outcomes...)
+	sort.Slice(outs, func(i, j int) bool { return outs[i].Arrival < outs[j].Arrival })
+	for _, o := range outs {
+		if o.Dropped || o.AvgDegree == 0 {
+			continue
+		}
+		out[o.Res] = append(out[o.Res], [2]float64{o.Arrival.Seconds(), o.AvgDegree})
+	}
+	return out
+}
+
+// MeanDegreeByResolution averages the per-request step-weighted degree.
+func MeanDegreeByResolution(res *sim.Result) map[model.Resolution]float64 {
+	sum := map[model.Resolution]float64{}
+	n := map[model.Resolution]int{}
+	for _, o := range res.Outcomes {
+		if o.Dropped || o.AvgDegree == 0 {
+			continue
+		}
+		sum[o.Res] += o.AvgDegree
+		n[o.Res]++
+	}
+	out := map[model.Resolution]float64{}
+	for r, s := range sum {
+		out[r] = s / float64(n[r])
+	}
+	return out
+}
+
+// Utilization returns GPU-busy seconds divided by (makespan × N).
+func Utilization(res *sim.Result) float64 {
+	if res.Makespan <= 0 || res.NGPU == 0 {
+		return 0
+	}
+	return res.GPUBusySeconds / (res.Makespan.Seconds() * float64(res.NGPU))
+}
+
+// GPUSecondsPerRequest returns mean GPU-seconds consumed per request.
+func GPUSecondsPerRequest(res *sim.Result) float64 {
+	if len(res.Outcomes) == 0 {
+		return 0
+	}
+	return res.GPUBusySeconds / float64(len(res.Outcomes))
+}
+
+// MaxPlanLatency returns the worst scheduler decision latency observed.
+func MaxPlanLatency(res *sim.Result) time.Duration {
+	max := time.Duration(0)
+	for _, d := range res.PlanLatencies {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// BatchedShare returns the fraction of executed blocks that were batched.
+func BatchedShare(res *sim.Result) float64 {
+	if len(res.Runs) == 0 {
+		return 0
+	}
+	b := 0
+	for _, r := range res.Runs {
+		if r.Batched {
+			b++
+		}
+	}
+	return float64(b) / float64(len(res.Runs))
+}

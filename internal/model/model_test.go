@@ -1,0 +1,217 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestTable1Tokens checks the latent token counts against the paper's
+// Table 1: 256/1024/4096/16384 image tokens for 256–2048 px.
+func TestTable1Tokens(t *testing.T) {
+	m := FLUX()
+	want := map[Resolution]int{
+		Res256:  256,
+		Res512:  1024,
+		Res1024: 4096,
+		Res2048: 16384,
+	}
+	for res, tokens := range want {
+		if got := m.Tokens(res); got != tokens {
+			t.Errorf("Tokens(%v) = %d, want %d", res, got, tokens)
+		}
+	}
+}
+
+// TestTable1FLOPsAnchors checks the fitted FLOPs reproduce the paper's
+// totals exactly at the three anchors and within 0.1% at 2048 px (the
+// held-out point validating the quadratic functional form).
+func TestTable1FLOPsAnchors(t *testing.T) {
+	m := FLUX()
+	anchors := map[Resolution]float64{
+		Res256:  556.48,
+		Res512:  1388.24,
+		Res1024: 5045.92,
+	}
+	for res, wantTF := range anchors {
+		got := m.TotalFLOPs(res) / 1e12
+		if math.Abs(got-wantTF) > 0.01 {
+			t.Errorf("TotalFLOPs(%v) = %.2f TF, want %.2f", res, got, wantTF)
+		}
+	}
+	got2048 := m.TotalFLOPs(Res2048) / 1e12
+	const want2048 = 24964.72
+	if rel := math.Abs(got2048-want2048) / want2048; rel > 0.001 {
+		t.Errorf("TotalFLOPs(2048) = %.2f TF, want %.2f within 0.1%% (rel err %.4f)",
+			got2048, want2048, rel)
+	}
+}
+
+// TestFittedAttentionCoefficient sanity-checks the fitted quadratic term
+// against the analytic 4·d·L attention cost: they should agree within 2x.
+func TestFittedAttentionCoefficient(t *testing.T) {
+	m := FLUX()
+	analytic := 4.0 * float64(m.Hidden) * float64(m.Blocks)
+	if m.C2 < analytic/2 || m.C2 > analytic*2 {
+		t.Errorf("fitted C2 = %.0f FLOPs/token², analytic 4dL = %.0f; too far apart", m.C2, analytic)
+	}
+}
+
+func TestStepFLOPsMonotoneInResolution(t *testing.T) {
+	for _, m := range []*Model{FLUX(), SD3()} {
+		prev := 0.0
+		for _, res := range StandardResolutions() {
+			f := m.StepFLOPs(res)
+			if f <= prev {
+				t.Errorf("%s: StepFLOPs not increasing at %v", m.Name, res)
+			}
+			prev = f
+		}
+	}
+}
+
+func TestResolutionHelpers(t *testing.T) {
+	r := Resolution{1024, 768}
+	if r.String() != "1024x768" {
+		t.Errorf("String() = %q", r.String())
+	}
+	if r.Pixels() != 1024*768 {
+		t.Errorf("Pixels() = %d", r.Pixels())
+	}
+	if !r.Valid() {
+		t.Error("1024x768 should be valid")
+	}
+	for _, bad := range []Resolution{{0, 16}, {16, 0}, {15, 16}, {-16, 16}} {
+		if bad.Valid() {
+			t.Errorf("%v should be invalid", bad)
+		}
+	}
+}
+
+func TestJointSeqLenIncludesText(t *testing.T) {
+	m := FLUX()
+	if got := m.JointSeqLen(Res256); got != 256+m.TextTokens {
+		t.Errorf("JointSeqLen = %d, want %d", got, 256+m.TextTokens)
+	}
+}
+
+func TestLatentBytes(t *testing.T) {
+	m := FLUX()
+	// 2048px: (2048/8)² × 16 channels × 2 bytes = 2 MiB.
+	want := 256.0 * 256 * 16 * 2
+	if got := m.LatentBytes(Res2048); got != want {
+		t.Errorf("LatentBytes(2048) = %v, want %v", got, want)
+	}
+	// Latents are compact: even at 2048px under 4 MB.
+	if m.LatentBytes(Res2048) > 4e6 {
+		t.Error("latent unexpectedly large; Table 4's negligible-transfer claim depends on compactness")
+	}
+}
+
+func TestLatentScalesWithPixels(t *testing.T) {
+	m := SD3()
+	if m.LatentBytes(Res512) != 4*m.LatentBytes(Res256) {
+		t.Error("latent bytes should scale with pixel count")
+	}
+}
+
+func TestDecodeCosts(t *testing.T) {
+	m := FLUX()
+	if m.DecodeFLOPs(Res2048) != 16*m.DecodeFLOPs(Res512) {
+		t.Error("decode FLOPs should scale with pixels")
+	}
+	// Decoder activations at 2048px must be large enough to motivate
+	// sequential decoding (§5) — at least 1 GB.
+	if m.DecodeActivationBytes(Res2048) < 1e9 {
+		t.Error("decoder activation model too small to motivate sequential decode")
+	}
+}
+
+func TestCollectivesPerStep(t *testing.T) {
+	f := FLUX()
+	if got := f.CollectivesPerStep(); got != 57*4 {
+		t.Errorf("FLUX collectives/step = %d, want 228", got)
+	}
+	s := SD3()
+	if got := s.CollectivesPerStep(); got != 24*4*s.PassesPerStep {
+		t.Errorf("SD3 collectives/step = %d", got)
+	}
+}
+
+func TestCommBytesScaleWithBatch(t *testing.T) {
+	m := FLUX()
+	if m.CommBytesPerCollective(Res512, 4) != 4*m.CommBytesPerCollective(Res512, 1) {
+		t.Error("collective bytes should scale linearly with batch size")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"FLUX.1-dev", "flux", "FLUX"} {
+		m, err := ByName(name)
+		if err != nil || m.Name != "FLUX.1-dev" {
+			t.Errorf("ByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	for _, name := range []string{"sd3", "SD3", "SD3-Medium"} {
+		m, err := ByName(name)
+		if err != nil || m.Name != "SD3-Medium" {
+			t.Errorf("ByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := ByName("gpt-5"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestStepTimeAtThroughput(t *testing.T) {
+	m := FLUX()
+	// 11.13 TF step at 1 PFLOP/s ≈ 11.1 ms.
+	got := m.StepTimeAtThroughput(Res256, 1e15)
+	if got < 10*time.Millisecond || got > 13*time.Millisecond {
+		t.Errorf("StepTimeAtThroughput = %v, want ≈11ms", got)
+	}
+}
+
+func TestStepTimeAtThroughputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive throughput should panic")
+		}
+	}()
+	FLUX().StepTimeAtThroughput(Res256, 0)
+}
+
+// TestTokensQuadraticInSide property: tokens(s×s) = (s/16)².
+func TestTokensQuadraticInSide(t *testing.T) {
+	m := FLUX()
+	check := func(raw uint8) bool {
+		side := (int(raw)%128 + 1) * 16
+		res := Resolution{side, side}
+		return m.Tokens(res) == (side/16)*(side/16)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSD3CheaperThanFLUX(t *testing.T) {
+	f, s := FLUX(), SD3()
+	for _, res := range StandardResolutions() {
+		if s.StepFLOPs(res) >= f.StepFLOPs(res) {
+			t.Errorf("SD3 step FLOPs at %v should be below FLUX's", res)
+		}
+	}
+	if s.WeightBytes >= f.WeightBytes {
+		t.Error("SD3 weights should be smaller than FLUX's")
+	}
+}
+
+func TestStandardResolutionsAscending(t *testing.T) {
+	rs := StandardResolutions()
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Pixels() <= rs[i-1].Pixels() {
+			t.Fatal("StandardResolutions not ascending")
+		}
+	}
+}

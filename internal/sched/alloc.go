@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/stats"
+)
+
+// Placement selects concrete GPU sets for requested degrees. All schedulers
+// share it so that baselines and TetriServe pay identical placement physics.
+//
+// Groups are power-of-two sized and buddy-aligned (a size-k group starts at
+// a multiple of k), mirroring NCCL deployment practice. Buddy alignment is
+// what keeps A40 pairs on NVLink and lets elastic scale-up double a group in
+// place.
+
+// AlignedGroup returns a free buddy-aligned group of size k, preferring the
+// request's previous placement when still free (placement preservation,
+// §4.2.3), then the slot overlapping the previous placement, then the
+// lowest-numbered free slot. Returns 0 when nothing fits.
+func AlignedGroup(topo *simgpu.Topology, free simgpu.Mask, k int, prev simgpu.Mask) simgpu.Mask {
+	if k <= 0 || k > topo.N {
+		return 0
+	}
+	// Exact reuse first.
+	if prev != 0 && prev.Count() == k && prev&^free == 0 {
+		return prev
+	}
+	var overlapping, first simgpu.Mask
+	for slot := 0; slot*k < topo.N; slot++ {
+		g := simgpu.CanonicalGroup(slot, k)
+		if g&^free != 0 {
+			continue
+		}
+		if first == 0 {
+			first = g
+		}
+		if prev != 0 && g.Overlaps(prev) && overlapping == 0 {
+			overlapping = g
+		}
+	}
+	if overlapping != 0 {
+		return overlapping
+	}
+	return first
+}
+
+// RandomGroup picks k arbitrary free GPUs with no alignment or reuse
+// preference — the naive remapping the placement-preservation ablation
+// (Table 5) compares against. Returns 0 when fewer than k GPUs are free.
+func RandomGroup(free simgpu.Mask, k int, rng *stats.RNG) simgpu.Mask {
+	ids := free.IDs()
+	if len(ids) < k {
+		return 0
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	return simgpu.MaskOf(ids[:k]...)
+}
+
+// BuddyOf returns the sibling group that, unioned with g, forms the aligned
+// group of twice the size; 0 if g is not aligned or already spans the node.
+func BuddyOf(topo *simgpu.Topology, g simgpu.Mask) simgpu.Mask {
+	k := g.Count()
+	if k == 0 || k&(k-1) != 0 || 2*k > topo.N {
+		return 0
+	}
+	ids := g.IDs()
+	lo := int(ids[0])
+	if lo%k != 0 || g != simgpu.CanonicalGroup(lo/k, k) {
+		return 0
+	}
+	parentLo := (lo / (2 * k)) * 2 * k
+	parent := simgpu.MaskRange(simgpu.GPUID(parentLo), 2*k)
+	return parent.Without(g)
+}
+
+// MaxFreeAligned returns the size of the largest aligned free group.
+func MaxFreeAligned(topo *simgpu.Topology, free simgpu.Mask) int {
+	best := 0
+	for _, k := range topo.Degrees() {
+		for slot := 0; slot*k < topo.N; slot++ {
+			g := simgpu.CanonicalGroup(slot, k)
+			if g&^free == 0 && k > best {
+				best = k
+			}
+		}
+	}
+	return best
+}

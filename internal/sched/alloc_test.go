@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"testing"
+
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/stats"
+)
+
+func TestAlignedGroupPrefersExactReuse(t *testing.T) {
+	topo := simgpu.H100x8()
+	free := topo.AllMask()
+	prev := simgpu.MaskOf(4, 5)
+	if got := AlignedGroup(topo, free, 2, prev); got != prev {
+		t.Fatalf("should reuse previous placement, got %v", got)
+	}
+}
+
+func TestAlignedGroupOverlapSecondChoice(t *testing.T) {
+	topo := simgpu.H100x8()
+	// Previous 4-group {4..7}; now downsizing to 2: should pick a slot
+	// overlapping the old placement ({4,5}).
+	prev := simgpu.MaskOf(4, 5, 6, 7)
+	got := AlignedGroup(topo, topo.AllMask(), 2, prev)
+	if !got.Overlaps(prev) {
+		t.Fatalf("downsized group %v should overlap previous %v", got, prev)
+	}
+}
+
+func TestAlignedGroupFirstFreeFallback(t *testing.T) {
+	topo := simgpu.H100x8()
+	free := topo.AllMask().Without(simgpu.MaskOf(0, 1))
+	got := AlignedGroup(topo, free, 2, 0)
+	if got != simgpu.MaskOf(2, 3) {
+		t.Fatalf("first free aligned slot = %v, want {2,3}", got)
+	}
+}
+
+func TestAlignedGroupRespectsBusy(t *testing.T) {
+	topo := simgpu.H100x8()
+	// Only GPUs {1,3,5,7} free: no aligned pair exists.
+	free := simgpu.MaskOf(1, 3, 5, 7)
+	if got := AlignedGroup(topo, free, 2, 0); got != 0 {
+		t.Fatalf("fragmented free set should yield no aligned pair, got %v", got)
+	}
+	if got := AlignedGroup(topo, free, 1, 0); got != simgpu.MaskOf(1) {
+		t.Fatalf("single-GPU slot = %v, want {1}", got)
+	}
+}
+
+func TestAlignedGroupInvalidSizes(t *testing.T) {
+	topo := simgpu.H100x8()
+	if AlignedGroup(topo, topo.AllMask(), 16, 0) != 0 {
+		t.Fatal("oversized group should fail")
+	}
+	if AlignedGroup(topo, topo.AllMask(), 0, 0) != 0 {
+		t.Fatal("zero-size group should fail")
+	}
+}
+
+func TestAlignedGroupIgnoresStalePrev(t *testing.T) {
+	topo := simgpu.H100x8()
+	prev := simgpu.MaskOf(0, 1)
+	free := topo.AllMask().Without(simgpu.MaskOf(0)) // prev partially busy
+	got := AlignedGroup(topo, free, 2, prev)
+	if got == prev {
+		t.Fatal("must not reuse a partially busy previous group")
+	}
+	if got == 0 {
+		t.Fatal("another slot was free")
+	}
+}
+
+func TestRandomGroupSizeAndMembership(t *testing.T) {
+	rng := stats.NewRNG(1)
+	free := simgpu.MaskOf(0, 2, 4, 6)
+	for i := 0; i < 100; i++ {
+		g := RandomGroup(free, 2, rng)
+		if g.Count() != 2 || g&^free != 0 {
+			t.Fatalf("random group %v invalid for free %v", g, free)
+		}
+	}
+	if RandomGroup(simgpu.MaskOf(1), 2, rng) != 0 {
+		t.Fatal("insufficient free GPUs should yield 0")
+	}
+}
+
+func TestRandomGroupVaries(t *testing.T) {
+	rng := stats.NewRNG(2)
+	free := simgpu.MaskRange(0, 8)
+	seen := map[simgpu.Mask]bool{}
+	for i := 0; i < 50; i++ {
+		seen[RandomGroup(free, 2, rng)] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("random placement produced only %d distinct groups", len(seen))
+	}
+}
+
+func TestBuddyOf(t *testing.T) {
+	topo := simgpu.H100x8()
+	cases := []struct {
+		g, want simgpu.Mask
+	}{
+		{simgpu.MaskOf(0, 1), simgpu.MaskOf(2, 3)},
+		{simgpu.MaskOf(2, 3), simgpu.MaskOf(0, 1)},
+		{simgpu.MaskOf(4, 5, 6, 7), simgpu.MaskOf(0, 1, 2, 3)},
+		{simgpu.MaskOf(0), simgpu.MaskOf(1)},
+		{simgpu.MaskOf(3), simgpu.MaskOf(2)},
+		{simgpu.MaskRange(0, 8), 0}, // already the whole node
+		{simgpu.MaskOf(1, 2), 0},    // not aligned
+		{simgpu.MaskOf(0, 1, 2), 0}, // not a power of two
+	}
+	for _, c := range cases {
+		if got := BuddyOf(topo, c.g); got != c.want {
+			t.Errorf("BuddyOf(%v) = %v, want %v", c.g, got, c.want)
+		}
+	}
+}
+
+func TestBuddyUnionIsAligned(t *testing.T) {
+	topo := simgpu.H100x8()
+	for _, g := range []simgpu.Mask{simgpu.MaskOf(0, 1), simgpu.MaskOf(6, 7), simgpu.MaskOf(4)} {
+		b := BuddyOf(topo, g)
+		if b == 0 {
+			t.Fatalf("no buddy for %v", g)
+		}
+		union := g.Union(b)
+		k := union.Count()
+		lo := union.IDs()[0]
+		if union != simgpu.CanonicalGroup(int(lo)/k, k) {
+			t.Errorf("buddy union %v not canonical", union)
+		}
+	}
+}
+
+func TestMaxFreeAligned(t *testing.T) {
+	topo := simgpu.H100x8()
+	cases := []struct {
+		free simgpu.Mask
+		want int
+	}{
+		{topo.AllMask(), 8},
+		{simgpu.MaskOf(0, 1, 2, 3), 4},
+		{simgpu.MaskOf(1, 2, 3, 4), 2}, // only {2,3} aligned
+		{simgpu.MaskOf(1, 3, 5), 1},
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := MaxFreeAligned(topo, c.free); got != c.want {
+			t.Errorf("MaxFreeAligned(%v) = %d, want %d", c.free, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"tetriserve/internal/workload"
+)
+
+// EDF is an earliest-deadline-first greedy baseline used in the ablation
+// and sensitivity studies: deadline-aware (unlike xDiT/RSSP) but without
+// TetriServe's minimal-GPU-hour allocation or round packing. Each planning
+// event it sorts pending requests by deadline and gives each, in turn, the
+// fastest degree that still fits in the free GPUs, running the whole
+// remaining step count non-preemptively.
+type EDF struct{}
+
+// NewEDF returns the EDF-greedy policy.
+func NewEDF() *EDF { return &EDF{} }
+
+// Name implements Scheduler.
+func (e *EDF) Name() string { return "EDF-greedy" }
+
+// RoundDuration implements Scheduler; EDF is event-driven.
+func (e *EDF) RoundDuration() time.Duration { return 0 }
+
+// Plan implements Scheduler.
+func (e *EDF) Plan(ctx *PlanContext) []Assignment {
+	order := make([]*RequestState, len(ctx.Pending))
+	copy(order, ctx.Pending)
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].Deadline() < order[j].Deadline()
+	})
+	var plan []Assignment
+	free := ctx.Free
+	for _, st := range order {
+		// Fastest profiled degree that has a free aligned group.
+		bestK := 0
+		bestT := time.Duration(0)
+		for _, k := range ctx.Profile.Degrees() {
+			if AlignedGroup(ctx.Topo, free, k, st.LastGroup) == 0 {
+				continue
+			}
+			t := ctx.Profile.StepTime(st.Req.Res, k)
+			if bestK == 0 || t < bestT {
+				bestK, bestT = k, t
+			}
+		}
+		if bestK == 0 {
+			continue
+		}
+		g := AlignedGroup(ctx.Topo, free, bestK, st.LastGroup)
+		free = free.Without(g)
+		plan = append(plan, Assignment{
+			Requests: []workload.RequestID{st.Req.ID},
+			Group:    g,
+			Steps:    st.Remaining,
+		})
+	}
+	return plan
+}

@@ -1,0 +1,267 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tetriserve/internal/stats"
+)
+
+// simpleInstance builds an instance where every request has the same step
+// times: T(k) = base/k (perfect scaling, for analyzable optima).
+func simpleInstance(n int, reqs []ExhaustiveRequest) ExhaustiveInstance {
+	degrees := []int{}
+	for k := 1; k <= n; k *= 2 {
+		degrees = append(degrees, k)
+	}
+	return ExhaustiveInstance{N: n, Degrees: degrees, Requests: reqs}
+}
+
+func perfectScaling(base time.Duration, n int) map[int]time.Duration {
+	st := map[int]time.Duration{}
+	for k := 1; k <= n; k *= 2 {
+		st[k] = base / time.Duration(k)
+	}
+	return st
+}
+
+func TestExhaustiveEmptyInstance(t *testing.T) {
+	sol := SolveExhaustive(ExhaustiveInstance{N: 4, Degrees: []int{1}}, time.Second)
+	if sol.Met != 0 || sol.TimedOut {
+		t.Fatalf("empty instance: %+v", sol)
+	}
+}
+
+func TestExhaustiveSingleRequestMeets(t *testing.T) {
+	inst := simpleInstance(4, []ExhaustiveRequest{{
+		Arrival:  0,
+		Deadline: 500 * time.Millisecond,
+		Steps:    2,
+		StepTime: perfectScaling(400*time.Millisecond, 4),
+	}})
+	// Needs 2 steps in 500ms: only k=4 (100ms/step) or k=2 (200ms/step)
+	// make it; feasible → Met = 1.
+	sol := SolveExhaustive(inst, 5*time.Second)
+	if sol.Met != 1 {
+		t.Fatalf("Met = %d, want 1", sol.Met)
+	}
+	if sol.TimedOut {
+		t.Fatal("tiny instance should not time out")
+	}
+	// Minimal GPU-seconds tiebreak: perfect scaling makes GPU-seconds
+	// equal across degrees (2 × 0.4 = 0.8), so any feasible plan costs 0.8.
+	if sol.GPUSeconds < 0.79 || sol.GPUSeconds > 0.81 {
+		t.Fatalf("GPUSeconds = %v, want 0.8", sol.GPUSeconds)
+	}
+}
+
+func TestExhaustiveInfeasibleRequest(t *testing.T) {
+	inst := simpleInstance(4, []ExhaustiveRequest{{
+		Arrival:  0,
+		Deadline: 50 * time.Millisecond,
+		Steps:    2,
+		StepTime: perfectScaling(400*time.Millisecond, 4),
+	}})
+	sol := SolveExhaustive(inst, 2*time.Second)
+	if sol.Met != 0 {
+		t.Fatalf("impossible deadline met: %+v", sol)
+	}
+}
+
+func TestExhaustiveCapacityForcesChoice(t *testing.T) {
+	// Two requests, each needs the whole 2-GPU node simultaneously to
+	// meet its deadline; only one can win.
+	mk := func(arr time.Duration) ExhaustiveRequest {
+		return ExhaustiveRequest{
+			Arrival:  arr,
+			Deadline: arr + 220*time.Millisecond,
+			Steps:    1,
+			StepTime: perfectScaling(400*time.Millisecond, 2),
+		}
+	}
+	inst := simpleInstance(2, []ExhaustiveRequest{mk(0), mk(0)})
+	sol := SolveExhaustive(inst, 5*time.Second)
+	if sol.Met != 1 {
+		t.Fatalf("Met = %d, want exactly 1 under contention", sol.Met)
+	}
+}
+
+func TestExhaustiveBothFitWithPacking(t *testing.T) {
+	// Two single-step requests at k=1 fit side by side on 2 GPUs.
+	mk := func() ExhaustiveRequest {
+		return ExhaustiveRequest{
+			Arrival:  0,
+			Deadline: 450 * time.Millisecond,
+			Steps:    1,
+			StepTime: perfectScaling(400*time.Millisecond, 2),
+		}
+	}
+	inst := simpleInstance(2, []ExhaustiveRequest{mk(), mk()})
+	sol := SolveExhaustive(inst, 5*time.Second)
+	if sol.Met != 2 {
+		t.Fatalf("Met = %d, want 2 (side-by-side at k=1)", sol.Met)
+	}
+}
+
+func TestExhaustiveStepDependency(t *testing.T) {
+	// 3 steps of 100ms at k=1, deadline 250ms: even with 4 idle GPUs, the
+	// steps are dependent, so only higher degrees can meet it.
+	inst := simpleInstance(4, []ExhaustiveRequest{{
+		Arrival:  0,
+		Deadline: 250 * time.Millisecond,
+		Steps:    3,
+		StepTime: map[int]time.Duration{1: 100 * time.Millisecond, 2: 100 * time.Millisecond, 4: 50 * time.Millisecond},
+	}})
+	sol := SolveExhaustive(inst, 5*time.Second)
+	if sol.Met != 1 {
+		t.Fatalf("Met = %d; solver should find the k=4 plan", sol.Met)
+	}
+	// Best plan must use k=4 for at least one step (3×100 > 250).
+	usesK4 := false
+	for _, k := range sol.DegreesByRequest[0] {
+		if k == 4 {
+			usesK4 = true
+		}
+	}
+	if !usesK4 {
+		t.Fatalf("plan %v cannot meet 250ms without k=4 steps", sol.DegreesByRequest[0])
+	}
+}
+
+func TestExhaustiveTimeout(t *testing.T) {
+	// 3 requests × 5 steps × 4 degrees on 8 GPUs explodes; a 50ms budget
+	// must trip the timeout.
+	var reqs []ExhaustiveRequest
+	for i := 0; i < 3; i++ {
+		reqs = append(reqs, ExhaustiveRequest{
+			Arrival:  0,
+			Deadline: time.Second,
+			Steps:    5,
+			StepTime: perfectScaling(100*time.Millisecond, 8),
+		})
+	}
+	inst := simpleInstance(8, reqs)
+	sol := SolveExhaustive(inst, 50*time.Millisecond)
+	if !sol.TimedOut {
+		t.Fatal("expected timeout on a 4^15 search space in 50ms")
+	}
+	if sol.Elapsed > 5*time.Second {
+		t.Fatalf("timeout massively overshot: %v", sol.Elapsed)
+	}
+}
+
+// TestExplosionGrowth reproduces Table 6's qualitative claim: exploration
+// count grows superexponentially with queue depth.
+func TestExplosionGrowth(t *testing.T) {
+	counts := make([]int64, 0, 2)
+	for r := 1; r <= 2; r++ {
+		var reqs []ExhaustiveRequest
+		for i := 0; i < r; i++ {
+			reqs = append(reqs, ExhaustiveRequest{
+				Arrival:  0,
+				Deadline: time.Second,
+				Steps:    3,
+				StepTime: perfectScaling(100*time.Millisecond, 4),
+			})
+		}
+		sol := SolveExhaustive(simpleInstance(4, reqs), 30*time.Second)
+		counts = append(counts, sol.Explored)
+	}
+	// d^S = 27 for one request; 27² = 729 for two.
+	if counts[0] != 27 || counts[1] != 729 {
+		t.Fatalf("explored = %v, want [27 729]", counts)
+	}
+}
+
+func TestRTFeasibleBasics(t *testing.T) {
+	if !RTFeasible(nil) {
+		t.Fatal("empty job set is feasible")
+	}
+	jobs := []RTJob{
+		{Release: 0, Deadline: 10, Length: 5},
+		{Release: 0, Deadline: 10, Length: 5},
+	}
+	if !RTFeasible(jobs) {
+		t.Fatal("two back-to-back jobs fit exactly")
+	}
+	jobs[0].Deadline = 9
+	jobs[1].Deadline = 9
+	if RTFeasible(jobs) {
+		t.Fatal("9 time units cannot hold 10 units of work when both end by 9")
+	}
+}
+
+func TestRTFeasibleNeedsIdleInsertion(t *testing.T) {
+	// Feasible only by idling until B releases: A(len 10, dl 20),
+	// B(release 5, len 2, dl 7).
+	jobs := []RTJob{
+		{Release: 0, Deadline: 20, Length: 10},
+		{Release: 5, Deadline: 7, Length: 2},
+	}
+	if !RTFeasible(jobs) {
+		t.Fatal("schedule B@5 then A@7 is feasible; RTFeasible must find it")
+	}
+}
+
+// TestReductionEquivalence is the machine-checkable core of Appendix A:
+// random RT instances are feasible iff their reduced DiT instances are.
+func TestReductionEquivalence(t *testing.T) {
+	type rawJob struct {
+		Release, Deadline, Length uint8
+	}
+	check := func(raws []rawJob) bool {
+		if len(raws) > 7 {
+			raws = raws[:7]
+		}
+		var jobs []RTJob
+		for _, r := range raws {
+			rel := time.Duration(r.Release % 20)
+			length := time.Duration(r.Length%8 + 1)
+			dl := rel + time.Duration(r.Deadline%12) + 1
+			jobs = append(jobs, RTJob{Release: rel, Deadline: dl, Length: length})
+		}
+		inst := ReduceRTToDiT(jobs)
+		return RTFeasible(jobs) == SingleMachineDiTFeasible(inst)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReductionInstanceShape checks the reduction's structural mapping.
+func TestReductionInstanceShape(t *testing.T) {
+	jobs := []RTJob{{Release: 3, Deadline: 9, Length: 4}}
+	inst := ReduceRTToDiT(jobs)
+	if inst.N != 1 || len(inst.Degrees) != 1 || inst.Degrees[0] != 1 {
+		t.Fatalf("reduced instance N/K wrong: %+v", inst)
+	}
+	r := inst.Requests[0]
+	if r.Arrival != 3 || r.Deadline != 9 || r.Steps != 1 || r.StepTime[1] != 4 {
+		t.Fatalf("reduced request wrong: %+v", r)
+	}
+}
+
+// TestWorkConservingSolverAgreesWhenNoReleases: with all releases at zero,
+// inserted idleness never helps, so the general work-conserving solver must
+// agree with the exact ordering decider.
+func TestWorkConservingSolverAgreesWhenNoReleases(t *testing.T) {
+	rng := stats.NewRNG(77)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(4)
+		var jobs []RTJob
+		for i := 0; i < n; i++ {
+			length := time.Duration(rng.Intn(5)+1) * time.Millisecond
+			dl := time.Duration(rng.Intn(12)+1) * time.Millisecond
+			jobs = append(jobs, RTJob{Release: 0, Deadline: dl, Length: length})
+		}
+		inst := ReduceRTToDiT(jobs)
+		all, timedOut := DiTFeasibleAll(inst, 10*time.Second)
+		if timedOut {
+			t.Fatal("tiny instance timed out")
+		}
+		if all != RTFeasible(jobs) {
+			t.Fatalf("trial %d: solver=%v, exact=%v for %+v", trial, all, RTFeasible(jobs), jobs)
+		}
+	}
+}

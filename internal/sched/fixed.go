@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/workload"
+)
+
+// FixedSP reproduces the xDiT baseline (§6.1): every request runs all of its
+// steps at one constant sequence-parallel degree, non-preemptively, in FIFO
+// order. With N GPUs and degree k the cluster behaves as N/k independent
+// replicas; a request at the queue head that cannot be placed blocks the
+// queue (the head-of-line blocking Figure 1 illustrates).
+type FixedSP struct {
+	// Degree is the constant SP degree k.
+	Degree int
+	// Backfill, when true, lets later requests jump a blocked head. The
+	// paper's xDiT baseline does not backfill; the flag exists for the
+	// sensitivity tests.
+	Backfill bool
+}
+
+// NewFixedSP returns the xDiT SP=k baseline.
+func NewFixedSP(k int) *FixedSP { return &FixedSP{Degree: k} }
+
+// Name implements Scheduler.
+func (f *FixedSP) Name() string { return fmt.Sprintf("xDiT SP=%d", f.Degree) }
+
+// RoundDuration implements Scheduler; xDiT is event-driven.
+func (f *FixedSP) RoundDuration() time.Duration { return 0 }
+
+// Plan implements Scheduler: place queued requests FIFO onto free aligned
+// groups of the fixed degree, all steps at once.
+func (f *FixedSP) Plan(ctx *PlanContext) []Assignment {
+	if f.Degree > ctx.Topo.N {
+		panic(fmt.Sprintf("sched: fixed degree %d exceeds cluster of %d GPUs", f.Degree, ctx.Topo.N))
+	}
+	var plan []Assignment
+	free := ctx.Free
+	for _, st := range ctx.Pending {
+		g := AlignedGroup(ctx.Topo, free, f.Degree, st.LastGroup)
+		if g == 0 {
+			if f.Backfill {
+				continue
+			}
+			break // head-of-line blocking
+		}
+		free = free.Without(g)
+		plan = append(plan, Assignment{
+			Requests: []workload.RequestID{st.Req.ID},
+			Group:    g,
+			Steps:    st.Remaining,
+		})
+	}
+	return plan
+}
+
+// RSSP is the Resolution-Specific SP baseline: the best fixed degree per
+// resolution chosen by offline profiling — SP=1 for 256² and 512², SP=2 for
+// 1024², SP=8 for 2048² (§6.1). It remains non-preemptive and
+// deadline-unaware; the paper calls it an oracle static configuration.
+type RSSP struct {
+	// DegreeFor maps resolution to its static degree.
+	DegreeFor map[model.Resolution]int
+}
+
+// NewRSSP returns the paper's RSSP configuration, clamped to the node size
+// (on the 4-GPU A40 node the 2048² degree becomes 4).
+func NewRSSP(maxDegree int) *RSSP {
+	clamp := func(k int) int {
+		if k > maxDegree {
+			return maxDegree
+		}
+		return k
+	}
+	return &RSSP{DegreeFor: map[model.Resolution]int{
+		model.Res256:  clamp(1),
+		model.Res512:  clamp(1),
+		model.Res1024: clamp(2),
+		model.Res2048: clamp(8),
+	}}
+}
+
+// Name implements Scheduler.
+func (r *RSSP) Name() string { return "RSSP" }
+
+// RoundDuration implements Scheduler; RSSP is event-driven.
+func (r *RSSP) RoundDuration() time.Duration { return 0 }
+
+// Plan implements Scheduler: FIFO placement at each request's static degree.
+func (r *RSSP) Plan(ctx *PlanContext) []Assignment {
+	var plan []Assignment
+	free := ctx.Free
+	for _, st := range ctx.Pending {
+		k, ok := r.DegreeFor[st.Req.Res]
+		if !ok {
+			k = 1
+		}
+		g := AlignedGroup(ctx.Topo, free, k, st.LastGroup)
+		if g == 0 {
+			break // FIFO: blocked head stalls the queue
+		}
+		free = free.Without(g)
+		plan = append(plan, Assignment{
+			Requests: []workload.RequestID{st.Req.ID},
+			Group:    g,
+			Steps:    st.Remaining,
+		})
+	}
+	return plan
+}

@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+func TestFixedSPPlacesFIFO(t *testing.T) {
+	f := NewFixedSP(2)
+	a := mkState(1, model.Res512, 50, 0, 2*time.Second)
+	b := mkState(2, model.Res512, 50, 0, 2*time.Second)
+	ctx := mkCtx(0, simgpu.MaskRange(0, 8), a, b)
+	plan := f.Plan(ctx)
+	if err := ValidatePlan(ctx, plan); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 2 {
+		t.Fatalf("placed %d requests, want 2", len(plan))
+	}
+	for _, asg := range plan {
+		if asg.Group.Count() != 2 {
+			t.Fatalf("fixed SP=2 produced group %v", asg.Group)
+		}
+		if asg.Steps != 50 {
+			t.Fatalf("xDiT must run all steps at once, got %d", asg.Steps)
+		}
+	}
+	if plan[0].Group.Overlaps(plan[1].Group) {
+		t.Fatal("groups overlap")
+	}
+}
+
+func TestFixedSPHeadOfLineBlocking(t *testing.T) {
+	f := NewFixedSP(8)
+	// Only 4 GPUs free: the head needs 8 and must block everyone,
+	// including a small request behind it that would fit.
+	head := mkState(1, model.Res2048, 50, 0, 5*time.Second)
+	tail := mkState(2, model.Res256, 50, time.Millisecond, 2*time.Second)
+	ctx := mkCtx(0, simgpu.MaskOf(0, 1, 2, 3), head, tail)
+	if plan := f.Plan(ctx); len(plan) != 0 {
+		t.Fatalf("expected head-of-line blocking, got %d assignments", len(plan))
+	}
+	// With Backfill, the tail would still not run: SP=8 needs 8 GPUs for
+	// every request, so nothing fits regardless.
+	f.Backfill = true
+	if plan := f.Plan(ctx); len(plan) != 0 {
+		t.Fatal("SP=8 cannot place anything on 4 GPUs")
+	}
+}
+
+func TestFixedSPBackfillSkipsBlockedHead(t *testing.T) {
+	f := &FixedSP{Degree: 4, Backfill: true}
+	a := mkState(1, model.Res2048, 50, 0, 5*time.Second)
+	b := mkState(2, model.Res256, 50, 0, 2*time.Second)
+	// Free GPUs: only slot {4,5,6,7}; head takes it, second must wait...
+	ctx := mkCtx(0, simgpu.MaskOf(4, 5, 6, 7), a, b)
+	plan := f.Plan(ctx)
+	if len(plan) != 1 || plan[0].Requests[0] != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestFixedSPCapacityLimitsParallelRequests(t *testing.T) {
+	f := NewFixedSP(4)
+	var pending []*RequestState
+	for i := 0; i < 5; i++ {
+		pending = append(pending, mkState(i, model.Res1024, 50, 0, 3*time.Second))
+	}
+	ctx := mkCtx(0, simgpu.MaskRange(0, 8), pending...)
+	plan := f.Plan(ctx)
+	if len(plan) != 2 {
+		t.Fatalf("8 GPUs at SP=4 hold exactly 2 requests, got %d", len(plan))
+	}
+}
+
+func TestFixedSPPanicsOnOversizedDegree(t *testing.T) {
+	f := NewFixedSP(16)
+	ctx := mkCtx(0, simgpu.MaskRange(0, 8), mkState(1, model.Res512, 10, 0, time.Second))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degree > N should panic")
+		}
+	}()
+	f.Plan(ctx)
+}
+
+func TestRSSPDegrees(t *testing.T) {
+	r := NewRSSP(8)
+	want := map[model.Resolution]int{
+		model.Res256:  1,
+		model.Res512:  1,
+		model.Res1024: 2,
+		model.Res2048: 8,
+	}
+	for res, k := range want {
+		if got := r.DegreeFor[res]; got != k {
+			t.Errorf("RSSP degree for %v = %d, want %d (§6.1)", res, got, k)
+		}
+	}
+}
+
+func TestRSSPClampsToNodeSize(t *testing.T) {
+	r := NewRSSP(4)
+	if got := r.DegreeFor[model.Res2048]; got != 4 {
+		t.Fatalf("clamped 2048px degree = %d, want 4", got)
+	}
+}
+
+func TestRSSPPlacesPerResolution(t *testing.T) {
+	r := NewRSSP(8)
+	big := mkState(1, model.Res2048, 50, 0, 5*time.Second)
+	small := mkState(2, model.Res256, 50, time.Millisecond, 2*time.Second)
+	ctx := mkCtx(0, simgpu.MaskRange(0, 8), big, small)
+	plan := r.Plan(ctx)
+	if err := ValidatePlan(ctx, plan); err != nil {
+		t.Fatal(err)
+	}
+	// 2048 takes all 8 GPUs, 256 blocks behind it (strict FIFO).
+	if len(plan) != 1 || plan[0].Group.Count() != 8 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestEDFOrdersByDeadline(t *testing.T) {
+	e := NewEDF()
+	loose := mkState(1, model.Res512, 50, 0, 10*time.Second)
+	tight := mkState(2, model.Res512, 50, 0, 2*time.Second)
+	// One free GPU pair means only one request can get the fast degree.
+	ctx := mkCtx(0, simgpu.MaskOf(0, 1), loose, tight)
+	plan := e.Plan(ctx)
+	if err := ValidatePlan(ctx, plan); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) == 0 || plan[0].Requests[0] != 2 {
+		t.Fatalf("EDF should serve the tight deadline first: %+v", plan)
+	}
+}
+
+func TestEDFPicksFastestAvailableDegree(t *testing.T) {
+	e := NewEDF()
+	st := mkState(1, model.Res2048, 50, 0, 5*time.Second)
+	ctx := mkCtx(0, simgpu.MaskRange(0, 8), st)
+	plan := e.Plan(ctx)
+	if len(plan) != 1 || plan[0].Group.Count() != 8 {
+		t.Fatalf("EDF should give 2048px the fastest degree (8): %+v", plan)
+	}
+}
+
+func TestSchedulersAreEventDriven(t *testing.T) {
+	for _, s := range []Scheduler{NewFixedSP(2), NewRSSP(8), NewEDF()} {
+		if s.RoundDuration() != 0 {
+			t.Errorf("%s should be event-driven", s.Name())
+		}
+		if s.Name() == "" {
+			t.Error("empty scheduler name")
+		}
+	}
+	_ = workload.RequestID(0) // keep import for mk helpers
+}

@@ -1,0 +1,174 @@
+// Package sched defines the scheduling contract shared by TetriServe and
+// every baseline (fixed-SP xDiT, RSSP, EDF, exhaustive optimal), plus the
+// placement machinery (buddy-aligned GPU group allocation) and the
+// NP-hardness apparatus from the paper's appendices.
+//
+// A Scheduler observes the cluster through a PlanContext snapshot and emits
+// Assignments: "run these steps of these requests on this GPU group". The
+// simulator (internal/sim) and the live server (internal/server) both drive
+// schedulers through this interface, so control-plane logic is identical
+// offline and online.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+// RequestState is the scheduler-visible state of one request — what the
+// paper's Request Tracker maintains (§3).
+type RequestState struct {
+	Req *workload.Request
+	// Remaining is the number of denoising steps left.
+	Remaining int
+	// Running reports whether an assignment for this request is executing.
+	Running bool
+	// LastGroup is the GPU set the request ran on most recently (0 before
+	// the first step) — the input to placement preservation.
+	LastGroup simgpu.Mask
+	// StepsByDegree tallies executed steps per parallelism degree, feeding
+	// the Figure 11 average-degree analysis.
+	StepsByDegree map[int]int
+	// Started reports whether any step has executed.
+	Started bool
+}
+
+// Clone returns a deep copy (used by solvers that explore hypotheticals).
+func (s *RequestState) Clone() *RequestState {
+	c := *s
+	c.StepsByDegree = make(map[int]int, len(s.StepsByDegree))
+	for k, v := range s.StepsByDegree {
+		c.StepsByDegree[k] = v
+	}
+	return &c
+}
+
+// Deadline is the request's absolute deadline.
+func (s *RequestState) Deadline() time.Duration { return s.Req.Deadline() }
+
+// DefinitelyLate reports whether the request cannot meet its deadline even
+// at the fastest profiled per-step time starting from now.
+func (s *RequestState) DefinitelyLate(now time.Duration, prof *costmodel.Profile) bool {
+	tmin, _ := prof.MinStepTime(s.Req.Res)
+	return now+time.Duration(s.Remaining)*tmin > s.Deadline()
+}
+
+// AvgDegree returns the steps-weighted mean parallelism degree so far.
+func (s *RequestState) AvgDegree() float64 {
+	steps, weighted := 0, 0
+	for k, n := range s.StepsByDegree {
+		steps += n
+		weighted += k * n
+	}
+	if steps == 0 {
+		return 0
+	}
+	return float64(weighted) / float64(steps)
+}
+
+// Assignment instructs the engine to execute Steps denoising steps for each
+// listed request on Group. Multiple requests form a selectively-batched
+// step block and must share a resolution.
+type Assignment struct {
+	Requests []workload.RequestID
+	Group    simgpu.Mask
+	Steps    int
+	// RoundAligned marks blocks sized to finish within the scheduler's
+	// round; the simulator's round tick waits for aligned blocks only.
+	RoundAligned bool
+	// BestEffort marks the ≤1-GPU lane for already-late requests.
+	BestEffort bool
+}
+
+// Validate checks structural sanity against a topology.
+func (a *Assignment) Validate(topo *simgpu.Topology) error {
+	if len(a.Requests) == 0 {
+		return fmt.Errorf("sched: assignment with no requests")
+	}
+	if a.Steps <= 0 {
+		return fmt.Errorf("sched: assignment with %d steps", a.Steps)
+	}
+	return topo.ValidGroup(a.Group)
+}
+
+// PlanContext is the snapshot a scheduler plans against.
+type PlanContext struct {
+	Now time.Duration
+	// Free is the set of idle GPUs.
+	Free simgpu.Mask
+	// Pending lists requests with Remaining > 0 that are not Running,
+	// in arrival order.
+	Pending []*RequestState
+	// Running lists requests currently executing.
+	Running []*RequestState
+	// Profile is the offline-profiled cost model.
+	Profile *costmodel.Profile
+	// Topo is the cluster topology.
+	Topo *simgpu.Topology
+}
+
+// Scheduler decides GPU allocations.
+type Scheduler interface {
+	// Name identifies the policy in reports ("TetriServe", "xDiT SP=4").
+	Name() string
+	// RoundDuration returns the fixed round length τ for round-based
+	// policies, or 0 for purely event-driven policies (which are invoked
+	// on every arrival and completion instead).
+	RoundDuration() time.Duration
+	// Plan returns assignments to start now. Returned assignments must use
+	// disjoint subsets of ctx.Free and only requests from ctx.Pending.
+	Plan(ctx *PlanContext) []Assignment
+}
+
+// ValidatePlan checks a plan against the context: free-GPU discipline,
+// request membership, resolution-homogeneous batches. Both the simulator
+// and the tests use it as an oracle against scheduler bugs.
+func ValidatePlan(ctx *PlanContext, plan []Assignment) error {
+	pending := make(map[workload.RequestID]*RequestState, len(ctx.Pending))
+	for _, st := range ctx.Pending {
+		pending[st.Req.ID] = st
+	}
+	used := simgpu.Mask(0)
+	claimed := make(map[workload.RequestID]bool)
+	for i := range plan {
+		a := &plan[i]
+		if err := a.Validate(ctx.Topo); err != nil {
+			return err
+		}
+		if a.Group&^ctx.Free != 0 {
+			return fmt.Errorf("sched: assignment %d uses busy GPUs %v", i, a.Group.Without(ctx.Free))
+		}
+		if used.Overlaps(a.Group) {
+			return fmt.Errorf("sched: assignment %d overlaps another assignment on %v", i, a.Group)
+		}
+		used |= a.Group
+		var firstRes *RequestState
+		for _, id := range a.Requests {
+			st, ok := pending[id]
+			if !ok {
+				return fmt.Errorf("sched: assignment %d references unknown or running request %d", i, id)
+			}
+			if claimed[id] {
+				return fmt.Errorf("sched: request %d appears in two assignments", id)
+			}
+			claimed[id] = true
+			// A batched block may nominally exceed a member's remaining
+			// steps (the member exits the batch early); single-request
+			// assignments must not.
+			if len(a.Requests) == 1 && a.Steps > st.Remaining {
+				return fmt.Errorf("sched: request %d assigned %d steps but only %d remain", id, a.Steps, st.Remaining)
+			}
+			if firstRes == nil {
+				firstRes = st
+			} else if firstRes.Req.Res != st.Req.Res {
+				return fmt.Errorf("sched: batched assignment %d mixes resolutions %v and %v",
+					i, firstRes.Req.Res, st.Req.Res)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/workload"
+)
+
+// Throughput is a DDiT-style baseline (§7 related work): it maximizes
+// aggregate denoising throughput with no deadline awareness. Every request
+// runs non-preemptively at its GPU-hour-minimal degree (the configuration
+// with the best steps per GPU-second), and same-resolution small requests
+// are batched aggressively. Contrasting it with TetriServe quantifies how
+// much SLO attainment costs in raw throughput — the paper's positioning
+// against throughput-oriented serving.
+type Throughput struct {
+	// MaxBatch bounds continuous batching width (default 4).
+	MaxBatch int
+	// BatchTokenCap limits batching to small resolutions (default 1024
+	// latent tokens, ≤512², as in TetriServe's selective batching).
+	BatchTokenCap int
+}
+
+// NewThroughput returns the throughput-maximizing baseline.
+func NewThroughput() *Throughput {
+	return &Throughput{MaxBatch: 4, BatchTokenCap: 1024}
+}
+
+// Name implements Scheduler.
+func (t *Throughput) Name() string { return "Throughput-max" }
+
+// RoundDuration implements Scheduler; the policy is event-driven.
+func (t *Throughput) RoundDuration() time.Duration { return 0 }
+
+// Plan implements Scheduler.
+func (t *Throughput) Plan(ctx *PlanContext) []Assignment {
+	maxBatch := t.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 4
+	}
+	cap := t.BatchTokenCap
+	if cap <= 0 {
+		cap = 1024
+	}
+	var plan []Assignment
+	free := ctx.Free
+	i := 0
+	for i < len(ctx.Pending) {
+		st := ctx.Pending[i]
+		res := st.Req.Res
+		k := t.efficientDegree(ctx, res)
+		g := AlignedGroup(ctx.Topo, free, k, st.LastGroup)
+		if g == 0 {
+			break // FIFO: blocked head stalls (throughput systems queue)
+		}
+		ids := []workload.RequestID{st.Req.ID}
+		steps := st.Remaining
+		// Batch consecutive same-resolution small requests.
+		if k == 1 && res.Pixels()/256 <= cap {
+			for j := i + 1; j < len(ctx.Pending) && len(ids) < maxBatch; j++ {
+				other := ctx.Pending[j]
+				if other.Req.Res != res || claimed(plan, other.Req.ID) || containsID(ids, other.Req.ID) {
+					continue
+				}
+				ids = append(ids, other.Req.ID)
+				if other.Remaining > steps {
+					steps = other.Remaining
+				}
+			}
+		}
+		free = free.Without(g)
+		plan = append(plan, Assignment{Requests: ids, Group: g, Steps: steps})
+		// Skip past any pending entries we just batched.
+		for i < len(ctx.Pending) && claimed(plan, ctx.Pending[i].Req.ID) {
+			i++
+		}
+	}
+	return plan
+}
+
+// efficientDegree returns the degree minimizing GPU-seconds per step.
+func (t *Throughput) efficientDegree(ctx *PlanContext, res model.Resolution) int {
+	best, bestG := 0, 0.0
+	for _, k := range ctx.Profile.Degrees() {
+		g := ctx.Profile.GPUSeconds(res, k)
+		if best == 0 || g < bestG {
+			best, bestG = k, g
+		}
+	}
+	return best
+}
+
+func claimed(plan []Assignment, id workload.RequestID) bool {
+	for _, a := range plan {
+		for _, x := range a.Requests {
+			if x == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func containsID(ids []workload.RequestID, id workload.RequestID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/simgpu"
+)
+
+func TestThroughputPicksEfficientDegree(t *testing.T) {
+	th := NewThroughput()
+	// Sublinear scaling makes SP=1 the GPU-hour-minimal degree for every
+	// resolution in the profiled table.
+	st := mkState(1, model.Res2048, 50, 0, 5*time.Second)
+	ctx := mkCtx(0, simgpu.MaskRange(0, 8), st)
+	plan := th.Plan(ctx)
+	if err := ValidatePlan(ctx, plan); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 1 || plan[0].Group.Count() != 1 {
+		t.Fatalf("throughput-max should run 2048px at SP=1: %+v", plan)
+	}
+	if plan[0].Steps != 50 {
+		t.Fatal("throughput-max runs requests to completion")
+	}
+}
+
+func TestThroughputBatchesSmallRequests(t *testing.T) {
+	th := NewThroughput()
+	var pending []*RequestState
+	for i := 0; i < 4; i++ {
+		pending = append(pending, mkState(i, model.Res256, 50, 0, 2*time.Second))
+	}
+	ctx := mkCtx(0, simgpu.MaskRange(0, 8), pending...)
+	plan := th.Plan(ctx)
+	if err := ValidatePlan(ctx, plan); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 1 || len(plan[0].Requests) != 4 {
+		t.Fatalf("four identical small requests should form one batch: %+v", plan)
+	}
+}
+
+func TestThroughputDoesNotBatchLarge(t *testing.T) {
+	th := NewThroughput()
+	a := mkState(1, model.Res2048, 50, 0, 5*time.Second)
+	b := mkState(2, model.Res2048, 50, 0, 5*time.Second)
+	ctx := mkCtx(0, simgpu.MaskRange(0, 8), a, b)
+	plan := th.Plan(ctx)
+	for _, asg := range plan {
+		if len(asg.Requests) > 1 {
+			t.Fatalf("2048px exceeds the batching token cap: %+v", asg)
+		}
+	}
+	if len(plan) != 2 {
+		t.Fatalf("both large requests fit side by side at SP=1: %+v", plan)
+	}
+}
+
+func TestThroughputIgnoresDeadlines(t *testing.T) {
+	th := NewThroughput()
+	// An urgent request arrives behind a relaxed one; throughput-max does
+	// not reorder (FIFO), unlike EDF.
+	relaxed := mkState(1, model.Res1024, 50, 0, time.Hour)
+	urgent := mkState(2, model.Res1024, 50, time.Millisecond, time.Second)
+	ctx := mkCtx(0, simgpu.MaskOf(0), relaxed, urgent)
+	plan := th.Plan(ctx)
+	if len(plan) != 1 || plan[0].Requests[0] != 1 {
+		t.Fatalf("throughput-max should serve FIFO regardless of deadlines: %+v", plan)
+	}
+}
+
+func TestThroughputMetadata(t *testing.T) {
+	th := NewThroughput()
+	if th.Name() != "Throughput-max" || th.RoundDuration() != 0 {
+		t.Fatal("metadata wrong")
+	}
+}

@@ -1,0 +1,423 @@
+// Package server is the online serving frontend: an HTTP API backed by a
+// real-time driver that runs the exact same scheduler and execution engine
+// as the offline simulator, but against the wall clock (optionally
+// time-scaled so hardware-scale latencies replay quickly in demos).
+//
+// The driver is the live counterpart of internal/sim: one goroutine owns
+// all scheduling state, receives arrivals over a channel, fires round ticks
+// and block completions from an event queue, and sleeps on the real clock
+// between events. Job records are the only shared state; they are guarded
+// by a mutex for the HTTP handlers.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tetriserve/internal/cache"
+	"tetriserve/internal/clock"
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/engine"
+	"tetriserve/internal/eventq"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+// JobState is a request's lifecycle phase.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobCompleted JobState = "completed"
+)
+
+// Job is the externally visible record of one generation request.
+type Job struct {
+	ID        workload.RequestID `json:"id"`
+	Prompt    string             `json:"prompt"`
+	Width     int                `json:"width"`
+	Height    int                `json:"height"`
+	Steps     int                `json:"steps"`
+	Skipped   int                `json:"skipped_steps"`
+	State     JobState           `json:"state"`
+	SLO       time.Duration      `json:"slo_ns"`
+	Arrival   time.Duration      `json:"arrival_ns"`
+	Completed time.Duration      `json:"completed_ns"`
+	Latency   time.Duration      `json:"latency_ns"`
+	MetSLO    bool               `json:"met_slo"`
+	AvgDegree float64            `json:"avg_degree"`
+
+	// prompt keeps the structured form for the cache; not serialized.
+	prompt workload.Prompt
+}
+
+// DriverConfig configures the real-time serving driver.
+type DriverConfig struct {
+	Model *model.Model
+	Topo  *simgpu.Topology
+	// Scheduler is the policy to serve with (usually core.NewScheduler).
+	Scheduler sched.Scheduler
+	// Speedup maps simulated GPU time onto wall time (10 = ten times
+	// faster than real hardware). Default 20.
+	Speedup float64
+	// Cache optionally enables Nirvana-style step skipping.
+	Cache *cache.Cache
+	// EngineCfg overrides engine defaults.
+	EngineCfg *engine.Config
+	// AdmitAnyResolution profiles non-standard (but valid) resolutions on
+	// demand and derives their deadline by interpolating the SLO policy in
+	// token count; off, such submissions are rejected. Default off.
+	AdmitAnyResolution bool
+}
+
+// Driver runs the serving loop.
+type Driver struct {
+	cfg   DriverConfig
+	prof  *costmodel.Profile
+	clk   *clock.Real
+	eng   *engine.Engine
+	sched sched.Scheduler
+
+	arrive  chan *Job
+	stop    chan struct{}
+	stopped chan struct{}
+
+	mu        sync.Mutex
+	jobs      map[workload.RequestID]*Job
+	nextID    workload.RequestID
+	completed int
+	met       int
+	queued    int
+	running   int
+}
+
+// NewDriver builds and validates a driver (not yet running).
+func NewDriver(cfg DriverConfig) (*Driver, error) {
+	if cfg.Model == nil || cfg.Topo == nil || cfg.Scheduler == nil {
+		return nil, fmt.Errorf("server: Model, Topo and Scheduler are required")
+	}
+	if cfg.Speedup <= 0 {
+		cfg.Speedup = 20
+	}
+	est := costmodel.NewEstimator(cfg.Model, cfg.Topo)
+	prof := costmodel.BuildProfile(est, costmodel.ProfilerConfig{})
+	engCfg := engine.DefaultConfig()
+	if cfg.EngineCfg != nil {
+		engCfg = *cfg.EngineCfg
+	}
+	return &Driver{
+		cfg:     cfg,
+		prof:    prof,
+		eng:     engine.New(cfg.Model, cfg.Topo, prof, engCfg),
+		sched:   cfg.Scheduler,
+		arrive:  make(chan *Job, 256),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+		jobs:    make(map[workload.RequestID]*Job),
+	}, nil
+}
+
+// Profile exposes the offline-profiled cost table.
+func (d *Driver) Profile() *costmodel.Profile { return d.prof }
+
+// Start launches the serving loop goroutine.
+func (d *Driver) Start() {
+	d.clk = clock.NewReal(d.cfg.Speedup)
+	go d.loop()
+}
+
+// Stop shuts the loop down and waits for it to exit.
+func (d *Driver) Stop() {
+	close(d.stop)
+	<-d.stopped
+}
+
+// Submit enqueues a generation request and returns a snapshot of its job.
+func (d *Driver) Submit(prompt workload.Prompt, res model.Resolution, slo time.Duration) (Job, error) {
+	if !res.Valid() {
+		return Job{}, fmt.Errorf("server: invalid resolution %v", res)
+	}
+	// With AdmitAnyResolution the profile can grow, but only ever on the
+	// loop goroutine (see onArrival); in that mode Submit must not read it.
+	if !d.cfg.AdmitAnyResolution && !d.prof.Has(res) {
+		return Job{}, fmt.Errorf("server: resolution %v not profiled; supported: %v", res, d.prof.Resolutions())
+	}
+	if slo <= 0 {
+		slo = workload.NewSLOPolicy(1.0).InterpolatedBudget(res)
+	}
+	d.mu.Lock()
+	id := d.nextID
+	d.nextID++
+	job := &Job{
+		ID:     id,
+		Prompt: prompt.Text,
+		Width:  res.W,
+		Height: res.H,
+		Steps:  d.cfg.Model.DefaultSteps,
+		State:  JobQueued,
+		SLO:    slo,
+		prompt: prompt,
+	}
+	d.jobs[id] = job
+	d.queued++
+	snap := *job
+	d.mu.Unlock()
+
+	select {
+	case d.arrive <- job:
+		return snap, nil
+	case <-d.stop:
+		return Job{}, fmt.Errorf("server: driver stopped")
+	}
+}
+
+// JobStatus returns a snapshot of a job.
+func (d *Driver) JobStatus(id workload.RequestID) (Job, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Stats summarizes served traffic.
+type Stats struct {
+	Completed int     `json:"completed"`
+	MetSLO    int     `json:"met_slo"`
+	SAR       float64 `json:"sar"`
+	Queued    int     `json:"queued"`
+	Running   int     `json:"running"`
+	GPUBusyS  float64 `json:"gpu_busy_seconds"`
+}
+
+// Snapshot returns aggregate serving statistics.
+func (d *Driver) Snapshot() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := Stats{
+		Completed: d.completed,
+		MetSLO:    d.met,
+		Queued:    d.queued,
+		Running:   d.running,
+		GPUBusyS:  d.eng.GPUBusySeconds(),
+	}
+	if d.completed > 0 {
+		st.SAR = float64(d.met) / float64(d.completed)
+	}
+	return st
+}
+
+// loop is the real-time counterpart of internal/sim's event loop. All
+// scheduling state (states, pending, the engine) is owned by this goroutine.
+func (d *Driver) loop() {
+	defer close(d.stopped)
+	var q eventq.Queue
+	const (
+		evRunDone = iota
+		evRoundTick
+	)
+	roundBased := d.sched.RoundDuration() > 0
+	var schedOver time.Duration
+	if o, ok := d.sched.(interface{ Overhead() time.Duration }); ok {
+		schedOver = o.Overhead()
+	}
+	eager := false
+	if e, ok := d.sched.(interface{ EagerAdmission() bool }); ok {
+		eager = e.EagerAdmission()
+	}
+
+	states := make(map[workload.RequestID]*sched.RequestState)
+	var pending []*sched.RequestState
+
+	plan := func(now time.Duration) {
+		snapshot := make([]*sched.RequestState, 0, len(pending))
+		for _, st := range pending {
+			if !st.Running && st.Remaining > 0 {
+				snapshot = append(snapshot, st)
+			}
+		}
+		if len(snapshot) == 0 {
+			return
+		}
+		var running []*sched.RequestState
+		for _, st := range states {
+			if st.Running {
+				running = append(running, st)
+			}
+		}
+		ctx := &sched.PlanContext{
+			Now:     now,
+			Free:    d.eng.Free(),
+			Pending: snapshot,
+			Running: running,
+			Profile: d.prof,
+			Topo:    d.cfg.Topo,
+		}
+		assignments := d.sched.Plan(ctx)
+		if err := sched.ValidatePlan(ctx, assignments); err != nil {
+			// A scheduler bug must not kill the serving loop; skip this
+			// plan and retry at the next event.
+			return
+		}
+		for _, asg := range assignments {
+			run, err := d.eng.Start(now, asg, states, schedOver)
+			if err != nil {
+				continue
+			}
+			for _, id := range asg.Requests {
+				states[id].Running = true
+				for i, st := range pending {
+					if st.Req.ID == id {
+						pending = append(pending[:i], pending[i+1:]...)
+						break
+					}
+				}
+				d.mu.Lock()
+				if j, ok := d.jobs[id]; ok && j.State == JobQueued {
+					j.State = JobRunning
+					d.queued--
+					d.running++
+				}
+				d.mu.Unlock()
+			}
+			q.Push(run.End, evRunDone, run)
+		}
+	}
+
+	onArrival := func(now time.Duration, job *Job) {
+		steps := d.cfg.Model.DefaultSteps
+		skip := 0
+		res := model.Resolution{W: job.Width, H: job.Height}
+		// On-demand profiling for non-standard resolutions happens here,
+		// on the loop goroutine that owns all profile reads, so the
+		// scheduler never observes an unprofiled request.
+		if d.cfg.AdmitAnyResolution && !d.prof.Has(res) {
+			d.prof.Extend(costmodel.NewEstimator(d.cfg.Model, d.cfg.Topo), res)
+		}
+		if d.cfg.Cache != nil {
+			skip = d.cfg.Cache.Lookup(job.prompt, res, steps)
+			if skip >= steps {
+				skip = steps - 1
+			}
+		}
+		req := &workload.Request{
+			ID:           job.ID,
+			Prompt:       job.prompt,
+			Res:          res,
+			Steps:        steps,
+			SkippedSteps: skip,
+			Arrival:      now,
+			SLO:          job.SLO,
+		}
+		st := &sched.RequestState{
+			Req:           req,
+			Remaining:     steps - skip,
+			StepsByDegree: map[int]int{},
+		}
+		states[job.ID] = st
+		pending = append(pending, st)
+		d.mu.Lock()
+		job.Arrival = now
+		job.Skipped = skip
+		d.mu.Unlock()
+	}
+
+	onRunDone := func(now time.Duration, run *engine.Run) {
+		if err := d.eng.Finish(run); err != nil {
+			return
+		}
+		for id, steps := range run.Steps {
+			st := states[id]
+			st.Running = false
+			st.Started = true
+			st.Remaining -= steps
+			st.LastGroup = run.Asg.Group
+			st.StepsByDegree[run.Degree] += steps
+			if st.Remaining > 0 {
+				pending = append(pending, st)
+				continue
+			}
+			completion := d.eng.Decode(now, st.Req.Res)
+			d.eng.ReleaseLatent(id)
+			if d.cfg.Cache != nil {
+				d.cfg.Cache.Insert(st.Req.Prompt, st.Req.Res)
+			}
+			delete(states, id)
+			d.mu.Lock()
+			if j, ok := d.jobs[id]; ok {
+				j.State = JobCompleted
+				j.Completed = completion
+				j.Latency = completion - j.Arrival
+				j.MetSLO = j.Latency <= j.SLO
+				j.AvgDegree = st.AvgDegree()
+				d.running--
+				d.completed++
+				if j.MetSLO {
+					d.met++
+				}
+			}
+			d.mu.Unlock()
+		}
+	}
+
+	if roundBased {
+		q.Push(d.clk.Now()+d.sched.RoundDuration(), evRoundTick, nil)
+	}
+
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		var wake <-chan time.Time
+		if next := q.Peek(); next != nil {
+			wall := time.Duration(float64(next.At-d.clk.Now()) / d.cfg.Speedup)
+			if wall < 0 {
+				wall = 0
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(wall)
+			wake = timer.C
+		}
+
+		select {
+		case <-d.stop:
+			return
+		case job := <-d.arrive:
+			now := d.clk.Now()
+			onArrival(now, job)
+			if !roundBased || (eager && d.eng.Free() != 0) {
+				plan(now)
+			}
+		case <-wake:
+			for {
+				next := q.Peek()
+				if next == nil || next.At > d.clk.Now() {
+					break
+				}
+				ev := q.Pop()
+				now := d.clk.Now()
+				switch ev.Kind {
+				case evRunDone:
+					onRunDone(now, ev.Payload.(*engine.Run))
+					if !roundBased {
+						plan(now)
+					}
+				case evRoundTick:
+					plan(now)
+					q.Push(now+d.sched.RoundDuration(), evRoundTick, nil)
+				}
+			}
+		}
+	}
+}

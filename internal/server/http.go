@@ -1,0 +1,168 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/workload"
+)
+
+// API wraps a Driver with the HTTP surface:
+//
+//	POST /v1/images/generations   {prompt, width, height, slo_ms?} → Job
+//	GET  /v1/jobs/{id}            → Job
+//	GET  /v1/stats                → Stats
+//	GET  /v1/profile              → offline-profiled step times
+//	GET  /healthz                 → 200 ok
+type API struct {
+	Driver *Driver
+	// hashPrompt derives the structured prompt from free text; the
+	// default buckets by a stable hash so similar texts share a theme.
+	hashPrompt func(string) workload.Prompt
+}
+
+// NewAPI wires a driver into an HTTP handler set.
+func NewAPI(d *Driver) *API {
+	return &API{Driver: d, hashPrompt: HashPrompt}
+}
+
+// Handler returns the routed HTTP handler.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/images/generations", a.handleGenerate)
+	mux.HandleFunc("GET /v1/jobs/", a.handleJob)
+	mux.HandleFunc("GET /v1/stats", a.handleStats)
+	mux.HandleFunc("GET /v1/profile", a.handleProfile)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// GenerateRequest is the submission payload.
+type GenerateRequest struct {
+	Prompt string `json:"prompt"`
+	Width  int    `json:"width"`
+	Height int    `json:"height"`
+	// SLOMillis overrides the default per-resolution deadline.
+	SLOMillis int64 `json:"slo_ms,omitempty"`
+}
+
+func (a *API) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Prompt) == "" {
+		httpError(w, http.StatusBadRequest, "prompt is required")
+		return
+	}
+	res := model.Resolution{W: req.Width, H: req.Height}
+	if !res.Valid() {
+		httpError(w, http.StatusBadRequest, "width/height must be positive multiples of 16")
+		return
+	}
+	job, err := a.Driver.Submit(a.hashPrompt(req.Prompt), res, time.Duration(req.SLOMillis)*time.Millisecond)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (a *API) handleJob(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid job id %q", idStr)
+		return
+	}
+	job, ok := a.Driver.JobStatus(workload.RequestID(id))
+	if !ok {
+		httpError(w, http.StatusNotFound, "job %d not found", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.Driver.Snapshot())
+}
+
+// profileEntry is one row of the profile dump.
+type profileEntry struct {
+	Resolution string  `json:"resolution"`
+	Degree     int     `json:"degree"`
+	StepMS     float64 `json:"step_ms"`
+	GPUSeconds float64 `json:"gpu_seconds_per_step"`
+}
+
+func (a *API) handleProfile(w http.ResponseWriter, _ *http.Request) {
+	prof := a.Driver.Profile()
+	var out []profileEntry
+	for _, res := range prof.Resolutions() {
+		for _, k := range prof.Degrees() {
+			out = append(out, profileEntry{
+				Resolution: res.String(),
+				Degree:     k,
+				StepMS:     float64(prof.StepTime(res, k).Microseconds()) / 1000,
+				GPUSeconds: prof.GPUSeconds(res, k),
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// HashPrompt derives a structured prompt from free text deterministically:
+// the leading words select a theme bucket, the remaining words hash into
+// modifier ids, so reworded variants of one subject land near each other —
+// a stand-in for CLIP's semantic neighborhood.
+func HashPrompt(text string) workload.Prompt {
+	fields := strings.Fields(strings.ToLower(text))
+	subject := strings.Join(firstN(fields, 4), " ")
+	theme := int(fnv32(subject) % 40)
+	var mods []int
+	for _, f := range fields[min(len(fields), 4):] {
+		mods = append(mods, int(fnv32(f)%12))
+		if len(mods) == 3 {
+			break
+		}
+	}
+	return workload.Prompt{Text: text, Theme: theme, Mods: mods}
+}
+
+func firstN(xs []string, n int) []string {
+	if len(xs) < n {
+		return xs
+	}
+	return xs[:n]
+}
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late to change the status; nothing useful to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tetriserve/internal/cache"
+	"tetriserve/internal/core"
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/model"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+// newTestDriver spins up a fast driver (high speedup keeps tests quick).
+func newTestDriver(t *testing.T, mutate ...func(*DriverConfig)) *Driver {
+	t.Helper()
+	mdl := model.FLUX()
+	topo := simgpu.H100x8()
+	prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
+	cfg := DriverConfig{
+		Model:     mdl,
+		Topo:      topo,
+		Scheduler: core.NewScheduler(prof, topo, core.DefaultConfig()),
+		Speedup:   200,
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	d, err := NewDriver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	t.Cleanup(d.Stop)
+	return d
+}
+
+func waitForJob(t *testing.T, d *Driver, id workload.RequestID, timeout time.Duration) Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if j, ok := d.JobStatus(id); ok && j.State == JobCompleted {
+			return j
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	j, _ := d.JobStatus(id)
+	t.Fatalf("job %d did not complete in %v (state %s)", id, timeout, j.State)
+	return Job{}
+}
+
+func TestDriverServesSingleRequest(t *testing.T) {
+	d := newTestDriver(t)
+	job, err := d.Submit(workload.Prompt{Text: "a koi pond"}, model.Res512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitForJob(t, d, job.ID, 10*time.Second)
+	if done.Latency <= 0 {
+		t.Fatal("no latency recorded")
+	}
+	if done.SLO != 2*time.Second {
+		t.Fatalf("default SLO = %v, want the 2s 512px budget", done.SLO)
+	}
+	if done.AvgDegree < 1 {
+		t.Fatalf("avg degree = %v", done.AvgDegree)
+	}
+}
+
+func TestDriverRejectsBadResolutions(t *testing.T) {
+	d := newTestDriver(t)
+	if _, err := d.Submit(workload.Prompt{}, model.Resolution{W: 17, H: 17}, 0); err == nil {
+		t.Fatal("invalid resolution accepted")
+	}
+	if _, err := d.Submit(workload.Prompt{}, model.Resolution{W: 640, H: 640}, 0); err == nil {
+		t.Fatal("unprofiled resolution accepted")
+	}
+}
+
+func TestDriverStats(t *testing.T) {
+	d := newTestDriver(t)
+	var ids []workload.RequestID
+	for i := 0; i < 3; i++ {
+		job, err := d.Submit(workload.Prompt{Text: "x", Theme: i}, model.Res256, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID)
+	}
+	for _, id := range ids {
+		waitForJob(t, d, id, 10*time.Second)
+	}
+	st := d.Snapshot()
+	if st.Completed != 3 {
+		t.Fatalf("completed = %d", st.Completed)
+	}
+	if st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("leftover queue state: %+v", st)
+	}
+	if st.GPUBusyS <= 0 {
+		t.Fatal("no GPU time accounted")
+	}
+}
+
+func TestDriverWithCache(t *testing.T) {
+	c := cache.New(cache.DefaultConfig())
+	d := newTestDriver(t, func(cfg *DriverConfig) { cfg.Cache = c })
+	prompt := workload.Prompt{Text: "same", Theme: 5, Mods: []int{1, 2, 3}}
+	j1, _ := d.Submit(prompt, model.Res256, 0)
+	waitForJob(t, d, j1.ID, 10*time.Second)
+	j2, _ := d.Submit(prompt, model.Res256, 0)
+	done := waitForJob(t, d, j2.ID, 10*time.Second)
+	if done.Skipped == 0 {
+		t.Fatal("second identical prompt should hit the cache and skip steps")
+	}
+}
+
+func TestHTTPGenerateAndPoll(t *testing.T) {
+	d := newTestDriver(t)
+	ts := httptest.NewServer(NewAPI(d).Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(GenerateRequest{Prompt: "a lighthouse on a cliff", Width: 256, Height: 256})
+	resp, err := http.Post(ts.URL+"/v1/images/generations", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	waitForJob(t, d, job.ID, 10*time.Second)
+	resp, err = http.Get(ts.URL + "/v1/jobs/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var polled Job
+	if err := json.NewDecoder(resp.Body).Decode(&polled); err != nil {
+		t.Fatal(err)
+	}
+	if polled.State != JobCompleted {
+		t.Fatalf("polled state = %s", polled.State)
+	}
+}
+
+func TestHTTPValidation(t *testing.T) {
+	d := newTestDriver(t)
+	ts := httptest.NewServer(NewAPI(d).Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{"prompt":"", "width":256, "height":256}`, http.StatusBadRequest},
+		{`{"prompt":"x", "width":17, "height":17}`, http.StatusBadRequest},
+		{`{"prompt":"x", "width":640, "height":640}`, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/v1/images/generations", "application/json",
+			bytes.NewReader([]byte(c.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("body %q: status %d, want %d", c.body, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestHTTPJobNotFound(t *testing.T) {
+	d := newTestDriver(t)
+	ts := httptest.NewServer(NewAPI(d).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/jobs/999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPStatsAndProfileEndpoints(t *testing.T) {
+	d := newTestDriver(t)
+	ts := httptest.NewServer(NewAPI(d).Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/v1/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(entries) != 16 { // 4 resolutions × 4 degrees
+		t.Fatalf("profile entries = %d, want 16", len(entries))
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("healthz not ok")
+	}
+}
+
+func TestHashPromptDeterministic(t *testing.T) {
+	a := HashPrompt("a lighthouse on a cliff, oil painting")
+	b := HashPrompt("a lighthouse on a cliff, oil painting")
+	if a.Theme != b.Theme || len(a.Mods) != len(b.Mods) {
+		t.Fatal("hash prompt not deterministic")
+	}
+	// Same subject, different style → same theme bucket.
+	c := HashPrompt("a lighthouse on a cliff, watercolor sketch")
+	if a.Theme != c.Theme {
+		t.Fatal("same leading subject should share a theme")
+	}
+	// Different subject → (almost certainly) different theme.
+	d := HashPrompt("an underwater city, photorealistic render")
+	if a.Theme == d.Theme && a.Mods[0] == d.Mods[0] {
+		t.Log("hash collision between distinct subjects (acceptable but rare)")
+	}
+}
+
+func TestDriverConfigValidation(t *testing.T) {
+	if _, err := NewDriver(DriverConfig{}); err == nil {
+		t.Fatal("empty driver config accepted")
+	}
+}
+
+func TestAdmitAnyResolution(t *testing.T) {
+	d := newTestDriver(t, func(cfg *DriverConfig) { cfg.AdmitAnyResolution = true })
+	// 768x768 is not in the standard profile; on-demand profiling plus
+	// SLO interpolation must admit and serve it.
+	job, err := d.Submit(workload.Prompt{Text: "wide shot"}, model.Resolution{W: 768, H: 768}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 768² has 2304 latent tokens — between the 512² (2s) and 1024² (3s)
+	// anchors, so the interpolated SLO must fall strictly between them.
+	if job.SLO <= 2*time.Second || job.SLO >= 3*time.Second {
+		t.Fatalf("interpolated SLO = %v, want in (2s, 3s)", job.SLO)
+	}
+	done := waitForJob(t, d, job.ID, 15*time.Second)
+	if done.State != JobCompleted {
+		t.Fatal("non-standard resolution never completed")
+	}
+}
+
+func TestRejectUnprofiledWithoutAdmitAny(t *testing.T) {
+	d := newTestDriver(t)
+	if _, err := d.Submit(workload.Prompt{}, model.Resolution{W: 768, H: 768}, 0); err == nil {
+		t.Fatal("768x768 accepted without AdmitAnyResolution")
+	}
+}

@@ -1,0 +1,120 @@
+package simgpu
+
+import (
+	"sort"
+	"time"
+)
+
+// GroupRegistry mirrors NCCL process-group lifecycle from §5: creating a
+// group is free, but the first collective on a group initializes channels
+// and allocates persistent device buffers, costing warm-up latency and HBM
+// on every member. TetriServe pre-warms a compact set of common groups and
+// defers the rest to on-demand warm-up.
+type GroupRegistry struct {
+	topo *Topology
+	warm map[string]bool
+	// WarmupCost is the one-time latency of the first collective on a
+	// cold group.
+	WarmupCost time.Duration
+	// BufferBytesPerGPU is persistent HBM consumed on each member once a
+	// group is warm.
+	BufferBytesPerGPU float64
+}
+
+// NewGroupRegistry returns a registry with the default NCCL-like costs.
+func NewGroupRegistry(topo *Topology) *GroupRegistry {
+	return &GroupRegistry{
+		topo:              topo,
+		warm:              make(map[string]bool),
+		WarmupCost:        120 * time.Millisecond,
+		BufferBytesPerGPU: 512e6,
+	}
+}
+
+// IsWarm reports whether group has completed its first collective.
+// Single-GPU groups need no channels and are always warm.
+func (r *GroupRegistry) IsWarm(group Mask) bool {
+	if group.Count() <= 1 {
+		return true
+	}
+	return r.warm[GroupKey(group)]
+}
+
+// EnsureWarm marks group warm, returning the latency penalty incurred if it
+// was cold (0 if already warm).
+func (r *GroupRegistry) EnsureWarm(group Mask) time.Duration {
+	if r.IsWarm(group) {
+		return 0
+	}
+	r.warm[GroupKey(group)] = true
+	return r.WarmupCost
+}
+
+// WarmCount returns how many multi-GPU groups are warm.
+func (r *GroupRegistry) WarmCount() int { return len(r.warm) }
+
+// WarmMemoryBytes returns persistent buffer bytes pinned on gpu by all warm
+// groups containing it.
+func (r *GroupRegistry) WarmMemoryBytes(gpu GPUID) float64 {
+	total := 0.0
+	for key, ok := range r.warm {
+		if !ok {
+			continue
+		}
+		if maskFromKey(key).Has(gpu) {
+			total += r.BufferBytesPerGPU
+		}
+	}
+	return total
+}
+
+// PrewarmCanonical warms the buddy-aligned groups for every degree — the
+// "compact set of commonly used, overlapping groups" strategy from §5. It
+// returns the number of groups warmed.
+func (r *GroupRegistry) PrewarmCanonical() int {
+	n := 0
+	for _, k := range r.topo.Degrees() {
+		if k == 1 {
+			continue
+		}
+		for slot := 0; slot*k < r.topo.N; slot++ {
+			if r.EnsureWarm(CanonicalGroup(slot, k)) > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// WarmGroups returns the warm multi-GPU groups in deterministic order.
+func (r *GroupRegistry) WarmGroups() []Mask {
+	keys := make([]string, 0, len(r.warm))
+	for k := range r.warm {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Mask, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, maskFromKey(k))
+	}
+	return out
+}
+
+func maskFromKey(key string) Mask {
+	var m Mask
+	id := 0
+	seen := false
+	for i := 0; i <= len(key); i++ {
+		if i == len(key) || key[i] == ',' {
+			if seen {
+				m |= 1 << uint(id)
+			}
+			id = 0
+			seen = false
+			continue
+		}
+		id = id*10 + int(key[i]-'0')
+		seen = true
+	}
+	return m
+}

@@ -1,0 +1,129 @@
+package simgpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleGPUAlwaysWarm(t *testing.T) {
+	r := NewGroupRegistry(H100x8())
+	if !r.IsWarm(MaskOf(3)) {
+		t.Fatal("single-GPU group should always be warm")
+	}
+	if r.EnsureWarm(MaskOf(3)) != 0 {
+		t.Fatal("warming a single-GPU group should be free")
+	}
+}
+
+func TestWarmupPaidOnce(t *testing.T) {
+	r := NewGroupRegistry(H100x8())
+	g := MaskOf(0, 1)
+	if r.IsWarm(g) {
+		t.Fatal("fresh group should be cold")
+	}
+	first := r.EnsureWarm(g)
+	if first != r.WarmupCost {
+		t.Fatalf("first warmup cost %v, want %v", first, r.WarmupCost)
+	}
+	if second := r.EnsureWarm(g); second != 0 {
+		t.Fatalf("second warmup cost %v, want 0", second)
+	}
+	if !r.IsWarm(g) {
+		t.Fatal("group should be warm after EnsureWarm")
+	}
+}
+
+func TestWarmKeyOrderInsensitive(t *testing.T) {
+	r := NewGroupRegistry(H100x8())
+	r.EnsureWarm(MaskOf(2, 5))
+	if !r.IsWarm(MaskOf(5, 2)) {
+		t.Fatal("warm state should not depend on id order")
+	}
+}
+
+func TestPrewarmCanonical(t *testing.T) {
+	r := NewGroupRegistry(H100x8())
+	n := r.PrewarmCanonical()
+	// 8 GPUs: four size-2 groups, two size-4 groups, one size-8 group.
+	if n != 7 {
+		t.Fatalf("prewarmed %d groups, want 7", n)
+	}
+	for slot := 0; slot < 4; slot++ {
+		if !r.IsWarm(CanonicalGroup(slot, 2)) {
+			t.Errorf("canonical 2-group %d cold after prewarm", slot)
+		}
+	}
+	if !r.IsWarm(MaskRange(0, 8)) {
+		t.Error("full group cold after prewarm")
+	}
+	// Non-canonical group stays cold.
+	if r.IsWarm(MaskOf(1, 2)) {
+		t.Error("non-canonical group should remain cold")
+	}
+	// Idempotent.
+	if r.PrewarmCanonical() != 0 {
+		t.Error("second prewarm should warm nothing")
+	}
+}
+
+func TestPrewarmA40(t *testing.T) {
+	r := NewGroupRegistry(A40x4())
+	// 4 GPUs: two size-2 groups + one size-4 group.
+	if n := r.PrewarmCanonical(); n != 3 {
+		t.Fatalf("prewarmed %d, want 3", n)
+	}
+}
+
+func TestWarmMemoryAccounting(t *testing.T) {
+	r := NewGroupRegistry(H100x8())
+	r.EnsureWarm(MaskOf(0, 1))
+	r.EnsureWarm(MaskOf(0, 1, 2, 3))
+	if got := r.WarmMemoryBytes(0); got != 2*r.BufferBytesPerGPU {
+		t.Fatalf("GPU0 pinned bytes = %v, want 2 buffers", got)
+	}
+	if got := r.WarmMemoryBytes(2); got != r.BufferBytesPerGPU {
+		t.Fatalf("GPU2 pinned bytes = %v, want 1 buffer", got)
+	}
+	if got := r.WarmMemoryBytes(7); got != 0 {
+		t.Fatalf("GPU7 pinned bytes = %v, want 0", got)
+	}
+}
+
+func TestWarmGroupsDeterministic(t *testing.T) {
+	r := NewGroupRegistry(H100x8())
+	r.EnsureWarm(MaskOf(4, 5))
+	r.EnsureWarm(MaskOf(0, 1))
+	gs := r.WarmGroups()
+	if len(gs) != 2 {
+		t.Fatalf("WarmGroups len = %d", len(gs))
+	}
+	if gs[0] != MaskOf(0, 1) {
+		t.Fatalf("WarmGroups not sorted: %v", gs)
+	}
+}
+
+// TestMaskKeyRoundTrip: GroupKey and the internal parser invert each other.
+func TestMaskKeyRoundTrip(t *testing.T) {
+	check := func(raw uint16) bool {
+		m := Mask(raw)
+		if m == 0 {
+			return true
+		}
+		return maskFromKey(GroupKey(m)) == m
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarmCount(t *testing.T) {
+	r := NewGroupRegistry(H100x8())
+	if r.WarmCount() != 0 {
+		t.Fatal("fresh registry should have zero warm groups")
+	}
+	r.EnsureWarm(MaskOf(0, 1))
+	r.EnsureWarm(MaskOf(0, 1)) // duplicate
+	if r.WarmCount() != 1 {
+		t.Fatalf("WarmCount = %d, want 1", r.WarmCount())
+	}
+}

@@ -1,0 +1,271 @@
+// Package simgpu models the GPU cluster substrate the paper runs on: the
+// devices themselves (sustained throughput, kernel-efficiency curve, HBM),
+// the interconnect topology (H100 nodes with all-to-all NVLink 4.0 versus
+// A40 nodes with NVLink pairs bridged by PCIe 4.0), and the NCCL-style
+// process-group registry with first-use warm-up cost (§5 "Communication
+// Process Groups Warmup").
+//
+// Nothing in this package executes work; it answers the questions the cost
+// model and engine ask: "what bandwidth and latency does a collective over
+// this GPU set see?", "is this group warm?", "how much HBM is left?".
+package simgpu
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GPUID identifies a device within a node, 0-based.
+type GPUID int
+
+// Mask is a bitset of GPUs within a node (≤ 64 devices).
+type Mask uint64
+
+// MaskOf builds a mask from explicit ids.
+func MaskOf(ids ...GPUID) Mask {
+	var m Mask
+	for _, id := range ids {
+		m |= 1 << uint(id)
+	}
+	return m
+}
+
+// MaskRange returns a mask covering [lo, lo+n).
+func MaskRange(lo GPUID, n int) Mask {
+	var m Mask
+	for i := 0; i < n; i++ {
+		m |= 1 << uint(int(lo)+i)
+	}
+	return m
+}
+
+// Count returns the number of GPUs in the mask.
+func (m Mask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// Has reports whether the mask contains id.
+func (m Mask) Has(id GPUID) bool { return m&(1<<uint(id)) != 0 }
+
+// IDs returns the GPUs in ascending order.
+func (m Mask) IDs() []GPUID {
+	ids := make([]GPUID, 0, m.Count())
+	for v := uint64(m); v != 0; {
+		b := bits.TrailingZeros64(v)
+		ids = append(ids, GPUID(b))
+		v &^= 1 << uint(b)
+	}
+	return ids
+}
+
+// Overlaps reports whether the two masks share any GPU.
+func (m Mask) Overlaps(o Mask) bool { return m&o != 0 }
+
+// Union returns the combined mask.
+func (m Mask) Union(o Mask) Mask { return m | o }
+
+// Without returns m minus o.
+func (m Mask) Without(o Mask) Mask { return m &^ o }
+
+// String renders the mask as "{0,1,4}".
+func (m Mask) String() string {
+	parts := make([]string, 0, m.Count())
+	for _, id := range m.IDs() {
+		parts = append(parts, fmt.Sprint(int(id)))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Hardware describes one device generation.
+type Hardware struct {
+	// Name is the marketing name ("H100-80GB", "A40-48GB").
+	Name string
+	// PeakFLOPS is the dense tensor-core peak at serving precision.
+	PeakFLOPS float64
+	// MFUMax is the best model-FLOPs-utilization large kernels reach.
+	MFUMax float64
+	// MFUHalfTokens is the per-GPU token count at which utilization reaches
+	// half of MFUMax — the "reduced per-GPU kernel efficiency when
+	// workloads are split" effect from §2.2.
+	MFUHalfTokens float64
+	// HBMBytes is device memory.
+	HBMBytes float64
+	// KernelLaunch is the fixed non-overlapped per-step launch overhead.
+	KernelLaunch time.Duration
+}
+
+// Efficiency returns the achieved fraction of PeakFLOPS when a kernel
+// processes tokensPerGPU tokens: MFUMax · t/(t + half). Saturating in the
+// token count reproduces Figure 3's resolution-dependent scaling.
+func (h Hardware) Efficiency(tokensPerGPU float64) float64 {
+	if tokensPerGPU <= 0 {
+		return 0
+	}
+	return h.MFUMax * tokensPerGPU / (tokensPerGPU + h.MFUHalfTokens)
+}
+
+// SustainedFLOPS returns achievable FLOP/s at the given per-GPU tokens.
+func (h Hardware) SustainedFLOPS(tokensPerGPU float64) float64 {
+	return h.PeakFLOPS * h.Efficiency(tokensPerGPU)
+}
+
+// Link characterizes the interconnect a collective runs over.
+type Link struct {
+	// Bandwidth is per-GPU effective collective bandwidth (bytes/s).
+	Bandwidth float64
+	// Latency is the fixed cost per collective per participating hop.
+	Latency time.Duration
+	// Kind names the bottleneck medium for reporting ("nvlink", "pcie").
+	Kind string
+}
+
+// Topology is a single node: devices plus wiring.
+type Topology struct {
+	// Name identifies the testbed ("8xH100-NVLink", "4xA40-PCIe").
+	Name string
+	// N is the GPU count.
+	N int
+	// HW is the device generation.
+	HW Hardware
+	// NVLink is the link used when a group stays inside one NVLink island.
+	NVLink Link
+	// PCIe is the link used when a group spans islands.
+	PCIe Link
+	// islands lists maximal fully-NVLinked GPU sets.
+	islands []Mask
+}
+
+// H100x8 returns the paper's first testbed: 8×H100-80GB with NVLink 4.0
+// (900 GB/s) joining all devices.
+func H100x8() *Topology {
+	return &Topology{
+		Name: "8xH100-NVLink",
+		N:    8,
+		HW: Hardware{
+			Name:          "H100-80GB",
+			PeakFLOPS:     989e12, // BF16 dense
+			MFUMax:        0.81,
+			MFUHalfTokens: 160,
+			HBMBytes:      80e9,
+			KernelLaunch:  1200 * time.Microsecond,
+		},
+		NVLink:  Link{Bandwidth: 900e9, Latency: 5 * time.Microsecond, Kind: "nvlink"},
+		PCIe:    Link{Bandwidth: 50e9, Latency: 12 * time.Microsecond, Kind: "pcie"},
+		islands: []Mask{MaskRange(0, 8)},
+	}
+}
+
+// H100xN returns an H100 node with n GPUs (n a power of two ≤ 8), used by
+// the Figure 1 toy scenario and the Appendix-B 4-GPU budget.
+func H100xN(n int) *Topology {
+	if n <= 0 || n > 8 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("simgpu: invalid H100 node size %d", n))
+	}
+	t := H100x8()
+	t.Name = fmt.Sprintf("%dxH100-NVLink", n)
+	t.N = n
+	t.islands = []Mask{MaskRange(0, n)}
+	return t
+}
+
+// A40x4 returns the second testbed: 4×A40-48GB, NVLink only within pairs
+// {0,1} and {2,3}; groups spanning pairs traverse PCIe 4.0.
+func A40x4() *Topology {
+	return &Topology{
+		Name: "4xA40-PCIe",
+		N:    4,
+		HW: Hardware{
+			Name:          "A40-48GB",
+			PeakFLOPS:     150e12, // BF16 dense
+			MFUMax:        0.72,
+			MFUHalfTokens: 130,
+			HBMBytes:      48e9,
+			KernelLaunch:  1500 * time.Microsecond,
+		},
+		NVLink:  Link{Bandwidth: 112.5e9, Latency: 8 * time.Microsecond, Kind: "nvlink"},
+		PCIe:    Link{Bandwidth: 20e9, Latency: 25 * time.Microsecond, Kind: "pcie"},
+		islands: []Mask{MaskOf(0, 1), MaskOf(2, 3)},
+	}
+}
+
+// ByName resolves a topology by name.
+func ByName(name string) (*Topology, error) {
+	switch name {
+	case "8xH100-NVLink", "h100", "H100":
+		return H100x8(), nil
+	case "4xA40-PCIe", "a40", "A40":
+		return A40x4(), nil
+	}
+	return nil, fmt.Errorf("simgpu: unknown topology %q", name)
+}
+
+// AllMask returns the mask covering every GPU in the node.
+func (t *Topology) AllMask() Mask { return MaskRange(0, t.N) }
+
+// GroupLink returns the link a collective over the group observes: NVLink if
+// the group fits in one island, PCIe otherwise. Single-GPU groups need no
+// interconnect and get an infinite-bandwidth zero-latency link.
+func (t *Topology) GroupLink(group Mask) Link {
+	if group.Count() <= 1 {
+		return Link{Bandwidth: 1e30, Latency: 0, Kind: "local"}
+	}
+	for _, isl := range t.islands {
+		if group&^isl == 0 {
+			return t.NVLink
+		}
+	}
+	return t.PCIe
+}
+
+// Islands returns a copy of the NVLink island masks.
+func (t *Topology) Islands() []Mask {
+	out := make([]Mask, len(t.islands))
+	copy(out, t.islands)
+	return out
+}
+
+// ValidGroup reports whether the mask is a usable sequence-parallel group:
+// non-empty, within the node, and power-of-two sized (the paper restricts
+// k ∈ {1, 2, 4, …, N}).
+func (t *Topology) ValidGroup(group Mask) error {
+	n := group.Count()
+	if n == 0 {
+		return fmt.Errorf("simgpu: empty group")
+	}
+	if group&^t.AllMask() != 0 {
+		return fmt.Errorf("simgpu: group %v outside node of %d GPUs", group, t.N)
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("simgpu: group size %d is not a power of two", n)
+	}
+	return nil
+}
+
+// Degrees lists the allowed sequence-parallel degrees on this node:
+// powers of two up to N.
+func (t *Topology) Degrees() []int {
+	var ds []int
+	for k := 1; k <= t.N; k *= 2 {
+		ds = append(ds, k)
+	}
+	return ds
+}
+
+// CanonicalGroup returns the buddy-aligned group of size k starting at the
+// aligned slot containing GPU lo. k must be a power of two dividing N's
+// alignment; e.g. on 8 GPUs, size-4 groups are {0..3} and {4..7}.
+func CanonicalGroup(slot, k int) Mask {
+	return MaskRange(GPUID(slot*k), k)
+}
+
+// GroupKey canonically identifies a GPU set for the warm registry.
+func GroupKey(group Mask) string {
+	ids := group.IDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprint(int(id))
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,196 @@
+package simgpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskBasics(t *testing.T) {
+	m := MaskOf(0, 2, 5)
+	if m.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", m.Count())
+	}
+	if !m.Has(2) || m.Has(1) {
+		t.Fatal("Has wrong")
+	}
+	ids := m.IDs()
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 2 || ids[2] != 5 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if m.String() != "{0,2,5}" {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestMaskRange(t *testing.T) {
+	m := MaskRange(2, 3)
+	if m != MaskOf(2, 3, 4) {
+		t.Fatalf("MaskRange(2,3) = %v", m)
+	}
+}
+
+func TestMaskSetAlgebra(t *testing.T) {
+	a, b := MaskOf(0, 1), MaskOf(1, 2)
+	if !a.Overlaps(b) {
+		t.Fatal("should overlap")
+	}
+	if a.Union(b) != MaskOf(0, 1, 2) {
+		t.Fatal("union wrong")
+	}
+	if a.Without(b) != MaskOf(0) {
+		t.Fatal("without wrong")
+	}
+	if a.Overlaps(MaskOf(5)) {
+		t.Fatal("disjoint masks reported overlapping")
+	}
+}
+
+// TestMaskRoundTrip: IDs() → MaskOf() is the identity.
+func TestMaskRoundTrip(t *testing.T) {
+	check := func(raw uint64) bool {
+		m := Mask(raw)
+		return MaskOf(m.IDs()...) == m
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaskCountMatchesIDs property.
+func TestMaskCountMatchesIDs(t *testing.T) {
+	check := func(raw uint64) bool {
+		m := Mask(raw)
+		return m.Count() == len(m.IDs())
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEfficiencySaturates(t *testing.T) {
+	hw := H100x8().HW
+	if hw.Efficiency(0) != 0 {
+		t.Fatal("zero tokens should have zero efficiency")
+	}
+	small := hw.Efficiency(64)
+	big := hw.Efficiency(16384)
+	if small >= big {
+		t.Fatal("efficiency should grow with per-GPU tokens")
+	}
+	if big >= hw.MFUMax {
+		t.Fatal("efficiency must stay below MFUMax")
+	}
+	if big < hw.MFUMax*0.95 {
+		t.Fatalf("large kernels should approach MFUMax: got %v of %v", big, hw.MFUMax)
+	}
+}
+
+func TestSustainedFLOPSBounded(t *testing.T) {
+	hw := A40x4().HW
+	if hw.SustainedFLOPS(1e9) > hw.PeakFLOPS {
+		t.Fatal("sustained exceeds peak")
+	}
+}
+
+func TestH100Topology(t *testing.T) {
+	topo := H100x8()
+	if topo.N != 8 {
+		t.Fatalf("N = %d", topo.N)
+	}
+	// Any group on the H100 node stays on NVLink.
+	for _, g := range []Mask{MaskOf(0, 7), MaskOf(1, 3, 5, 7), topo.AllMask()} {
+		if link := topo.GroupLink(g); link.Kind != "nvlink" {
+			t.Errorf("group %v got %s, want nvlink", g, link.Kind)
+		}
+	}
+	if got := topo.Degrees(); len(got) != 4 || got[3] != 8 {
+		t.Fatalf("Degrees = %v", got)
+	}
+}
+
+func TestA40PCIeCrossing(t *testing.T) {
+	topo := A40x4()
+	// Pairs {0,1} and {2,3} are NVLink islands.
+	if link := topo.GroupLink(MaskOf(0, 1)); link.Kind != "nvlink" {
+		t.Errorf("pair {0,1} got %s", link.Kind)
+	}
+	if link := topo.GroupLink(MaskOf(2, 3)); link.Kind != "nvlink" {
+		t.Errorf("pair {2,3} got %s", link.Kind)
+	}
+	// Crossing pairs hits PCIe, with lower bandwidth.
+	cross := topo.GroupLink(MaskOf(1, 2))
+	if cross.Kind != "pcie" {
+		t.Errorf("cross-pair group got %s, want pcie", cross.Kind)
+	}
+	if cross.Bandwidth >= topo.NVLink.Bandwidth {
+		t.Error("PCIe bandwidth should be below NVLink")
+	}
+	if link := topo.GroupLink(topo.AllMask()); link.Kind != "pcie" {
+		t.Errorf("full node on A40 got %s, want pcie", link.Kind)
+	}
+}
+
+func TestSingleGPUNeedsNoInterconnect(t *testing.T) {
+	topo := A40x4()
+	link := topo.GroupLink(MaskOf(3))
+	if link.Latency != 0 || link.Kind != "local" {
+		t.Errorf("single-GPU link = %+v", link)
+	}
+}
+
+func TestValidGroup(t *testing.T) {
+	topo := H100x8()
+	if err := topo.ValidGroup(MaskOf(0, 1, 2, 3)); err != nil {
+		t.Errorf("aligned 4-group rejected: %v", err)
+	}
+	if err := topo.ValidGroup(MaskOf(1, 3, 5)); err == nil {
+		t.Error("size-3 group should be rejected (not a power of two)")
+	}
+	if err := topo.ValidGroup(0); err == nil {
+		t.Error("empty group should be rejected")
+	}
+	if err := topo.ValidGroup(MaskOf(8)); err == nil {
+		t.Error("out-of-node GPU should be rejected")
+	}
+	// Unaligned power-of-two groups are structurally valid (placement
+	// policy decides whether to use them).
+	if err := topo.ValidGroup(MaskOf(1, 2)); err != nil {
+		t.Errorf("unaligned pair rejected: %v", err)
+	}
+}
+
+func TestCanonicalGroup(t *testing.T) {
+	if CanonicalGroup(1, 4) != MaskOf(4, 5, 6, 7) {
+		t.Fatalf("CanonicalGroup(1,4) = %v", CanonicalGroup(1, 4))
+	}
+	if CanonicalGroup(0, 1) != MaskOf(0) {
+		t.Fatalf("CanonicalGroup(0,1) = %v", CanonicalGroup(0, 1))
+	}
+}
+
+func TestGroupKeyCanonical(t *testing.T) {
+	if GroupKey(MaskOf(3, 1, 2)) != "1,2,3" {
+		t.Fatalf("GroupKey = %q", GroupKey(MaskOf(3, 1, 2)))
+	}
+}
+
+func TestByName(t *testing.T) {
+	if topo, err := ByName("h100"); err != nil || topo.N != 8 {
+		t.Errorf("ByName(h100) = %v, %v", topo, err)
+	}
+	if topo, err := ByName("a40"); err != nil || topo.N != 4 {
+		t.Errorf("ByName(a40) = %v, %v", topo, err)
+	}
+	if _, err := ByName("tpu"); err == nil {
+		t.Error("unknown topology should error")
+	}
+}
+
+func TestIslandsCopied(t *testing.T) {
+	topo := A40x4()
+	isl := topo.Islands()
+	isl[0] = MaskOf(7)
+	if topo.GroupLink(MaskOf(0, 1)).Kind != "nvlink" {
+		t.Fatal("mutating Islands() copy affected the topology")
+	}
+}

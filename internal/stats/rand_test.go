@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	base := NewRNG(7)
+	f1 := base.Fork(1)
+	f2 := base.Fork(2)
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forked substreams start identically")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", x)
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := NewRNG(11)
+	counts := make([]int, 8)
+	const n = 80000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(8)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.125) > 0.01 {
+			t.Fatalf("bucket %d has fraction %v, want ≈0.125", i, frac)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(13)
+	const rate = 2.0
+	var acc Running
+	for i := 0; i < 50000; i++ {
+		acc.Add(r.Exp(rate))
+	}
+	if math.Abs(acc.Mean()-1/rate) > 0.02 {
+		t.Fatalf("exponential mean = %v, want 0.5", acc.Mean())
+	}
+	if acc.Min() < 0 {
+		t.Fatal("exponential sample negative")
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(17)
+	var acc Running
+	for i := 0; i < 50000; i++ {
+		acc.Add(r.Norm(10, 3))
+	}
+	if math.Abs(acc.Mean()-10) > 0.1 {
+		t.Fatalf("normal mean = %v, want 10", acc.Mean())
+	}
+	if math.Abs(acc.Stddev()-3) > 0.1 {
+		t.Fatalf("normal stddev = %v, want 3", acc.Stddev())
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	r := NewRNG(19)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[r.Choice(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight bucket drawn %d times", counts[1])
+	}
+	frac0 := float64(counts[0]) / n
+	if math.Abs(frac0-0.25) > 0.02 {
+		t.Fatalf("bucket 0 fraction %v, want ≈0.25", frac0)
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	r := NewRNG(1)
+	for _, weights := range [][]float64{{0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Choice(%v) should panic", weights)
+				}
+			}()
+			r.Choice(weights)
+		}()
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(23)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		if seen[x] {
+			t.Fatalf("duplicate %d after shuffle", x)
+		}
+		seen[x] = true
+	}
+	if len(seen) != 10 {
+		t.Fatal("shuffle lost elements")
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) should panic")
+		}
+	}()
+	NewRNG(1).Exp(0)
+}

@@ -1,0 +1,163 @@
+// Package stats provides the small numeric toolkit used by the cost model,
+// metrics collection, and the experiment harness: running moments, exact
+// percentiles, CDFs, and a deterministic PRNG wrapper so experiments are
+// reproducible run to run.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Running accumulates count/mean/variance online (Welford's algorithm).
+// The zero value is an empty accumulator.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (r *Running) Add(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of samples.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean, or 0 for an empty accumulator.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Min returns the smallest sample, or 0 for an empty accumulator.
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample, or 0 for an empty accumulator.
+func (r *Running) Max() float64 { return r.max }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (r *Running) Stddev() float64 { return math.Sqrt(r.Variance()) }
+
+// CV returns the coefficient of variation (stddev/mean), or 0 when the mean
+// is 0. The paper reports step-time CVs below 0.7 % (Table 1).
+func (r *Running) CV() float64 {
+	if r.mean == 0 {
+		return 0
+	}
+	return r.Stddev() / math.Abs(r.mean)
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. xs is not modified. An empty input
+// yields 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// CDF is an empirical cumulative distribution over a sample set.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs (copied and sorted).
+func NewCDF(xs []float64) *CDF {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest x with P(X <= x) >= q, q in (0,1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return percentileSorted(c.sorted, q*100)
+}
+
+// Points samples the CDF at n evenly spaced x positions between the sample
+// min and max, returning (x, P(X<=x)) pairs — the series plotted in Fig 9.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	pts := make([][2]float64, 0, n)
+	if n == 1 || hi == lo {
+		return append(pts, [2]float64{hi, 1})
+	}
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		pts = append(pts, [2]float64{x, c.At(x)})
+	}
+	return pts
+}

@@ -1,0 +1,154 @@
+// Package tablefmt renders the experiment harness's output: aligned ASCII
+// tables (one per paper table/figure) and simple labelled series. Keeping
+// rendering in one place means every bench and the CLI print identically.
+package tablefmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is an in-memory table with a title, column headers, and string rows.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// New returns an empty table with the given title and headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are preserved as-is.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row built from printf-style (format, value) pairs given
+// as alternating arguments, e.g. AddRowf("%s", name, "%.2f", sar).
+func (t *Table) AddRowf(pairs ...any) {
+	if len(pairs)%2 != 0 {
+		panic("tablefmt: AddRowf needs format/value pairs")
+	}
+	row := make([]string, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		format, ok := pairs[i].(string)
+		if !ok {
+			panic("tablefmt: AddRowf format must be a string")
+		}
+		row = append(row, fmt.Sprintf(format, pairs[i+1]))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.render(&sb, false)
+	return sb.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	t.render(&sb, true)
+	return sb.String()
+}
+
+func (t *Table) render(sb *strings.Builder, markdown bool) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if markdown {
+			fmt.Fprintf(sb, "### %s\n\n", t.Title)
+		} else {
+			fmt.Fprintf(sb, "%s\n", t.Title)
+			fmt.Fprintf(sb, "%s\n", strings.Repeat("=", len(t.Title)))
+		}
+	}
+	sep := "  "
+	if markdown {
+		sep = " | "
+	}
+	writeRow := func(cells []string) {
+		if markdown {
+			sb.WriteString("|")
+		}
+		for i := 0; i < len(widths); i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if markdown {
+				fmt.Fprintf(sb, " %-*s |", widths[i], cell)
+			} else {
+				if i > 0 {
+					sb.WriteString(sep)
+				}
+				fmt.Fprintf(sb, "%-*s", widths[i], cell)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	if markdown {
+		sb.WriteString("|")
+		for _, w := range widths {
+			sb.WriteString(strings.Repeat("-", w+2))
+			sb.WriteString("|")
+		}
+		sb.WriteString("\n")
+	} else {
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		total += len(sep) * (len(widths) - 1)
+		sb.WriteString(strings.Repeat("-", total))
+		sb.WriteString("\n")
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(sb, "note: %s\n", n)
+	}
+}
+
+// Series is a labelled sequence of (x, y) points, used for CDFs and
+// time-series plots (Figs 9–11) where a table of sampled points stands in
+// for the paper's line charts.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	Points [][2]float64
+}
+
+// String renders the series as a two-column table.
+func (s *Series) String() string {
+	t := New(s.Name, s.XLabel, s.YLabel)
+	for _, p := range s.Points {
+		t.AddRowf("%.4g", p[0], "%.4g", p[1])
+	}
+	return t.String()
+}

@@ -1,0 +1,111 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBasicRendering(t *testing.T) {
+	tb := New("Title", "A", "Column B")
+	tb.AddRow("1", "2")
+	tb.AddRow("longer", "x")
+	out := tb.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "Column B") {
+		t.Fatal("header missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, two rows.
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 6:\n%s", len(lines), out)
+	}
+	// Columns align: "longer" forces column A to width 6.
+	if !strings.HasPrefix(lines[2], "A     ") {
+		t.Fatalf("header not padded to widest cell: %q", lines[2])
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tb := New("My Table", "x", "y")
+	tb.AddRow("1", "2")
+	md := tb.Markdown()
+	if !strings.Contains(md, "### My Table") {
+		t.Fatal("markdown title missing")
+	}
+	if !strings.Contains(md, "| 1 | 2 |") {
+		t.Fatalf("markdown row missing:\n%s", md)
+	}
+	if !strings.Contains(md, "|---|---|") {
+		t.Fatalf("markdown separator missing:\n%s", md)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("", "name", "sar")
+	tb.AddRowf("%s", "TetriServe", "%.2f", 0.919)
+	if tb.Rows[0][0] != "TetriServe" || tb.Rows[0][1] != "0.92" {
+		t.Fatalf("AddRowf produced %v", tb.Rows[0])
+	}
+}
+
+func TestAddRowfPanicsOnOddArgs(t *testing.T) {
+	tb := New("", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd argument count should panic")
+		}
+	}()
+	tb.AddRowf("%s")
+}
+
+func TestAddRowfPanicsOnNonStringFormat(t *testing.T) {
+	tb := New("", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-string format should panic")
+		}
+	}()
+	tb.AddRowf(42, "x")
+}
+
+func TestNotes(t *testing.T) {
+	tb := New("T", "a")
+	tb.AddNote("shape holds at %.0f%%", 32.0)
+	out := tb.String()
+	if !strings.Contains(out, "note: shape holds at 32%") {
+		t.Fatalf("note missing:\n%s", out)
+	}
+}
+
+func TestUntitledTable(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("1")
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") || strings.Contains(out, "===") {
+		t.Fatalf("untitled table should skip title block:\n%s", out)
+	}
+}
+
+func TestRowWiderThanHeaders(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("1", "extra", "cells")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Fatalf("extra cells dropped:\n%s", out)
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := &Series{
+		Name:   "cdf",
+		XLabel: "latency",
+		YLabel: "P",
+		Points: [][2]float64{{1, 0.5}, {2, 1}},
+	}
+	out := s.String()
+	if !strings.Contains(out, "latency") || !strings.Contains(out, "0.5") {
+		t.Fatalf("series rendering missing data:\n%s", out)
+	}
+}

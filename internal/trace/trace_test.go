@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"tetriserve/internal/core"
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/metrics"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sim"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+func runTetri(t *testing.T, n int, seed uint64) *sim.Result {
+	t.Helper()
+	mdl := model.FLUX()
+	topo := simgpu.H100x8()
+	prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
+	res, err := sim.Run(sim.Config{
+		Model: mdl, Topo: topo,
+		Scheduler: core.NewScheduler(prof, topo, core.DefaultConfig()),
+		Requests: workload.Generate(workload.GeneratorConfig{
+			Model: mdl, NumRequests: n, Seed: seed,
+		}),
+		Profile:        prof,
+		DropLateFactor: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEventsTimeOrdered(t *testing.T) {
+	evs := FromResult(runTetri(t, 40, 3))
+	for i := 1; i < len(evs); i++ {
+		if evs[i].AtUS < evs[i-1].AtUS {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+// TestAnalyzeMatchesDirectMetrics: the analyzer's numbers rebuilt from the
+// event log must agree with the metrics computed from the result itself —
+// the round-trip consistency check.
+func TestAnalyzeMatchesDirectMetrics(t *testing.T) {
+	res := runTetri(t, 60, 7)
+	sum, err := Analyze(FromResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Requests != len(res.Outcomes) {
+		t.Fatalf("requests %d vs %d", sum.Requests, len(res.Outcomes))
+	}
+	if got, want := sum.SAR, metrics.SAR(res); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SAR %v vs %v", got, want)
+	}
+	if got, want := sum.MeanLatency, metrics.MeanLatency(res); math.Abs(got-want) > 1e-5 {
+		t.Fatalf("mean latency %v vs %v", got, want)
+	}
+	if got, want := sum.GPUSeconds, res.GPUBusySeconds; math.Abs(got-want) > 0.01*want {
+		t.Fatalf("GPU seconds %v vs %v", got, want)
+	}
+	if sum.Blocks != len(res.Runs) {
+		t.Fatalf("blocks %d vs %d", sum.Blocks, len(res.Runs))
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	evs := FromResult(runTetri(t, 30, 11))
+	var buf bytes.Buffer
+	if err := Write(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(evs) {
+		t.Fatalf("length %d vs %d", len(loaded), len(evs))
+	}
+	for i := range evs {
+		if loaded[i].AtUS != evs[i].AtUS || loaded[i].Kind != evs[i].Kind {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+	// Analysis of the loaded log must match too.
+	a, err := Analyze(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("summaries differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	evs, err := Read(strings.NewReader("\n{\"at_us\":1,\"kind\":\"arrival\",\"requests\":[1]}\n\n"))
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("evs=%v err=%v", evs, err)
+	}
+}
+
+func TestAnalyzeDetectsUnpairedBlocks(t *testing.T) {
+	evs := []Event{
+		{AtUS: 0, Kind: KindBlockStart, Requests: []int{1}, Degree: 2, GPUs: []int{0, 1}},
+	}
+	if _, err := Analyze(evs); err == nil {
+		t.Fatal("dangling block_start not detected")
+	}
+	evs = []Event{
+		{AtUS: 5, Kind: KindBlockEnd, Requests: []int{1}, Degree: 2, GPUs: []int{0, 1}},
+	}
+	if _, err := Analyze(evs); err == nil {
+		t.Fatal("orphan block_end not detected")
+	}
+}
+
+func TestAnalyzeRejectsUnknownKind(t *testing.T) {
+	if _, err := Analyze([]Event{{Kind: "mystery"}}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRequestTimeline(t *testing.T) {
+	res := runTetri(t, 30, 13)
+	evs := FromResult(res)
+	id := res.Outcomes[0].ID
+	tl := RequestTimeline(evs, id)
+	if len(tl) < 2 {
+		t.Fatalf("timeline too short: %d events", len(tl))
+	}
+	if tl[0].Kind != KindArrival {
+		t.Fatalf("timeline should start with arrival, got %s", tl[0].Kind)
+	}
+	last := tl[len(tl)-1].Kind
+	if last != KindComplete && last != KindDrop {
+		t.Fatalf("timeline should end with completion/drop, got %s", last)
+	}
+	// All steps accounted: block events between arrival and completion.
+	for _, ev := range tl[1 : len(tl)-1] {
+		if ev.Kind != KindBlockStart && ev.Kind != KindBlockEnd {
+			t.Fatalf("unexpected %s inside timeline", ev.Kind)
+		}
+	}
+}
+
+func TestDroppedRequestsInSummary(t *testing.T) {
+	// Force drops with SP=1-style starvation: use a result from a tight
+	// run; TetriServe at 1.0x with drops enabled usually drops some 2048s.
+	res := runTetri(t, 80, 17)
+	sum, err := Analyze(FromResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed+sum.Dropped != sum.Requests {
+		t.Fatalf("accounting hole: %d completed + %d dropped != %d requests",
+			sum.Completed, sum.Dropped, sum.Requests)
+	}
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"tetriserve/internal/stats"
+)
+
+// ArrivalProcess produces inter-arrival gaps.
+type ArrivalProcess interface {
+	// Name identifies the process in reports.
+	Name() string
+	// NextGap draws the gap until the next arrival.
+	NextGap(rng *stats.RNG) time.Duration
+}
+
+// PoissonArrivals is the paper's default: exponential gaps at a given rate
+// (requests per minute).
+type PoissonArrivals struct {
+	PerMinute float64
+}
+
+// Name implements ArrivalProcess.
+func (p PoissonArrivals) Name() string {
+	return fmt.Sprintf("Poisson(%.0f/min)", p.PerMinute)
+}
+
+// NextGap implements ArrivalProcess.
+func (p PoissonArrivals) NextGap(rng *stats.RNG) time.Duration {
+	if p.PerMinute <= 0 {
+		panic("workload: non-positive arrival rate")
+	}
+	gap := rng.Exp(p.PerMinute / 60.0)
+	return time.Duration(gap * float64(time.Second))
+}
+
+// BurstyArrivals is a two-state Markov-modulated Poisson process: periods of
+// elevated rate alternate with quiet periods, producing the bursty traffic
+// of §6.3 while preserving a target long-run average rate.
+type BurstyArrivals struct {
+	// AvgPerMinute is the long-run average arrival rate.
+	AvgPerMinute float64
+	// BurstFactor is the ratio of burst-state rate to average rate (> 1).
+	BurstFactor float64
+	// BurstFraction is the long-run fraction of time spent bursting,
+	// in (0, 1).
+	BurstFraction float64
+	// MeanBurst is the mean duration of one burst period.
+	MeanBurst time.Duration
+
+	inBurst   bool
+	stateLeft time.Duration
+}
+
+// NewBurstyArrivals returns a bursty process with the defaults used by the
+// Figure 10/11 experiments: 3× bursts covering 30 % of time, 20 s bursts.
+func NewBurstyArrivals(avgPerMinute float64) *BurstyArrivals {
+	return &BurstyArrivals{
+		AvgPerMinute:  avgPerMinute,
+		BurstFactor:   3,
+		BurstFraction: 0.3,
+		MeanBurst:     20 * time.Second,
+	}
+}
+
+// Name implements ArrivalProcess.
+func (b *BurstyArrivals) Name() string {
+	return fmt.Sprintf("Bursty(%.0f/min,×%.1f)", b.AvgPerMinute, b.BurstFactor)
+}
+
+// rates returns (burst rate, quiet rate) in req/s so the long-run average
+// matches AvgPerMinute: f·rb + (1−f)·rq = avg.
+func (b *BurstyArrivals) rates() (rb, rq float64) {
+	avg := b.AvgPerMinute / 60
+	rb = avg * b.BurstFactor
+	rq = (avg - b.BurstFraction*rb) / (1 - b.BurstFraction)
+	if rq < avg*0.05 {
+		rq = avg * 0.05
+	}
+	return rb, rq
+}
+
+// NextGap implements ArrivalProcess.
+func (b *BurstyArrivals) NextGap(rng *stats.RNG) time.Duration {
+	if b.AvgPerMinute <= 0 || b.BurstFactor <= 1 || b.BurstFraction <= 0 || b.BurstFraction >= 1 {
+		panic("workload: invalid bursty arrival parameters")
+	}
+	rb, rq := b.rates()
+	meanQuiet := time.Duration(float64(b.MeanBurst) * (1 - b.BurstFraction) / b.BurstFraction)
+	var total time.Duration
+	for {
+		if b.stateLeft <= 0 {
+			// Enter the next state with an exponential dwell time.
+			b.inBurst = !b.inBurst
+			mean := b.MeanBurst
+			if !b.inBurst {
+				mean = meanQuiet
+			}
+			b.stateLeft = time.Duration(rng.Exp(1/mean.Seconds()) * float64(time.Second))
+			continue
+		}
+		rate := rq
+		if b.inBurst {
+			rate = rb
+		}
+		gap := time.Duration(rng.Exp(rate) * float64(time.Second))
+		if gap <= b.stateLeft {
+			b.stateLeft -= gap
+			return total + gap
+		}
+		// No arrival before the state flips; burn the remaining dwell.
+		total += b.stateLeft
+		b.stateLeft = 0
+	}
+}
+
+// SteadyArrivals emits perfectly regular gaps — useful in tests where
+// determinism beats realism.
+type SteadyArrivals struct {
+	Gap time.Duration
+}
+
+// Name implements ArrivalProcess.
+func (s SteadyArrivals) Name() string { return fmt.Sprintf("Steady(%s)", s.Gap) }
+
+// NextGap implements ArrivalProcess.
+func (s SteadyArrivals) NextGap(*stats.RNG) time.Duration { return s.Gap }

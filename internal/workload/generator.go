@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"sort"
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/stats"
+)
+
+// GeneratorConfig assembles a full request trace.
+type GeneratorConfig struct {
+	// Model supplies the default step count per request.
+	Model *model.Model
+	// Mix samples resolutions; defaults to UniformMix.
+	Mix Mix
+	// Arrivals supplies inter-arrival gaps; defaults to Poisson 12/min.
+	Arrivals ArrivalProcess
+	// SLO maps resolutions to budgets; defaults to scale 1.0.
+	SLO SLOPolicy
+	// NumRequests is the trace length; defaults to 300 (the paper samples
+	// 300 DiffusionDB prompts, §6.1).
+	NumRequests int
+	// Seed makes the trace deterministic.
+	Seed uint64
+	// Prompts samples prompt text; defaults to NewPromptSampler.
+	Prompts *PromptSampler
+}
+
+func (c *GeneratorConfig) defaults() {
+	if c.Mix == nil {
+		c.Mix = UniformMix()
+	}
+	if c.Arrivals == nil {
+		c.Arrivals = PoissonArrivals{PerMinute: 12}
+	}
+	if c.SLO.Base == nil {
+		c.SLO = NewSLOPolicy(1.0)
+	}
+	if c.NumRequests <= 0 {
+		c.NumRequests = 300
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Prompts == nil {
+		c.Prompts = NewPromptSampler()
+	}
+}
+
+// Generate materializes the trace: requests sorted by arrival time with
+// resolutions, prompts, SLOs and default step counts filled in.
+func Generate(cfg GeneratorConfig) []*Request {
+	cfg.defaults()
+	if cfg.Model == nil {
+		panic("workload: Generate requires a model")
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	arrRNG := rng.Fork(1)
+	mixRNG := rng.Fork(2)
+	promptRNG := rng.Fork(3)
+
+	reqs := make([]*Request, 0, cfg.NumRequests)
+	now := time.Duration(0)
+	for i := 0; i < cfg.NumRequests; i++ {
+		now += cfg.Arrivals.NextGap(arrRNG)
+		res := cfg.Mix.Sample(mixRNG)
+		reqs = append(reqs, &Request{
+			ID:      RequestID(i),
+			Prompt:  cfg.Prompts.Sample(promptRNG),
+			Res:     res,
+			Steps:   cfg.Model.DefaultSteps,
+			Arrival: now,
+			SLO:     cfg.SLO.Budget(res),
+		})
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+	return reqs
+}
+
+// CountByResolution tallies a trace per resolution, useful for verifying
+// mix proportions in tests and reports.
+func CountByResolution(reqs []*Request) map[model.Resolution]int {
+	out := make(map[model.Resolution]int)
+	for _, r := range reqs {
+		out[r.Res]++
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"testing"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/stats"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	reqs := Generate(GeneratorConfig{Model: model.FLUX()})
+	if len(reqs) != 300 {
+		t.Fatalf("default trace length = %d, want 300 (§6.1)", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.ID != RequestID(i) {
+			t.Fatalf("IDs not sequential at %d", i)
+		}
+		if r.Steps != 50 {
+			t.Fatalf("default steps = %d, want FLUX's 50", r.Steps)
+		}
+		if r.SLO <= 0 {
+			t.Fatal("missing SLO")
+		}
+		if i > 0 && r.Arrival < reqs[i-1].Arrival {
+			t.Fatal("trace not sorted by arrival")
+		}
+		if r.Prompt.Text == "" {
+			t.Fatal("empty prompt")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GeneratorConfig{Model: model.FLUX(), Seed: 42, NumRequests: 50}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].Res != b[i].Res || a[i].Prompt.Text != b[i].Prompt.Text {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(GeneratorConfig{Model: model.FLUX(), Seed: 1, NumRequests: 50})
+	b := Generate(GeneratorConfig{Model: model.FLUX(), Seed: 2, NumRequests: 50})
+	same := 0
+	for i := range a {
+		if a[i].Arrival == b[i].Arrival {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical arrival times")
+	}
+}
+
+func TestGenerateSLOMatchesResolution(t *testing.T) {
+	pol := NewSLOPolicy(1.2)
+	reqs := Generate(GeneratorConfig{Model: model.FLUX(), SLO: pol, NumRequests: 100, Seed: 3})
+	for _, r := range reqs {
+		if r.SLO != pol.Budget(r.Res) {
+			t.Fatalf("request %d SLO %v does not match policy %v for %v", r.ID, r.SLO, pol.Budget(r.Res), r.Res)
+		}
+	}
+}
+
+func TestGenerateRequiresModel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing model should panic")
+		}
+	}()
+	Generate(GeneratorConfig{})
+}
+
+func TestCountByResolution(t *testing.T) {
+	reqs := Generate(GeneratorConfig{Model: model.FLUX(), NumRequests: 400, Seed: 9})
+	counts := CountByResolution(reqs)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 400 {
+		t.Fatalf("counts sum to %d", total)
+	}
+	for _, res := range model.StandardResolutions() {
+		if counts[res] < 50 {
+			t.Fatalf("uniform mix severely unbalanced: %v", counts)
+		}
+	}
+}
+
+func TestPromptSamplerThemePopularity(t *testing.T) {
+	s := NewPromptSampler()
+	rng := stats.NewRNG(10)
+	counts := make([]int, s.Themes)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		p := s.Sample(rng)
+		if p.Theme < 0 || p.Theme >= s.Themes {
+			t.Fatalf("theme %d out of range", p.Theme)
+		}
+		if len(p.Mods) != s.ModsPerPrompt {
+			t.Fatalf("mods = %v, want %d entries", p.Mods, s.ModsPerPrompt)
+		}
+		counts[p.Theme]++
+	}
+	// Zipf: the most popular theme should dominate the least popular.
+	if counts[0] < 5*counts[s.Themes-1] {
+		t.Fatalf("theme popularity not head-heavy: head=%d tail=%d", counts[0], counts[s.Themes-1])
+	}
+}
+
+func TestPromptModsDistinct(t *testing.T) {
+	s := NewPromptSampler()
+	rng := stats.NewRNG(11)
+	for i := 0; i < 1000; i++ {
+		p := s.Sample(rng)
+		seen := map[int]bool{}
+		for _, m := range p.Mods {
+			if seen[m] {
+				t.Fatalf("duplicate modifier in %v", p.Mods)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestSharedMods(t *testing.T) {
+	a := Prompt{Mods: []int{1, 2, 3}}
+	b := Prompt{Mods: []int{3, 4, 1}}
+	if got := a.SharedMods(b); got != 2 {
+		t.Fatalf("SharedMods = %d, want 2", got)
+	}
+	if got := a.SharedMods(Prompt{}); got != 0 {
+		t.Fatalf("SharedMods vs empty = %d", got)
+	}
+}
+
+func TestPromptValidate(t *testing.T) {
+	if err := (Prompt{Theme: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Prompt{Theme: -1}).Validate(); err == nil {
+		t.Fatal("negative theme should be invalid")
+	}
+}
+
+func TestPromptTextsVary(t *testing.T) {
+	s := NewPromptSampler()
+	rng := stats.NewRNG(12)
+	texts := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		texts[s.Sample(rng).Text] = true
+	}
+	if len(texts) < 100 {
+		t.Fatalf("only %d distinct prompt texts in 200 samples", len(texts))
+	}
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/stats"
+)
+
+// Mix samples a resolution per request.
+type Mix interface {
+	// Name identifies the mix in reports ("Uniform", "Skewed").
+	Name() string
+	// Sample draws one resolution.
+	Sample(rng *stats.RNG) model.Resolution
+	// Resolutions lists the support of the mix.
+	Resolutions() []model.Resolution
+}
+
+type weightedMix struct {
+	name    string
+	res     []model.Resolution
+	weights []float64
+}
+
+func (m *weightedMix) Name() string { return m.name }
+
+func (m *weightedMix) Sample(rng *stats.RNG) model.Resolution {
+	return m.res[rng.Choice(m.weights)]
+}
+
+func (m *weightedMix) Resolutions() []model.Resolution {
+	out := make([]model.Resolution, len(m.res))
+	copy(out, m.res)
+	return out
+}
+
+// UniformMix draws each of the paper's four resolutions equally often.
+func UniformMix() Mix {
+	res := model.StandardResolutions()
+	w := make([]float64, len(res))
+	for i := range w {
+		w[i] = 1
+	}
+	return &weightedMix{name: "Uniform", res: res, weights: w}
+}
+
+// SkewedMix biases toward larger resolutions with exponential weight over
+// latent length: p_i ∝ exp(α·L_i/L_max) with L_i = (H_i·W_i)/16² (§6.1).
+func SkewedMix(alpha float64) Mix {
+	res := model.StandardResolutions()
+	lmax := 0.0
+	ls := make([]float64, len(res))
+	for i, r := range res {
+		ls[i] = float64(r.Pixels()) / (16 * 16)
+		if ls[i] > lmax {
+			lmax = ls[i]
+		}
+	}
+	w := make([]float64, len(res))
+	for i := range w {
+		w[i] = math.Exp(alpha * ls[i] / lmax)
+	}
+	return &weightedMix{name: fmt.Sprintf("Skewed(α=%.1f)", alpha), res: res, weights: w}
+}
+
+// HomogeneousMix emits a single resolution — Figure 14's workloads.
+func HomogeneousMix(res model.Resolution) Mix {
+	return &weightedMix{
+		name:    fmt.Sprintf("Only-%s", res),
+		res:     []model.Resolution{res},
+		weights: []float64{1},
+	}
+}
+
+// CustomMix builds a mix from explicit (resolution, weight) pairs.
+func CustomMix(name string, res []model.Resolution, weights []float64) (Mix, error) {
+	if len(res) == 0 || len(res) != len(weights) {
+		return nil, fmt.Errorf("workload: mix needs matching non-empty resolutions and weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("workload: negative mix weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("workload: mix weights sum to zero")
+	}
+	return &weightedMix{name: name, res: res, weights: weights}, nil
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"tetriserve/internal/model"
+)
+
+// Request traces are JSON-serializable so that experiments can be replayed
+// byte-for-byte across machines and so the load-generation CLI can share
+// traces with the simulator.
+
+// requestJSON is the serialized form of a Request.
+type requestJSON struct {
+	ID        int    `json:"id"`
+	Prompt    string `json:"prompt"`
+	Theme     int    `json:"theme"`
+	Mods      []int  `json:"mods,omitempty"`
+	W         int    `json:"w"`
+	H         int    `json:"h"`
+	Steps     int    `json:"steps"`
+	ArrivalUS int64  `json:"arrival_us"`
+	SLOUS     int64  `json:"slo_us"`
+}
+
+// WriteTrace serializes a trace as a JSON array.
+func WriteTrace(w io.Writer, reqs []*Request) error {
+	out := make([]requestJSON, 0, len(reqs))
+	for _, r := range reqs {
+		out = append(out, requestJSON{
+			ID:        int(r.ID),
+			Prompt:    r.Prompt.Text,
+			Theme:     r.Prompt.Theme,
+			Mods:      r.Prompt.Mods,
+			W:         r.Res.W,
+			H:         r.Res.H,
+			Steps:     r.Steps,
+			ArrivalUS: r.Arrival.Microseconds(),
+			SLOUS:     r.SLO.Microseconds(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadTrace parses a trace written by WriteTrace, validating invariants the
+// simulator relies on (positive steps/SLOs, valid resolutions) and sorting
+// by arrival.
+func ReadTrace(r io.Reader) ([]*Request, error) {
+	var in []requestJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	reqs := make([]*Request, 0, len(in))
+	for i, q := range in {
+		res := model.Resolution{W: q.W, H: q.H}
+		if !res.Valid() {
+			return nil, fmt.Errorf("workload: request %d has invalid resolution %v", i, res)
+		}
+		if q.Steps <= 0 {
+			return nil, fmt.Errorf("workload: request %d has %d steps", i, q.Steps)
+		}
+		if q.SLOUS <= 0 {
+			return nil, fmt.Errorf("workload: request %d has non-positive SLO", i)
+		}
+		if q.ArrivalUS < 0 {
+			return nil, fmt.Errorf("workload: request %d arrives before time zero", i)
+		}
+		reqs = append(reqs, &Request{
+			ID:      RequestID(q.ID),
+			Prompt:  Prompt{Text: q.Prompt, Theme: q.Theme, Mods: q.Mods},
+			Res:     res,
+			Steps:   q.Steps,
+			Arrival: time.Duration(q.ArrivalUS) * time.Microsecond,
+			SLO:     time.Duration(q.SLOUS) * time.Microsecond,
+		})
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+	return reqs, nil
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tetriserve/internal/model"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := Generate(GeneratorConfig{Model: model.FLUX(), NumRequests: 40, Seed: 8})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(orig) {
+		t.Fatalf("trace length %d, want %d", len(loaded), len(orig))
+	}
+	for i := range orig {
+		a, b := orig[i], loaded[i]
+		if a.ID != b.ID || a.Res != b.Res || a.Steps != b.Steps {
+			t.Fatalf("request %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if a.Prompt.Text != b.Prompt.Text || a.Prompt.Theme != b.Prompt.Theme {
+			t.Fatalf("prompt mismatch at %d", i)
+		}
+		da := a.Arrival - b.Arrival
+		if da < 0 {
+			da = -da
+		}
+		if da > 1000 { // microsecond truncation
+			t.Fatalf("arrival drifted: %v vs %v", a.Arrival, b.Arrival)
+		}
+	}
+}
+
+func TestReadTraceValidates(t *testing.T) {
+	cases := []string{
+		`[{"w":17,"h":17,"steps":50,"slo_us":1,"arrival_us":0}]`,   // bad resolution
+		`[{"w":256,"h":256,"steps":0,"slo_us":1,"arrival_us":0}]`,  // no steps
+		`[{"w":256,"h":256,"steps":50,"slo_us":0,"arrival_us":0}]`, // no SLO
+		`[{"w":256,"h":256,"steps":50,"slo_us":1,"arrival_us":-5}]`,
+		`garbage`,
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("invalid trace %q accepted", c)
+		}
+	}
+}
+
+func TestReadTraceSortsByArrival(t *testing.T) {
+	in := `[
+	 {"id":1,"w":256,"h":256,"steps":50,"slo_us":1000,"arrival_us":9000},
+	 {"id":2,"w":256,"h":256,"steps":50,"slo_us":1000,"arrival_us":1000}
+	]`
+	reqs, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqs[0].ID != 2 {
+		t.Fatal("trace not re-sorted by arrival")
+	}
+}

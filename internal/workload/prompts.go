@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tetriserve/internal/stats"
+)
+
+// Prompt is a synthetic stand-in for a DiffusionDB prompt. Real prompts
+// matter to the serving system only through their similarity structure
+// (which drives Nirvana's cache hits), so the corpus is generated from a
+// small template grammar: a clustered theme plus style modifiers. Two
+// prompts sharing a theme are "similar"; the more modifiers they share, the
+// more initial denoising steps a cache hit can skip.
+type Prompt struct {
+	Text  string
+	Theme int
+	Mods  []int
+}
+
+var (
+	subjects = []string{
+		"a lighthouse on a cliff", "a red panda astronaut", "an ancient library",
+		"a cyberpunk street market", "a snow-covered pagoda", "a glass greenhouse",
+		"a desert caravan at dusk", "an underwater city", "a steam locomotive",
+		"a field of bioluminescent flowers", "a medieval blacksmith", "a space elevator",
+		"a koi pond in autumn", "a clockwork owl", "a floating island village",
+		"a neon-lit ramen shop", "a marble amphitheater", "a polar research station",
+		"a jazz club interior", "a terraced rice paddy",
+	}
+	styles = []string{
+		"oil painting", "watercolor", "photorealistic", "studio ghibli style",
+		"low-poly 3d render", "charcoal sketch", "vaporwave", "art nouveau",
+		"isometric pixel art", "cinematic lighting",
+	}
+	details = []string{
+		"highly detailed", "8k", "trending on artstation", "volumetric fog",
+		"golden hour", "ultra wide angle", "bokeh", "dramatic shadows",
+		"symmetrical composition", "muted palette", "vivid colors", "film grain",
+	}
+)
+
+// PromptSampler draws prompts with Zipf-like theme popularity so that a
+// minority of popular themes dominates — the regime in which approximate
+// caching pays off, matching the DiffusionDB reuse analysis Nirvana relies
+// on.
+type PromptSampler struct {
+	// Themes is the number of distinct theme clusters.
+	Themes int
+	// ZipfS controls popularity skew (larger → more head-heavy).
+	ZipfS float64
+	// ModsPerPrompt is how many detail modifiers each prompt carries.
+	ModsPerPrompt int
+
+	weights []float64
+}
+
+// NewPromptSampler returns the default corpus shape: 40 themes, s = 1.1,
+// 3 modifiers per prompt.
+func NewPromptSampler() *PromptSampler {
+	return &PromptSampler{Themes: 40, ZipfS: 1.1, ModsPerPrompt: 3}
+}
+
+func (s *PromptSampler) themeWeights() []float64 {
+	if len(s.weights) == s.Themes {
+		return s.weights
+	}
+	w := make([]float64, s.Themes)
+	for i := range w {
+		w[i] = 1.0 / math.Pow(float64(i+1), s.ZipfS)
+	}
+	s.weights = w
+	return w
+}
+
+// Sample draws one prompt.
+func (s *PromptSampler) Sample(rng *stats.RNG) Prompt {
+	theme := rng.Choice(s.themeWeights())
+	mods := make([]int, 0, s.ModsPerPrompt)
+	seen := map[int]bool{}
+	for len(mods) < s.ModsPerPrompt {
+		m := rng.Intn(len(details))
+		if !seen[m] {
+			seen[m] = true
+			mods = append(mods, m)
+		}
+	}
+	subject := subjects[theme%len(subjects)]
+	style := styles[(theme/len(subjects))%len(styles)]
+	parts := []string{subject, style}
+	for _, m := range mods {
+		parts = append(parts, details[m])
+	}
+	return Prompt{
+		Text:  strings.Join(parts, ", "),
+		Theme: theme,
+		Mods:  mods,
+	}
+}
+
+// String returns the prompt text.
+func (p Prompt) String() string { return p.Text }
+
+// SharedMods counts modifiers two prompts have in common.
+func (p Prompt) SharedMods(o Prompt) int {
+	n := 0
+	for _, a := range p.Mods {
+		for _, b := range o.Mods {
+			if a == b {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Validate checks the prompt is internally consistent.
+func (p Prompt) Validate() error {
+	if p.Theme < 0 {
+		return fmt.Errorf("workload: negative theme")
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+// Package workload generates the request streams the paper evaluates on:
+// Poisson and bursty arrivals, Uniform and Skewed resolution mixes,
+// homogeneous single-resolution workloads, resolution-specific SLOs with a
+// sweepable scale factor, and a synthetic DiffusionDB-like prompt corpus
+// whose similarity structure drives the Nirvana cache experiments.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tetriserve/internal/model"
+)
+
+// RequestID identifies a request within one run.
+type RequestID int
+
+// Request is one image-generation request as the serving system sees it.
+type Request struct {
+	ID     RequestID
+	Prompt Prompt
+	Res    model.Resolution
+	// Steps is the number of denoising steps to execute (the model default
+	// minus any cache-skipped prefix).
+	Steps int
+	// SkippedSteps records how many initial steps a cache hit removed.
+	SkippedSteps int
+	// Arrival is the absolute arrival time.
+	Arrival time.Duration
+	// SLO is the relative latency budget; Deadline = Arrival + SLO.
+	SLO time.Duration
+}
+
+// Deadline returns the absolute completion deadline D_i.
+func (r *Request) Deadline() time.Duration { return r.Arrival + r.SLO }
+
+// String summarizes the request for traces.
+func (r *Request) String() string {
+	return fmt.Sprintf("req%d[%s steps=%d slo=%s]", r.ID, r.Res, r.Steps, r.SLO)
+}
+
+// SLOPolicy maps resolutions to latency budgets. The paper grounds the base
+// targets in user-perceived responsiveness (§6.1): 1.5 s for the smallest
+// resolution up to 5.0 s for the largest, swept by a scale in [1.0, 1.5].
+type SLOPolicy struct {
+	Base  map[model.Resolution]time.Duration
+	Scale float64
+}
+
+// DefaultSLOBase returns the paper's base targets.
+func DefaultSLOBase() map[model.Resolution]time.Duration {
+	return map[model.Resolution]time.Duration{
+		model.Res256:  1500 * time.Millisecond,
+		model.Res512:  2000 * time.Millisecond,
+		model.Res1024: 3000 * time.Millisecond,
+		model.Res2048: 5000 * time.Millisecond,
+	}
+}
+
+// NewSLOPolicy returns the default policy at the given scale.
+func NewSLOPolicy(scale float64) SLOPolicy {
+	return SLOPolicy{Base: DefaultSLOBase(), Scale: scale}
+}
+
+// Budget returns the latency budget for res at the policy's scale.
+// Unknown resolutions panic: an SLO must be an explicit contract.
+func (p SLOPolicy) Budget(res model.Resolution) time.Duration {
+	base, ok := p.Base[res]
+	if !ok {
+		panic(fmt.Sprintf("workload: no SLO configured for %v", res))
+	}
+	return time.Duration(float64(base) * p.Scale)
+}
+
+// InterpolatedBudget returns a budget for any valid resolution: exact for
+// configured ones, otherwise linearly interpolated in latent-token count
+// between the two nearest configured anchors (clamped at the extremes).
+// The serving daemon uses it to admit non-standard resolutions with a
+// deadline consistent with the configured contract.
+func (p SLOPolicy) InterpolatedBudget(res model.Resolution) time.Duration {
+	if base, ok := p.Base[res]; ok {
+		return time.Duration(float64(base) * p.Scale)
+	}
+	type anchor struct {
+		tokens float64
+		budget float64
+	}
+	anchors := make([]anchor, 0, len(p.Base))
+	for r, b := range p.Base {
+		anchors = append(anchors, anchor{float64(r.Pixels()) / 256, float64(b)})
+	}
+	sort.Slice(anchors, func(i, j int) bool { return anchors[i].tokens < anchors[j].tokens })
+	if len(anchors) == 0 {
+		panic("workload: SLO policy has no anchors")
+	}
+	t := float64(res.Pixels()) / 256
+	if t <= anchors[0].tokens {
+		return time.Duration(anchors[0].budget * p.Scale)
+	}
+	last := anchors[len(anchors)-1]
+	if t >= last.tokens {
+		// Extrapolate with the slope of the final segment so very large
+		// outputs get proportionally more time.
+		if len(anchors) == 1 {
+			return time.Duration(last.budget * p.Scale)
+		}
+		prev := anchors[len(anchors)-2]
+		slope := (last.budget - prev.budget) / (last.tokens - prev.tokens)
+		return time.Duration((last.budget + slope*(t-last.tokens)) * p.Scale)
+	}
+	for i := 1; i < len(anchors); i++ {
+		if t <= anchors[i].tokens {
+			lo, hi := anchors[i-1], anchors[i]
+			frac := (t - lo.tokens) / (hi.tokens - lo.tokens)
+			return time.Duration((lo.budget + frac*(hi.budget-lo.budget)) * p.Scale)
+		}
+	}
+	return time.Duration(last.budget * p.Scale)
+}
+
+// SLOScales returns the paper's sweep grid 1.0× … 1.5×.
+func SLOScales() []float64 { return []float64{1.0, 1.1, 1.2, 1.3, 1.4, 1.5} }

@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/stats"
+)
+
+func TestDefaultSLOBudgets(t *testing.T) {
+	p := NewSLOPolicy(1.0)
+	want := map[model.Resolution]time.Duration{
+		model.Res256:  1500 * time.Millisecond,
+		model.Res512:  2000 * time.Millisecond,
+		model.Res1024: 3000 * time.Millisecond,
+		model.Res2048: 5000 * time.Millisecond,
+	}
+	for res, budget := range want {
+		if got := p.Budget(res); got != budget {
+			t.Errorf("Budget(%v) = %v, want %v", res, got, budget)
+		}
+	}
+}
+
+func TestSLOScaleMultiplies(t *testing.T) {
+	p := NewSLOPolicy(1.5)
+	if got := p.Budget(model.Res2048); got != 7500*time.Millisecond {
+		t.Fatalf("scaled budget = %v, want 7.5s", got)
+	}
+}
+
+func TestSLOUnknownResolutionPanics(t *testing.T) {
+	p := NewSLOPolicy(1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown resolution should panic")
+		}
+	}()
+	p.Budget(model.Resolution{W: 640, H: 480})
+}
+
+func TestSLOScalesSweep(t *testing.T) {
+	scales := SLOScales()
+	if scales[0] != 1.0 || scales[len(scales)-1] != 1.5 {
+		t.Fatalf("SLOScales = %v, want 1.0..1.5", scales)
+	}
+}
+
+func TestRequestDeadline(t *testing.T) {
+	r := Request{Arrival: 10 * time.Second, SLO: 3 * time.Second}
+	if r.Deadline() != 13*time.Second {
+		t.Fatalf("Deadline = %v", r.Deadline())
+	}
+}
+
+func TestUniformMixProportions(t *testing.T) {
+	mix := UniformMix()
+	rng := stats.NewRNG(1)
+	counts := map[model.Resolution]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[mix.Sample(rng)]++
+	}
+	for _, res := range model.StandardResolutions() {
+		frac := float64(counts[res]) / n
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Errorf("uniform mix fraction for %v = %.3f, want ≈0.25", res, frac)
+		}
+	}
+}
+
+func TestSkewedMixBiasesLarge(t *testing.T) {
+	mix := SkewedMix(1.0)
+	rng := stats.NewRNG(2)
+	counts := map[model.Resolution]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[mix.Sample(rng)]++
+	}
+	// p ∝ exp(L/Lmax): 2048px should be the most common, 256px the least.
+	if counts[model.Res2048] <= counts[model.Res256] {
+		t.Fatalf("skewed mix should favor 2048px: %v", counts)
+	}
+	// Monotone in resolution.
+	prev := -1
+	for _, res := range model.StandardResolutions() {
+		if counts[res] < prev {
+			t.Fatalf("skew should be monotone in latent length: %v", counts)
+		}
+		prev = counts[res]
+	}
+	// Expected proportions: weights exp(L_i/L_max) with L ∝ pixels:
+	// exp(1/64), exp(1/16), exp(1/4), exp(1).
+	weights := []float64{math.Exp(1.0 / 64), math.Exp(1.0 / 16), math.Exp(0.25), math.Exp(1)}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	for i, res := range model.StandardResolutions() {
+		want := weights[i] / total
+		got := float64(counts[res]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("skewed fraction for %v = %.3f, want ≈%.3f", res, got, want)
+		}
+	}
+}
+
+func TestHomogeneousMix(t *testing.T) {
+	mix := HomogeneousMix(model.Res512)
+	rng := stats.NewRNG(3)
+	for i := 0; i < 100; i++ {
+		if mix.Sample(rng) != model.Res512 {
+			t.Fatal("homogeneous mix emitted a different resolution")
+		}
+	}
+	if len(mix.Resolutions()) != 1 {
+		t.Fatal("homogeneous support should be singleton")
+	}
+}
+
+func TestCustomMixValidation(t *testing.T) {
+	if _, err := CustomMix("x", nil, nil); err == nil {
+		t.Error("empty mix should error")
+	}
+	if _, err := CustomMix("x", []model.Resolution{model.Res256}, []float64{-1}); err == nil {
+		t.Error("negative weight should error")
+	}
+	if _, err := CustomMix("x", []model.Resolution{model.Res256}, []float64{0}); err == nil {
+		t.Error("zero-sum weights should error")
+	}
+	m, err := CustomMix("mine", []model.Resolution{model.Res256, model.Res512}, []float64{1, 3})
+	if err != nil || m.Name() != "mine" {
+		t.Fatalf("valid custom mix rejected: %v", err)
+	}
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	arr := PoissonArrivals{PerMinute: 12}
+	rng := stats.NewRNG(4)
+	var acc stats.Running
+	for i := 0; i < 50000; i++ {
+		acc.Add(arr.NextGap(rng).Seconds())
+	}
+	// Mean gap should be 5s at 12/min.
+	if math.Abs(acc.Mean()-5) > 0.1 {
+		t.Fatalf("mean gap = %vs, want ≈5s", acc.Mean())
+	}
+	// Exponential: stddev ≈ mean.
+	if math.Abs(acc.Stddev()-5) > 0.2 {
+		t.Fatalf("gap stddev = %v, want ≈5", acc.Stddev())
+	}
+}
+
+func TestPoissonInvalidRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate should panic")
+		}
+	}()
+	PoissonArrivals{}.NextGap(stats.NewRNG(1))
+}
+
+func TestBurstyLongRunRate(t *testing.T) {
+	arr := NewBurstyArrivals(12)
+	rng := stats.NewRNG(5)
+	total := time.Duration(0)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		total += arr.NextGap(rng)
+	}
+	perMin := float64(n) / total.Minutes()
+	if math.Abs(perMin-12) > 1.5 {
+		t.Fatalf("bursty long-run rate = %.1f/min, want ≈12", perMin)
+	}
+}
+
+func TestBurstyIsBurstier(t *testing.T) {
+	// Coefficient of variation of gaps must exceed the Poisson value (1).
+	arr := NewBurstyArrivals(12)
+	rng := stats.NewRNG(6)
+	var acc stats.Running
+	for i := 0; i < 30000; i++ {
+		acc.Add(arr.NextGap(rng).Seconds())
+	}
+	if cv := acc.CV(); cv < 1.05 {
+		t.Fatalf("bursty gap CV = %.2f, want > 1.05 (burstier than Poisson)", cv)
+	}
+}
+
+func TestBurstyInvalidParamsPanic(t *testing.T) {
+	b := &BurstyArrivals{AvgPerMinute: 12, BurstFactor: 0.5, BurstFraction: 0.3, MeanBurst: time.Second}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("burst factor ≤ 1 should panic")
+		}
+	}()
+	b.NextGap(stats.NewRNG(1))
+}
+
+func TestSteadyArrivals(t *testing.T) {
+	s := SteadyArrivals{Gap: time.Second}
+	if s.NextGap(nil) != time.Second {
+		t.Fatal("steady gap wrong")
+	}
+}
+
+func TestInterpolatedBudgetExactOnAnchors(t *testing.T) {
+	p := NewSLOPolicy(1.2)
+	for _, res := range model.StandardResolutions() {
+		if p.InterpolatedBudget(res) != p.Budget(res) {
+			t.Fatalf("interpolation disagrees with exact budget at %v", res)
+		}
+	}
+}
+
+func TestInterpolatedBudgetBetweenAnchors(t *testing.T) {
+	p := NewSLOPolicy(1.0)
+	got := p.InterpolatedBudget(model.Resolution{W: 768, H: 768})
+	if got <= p.Budget(model.Res512) || got >= p.Budget(model.Res1024) {
+		t.Fatalf("768px budget %v not between 2s and 3s", got)
+	}
+}
+
+func TestInterpolatedBudgetClampsBelow(t *testing.T) {
+	p := NewSLOPolicy(1.0)
+	if got := p.InterpolatedBudget(model.Resolution{W: 128, H: 128}); got != p.Budget(model.Res256) {
+		t.Fatalf("tiny resolution budget %v, want the 256px floor", got)
+	}
+}
+
+func TestInterpolatedBudgetExtrapolatesAbove(t *testing.T) {
+	p := NewSLOPolicy(1.0)
+	got := p.InterpolatedBudget(model.Resolution{W: 4096, H: 4096})
+	if got <= p.Budget(model.Res2048) {
+		t.Fatalf("4096px budget %v should exceed the 2048px 5s anchor", got)
+	}
+}
+
+func TestInterpolatedBudgetMonotone(t *testing.T) {
+	p := NewSLOPolicy(1.0)
+	prev := time.Duration(0)
+	for side := 256; side <= 4096; side += 256 {
+		got := p.InterpolatedBudget(model.Resolution{W: side, H: side})
+		if got < prev {
+			t.Fatalf("budget not monotone at %dpx: %v after %v", side, got, prev)
+		}
+		prev = got
+	}
+}
