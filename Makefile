@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race bench bench-snapshot check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector — guards the Profile read-safety
+# contract and the parallel experiment harness.
+race:
+	$(GO) test -race ./...
+
+# Control-plane micro-benchmarks via `go test` (human-readable).
+bench:
+	$(GO) test -run=NONE -bench='PlanLatency|StepTimeEstimate|ProfileLookup|Simulation' -benchmem .
+
+# Machine-readable snapshot of the same micro-benchmarks, written to
+# BENCH_planner.json ({bench, ns_op, allocs_op} records). Commit the
+# refreshed snapshot alongside planner/cost-model changes.
+bench-snapshot:
+	$(GO) run ./cmd/tetribench -o BENCH_planner.json
+
+check: build test race

@@ -1,0 +1,158 @@
+// Command tetribench runs the control-plane micro-benchmarks (planner
+// latency, cost-model evaluation, profile lookup, end-to-end simulation)
+// outside `go test` and writes a JSON snapshot so the performance trajectory
+// is tracked across changes:
+//
+//	go run ./cmd/tetribench -o BENCH_planner.json
+//
+// The snapshot is a list of {bench, ns_op, allocs_op} records, one per
+// benchmark. Compare snapshots across commits to catch control-plane
+// regressions; `make bench-snapshot` wraps this.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"tetriserve/internal/core"
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/sim"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+type record struct {
+	Bench    string  `json:"bench"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+var (
+	benchTopo = simgpu.H100x8()
+	benchMdl  = model.FLUX()
+	benchProf = costmodel.BuildProfile(
+		costmodel.NewEstimator(benchMdl, benchTopo), costmodel.ProfilerConfig{})
+)
+
+// planLatency mirrors BenchmarkPlanLatency: one TetriServe round decision at
+// the given queue depth — the paper's <10 ms control-plane claim.
+func planLatency(depth int) func(*testing.B) {
+	return func(b *testing.B) {
+		s := core.NewScheduler(benchProf, benchTopo, core.DefaultConfig())
+		resList := model.StandardResolutions()
+		pending := make([]*sched.RequestState, depth)
+		for i := range pending {
+			pending[i] = &sched.RequestState{
+				Req: &workload.Request{
+					ID:    workload.RequestID(i),
+					Res:   resList[i%len(resList)],
+					Steps: 50,
+					SLO:   5 * time.Second,
+				},
+				Remaining:     50,
+				StepsByDegree: map[int]int{},
+			}
+		}
+		ctx := &sched.PlanContext{
+			Free:    benchTopo.AllMask(),
+			Pending: pending,
+			Profile: benchProf,
+			Topo:    benchTopo,
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Plan(ctx)
+		}
+	}
+}
+
+func stepTimeEstimate(b *testing.B) {
+	est := costmodel.NewEstimator(benchMdl, benchTopo)
+	group := simgpu.CanonicalGroup(0, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		est.StepTime(model.Res1024, group, 1)
+	}
+}
+
+func profileLookup(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchProf.StepTime(model.Res2048, 8)
+	}
+}
+
+// simulation runs one full 150-request trace per iteration.
+func simulation(mk func() sched.Scheduler) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			reqs := workload.Generate(workload.GeneratorConfig{
+				Model:       benchMdl,
+				NumRequests: 150,
+				Seed:        uint64(i + 1),
+			})
+			if _, err := sim.Run(sim.Config{
+				Model: benchMdl, Topo: benchTopo, Scheduler: mk(),
+				Requests: reqs, Profile: benchProf,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_planner.json", "output snapshot path")
+	flag.Parse()
+
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"PlanLatency/queue=4", planLatency(4)},
+		{"PlanLatency/queue=16", planLatency(16)},
+		{"PlanLatency/queue=64", planLatency(64)},
+		{"PlanLatency/queue=256", planLatency(256)},
+		{"StepTimeEstimate", stepTimeEstimate},
+		{"ProfileLookup", profileLookup},
+		{"Simulation/TetriServe", simulation(func() sched.Scheduler {
+			return core.NewScheduler(benchProf, benchTopo, core.DefaultConfig())
+		})},
+		{"Simulation/xDiT-SP8", simulation(func() sched.Scheduler {
+			return sched.NewFixedSP(8)
+		})},
+	}
+
+	var records []record
+	for _, bench := range benches {
+		res := testing.Benchmark(bench.fn)
+		rec := record{
+			Bench:    bench.name,
+			NsOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsOp: res.AllocsPerOp(),
+		}
+		records = append(records, rec)
+		fmt.Printf("%-24s %12.0f ns/op %8d allocs/op (n=%d)\n",
+			rec.Bench, rec.NsOp, rec.AllocsOp, res.N)
+	}
+
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tetribench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "tetribench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(records))
+}

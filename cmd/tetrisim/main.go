@@ -16,6 +16,7 @@
 //	-n N         requests per simulation (default 300)
 //	-rate R      arrival rate req/min (default 12)
 //	-quick       reduced sizes/timeouts (what the bench suite uses)
+//	-workers N   simulation cells run concurrently (default GOMAXPROCS; 1 = sequential)
 //	-markdown    emit GitHub-flavored markdown tables
 package main
 
@@ -45,6 +46,7 @@ func main() {
 	n := flag.Int("n", 0, "requests per simulation (0 = default)")
 	rate := flag.Float64("rate", 0, "arrival rate in req/min (0 = default)")
 	quick := flag.Bool("quick", false, "reduced sizes and timeouts")
+	workers := flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS, 1 = sequential)")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	flag.Parse()
 
@@ -59,6 +61,7 @@ func main() {
 		NumRequests: *n,
 		Rate:        *rate,
 		Quick:       *quick,
+		Workers:     *workers,
 	}
 
 	switch args[0] {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"tetriserve/internal/costmodel"
@@ -27,32 +26,40 @@ type option struct {
 	survive bool
 }
 
-// candidate is a request together with its per-round options.
+// candidate is a request together with its per-round options. Candidates
+// live in the scheduler's scratch arena and are recycled every round.
 type candidate struct {
 	st *sched.RequestState
 	// options holds runnable options (q > 0), lowest degree first —
-	// matching Figure 6's shape of spending cheap degrees early.
+	// matching Figure 6's shape of spending cheap degrees early. It aliases
+	// optbuf (a minimal-GPU-hour mix has at most two degrees), so building
+	// options allocates nothing.
 	options []option
+	optbuf  [2]option
 	// surviveNone is sv_i(none).
 	surviveNone bool
 	// tmin is the fastest profiled step time for the resolution.
 	tmin time.Duration
+	// selected marks candidates the DP chose and placement mapped, so the
+	// work-conserving admission pass can skip them without a lookup table.
+	selected bool
 }
 
 // buildCandidate runs the §4.2.1 deadline-aware GPU allocation for one
-// request: find the minimal-GPU-hour mix of degrees meeting the deadline,
-// then derive this round's options from the mix. Returns nil when the
-// request has no remaining steps.
-func (s *Scheduler) buildCandidate(prof *costmodel.Profile, now, tNext time.Duration, st *sched.RequestState) *candidate {
+// request into the supplied scratch slot: find the minimal-GPU-hour mix of
+// degrees meeting the deadline, then derive this round's options from the
+// mix. Returns false when the request has no remaining steps.
+func (s *Scheduler) buildCandidate(prof *costmodel.Profile, now, tNext time.Duration, st *sched.RequestState, c *candidate) bool {
 	if st.Remaining <= 0 {
-		return nil
+		return false
 	}
 	res := st.Req.Res
 	budget := st.Deadline() - now
 	tmin, _ := prof.MinStepTime(res)
 
 	mix := s.minGPUHourMix(prof, res, st.Remaining, budget)
-	c := &candidate{st: st, tmin: tmin}
+	*c = candidate{st: st, tmin: tmin}
+	c.options = c.optbuf[:0]
 	c.surviveNone = tNext+time.Duration(st.Remaining)*tmin <= st.Deadline()
 
 	window := s.window()
@@ -74,7 +81,7 @@ func (s *Scheduler) buildCandidate(prof *costmodel.Profile, now, tNext time.Dura
 			survive:   survive,
 		})
 	}
-	return c
+	return true
 }
 
 // mixEntry is one (degree, steps) element of an allocation plan.
@@ -84,7 +91,23 @@ type mixEntry struct {
 	stepTime  time.Duration
 }
 
-// minGPUHourMix solves §4.2.1's per-request optimization over the profiled
+// minGPUHourMix returns the §4.2.1 minimal-GPU-hour allocation, memoized per
+// (resolution, remaining steps, budget) within the current plan epoch. The
+// memo is exact — see mixKey — so a hit returns the byte-identical plan the
+// solver would recompute; callers must treat the returned slice as
+// read-only.
+func (s *Scheduler) minGPUHourMix(prof *costmodel.Profile, res model.Resolution, steps int, budget time.Duration) []mixEntry {
+	s.ensureMemo(prof)
+	key := mixKey{res: res, steps: steps, budget: budget}
+	if mix, ok := s.scratch.mixMemo[key]; ok {
+		return mix
+	}
+	mix := s.computeMix(prof, res, steps, budget)
+	s.scratch.mixMemo[key] = mix
+	return mix
+}
+
+// computeMix solves §4.2.1's per-request optimization over the profiled
 // lookup table: split the remaining steps across at most two degrees so
 // that total time fits the budget while total GPU-seconds are minimized.
 // Two degrees suffice because GPU-seconds g(k)=k·T(k) and latency T(k) move
@@ -92,15 +115,10 @@ type mixEntry struct {
 // split between two frontier points (the shape Figure 6 depicts). When even
 // the fastest degree misses the budget, the fastest single-degree plan is
 // returned so the request still makes best progress.
-func (s *Scheduler) minGPUHourMix(prof *costmodel.Profile, res model.Resolution, steps int, budget time.Duration) []mixEntry {
+func (s *Scheduler) computeMix(prof *costmodel.Profile, res model.Resolution, steps int, budget time.Duration) []mixEntry {
 	degrees := prof.Degrees()
 	window := s.window()
-	type cfg struct {
-		k int
-		t time.Duration
-		g float64 // GPU-seconds per step
-	}
-	cfgs := make([]cfg, 0, len(degrees))
+	cfgs := s.scratch.cfgs[:0]
 	for _, k := range degrees {
 		t := prof.StepTime(res, k)
 		q := int(window / t)
@@ -116,36 +134,40 @@ func (s *Scheduler) minGPUHourMix(prof *costmodel.Profile, res model.Resolution,
 			// steps tile the round poorly.
 			eff = window / time.Duration(q)
 		}
-		cfgs = append(cfgs, cfg{k: k, t: eff, g: float64(k) * eff.Seconds()})
+		cfgs = append(cfgs, degCfg{k: k, t: eff, g: float64(k) * eff.Seconds()})
 	}
 	if len(cfgs) == 0 {
 		// Window shorter than every step time can only happen with a
 		// pathological granularity; fall back to raw profile times.
 		for _, k := range degrees {
 			t := prof.StepTime(res, k)
-			cfgs = append(cfgs, cfg{k: k, t: t, g: float64(k) * t.Seconds()})
+			cfgs = append(cfgs, degCfg{k: k, t: t, g: float64(k) * t.Seconds()})
 		}
 	}
+	s.scratch.cfgs = cfgs
 
+	// The winning plan is tracked as indices into cfgs (single ≥ 0, or the
+	// slow/fast pair with x steps at slow) and materialized once at the end,
+	// so losing plans cost no allocation.
 	bestCost := -1.0
-	var best []mixEntry
-	consider := func(cost float64, mix []mixEntry) {
+	bestSingle, bestSlow, bestFast, bestX := -1, -1, -1, 0
+	consider := func(cost float64, single, slow, fast, x int) {
 		if bestCost < 0 || cost < bestCost-1e-12 {
 			bestCost = cost
-			best = mix
+			bestSingle, bestSlow, bestFast, bestX = single, slow, fast, x
 		}
 	}
 
 	// Single-degree plans.
-	for _, c := range cfgs {
+	for i, c := range cfgs {
 		if time.Duration(steps)*c.t <= budget {
-			consider(float64(steps)*c.g, []mixEntry{{degree: c.k, planSteps: steps, stepTime: c.t}})
+			consider(float64(steps)*c.g, i, -1, -1, 0)
 		}
 	}
 	// Two-degree plans: x steps at a slower/cheaper degree, the rest at a
 	// faster one, with x maximized subject to the deadline.
-	for _, slow := range cfgs {
-		for _, fast := range cfgs {
+	for si, slow := range cfgs {
+		for fi, fast := range cfgs {
 			if fast.t >= slow.t || slow.g >= fast.g {
 				continue // need fast strictly faster and slow strictly cheaper
 			}
@@ -160,29 +182,37 @@ func (s *Scheduler) minGPUHourMix(prof *costmodel.Profile, res model.Resolution,
 			if x >= steps {
 				continue // degenerates to the all-slow single plan
 			}
-			cost := float64(x)*slow.g + float64(steps-x)*fast.g
-			consider(cost, []mixEntry{
-				{degree: slow.k, planSteps: x, stepTime: slow.t},
-				{degree: fast.k, planSteps: steps - x, stepTime: fast.t},
-			})
+			consider(float64(x)*slow.g+float64(steps-x)*fast.g, -1, si, fi, x)
 		}
 	}
 
-	if best != nil {
+	switch {
+	case bestSingle >= 0:
+		c := cfgs[bestSingle]
+		return []mixEntry{{degree: c.k, planSteps: steps, stepTime: c.t}}
+	case bestSlow >= 0:
+		slow, fast := cfgs[bestSlow], cfgs[bestFast]
+		mix := []mixEntry{
+			{degree: slow.k, planSteps: bestX, stepTime: slow.t},
+			{degree: fast.k, planSteps: steps - bestX, stepTime: fast.t},
+		}
 		// Lowest degree first: spend cheap parallelism early, scale up
 		// closer to the deadline (Figure 6).
-		sort.Slice(best, func(i, j int) bool { return best[i].degree < best[j].degree })
-		return best
+		if mix[0].degree > mix[1].degree {
+			mix[0], mix[1] = mix[1], mix[0]
+		}
+		return mix
 	}
 
 	// Infeasible even at maximum parallelism: run everything at the
 	// latency-optimal degree (the caller's definitely-late filter normally
 	// prevents reaching here, but mid-round drift can).
-	fastest := cfgs[0]
-	for _, c := range cfgs[1:] {
-		if c.t < fastest.t {
-			fastest = c
+	fastest := 0
+	for i := 1; i < len(cfgs); i++ {
+		if cfgs[i].t < cfgs[fastest].t {
+			fastest = i
 		}
 	}
-	return []mixEntry{{degree: fastest.k, planSteps: steps, stepTime: fastest.t}}
+	c := cfgs[fastest]
+	return []mixEntry{{degree: c.k, planSteps: steps, stepTime: c.t}}
 }

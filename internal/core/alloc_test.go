@@ -40,6 +40,16 @@ func mkState(id int, res model.Resolution, remaining int, arrival, slo time.Dura
 	}
 }
 
+// buildCand wraps the scratch-slot buildCandidate API in the old
+// allocate-and-return shape for test convenience.
+func buildCand(s *Scheduler, now, tNext time.Duration, st *sched.RequestState) *candidate {
+	c := new(candidate)
+	if !s.buildCandidate(testProf, now, tNext, st, c) {
+		return nil
+	}
+	return c
+}
+
 // mixTotalTime sums the plan's execution time at the per-degree effective
 // (round-quantized) step times the scheduler plans with.
 func mixTotalTime(s *Scheduler, mix []mixEntry) time.Duration {
@@ -183,7 +193,7 @@ func TestMixInfeasibleFallsBackToFastest(t *testing.T) {
 func TestBuildCandidateQuantities(t *testing.T) {
 	s := newTestScheduler(t)
 	st := mkState(1, model.Res1024, 50, 0, 3*time.Second)
-	c := s.buildCandidate(testProf, 0, s.RoundDuration(), st)
+	c := buildCand(s, 0, s.RoundDuration(), st)
 	if c == nil || len(c.options) == 0 {
 		t.Fatal("active feasible request should yield options")
 	}
@@ -208,13 +218,13 @@ func TestBuildCandidateSurvival(t *testing.T) {
 	s := newTestScheduler(t)
 	// Plenty of slack: surviving without running must be possible.
 	slack := mkState(1, model.Res256, 50, 0, 30*time.Second)
-	c := s.buildCandidate(testProf, 0, s.RoundDuration(), slack)
+	c := buildCand(s, 0, s.RoundDuration(), slack)
 	if !c.surviveNone {
 		t.Fatal("request with huge slack should survive a skipped round")
 	}
 	// 2048px at its 5s SLO: skipping the first round is fatal.
 	urgent := mkState(2, model.Res2048, 50, 0, 5*time.Second)
-	cu := s.buildCandidate(testProf, 0, s.RoundDuration(), urgent)
+	cu := buildCand(s, 0, s.RoundDuration(), urgent)
 	if cu.surviveNone {
 		t.Fatal("2048px@1.0x cannot afford to skip the first round")
 	}
@@ -232,7 +242,7 @@ func TestBuildCandidateSurvival(t *testing.T) {
 func TestBuildCandidateNilForFinished(t *testing.T) {
 	s := newTestScheduler(t)
 	st := mkState(1, model.Res256, 0, 0, time.Second)
-	if c := s.buildCandidate(testProf, 0, s.RoundDuration(), st); c != nil {
+	if c := buildCand(s, 0, s.RoundDuration(), st); c != nil {
 		t.Fatal("finished request should yield no candidate")
 	}
 }

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"time"
 
 	"tetriserve/internal/sched"
@@ -9,7 +10,9 @@ import (
 	"tetriserve/internal/workload"
 )
 
-// placed is an in-progress assignment before final emission.
+// placed is an in-progress assignment before final emission. Instances live
+// in the scheduler's scratch arena (planScratch.placed) and are recycled
+// every round; pointers to them are only valid within one Plan call.
 type placed struct {
 	cand     *candidate
 	degree   int
@@ -17,6 +20,7 @@ type placed struct {
 	stepTime time.Duration
 	group    simgpu.Mask
 	// members is non-nil once continuous batching merged several requests.
+	// It aliases planScratch.memberArena.
 	members []*candidate
 	// bestEffort marks the ≤1-GPU lane for already-late requests.
 	bestEffort bool
@@ -28,24 +32,34 @@ type placed struct {
 // assemble turns DP selections into concrete assignments: placement
 // (preservation-aware), selective continuous batching, work-conserving
 // admission of unselected requests, the best-effort lane for late requests,
-// and elastic scale-up across all of them.
+// and elastic scale-up across all of them. The returned plan lives in the
+// scheduler's scratch and is valid until the next Plan call.
 func (s *Scheduler) assemble(ctx *sched.PlanContext, sels []selection, cands []*candidate, late []*sched.RequestState) []sched.Assignment {
+	sc := &s.scratch
 	free := ctx.Free
 
+	// The placement arena must never reallocate once pointers are taken:
+	// each candidate is placed at most once (DP pass or work-conserving
+	// admission, never both) and the best-effort lane adds at most one
+	// block per late request.
+	if need := len(cands) + len(late); cap(sc.placed) < need {
+		sc.placed = make([]placed, 0, need)
+	}
+	sc.placed = sc.placed[:0]
+	sc.placedPtr = sc.placedPtr[:0]
+
 	// --- Placement (big groups first to limit fragmentation). ---
-	ordered := make([]selection, 0, len(sels))
+	ordered := sc.ordered[:0]
 	for _, sel := range sels {
 		if sel.optIdx >= 0 {
 			ordered = append(ordered, sel)
 		}
 	}
-	sort.SliceStable(ordered, func(i, j int) bool {
-		return ordered[i].cand.options[ordered[i].optIdx].degree >
-			ordered[j].cand.options[ordered[j].optIdx].degree
+	slices.SortStableFunc(ordered, func(a, b selection) int {
+		return b.cand.options[b.optIdx].degree - a.cand.options[a.optIdx].degree
 	})
+	sc.ordered = ordered
 
-	var placedList []*placed
-	selected := make(map[workload.RequestID]bool)
 	for _, sel := range ordered {
 		opt := sel.cand.options[sel.optIdx]
 		p := s.place(ctx, free, sel.cand, opt.degree)
@@ -54,24 +68,25 @@ func (s *Scheduler) assemble(ctx *sched.PlanContext, sels []selection, cands []*
 			continue
 		}
 		free = free.Without(p.group)
-		placedList = append(placedList, p)
-		selected[sel.cand.st.Req.ID] = true
+		sc.placedPtr = append(sc.placedPtr, p)
+		sel.cand.selected = true
 	}
 
 	// --- Selective continuous batching (§5). ---
 	if s.cfg.SelectiveBatching {
-		free = s.batchSmall(ctx, placedList, free)
+		free = s.batchSmall(ctx, sc.placedPtr, free)
 	}
 
 	// --- Work-conserving admission of DP-skipped requests. ---
-	unplaced := make([]*candidate, 0)
+	unplaced := sc.unplaced[:0]
 	for _, c := range cands {
-		if !selected[c.st.Req.ID] && len(c.options) > 0 {
+		if !c.selected && len(c.options) > 0 {
 			unplaced = append(unplaced, c)
 		}
 	}
-	sort.SliceStable(unplaced, func(i, j int) bool {
-		return unplaced[i].st.Deadline() < unplaced[j].st.Deadline()
+	sc.unplaced = unplaced
+	slices.SortStableFunc(unplaced, func(a, b *candidate) int {
+		return cmp.Compare(a.st.Deadline(), b.st.Deadline())
 	})
 	for _, c := range unplaced {
 		if free == 0 {
@@ -83,13 +98,15 @@ func (s *Scheduler) assemble(ctx *sched.PlanContext, sels []selection, cands []*
 			continue
 		}
 		free = free.Without(p.group)
-		placedList = append(placedList, p)
+		sc.placedPtr = append(sc.placedPtr, p)
 	}
 
 	// --- Best-effort lane for definitely-late requests (§4.2.2): at most
 	// one GPU each, from leftovers only, scaled up later if GPUs idle. ---
 	if s.cfg.BestEffortLane {
-		sort.SliceStable(late, func(i, j int) bool { return late[i].Deadline() < late[j].Deadline() })
+		slices.SortStableFunc(late, func(a, b *sched.RequestState) int {
+			return cmp.Compare(a.Deadline(), b.Deadline())
+		})
 		window := s.window()
 		// Budget the lane: already-running late blocks (multi-round SP=1
 		// blocks from earlier rounds) count against the cap so stragglers
@@ -100,6 +117,10 @@ func (s *Scheduler) assemble(ctx *sched.PlanContext, sels []selection, cands []*
 				budget--
 			}
 		}
+		if cap(sc.lateArena) < len(late) {
+			sc.lateArena = make([]candidate, 0, len(late))
+		}
+		sc.lateArena = sc.lateArena[:0]
 		for _, st := range late {
 			if budget <= 0 || free.Count() == 0 {
 				break
@@ -122,8 +143,9 @@ func (s *Scheduler) assemble(ctx *sched.PlanContext, sels []selection, cands []*
 				q = st.Remaining
 			}
 			free = free.Without(g)
-			placedList = append(placedList, &placed{
-				cand:       &candidate{st: st},
+			sc.lateArena = append(sc.lateArena, candidate{st: st})
+			sc.placed = append(sc.placed, placed{
+				cand:       &sc.lateArena[len(sc.lateArena)-1],
 				degree:     1,
 				steps:      q,
 				stepTime:   t,
@@ -131,38 +153,53 @@ func (s *Scheduler) assemble(ctx *sched.PlanContext, sels []selection, cands []*
 				bestEffort: true,
 				aligned:    aligned,
 			})
+			sc.placedPtr = append(sc.placedPtr, &sc.placed[len(sc.placed)-1])
 		}
 	}
 
 	// --- Elastic scale-up over everything placed (§4.2.3). ---
 	if s.cfg.ElasticScaleUp {
-		free = s.scaleUp(ctx, placedList, free)
+		free = s.scaleUp(ctx, sc.placedPtr, free)
 	}
 
-	// --- Emit. ---
-	var plan []sched.Assignment
-	for _, p := range placedList {
-		if p == nil || p.group == 0 {
+	// --- Emit. The plan and the Requests slices it references alias the
+	// scheduler's scratch (see sched.Scheduler's Plan contract); retainers
+	// such as the engine copy what they keep. ---
+	total := 0
+	for _, p := range sc.placedPtr {
+		if p.group != 0 {
+			total += 1 + len(p.members)
+		}
+	}
+	if cap(sc.ids) < total {
+		sc.ids = make([]workload.RequestID, 0, total)
+	}
+	sc.ids = sc.ids[:0]
+	plan := sc.plan[:0]
+	for _, p := range sc.placedPtr {
+		if p.group == 0 {
 			continue // absorbed into a batch
 		}
-		ids := []workload.RequestID{p.cand.st.Req.ID}
+		start := len(sc.ids)
+		sc.ids = append(sc.ids, p.cand.st.Req.ID)
 		for _, m := range p.members {
-			ids = append(ids, m.st.Req.ID)
+			sc.ids = append(sc.ids, m.st.Req.ID)
 		}
 		plan = append(plan, sched.Assignment{
-			Requests:     ids,
+			Requests:     sc.ids[start:len(sc.ids):len(sc.ids)],
 			Group:        p.group,
 			Steps:        p.steps,
 			RoundAligned: p.aligned,
 			BestEffort:   p.bestEffort,
 		})
 	}
+	sc.plan = plan
 	return plan
 }
 
 // place maps a (candidate, degree) onto a concrete free group, degrading to
-// smaller degrees when alignment fails. Returns nil if not even one GPU is
-// available.
+// smaller degrees when alignment fails. The block is taken from the scratch
+// placement arena; returns nil if not even one GPU is available.
 func (s *Scheduler) place(ctx *sched.PlanContext, free simgpu.Mask, c *candidate, degree int) *placed {
 	window := s.window()
 	for k := degree; k >= 1; k /= 2 {
@@ -183,7 +220,9 @@ func (s *Scheduler) place(ctx *sched.PlanContext, free simgpu.Mask, c *candidate
 		if g == 0 {
 			continue
 		}
-		return &placed{cand: c, degree: k, steps: q, stepTime: t, group: g, aligned: true}
+		sc := &s.scratch
+		sc.placed = append(sc.placed, placed{cand: c, degree: k, steps: q, stepTime: t, group: g, aligned: true})
+		return &sc.placed[len(sc.placed)-1]
 	}
 	return nil
 }
@@ -193,7 +232,8 @@ func (s *Scheduler) place(ctx *sched.PlanContext, free simgpu.Mask, c *candidate
 // donors' GPUs. Returns the updated free mask.
 func (s *Scheduler) batchSmall(ctx *sched.PlanContext, placedList []*placed, free simgpu.Mask) simgpu.Mask {
 	tNext := ctx.Now + s.tau
-	byRes := map[string][]*placed{}
+	sc := &s.scratch
+	batchable := sc.batchable[:0]
 	for _, p := range placedList {
 		if p.degree != 1 || len(p.members) > 0 || p.bestEffort {
 			continue
@@ -202,24 +242,41 @@ func (s *Scheduler) batchSmall(ctx *sched.PlanContext, placedList []*placed, fre
 		// for small resolutions that underutilize a GPU.
 		tokens := p.cand.st.Req.Res.Pixels() / 256
 		if ctx.Profile.Has(p.cand.st.Req.Res) && tokens <= s.cfg.BatchTokenCap {
-			key := p.cand.st.Req.Res.String()
-			byRes[key] = append(byRes[key], p)
+			batchable = append(batchable, p)
 		}
 	}
-	keys := make([]string, 0, len(byRes))
-	for k := range byRes {
-		keys = append(keys, k)
+	sc.batchable = batchable
+	// Group by resolution, earliest deadline first within a group. Groups
+	// are independent — merges happen within one resolution and only ever
+	// release GPUs into free — so visiting them in pixel order rather than
+	// the lexicographic string order of the map-based version changes no
+	// observable outcome.
+	slices.SortStableFunc(batchable, func(a, b *placed) int {
+		ra, rb := a.cand.st.Req.Res, b.cand.st.Req.Res
+		if ra != rb {
+			if c := cmp.Compare(ra.Pixels(), rb.Pixels()); c != 0 {
+				return c
+			}
+			return cmp.Compare(ra.W, rb.W)
+		}
+		return cmp.Compare(a.cand.st.Deadline(), b.cand.st.Deadline())
+	})
+	if cap(sc.memberArena) < len(batchable) {
+		sc.memberArena = make([]*candidate, 0, len(batchable))
 	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		group := byRes[key]
+	sc.memberArena = sc.memberArena[:0]
+	for gi := 0; gi < len(batchable); {
+		gj := gi + 1
+		for gj < len(batchable) && batchable[gj].cand.st.Req.Res == batchable[gi].cand.st.Req.Res {
+			gj++
+		}
+		group := batchable[gi:gj]
+		gi = gj
 		if len(group) < 2 {
 			continue
 		}
-		sort.SliceStable(group, func(i, j int) bool {
-			return group[i].cand.st.Deadline() < group[j].cand.st.Deadline()
-		})
 		host := group[0]
+		start := len(sc.memberArena)
 		for _, donor := range group[1:] {
 			bs := 1 + len(host.members) + 1
 			if bs > s.cfg.MaxBatch {
@@ -233,19 +290,12 @@ func (s *Scheduler) batchSmall(ctx *sched.PlanContext, placedList []*placed, fre
 			// Joint step count: every member advances up to `steps` this
 			// round (clipped to its own remaining by the engine).
 			steps := qb
-			members := append([]*candidate{host.cand}, host.members...)
-			members = append(members, donor.cand)
-			ok := true
-			for _, m := range members {
-				st := steps
-				if st > m.st.Remaining {
-					st = m.st.Remaining
-				}
-				after := m.st.Remaining - st
-				if tNext+time.Duration(after)*m.tmin > m.st.Deadline() {
-					ok = false
+			ok := survivesBatch(tNext, host.cand, steps) && survivesBatch(tNext, donor.cand, steps)
+			for _, m := range host.members {
+				if !ok {
 					break
 				}
+				ok = survivesBatch(tNext, m, steps)
 			}
 			if !ok {
 				continue
@@ -256,7 +306,8 @@ func (s *Scheduler) batchSmall(ctx *sched.PlanContext, placedList []*placed, fre
 			if steps <= 0 {
 				continue
 			}
-			host.members = append(host.members, donor.cand)
+			sc.memberArena = append(sc.memberArena, donor.cand)
+			host.members = sc.memberArena[start:len(sc.memberArena):len(sc.memberArena)]
 			host.steps = steps
 			host.stepTime = tb
 			free = free.Union(donor.group)
@@ -264,6 +315,17 @@ func (s *Scheduler) batchSmall(ctx *sched.PlanContext, placedList []*placed, fre
 		}
 	}
 	return free
+}
+
+// survivesBatch reports whether running `steps` joint steps this round keeps
+// member m on time at the next round boundary.
+func survivesBatch(tNext time.Duration, m *candidate, steps int) bool {
+	st := steps
+	if st > m.st.Remaining {
+		st = m.st.Remaining
+	}
+	after := m.st.Remaining - st
+	return tNext+time.Duration(after)*m.tmin <= m.st.Deadline()
 }
 
 // scaleUp grants leftover GPUs to placed requests whose per-step time

@@ -185,6 +185,56 @@ func TestDPNegativeCapacity(t *testing.T) {
 	}
 }
 
+func TestDPZeroCapacity(t *testing.T) {
+	s := newTestScheduler(t)
+	cands := []*candidate{
+		mkCandidate(1, true, opt(1, 5, true)),
+		mkCandidate(2, false, opt(1, 5, true), opt(2, 5, true)),
+	}
+	sels := s.packDP(cands, 0)
+	if len(sels) != len(cands) {
+		t.Fatalf("got %d selections, want %d", len(sels), len(cands))
+	}
+	for _, sel := range sels {
+		if sel.optIdx != -1 {
+			t.Fatal("zero capacity must select 'none' for every candidate")
+		}
+	}
+}
+
+func TestDPAllOptionsWiderThanCapacity(t *testing.T) {
+	s := newTestScheduler(t)
+	cands := []*candidate{
+		mkCandidate(1, false, opt(4, 5, true), opt(8, 5, true)),
+		mkCandidate(2, true, opt(4, 5, true)),
+	}
+	sels := s.packDP(cands, 2)
+	for _, sel := range sels {
+		if sel.optIdx != -1 {
+			t.Fatalf("no option fits in 2 GPUs; candidate %d still ran option %d",
+				sel.cand.st.Req.ID, sel.optIdx)
+		}
+	}
+}
+
+// TestDPManyOptionsBackPointer is the int8→int16 regression test: with more
+// than 127 options per candidate, the old int8 back-pointer rows silently
+// overflowed and reconstructed garbage. Option index 150 is the unique
+// surviving choice and must be selected intact.
+func TestDPManyOptionsBackPointer(t *testing.T) {
+	s := newTestScheduler(t)
+	opts := make([]option, 151)
+	for i := range opts {
+		opts[i] = opt(1, 5, false)
+	}
+	opts[150] = opt(1, 5, true) // only the 151st option survives
+	cands := []*candidate{mkCandidate(1, false, opts...)}
+	sels := s.packDP(cands, 8)
+	if sels[0].optIdx != 150 {
+		t.Fatalf("optIdx = %d, want 150 (back-pointer must hold indices > 127)", sels[0].optIdx)
+	}
+}
+
 func TestDPSelectionOrderStable(t *testing.T) {
 	s := newTestScheduler(t)
 	cands := []*candidate{

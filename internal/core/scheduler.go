@@ -126,12 +126,21 @@ func (c *Config) normalize() {
 
 // Scheduler is TetriServe's round-based scheduler. It implements
 // sched.Scheduler and is driven at fixed round boundaries.
+//
+// A Scheduler is NOT safe for concurrent use: Plan reuses per-round scratch
+// buffers (see scratch.go), and the returned plan aliases them, remaining
+// valid only until the next Plan call. Drive each Scheduler from a single
+// goroutine — the simulator, the live server loop, and the parallel
+// experiment harness (one scheduler per cell) all do.
 type Scheduler struct {
 	cfg  Config
 	prof *costmodel.Profile
 	topo *simgpu.Topology
 	tau  time.Duration
 	rng  *stats.RNG
+
+	// scratch holds the zero-alloc hot-path buffers reused across rounds.
+	scratch planScratch
 
 	// Diagnostics exported for experiments.
 	roundsPlanned     int
@@ -207,7 +216,10 @@ func (s *Scheduler) LastPlanLatency() time.Duration { return s.lastPlanLatency }
 func (s *Scheduler) window() time.Duration { return s.tau - s.cfg.SchedOverhead }
 
 // Plan implements sched.Scheduler for one round (Algorithm 1 plus the
-// §4.2.3 placement/elastic extensions).
+// §4.2.3 placement/elastic extensions). The returned plan (including its
+// Requests slices) aliases the scheduler's reusable scratch and is valid
+// only until the next Plan call; callers that retain assignments across
+// rounds must copy them (the engine does).
 func (s *Scheduler) Plan(ctx *sched.PlanContext) []sched.Assignment {
 	started := time.Now()
 	defer func() {
@@ -216,33 +228,37 @@ func (s *Scheduler) Plan(ctx *sched.PlanContext) []sched.Assignment {
 	}()
 
 	tNext := ctx.Now + s.tau
+	s.beginPlan(ctx.Profile)
+	sc := &s.scratch
 
 	// Partition pending requests into active and definitely-late.
-	var active, late []*sched.RequestState
 	for _, st := range ctx.Pending {
 		if st.DefinitelyLate(ctx.Now, ctx.Profile) {
-			late = append(late, st)
+			sc.late = append(sc.late, st)
 		} else {
-			active = append(active, st)
+			sc.active = append(sc.active, st)
 		}
 	}
 
 	// Stage 1: deadline-aware minimal-GPU-hour allocation per request.
 	// All plan-time lookups go through ctx.Profile so a live server may
 	// extend the table (on-demand profiling) without rebuilding schedulers.
-	cands := make([]*candidate, 0, len(active))
-	for _, st := range active {
-		if c := s.buildCandidate(ctx.Profile, ctx.Now, tNext, st); c != nil {
-			cands = append(cands, c)
+	// Candidates live in the scratch arena; the arena is sized up front so
+	// the pointers taken here stay valid.
+	arena := sc.grabCandidates(len(sc.active))
+	for i, st := range sc.active {
+		c := &arena[i]
+		if s.buildCandidate(ctx.Profile, ctx.Now, tNext, st, c) {
+			sc.cands = append(sc.cands, c)
 		}
 	}
 
 	// Stage 2: group-knapsack DP over the free capacity.
 	capGPUs := ctx.Free.Count()
-	chosen := s.packDP(cands, capGPUs)
+	chosen := s.packDP(sc.cands, capGPUs)
 
 	// Stage 3: placement, batching, elastic scale-up, best-effort lane.
-	return s.assemble(ctx, chosen, cands, late)
+	return s.assemble(ctx, chosen, sc.cands, sc.late)
 }
 
 var _ sched.Scheduler = (*Scheduler)(nil)

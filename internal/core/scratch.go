@@ -1,0 +1,121 @@
+package core
+
+// This file holds the scheduler's reusable per-round scratch state. Plan is
+// the control-plane hot path (the <10 ms claim of Appendix B); re-allocating
+// candidates, DP rows and placement buffers every round made the Go
+// allocator, not the algorithm, the dominant cost at deep queues. All
+// buffers below are owned by one Scheduler and reused across Plan calls,
+// which is safe because Plan is never invoked concurrently on one scheduler
+// (both the simulator and the live server drive a scheduler from a single
+// goroutine; the parallel experiment harness constructs one scheduler per
+// worker).
+
+import (
+	"time"
+
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/workload"
+)
+
+// mixKey identifies one deadline-aware allocation subproblem. The budget is
+// the exact remaining time to deadline: quantizing it would let two requests
+// with different deadlines share a (possibly wrong) plan and change round
+// decisions, so the memo trades hit rate for bit-for-bit reproducibility.
+// Requests of the same resolution arriving together (the common burst shape,
+// and the planner benchmark's queue) still collapse onto a handful of keys.
+type mixKey struct {
+	res    model.Resolution
+	steps  int
+	budget time.Duration
+}
+
+// mixMemoLimit bounds the memo so long-running servers with ever-shifting
+// deadlines cannot grow it without bound; on overflow the memo resets, which
+// only costs recomputation.
+const mixMemoLimit = 8192
+
+// planScratch is the arena reused across Plan calls.
+type planScratch struct {
+	// Stage 0: request partition.
+	active []*sched.RequestState
+	late   []*sched.RequestState
+
+	// Stage 1: candidate construction.
+	candArena []candidate
+	cands     []*candidate
+
+	// minGPUHourMix working set and memo. The memo lives across rounds
+	// within a "plan epoch": it is cleared whenever the profile identity or
+	// version changes (on-demand profiling extends tables in place).
+	cfgs        []degCfg
+	mixMemo     map[mixKey][]mixEntry
+	memoProf    *costmodel.Profile
+	memoVersion uint64
+
+	// Stage 2: DP rows. choice is the flattened back-pointer table,
+	// len(cands)×(capacity+1), reused between rounds.
+	dp     []int64
+	next   []int64
+	choice []int16
+	sels   []selection
+
+	// Stage 3: assembly. placed is the arena all *placed pointers index
+	// into; memberArena backs the per-host continuous-batching member
+	// slices; ids backs the emitted Assignment.Requests slices.
+	ordered     []selection
+	placed      []placed
+	placedPtr   []*placed
+	lateArena   []candidate
+	unplaced    []*candidate
+	batchable   []*placed
+	memberArena []*candidate
+	ids         []workload.RequestID
+	plan        []sched.Assignment
+}
+
+// degCfg is one profiled degree's effective cost inside minGPUHourMix.
+type degCfg struct {
+	k int
+	t time.Duration
+	g float64 // GPU-seconds per step
+}
+
+// beginPlan resets the per-round buffers and rolls the memo epoch if the
+// profile changed since the last round.
+func (s *Scheduler) beginPlan(prof *costmodel.Profile) {
+	sc := &s.scratch
+	sc.active = sc.active[:0]
+	sc.late = sc.late[:0]
+	sc.cands = sc.cands[:0]
+	s.ensureMemo(prof)
+}
+
+// ensureMemo (re)initializes the allocation memo when it does not exist yet,
+// the profile identity or version changed, or the memo outgrew its bound.
+func (s *Scheduler) ensureMemo(prof *costmodel.Profile) {
+	sc := &s.scratch
+	if sc.mixMemo == nil || sc.memoProf != prof || sc.memoVersion != prof.Version() || len(sc.mixMemo) > mixMemoLimit {
+		sc.mixMemo = make(map[mixKey][]mixEntry)
+		sc.memoProf = prof
+		sc.memoVersion = prof.Version()
+	}
+}
+
+// grabCandidates returns n zeroed candidate slots with stable addresses.
+func (sc *planScratch) grabCandidates(n int) []candidate {
+	if cap(sc.candArena) < n {
+		sc.candArena = make([]candidate, n)
+	}
+	sc.candArena = sc.candArena[:n]
+	return sc.candArena
+}
+
+// int64Row returns a zero-length int64 buffer with at least n capacity.
+func int64Row(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}

@@ -30,6 +30,15 @@ type Entry struct {
 // runtime (§4.2.1): per (resolution, degree, batch), the expected step time
 // and derived GPU-seconds. Lookups never touch the analytical model, exactly
 // as the paper's scheduler only reads pre-profiled values.
+//
+// Concurrency: after BuildProfile returns, every lookup method (StepTime,
+// StepTimeBatch, MinStepTime, Lookup, Degrees, Resolutions, Has, …) is safe
+// for concurrent readers — the table is never mutated by reads, so any
+// number of simulations or schedulers may share one Profile. Extend is the
+// single writer and must not run concurrently with readers; the live server
+// guarantees this by calling Extend only on the loop goroutine that owns all
+// profile reads (see internal/server). Extend bumps Version so cached
+// derivations (e.g. the scheduler's allocation memo) can invalidate.
 type Profile struct {
 	ModelName string
 	TopoName  string
@@ -38,7 +47,15 @@ type Profile struct {
 	Noise   float64
 	degrees []int
 	entries map[Key]Entry
+	// version counts mutations (Extend calls that added entries) so readers
+	// holding derived caches can detect staleness cheaply.
+	version uint64
 }
+
+// Version identifies the current table contents; it changes whenever Extend
+// grows the profile. Two calls returning the same value bracket a span with
+// no table mutations.
+func (p *Profile) Version() uint64 { return p.version }
 
 // Degrees returns the profiled sequence-parallel degrees in ascending order.
 func (p *Profile) Degrees() []int { return p.degrees }
@@ -161,6 +178,7 @@ func BuildProfile(est *Estimator, cfg ProfilerConfig) *Profile {
 		Noise:     cfg.Noise,
 		degrees:   est.Topo.Degrees(),
 		entries:   make(map[Key]Entry),
+		version:   1,
 	}
 	for _, res := range cfg.Resolutions {
 		for _, k := range p.degrees {
@@ -203,6 +221,7 @@ func (p *Profile) Extend(est *Estimator, res model.Resolution) {
 	for k, e := range sub.entries {
 		p.entries[k] = e
 	}
+	p.version++
 }
 
 // Jitter perturbs a nominal duration by Gaussian noise with relative σ,

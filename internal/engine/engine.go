@@ -16,6 +16,7 @@ package engine
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"tetriserve/internal/costmodel"
@@ -157,6 +158,9 @@ func (e *Engine) Start(now time.Duration, asg sched.Assignment, states map[workl
 	if err := e.topo.ValidGroup(asg.Group); err != nil {
 		return nil, err
 	}
+	// The run outlives this call, but sched.Scheduler only guarantees the
+	// plan's Requests storage until the next Plan; copy what we retain.
+	asg.Requests = slices.Clone(asg.Requests)
 	var res model.Resolution
 	steps := make(map[workload.RequestID]int, len(asg.Requests))
 	overhead := dispatchDelay

@@ -5,6 +5,7 @@ import (
 
 	"tetriserve/internal/core"
 	"tetriserve/internal/metrics"
+	"tetriserve/internal/sim"
 	"tetriserve/internal/tablefmt"
 	"tetriserve/internal/workload"
 )
@@ -45,16 +46,25 @@ func AblationVariants() []string {
 func runTable5(ctx Context) []*tablefmt.Table {
 	ctx = ctx.withDefaults()
 	f := fix("flux-h100")
+	mixes := []workload.Mix{workload.UniformMix(), workload.SkewedMix(1.0)}
+	variants := AblationVariants()
+	scales := []float64{1.0, 1.5}
+	results := mapCells(ctx, len(mixes)*len(variants)*len(scales), func(i int) *sim.Result {
+		mi := i / (len(variants) * len(scales))
+		vi := i / len(scales) % len(variants)
+		si := i % len(scales)
+		sc := core.NewScheduler(f.prof, f.topo, ablationVariant(variants[vi]))
+		return runOne(f, sc, trace(ctx, f, mixes[mi], nil, scales[si]))
+	})
 	var tables []*tablefmt.Table
-	for _, mix := range []workload.Mix{workload.UniformMix(), workload.SkewedMix(1.0)} {
+	for mi, mix := range mixes {
 		t := tablefmt.New(
 			fmt.Sprintf("Table 5: ablation, %s mix (SAR / mean latency s)", mix.Name()),
 			"Variant", "SLO=1.0x SAR", "SLO=1.0x MeanLat", "SLO=1.5x SAR", "SLO=1.5x MeanLat")
-		for _, variant := range AblationVariants() {
+		for vi, variant := range variants {
 			row := []string{variant}
-			for _, scale := range []float64{1.0, 1.5} {
-				sc := core.NewScheduler(f.prof, f.topo, ablationVariant(variant))
-				res := runOne(f, sc, trace(ctx, f, mix, nil, scale))
+			for si := range scales {
+				res := results[mi*len(variants)*len(scales)+vi*len(scales)+si]
 				row = append(row, fm(metrics.SAR(res)), fm(metrics.MeanLatency(res)))
 			}
 			t.AddRow(row...)

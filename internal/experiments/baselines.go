@@ -23,31 +23,30 @@ func init() {
 func runExt2(ctx Context) []*tablefmt.Table {
 	ctx = ctx.withDefaults()
 	f := fix("flux-h100")
+	mixes := []workload.Mix{workload.UniformMix(), workload.SkewedMix(1.0)}
+	makers := []func() sched.Scheduler{
+		func() sched.Scheduler { return newTetri(f) },
+		func() sched.Scheduler { return sched.NewEDF() },
+		func() sched.Scheduler { return sched.NewThroughput() },
+		func() sched.Scheduler { return newRSSP(f) },
+	}
+	scales := []float64{1.0, 1.5}
+	results := mapCells(ctx, len(mixes)*len(makers)*len(scales), func(i int) *sim.Result {
+		mi := i / (len(makers) * len(scales))
+		ki := i / len(scales) % len(makers)
+		si := i % len(scales)
+		return runOne(f, makers[ki](), trace(ctx, f, mixes[mi], nil, scales[si]))
+	})
 	var tables []*tablefmt.Table
-	for _, mix := range []workload.Mix{workload.UniformMix(), workload.SkewedMix(1.0)} {
+	for mi, mix := range mixes {
 		t := tablefmt.New(
 			fmt.Sprintf("Additional baselines, %s mix, %.0f req/min", mix.Name(), ctx.Rate),
 			"Scheduler", "SAR 1.0x", "SAR 1.5x", "mean lat (s)", "GPU-s/req", "util", "batched blocks")
-		makers := []func() sched.Scheduler{
-			func() sched.Scheduler { return newTetri(f) },
-			func() sched.Scheduler { return sched.NewEDF() },
-			func() sched.Scheduler { return sched.NewThroughput() },
-			func() sched.Scheduler { return newRSSP(f) },
-		}
-		for _, mk := range makers {
-			name := mk().Name()
-			var sar10, sar15 float64
-			var last *sim.Result
-			for _, scale := range []float64{1.0, 1.5} {
-				res := runOne(f, mk(), trace(ctx, f, mix, nil, scale))
-				if scale == 1.0 {
-					sar10 = metrics.SAR(res)
-				} else {
-					sar15 = metrics.SAR(res)
-					last = res
-				}
-			}
-			t.AddRow(name, fm(sar10), fm(sar15),
+		for ki, mk := range makers {
+			at := func(si int) *sim.Result { return results[mi*len(makers)*len(scales)+ki*len(scales)+si] }
+			sar10, sar15 := metrics.SAR(at(0)), metrics.SAR(at(1))
+			last := at(1)
+			t.AddRow(mk().Name(), fm(sar10), fm(sar15),
 				fm(metrics.MeanLatency(last)),
 				fm(metrics.GPUSecondsPerRequest(last)),
 				fm(metrics.Utilization(last)),

@@ -40,7 +40,10 @@ func init() {
 	})
 }
 
-// runEndToEnd produces the Figure 7/8 family for a mix.
+// runEndToEnd produces the Figure 7/8 family for a mix. The (scheduler,
+// SLO-scale) cells are independent and fan out through the parallel
+// harness; the tables are assembled from the results in cell order, so the
+// output is identical for any Context.Workers.
 func runEndToEnd(ctx Context, mix workload.Mix, figNo string) []*tablefmt.Table {
 	ctx = ctx.withDefaults()
 	f := fix("flux-h100")
@@ -55,21 +58,20 @@ func runEndToEnd(ctx Context, mix workload.Mix, figNo string) []*tablefmt.Table 
 			"Scheduler", "256x256", "512x512", "1024x1024", "2048x2048"),
 	}
 
-	type mk func() sched.Scheduler
-	makers := []mk{func() sched.Scheduler { return newTetri(f) }}
-	for _, k := range f.topo.Degrees() {
-		k := k
-		makers = append(makers, func() sched.Scheduler { return newFixed(k) })
-	}
-	makers = append(makers, func() sched.Scheduler { return newRSSP(f) })
+	makers := allMakers(f)
+	scales := workload.SLOScales()
+	results := mapCells(ctx, len(makers)*len(scales), func(i int) *sim.Result {
+		mi, si := i/len(scales), i%len(scales)
+		return runOne(f, makers[mi](), trace(ctx, f, mix, nil, scales[si]))
+	})
 
 	bestFixed := map[float64]float64{}
 	tetri := map[float64]float64{}
-	for _, mkSched := range makers {
+	for mi, mkSched := range makers {
 		name := mkSched().Name()
 		row := []string{name}
-		for _, scale := range workload.SLOScales() {
-			res := runOne(f, mkSched(), trace(ctx, f, mix, nil, scale))
+		for si, scale := range scales {
+			res := results[mi*len(scales)+si]
 			sar := metrics.SAR(res)
 			row = append(row, fm(sar))
 			if name == "TetriServe" {
@@ -97,18 +99,23 @@ func runEndToEnd(ctx Context, mix workload.Mix, figNo string) []*tablefmt.Table 
 func runFig9(ctx Context) []*tablefmt.Table {
 	ctx = ctx.withDefaults()
 	f := fix("flux-h100")
+	mixes := []workload.Mix{workload.UniformMix(), workload.SkewedMix(1.0)}
+	makers := allMakers(f)
+	results := mapCells(ctx, len(mixes)*len(makers), func(i int) *sim.Result {
+		mi, ki := i/len(makers), i%len(makers)
+		return runOne(f, makers[ki](), trace(ctx, f, mixes[mi], nil, 1.0),
+			func(c *sim.Config) { c.DropLateFactor = 4.0 })
+	})
 	var tables []*tablefmt.Table
-	for _, mix := range []workload.Mix{workload.UniformMix(), workload.SkewedMix(1.0)} {
+	for mi, mix := range mixes {
 		t := tablefmt.New(
 			fmt.Sprintf("Figure 9: completed-request latency, %s mix, SLO scale 1.0x", mix.Name()),
 			"Scheduler", "p50 (s)", "p90 (s)", "p99 (s)", "mean (s)", "completed", "P(lat<=5s)", "P(lat<=10s)")
-		scheds := schedulerSet(f)
-		for _, sc := range scheds {
-			res := runOne(f, sc, trace(ctx, f, mix, nil, 1.0),
-				func(c *sim.Config) { c.DropLateFactor = 4.0 })
+		for ki, mk := range makers {
+			res := results[mi*len(makers)+ki]
 			lats := metrics.CompletedLatencies(res)
 			cdf := stats.NewCDF(lats)
-			t.AddRow(sc.Name(),
+			t.AddRow(mk().Name(),
 				fm(stats.Percentile(lats, 50)), fm(stats.Percentile(lats, 90)),
 				fm(stats.Percentile(lats, 99)), fm(stats.Mean(lats)),
 				fmt.Sprint(len(lats)),
@@ -126,20 +133,32 @@ func runTable3(ctx Context) []*tablefmt.Table {
 	t := tablefmt.New("Table 3: SAR with Nirvana integration (12 req/min, SLO 1.0x)",
 		"Workload", "RSSP", "TetriServe", "RSSP+Nirvana", "TetriServe+Nirvana")
 
-	for _, mix := range []workload.Mix{workload.UniformMix(), workload.SkewedMix(1.0)} {
+	mixes := []workload.Mix{workload.UniformMix(), workload.SkewedMix(1.0)}
+	cachedOpts := []bool{false, true}
+	makers := []func() sched.Scheduler{
+		func() sched.Scheduler { return newRSSP(f) },
+		func() sched.Scheduler { return newTetri(f) },
+	}
+	// Cells: mix-major, then cached, then scheduler — the original loop
+	// nesting. Each cached cell warms its own Nirvana cache (deterministic
+	// from the seed), so cells share nothing mutable.
+	sars := mapCells(ctx, len(mixes)*len(cachedOpts)*len(makers), func(i int) float64 {
+		mi := i / (len(cachedOpts) * len(makers))
+		ci := i / len(makers) % len(cachedOpts)
+		ki := i % len(makers)
+		var opts []func(*sim.Config)
+		if cachedOpts[ci] {
+			c := warmCache(ctx, f)
+			opts = append(opts, func(cfg *sim.Config) { cfg.Trimmer = &cache.Trimmer{C: c} })
+		}
+		res := runOne(f, makers[ki](), trace(ctx, f, mixes[mi], nil, 1.0), opts...)
+		return metrics.SAR(res)
+	})
+	for mi, mix := range mixes {
 		row := []string{mix.Name()}
-		for _, cached := range []bool{false, true} {
-			for _, mk := range []func() sched.Scheduler{
-				func() sched.Scheduler { return newRSSP(f) },
-				func() sched.Scheduler { return newTetri(f) },
-			} {
-				var opts []func(*sim.Config)
-				if cached {
-					c := warmCache(ctx, f)
-					opts = append(opts, func(cfg *sim.Config) { cfg.Trimmer = &cache.Trimmer{C: c} })
-				}
-				res := runOne(f, mk(), trace(ctx, f, mix, nil, 1.0), opts...)
-				row = append(row, fm(metrics.SAR(res)))
+		for ci := range cachedOpts {
+			for ki := range makers {
+				row = append(row, fm(sars[mi*len(cachedOpts)*len(makers)+ci*len(makers)+ki]))
 			}
 		}
 		// Column order above is RSSP, TetriServe, RSSP+N, TetriServe+N.

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -35,6 +36,13 @@ type Context struct {
 	// ExhaustiveTimeout bounds each Appendix-B solver cell (default 60 s,
 	// 2 s when Quick).
 	ExhaustiveTimeout time.Duration
+	// Workers bounds how many independent simulation cells run
+	// concurrently (default runtime.GOMAXPROCS(0)). Workers=1 reproduces
+	// the fully sequential behavior bit-for-bit; any value produces
+	// identical tables because results are assembled in cell order.
+	// Timing-sensitive experiments (e.g. the Appendix-B solver wall-clock
+	// comparison) always run sequentially regardless of this knob.
+	Workers int
 }
 
 func (c Context) withDefaults() Context {
@@ -57,6 +65,9 @@ func (c Context) withDefaults() Context {
 		} else {
 			c.ExhaustiveTimeout = 60 * time.Second
 		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }

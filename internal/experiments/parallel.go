@@ -1,0 +1,99 @@
+package experiments
+
+// Parallel experiment harness. The evaluation grids (scheduler × mix ×
+// SLO-scale and friends) are embarrassingly parallel: every cell builds its
+// own trace, scheduler, and simulator from shared read-only inputs (the
+// costmodel.Profile lookup table, the simgpu.Topology, the model catalog —
+// see the concurrency notes on costmodel.Profile). RunCells fans those
+// cells across a bounded worker pool and leaves table assembly to the
+// caller, which consumes per-cell results strictly in index order, so the
+// emitted tables are byte-identical for any worker count.
+//
+// What must stay per-cell: the sim.Simulator, the engine, every
+// sched.Scheduler (TetriServe reuses plan scratch — see core.Scheduler),
+// the trace (cloneRequests), and all RNGs. What may be shared: profiles,
+// topologies, models, and the immutable request slices a trace is cloned
+// from.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// RunCells executes fn(i) for every i in [0, n) using at most ctx.Workers
+// concurrent goroutines. fn must only touch per-cell state (or read-only
+// shared inputs) and report results via its own index into a pre-sized
+// slice. With Workers=1 the cells run inline on the calling goroutine, in
+// order — exactly the pre-harness sequential behavior.
+//
+// Panics inside cells are collected and the lowest-index one is re-raised
+// on the calling goroutine after all in-flight cells drain, so a grid with
+// a deterministic bug fails on the same cell no matter the worker count.
+func RunCells(ctx Context, n int, fn func(i int)) {
+	ctx = ctx.withDefaults()
+	workers := ctx.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicIdx = -1
+		panicVal any
+	)
+	record := func(i int, v any) {
+		panicMu.Lock()
+		if panicIdx < 0 || i < panicIdx {
+			panicIdx, panicVal = i, v
+		}
+		panicMu.Unlock()
+	}
+	aborted := func() bool {
+		panicMu.Lock()
+		defer panicMu.Unlock()
+		return panicIdx >= 0
+	}
+	runCell := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				record(i, r)
+			}
+		}()
+		fn(i)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || aborted() {
+					return
+				}
+				runCell(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicIdx >= 0 {
+		panic(fmt.Sprintf("experiments: cell %d panicked: %v", panicIdx, panicVal))
+	}
+}
+
+// mapCells runs fn across the harness and returns the results indexed by
+// cell — the common shape for grid experiments: compute all simulation
+// results in parallel, then build tables sequentially from the slice.
+func mapCells[T any](ctx Context, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	RunCells(ctx, n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCellsCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 53
+		counts := make([]atomic.Int32, n)
+		RunCells(Context{Workers: workers}, n, func(i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: cell %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunCellsZeroCells(t *testing.T) {
+	RunCells(Context{Workers: 4}, 0, func(i int) {
+		t.Fatalf("cell %d should not run", i)
+	})
+}
+
+func TestRunCellsMoreWorkersThanCells(t *testing.T) {
+	var ran atomic.Int32
+	RunCells(Context{Workers: 64}, 3, func(i int) { ran.Add(1) })
+	if ran.Load() != 3 {
+		t.Fatalf("ran %d cells, want 3", ran.Load())
+	}
+}
+
+func TestRunCellsSequentialOrder(t *testing.T) {
+	// Workers=1 must execute inline and strictly in index order — the
+	// bit-for-bit sequential mode.
+	var order []int
+	RunCells(Context{Workers: 1}, 10, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential order violated: position %d ran cell %d", i, got)
+		}
+	}
+}
+
+func TestRunCellsPanicIsDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: expected panic", workers)
+				}
+				msg, ok := r.(string)
+				if workers == 1 {
+					// Sequential mode propagates the raw panic value.
+					if r != "boom-3" {
+						t.Fatalf("workers=1: got %v, want boom-3", r)
+					}
+					return
+				}
+				if !ok || !strings.Contains(msg, "cell 3") || !strings.Contains(msg, "boom-3") {
+					t.Fatalf("workers=%d: panic %v should name the lowest panicking cell", workers, r)
+				}
+			}()
+			RunCells(Context{Workers: workers}, 8, func(i int) {
+				if i >= 3 {
+					panic("boom-" + string(rune('0'+i)))
+				}
+			})
+		}()
+	}
+}
+
+func TestMapCellsIndexedResults(t *testing.T) {
+	got := mapCells(Context{Workers: 4}, 17, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestWorkersDeterminism is the harness property test: fig7 quick mode must
+// emit byte-identical tables for Workers=1 and Workers=4.
+func TestWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full fig7 grids")
+	}
+	e, err := ByID("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) string {
+		ctx := Context{Quick: true, NumRequests: 60, Workers: workers}
+		var sb strings.Builder
+		for _, tb := range e.Run(ctx) {
+			sb.WriteString(tb.String())
+			sb.WriteString("\n")
+		}
+		return sb.String()
+	}
+	seq := render(1)
+	par := render(4)
+	if seq != par {
+		t.Fatalf("fig7 tables differ between Workers=1 and Workers=4:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}

@@ -48,22 +48,29 @@ func init() {
 func runFig12(ctx Context) []*tablefmt.Table {
 	ctx = ctx.withDefaults()
 	f := fix("sd3-a40")
+	mixes := []workload.Mix{workload.UniformMix(), workload.SkewedMix(1.0)}
+	makers := []func() sched.Scheduler{func() sched.Scheduler { return newTetri(f) }}
+	for _, k := range f.topo.Degrees() {
+		k := k
+		makers = append(makers, func() sched.Scheduler { return newFixed(k) })
+	}
+	scales := workload.SLOScales()
+	sars := mapCells(ctx, len(mixes)*len(makers)*len(scales), func(i int) float64 {
+		mi := i / (len(makers) * len(scales))
+		ki := i / len(scales) % len(makers)
+		si := i % len(scales)
+		res := runOne(f, makers[ki](), trace(ctx, f, mixes[mi], nil, scales[si]))
+		return metrics.SAR(res)
+	})
 	var tables []*tablefmt.Table
-	for _, mix := range []workload.Mix{workload.UniformMix(), workload.SkewedMix(1.0)} {
+	for mi, mix := range mixes {
 		t := tablefmt.New(
 			fmt.Sprintf("Figure 12: SAR vs SLO scale, SD3 on 4xA40, %s mix", mix.Name()),
 			append([]string{"Scheduler"}, scaleHeaders()...)...)
-		type mk func() sched.Scheduler
-		makers := []mk{func() sched.Scheduler { return newTetri(f) }}
-		for _, k := range f.topo.Degrees() {
-			k := k
-			makers = append(makers, func() sched.Scheduler { return newFixed(k) })
-		}
-		for _, mkSched := range makers {
+		for ki, mkSched := range makers {
 			row := []string{mkSched().Name()}
-			for _, scale := range workload.SLOScales() {
-				res := runOne(f, mkSched(), trace(ctx, f, mix, nil, scale))
-				row = append(row, fm(metrics.SAR(res)))
+			for si := range scales {
+				row = append(row, fm(sars[mi*len(makers)*len(scales)+ki*len(scales)+si]))
 			}
 			t.AddRow(row...)
 		}
@@ -79,14 +86,19 @@ func runFig13(ctx Context) []*tablefmt.Table {
 	rates := []float64{6, 9, 12, 15, 18}
 	t := tablefmt.New("Figure 13: SAR vs arrival rate (Uniform, SLO 1.0x)",
 		"Scheduler", "6/min", "9/min", "12/min", "15/min", "18/min")
-	for _, mkSched := range allMakers(f) {
+	makers := allMakers(f)
+	sars := mapCells(ctx, len(makers)*len(rates), func(i int) float64 {
+		ki, ri := i/len(rates), i%len(rates)
+		rctx := ctx
+		rctx.Rate = rates[ri]
+		res := runOne(f, makers[ki](), trace(rctx, f, workload.UniformMix(),
+			workload.PoissonArrivals{PerMinute: rates[ri]}, 1.0))
+		return metrics.SAR(res)
+	})
+	for ki, mkSched := range makers {
 		row := []string{mkSched().Name()}
-		for _, rate := range rates {
-			rctx := ctx
-			rctx.Rate = rate
-			res := runOne(f, mkSched(), trace(rctx, f, workload.UniformMix(),
-				workload.PoissonArrivals{PerMinute: rate}, 1.0))
-			row = append(row, fm(metrics.SAR(res)))
+		for ri := range rates {
+			row = append(row, fm(sars[ki*len(rates)+ri]))
 		}
 		t.AddRow(row...)
 	}
@@ -98,11 +110,17 @@ func runFig14(ctx Context) []*tablefmt.Table {
 	f := fix("flux-h100")
 	t := tablefmt.New("Figure 14: homogeneous workloads (12 req/min, SLO 1.5x)",
 		"Scheduler", "only 256x256", "only 512x512", "only 1024x1024", "only 2048x2048")
-	for _, mkSched := range allMakers(f) {
+	makers := allMakers(f)
+	resolutions := model.StandardResolutions()
+	sars := mapCells(ctx, len(makers)*len(resolutions), func(i int) float64 {
+		ki, ri := i/len(resolutions), i%len(resolutions)
+		res := runOne(f, makers[ki](), trace(ctx, f, workload.HomogeneousMix(resolutions[ri]), nil, 1.5))
+		return metrics.SAR(res)
+	})
+	for ki, mkSched := range makers {
 		row := []string{mkSched().Name()}
-		for _, r := range model.StandardResolutions() {
-			res := runOne(f, mkSched(), trace(ctx, f, workload.HomogeneousMix(r), nil, 1.5))
-			row = append(row, fm(metrics.SAR(res)))
+		for ri := range resolutions {
+			row = append(row, fm(sars[ki*len(resolutions)+ri]))
 		}
 		t.AddRow(row...)
 	}
@@ -115,25 +133,32 @@ func runFig15(ctx Context) []*tablefmt.Table {
 	f := fix("flux-h100")
 	grans := []int{1, 2, 5, 10}
 	rates := []float64{6, 12, 18}
+	eagerOpts := []bool{true, false}
+	sars := mapCells(ctx, len(eagerOpts)*len(grans)*len(rates), func(i int) float64 {
+		ei := i / (len(grans) * len(rates))
+		gi := i / len(rates) % len(grans)
+		ri := i % len(rates)
+		cfg := core.DefaultConfig()
+		cfg.StepGranularity = grans[gi]
+		cfg.EagerAdmission = eagerOpts[ei]
+		sc := core.NewScheduler(f.prof, f.topo, cfg)
+		rctx := ctx
+		rctx.Rate = rates[ri]
+		res := runOne(f, sc, trace(rctx, f, workload.UniformMix(),
+			workload.PoissonArrivals{PerMinute: rates[ri]}, 1.0))
+		return metrics.SAR(res)
+	})
 	var tables []*tablefmt.Table
-	for _, eager := range []bool{true, false} {
+	for ei, eager := range eagerOpts {
 		title := "Figure 15: SAR vs step granularity and arrival rate (Uniform, SLO 1.0x)"
 		if !eager {
 			title = "Figure 15 (strict rounds): same sweep with eager admission disabled"
 		}
 		t := tablefmt.New(title, "Granularity", "6/min", "12/min", "18/min")
-		for _, g := range grans {
+		for gi, g := range grans {
 			row := []string{fmt.Sprintf("%d steps", g)}
-			for _, rate := range rates {
-				cfg := core.DefaultConfig()
-				cfg.StepGranularity = g
-				cfg.EagerAdmission = eager
-				sc := core.NewScheduler(f.prof, f.topo, cfg)
-				rctx := ctx
-				rctx.Rate = rate
-				res := runOne(f, sc, trace(rctx, f, workload.UniformMix(),
-					workload.PoissonArrivals{PerMinute: rate}, 1.0))
-				row = append(row, fm(metrics.SAR(res)))
+			for ri := range rates {
+				row = append(row, fm(sars[ei*len(grans)*len(rates)+gi*len(rates)+ri]))
 			}
 			t.AddRow(row...)
 		}

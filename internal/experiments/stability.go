@@ -7,6 +7,7 @@ import (
 	"tetriserve/internal/metrics"
 	"tetriserve/internal/model"
 	"tetriserve/internal/sched"
+	"tetriserve/internal/sim"
 	"tetriserve/internal/stats"
 	"tetriserve/internal/tablefmt"
 	"tetriserve/internal/workload"
@@ -38,23 +39,27 @@ func runFig10(ctx Context) []*tablefmt.Table {
 	series := tablefmt.New("Figure 10 (series): window-center seconds vs SAR",
 		"Scheduler", "t(s)", "SAR")
 
-	type mk func() sched.Scheduler
-	makers := []mk{func() sched.Scheduler { return newTetri(f) }}
+	makers := []func() sched.Scheduler{func() sched.Scheduler { return newTetri(f) }}
 	for _, k := range f.topo.Degrees() {
 		k := k
 		makers = append(makers, func() sched.Scheduler { return newFixed(k) })
 	}
-	for _, mkSched := range makers {
-		sc := mkSched()
+	results := mapCells(ctx, len(makers), func(i int) *sim.Result {
+		// Each cell builds its own bursty arrival process: the process is
+		// stateful (it memoizes burst phases) and must not be shared.
 		arr := workload.NewBurstyArrivals(ctx.Rate)
-		res := runOne(f, sc, trace(ctx, f, mix, arr, 1.5))
+		return runOne(f, makers[i](), trace(ctx, f, mix, arr, 1.5))
+	})
+	for ki, mkSched := range makers {
+		name := mkSched().Name()
+		res := results[ki]
 		pts := metrics.TimeSeriesSAR(res, window)
 		var acc stats.Running
 		for _, p := range pts {
 			acc.Add(p[1])
-			series.AddRow(sc.Name(), fmt.Sprintf("%.0f", p[0]), fm(p[1]))
+			series.AddRow(name, fmt.Sprintf("%.0f", p[0]), fm(p[1]))
 		}
-		summary.AddRow(sc.Name(), fm(metrics.SAR(res)), fm(acc.Mean()), fm(acc.Stddev()), fm(acc.Min()))
+		summary.AddRow(name, fm(metrics.SAR(res)), fm(acc.Mean()), fm(acc.Stddev()), fm(acc.Min()))
 	}
 	summary.AddNote("lower stddev and higher min indicate robustness to bursts (§6.3)")
 	return []*tablefmt.Table{summary, series}

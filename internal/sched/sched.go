@@ -121,6 +121,12 @@ type Scheduler interface {
 	RoundDuration() time.Duration
 	// Plan returns assignments to start now. Returned assignments must use
 	// disjoint subsets of ctx.Free and only requests from ctx.Pending.
+	//
+	// Ownership: the returned slice and the Requests slices inside it are
+	// only guaranteed valid until the next Plan call on the same scheduler —
+	// hot-path implementations reuse that storage. Callers retaining
+	// assignments across planning rounds must copy them (the engine clones
+	// Requests on Start).
 	Plan(ctx *PlanContext) []Assignment
 }
 
