@@ -1,11 +1,14 @@
 GO ?= go
 
-.PHONY: build test race bench bench-snapshot check
+.PHONY: build vet test race bench bench-snapshot check
 
 build:
 	$(GO) build ./...
 
-test:
+vet:
+	$(GO) vet ./...
+
+test: vet
 	$(GO) test ./...
 
 # Full suite under the race detector — guards the Profile read-safety
@@ -23,4 +26,5 @@ bench:
 bench-snapshot:
 	$(GO) run ./cmd/tetribench -o BENCH_planner.json
 
-check: build test race
+# Everything a PR must pass: compile, vet, full suite, race detector.
+check: build vet test race

@@ -12,12 +12,15 @@
 //
 // Flags:
 //
-//	-seed N      trace seed (default 1)
-//	-n N         requests per simulation (default 300)
-//	-rate R      arrival rate req/min (default 12)
-//	-quick       reduced sizes/timeouts (what the bench suite uses)
-//	-workers N   simulation cells run concurrently (default GOMAXPROCS; 1 = sequential)
-//	-markdown    emit GitHub-flavored markdown tables
+//	-seed N        trace seed (default 1)
+//	-n N           requests per simulation (default 300)
+//	-rate R        arrival rate req/min (default 12)
+//	-quick         reduced sizes/timeouts (what the bench suite uses)
+//	-workers N     simulation cells run concurrently (default GOMAXPROCS; 1 = sequential)
+//	-markdown      emit GitHub-flavored markdown tables
+//	-fail-gpus S   comma-separated GPU ids to fail-stop (timeline/export)
+//	-fail-at D     virtual time of the fail-stop (default 30s)
+//	-recover-at D  virtual time the GPUs return (0 = never)
 package main
 
 import (
@@ -48,7 +51,16 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sizes and timeouts")
 	workers := flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS, 1 = sequential)")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	failGPUs := flag.String("fail-gpus", "", "comma-separated GPU ids to fail-stop during timeline/export runs")
+	failAt := flag.Duration("fail-at", 30*time.Second, "virtual time at which -fail-gpus fail")
+	recoverAt := flag.Duration("recover-at", 0, "virtual time at which failed GPUs recover (0 = never)")
 	flag.Parse()
+
+	faults, err := simgpu.ParseFaults(*failGPUs, *failAt, *recoverAt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tetrisim:", err)
+		os.Exit(2)
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -76,7 +88,7 @@ func main() {
 		if len(args) > 1 {
 			schedName = args[1]
 		}
-		if err := runTimelineOrExport(args[0], schedName, ctx); err != nil {
+		if err := runTimelineOrExport(args[0], schedName, ctx, faults); err != nil {
 			fmt.Fprintln(os.Stderr, "tetrisim:", err)
 			os.Exit(1)
 		}
@@ -149,8 +161,9 @@ func dumpProfiles() {
 
 // runTimelineOrExport serves a short mixed trace with the named scheduler
 // and either renders the GPU-occupancy chart (the CLI counterpart of
-// Figure 1) or emits the structured JSONL event log.
-func runTimelineOrExport(mode, schedName string, ctx experiments.Context) error {
+// Figure 1) or emits the structured JSONL event log. Injected faults let
+// the recovery rescheduling be watched on the timeline.
+func runTimelineOrExport(mode, schedName string, ctx experiments.Context, faults []simgpu.Fault) error {
 	mdl := model.FLUX()
 	topo := simgpu.H100x8()
 	prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
@@ -187,9 +200,16 @@ func runTimelineOrExport(mode, schedName string, ctx experiments.Context) error 
 		NumRequests: n,
 		Seed:        seed,
 	})
-	res, err := sim.Run(sim.Config{
+	simCfg := sim.Config{
 		Model: mdl, Topo: topo, Scheduler: sc, Requests: reqs, Profile: prof,
-	})
+		Faults: faults,
+	}
+	if len(faults) > 0 {
+		// Without timeout semantics a fault that strands requests on a
+		// shrunken cluster would deadlock the event loop.
+		simCfg.DropLateFactor = 4.0
+	}
+	res, err := sim.Run(simCfg)
 	if err != nil {
 		return err
 	}
@@ -219,5 +239,5 @@ func usage() {
   tetrisim list
   tetrisim [-seed N] [-n N] [-rate R] [-quick] [-markdown] run <id>... | run all
   tetrisim profile
-  tetrisim [-seed N] [-n N] [-rate R] timeline [tetriserve|sp1|sp2|sp4|sp8|rssp|edf]`)
+  tetrisim [-seed N] [-n N] [-rate R] [-fail-gpus 1,3 [-fail-at 30s] [-recover-at 90s]] timeline [tetriserve|sp1|sp2|sp4|sp8|rssp|edf]`)
 }

@@ -147,11 +147,19 @@ func (c *Cache) Lookup(p workload.Prompt, res model.Resolution, steps int) int {
 }
 
 // Insert stores a served prompt's latent, evicting the LRU entry at
-// capacity.
+// capacity. An identical (prompt, resolution) pair refreshes the existing
+// entry's LRU position instead of inserting a duplicate — hot prompts must
+// not fill the cache with copies and evict diverse latents.
 func (c *Cache) Insert(p workload.Prompt, res model.Resolution) {
+	key := bucketKey{p.Theme, res}
+	for e := range c.buckets[key] {
+		if promptEqual(e.prompt, p) {
+			c.lru.MoveToFront(e.elem)
+			return
+		}
+	}
 	e := &entry{prompt: p, res: res}
 	e.elem = c.lru.PushFront(e)
-	key := bucketKey{p.Theme, res}
 	if c.buckets[key] == nil {
 		c.buckets[key] = make(map[*entry]struct{})
 	}
@@ -166,6 +174,20 @@ func (c *Cache) Insert(p workload.Prompt, res model.Resolution) {
 			delete(c.buckets, okey)
 		}
 	}
+}
+
+// promptEqual reports whether two prompts are the identical cache identity:
+// same theme, text, and modifier sequence.
+func promptEqual(a, b workload.Prompt) bool {
+	if a.Theme != b.Theme || a.Text != b.Text || len(a.Mods) != len(b.Mods) {
+		return false
+	}
+	for i := range a.Mods {
+		if a.Mods[i] != b.Mods[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Len returns the number of cached latents.

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"fmt"
 	"testing"
 
 	"tetriserve/internal/model"
@@ -102,6 +103,45 @@ func TestLRUEviction(t *testing.T) {
 	}
 }
 
+// TestInsertDedupsIdenticalPrompt is the duplicate regression: re-serving a
+// hot prompt must refresh its LRU slot, not fill the cache with copies.
+func TestInsertDedupsIdenticalPrompt(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Insert(p(1, 1, 2), model.Res256)
+	c.Insert(p(1, 1, 2), model.Res256)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate insert, want 1", c.Len())
+	}
+	// Same prompt at another resolution is a distinct latent.
+	c.Insert(p(1, 1, 2), model.Res512)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (latents are resolution-specific)", c.Len())
+	}
+	// Different mods under the same theme is a distinct entry too.
+	c.Insert(p(1, 1, 3), model.Res256)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+// TestInsertDedupRefreshesLRU: the duplicate insert must move the entry to
+// the front so it is not the next eviction victim.
+func TestInsertDedupRefreshesLRU(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Capacity = 2
+	c := New(cfg)
+	c.Insert(p(1, 1), model.Res256)
+	c.Insert(p(2, 1), model.Res256)
+	c.Insert(p(1, 1), model.Res256) // refresh theme 1 → theme 2 becomes LRU
+	c.Insert(p(3, 1), model.Res256) // evicts theme 2
+	if skip := c.Lookup(p(1, 1), model.Res256, 50); skip == 0 {
+		t.Fatal("refreshed entry was evicted; duplicate insert did not touch LRU order")
+	}
+	if skip := c.Lookup(p(2, 1), model.Res256, 50); skip != 0 {
+		t.Fatal("stale entry survived; refresh did not reorder the LRU list")
+	}
+}
+
 func TestHitRateAndSkippedSteps(t *testing.T) {
 	c := New(DefaultConfig())
 	c.Insert(p(1, 1, 2, 3), model.Res256)
@@ -124,8 +164,18 @@ func TestWarm(t *testing.T) {
 		prompts = append(prompts, sampler.Sample(rng))
 	}
 	c.Warm(prompts, model.StandardResolutions())
-	if c.Len() != 500 {
-		t.Fatalf("Len after warm = %d", c.Len())
+	// Insert deduplicates identical (prompt, resolution) pairs, so the
+	// warmed size is the number of distinct pairs in the corpus, not 500.
+	distinct := map[string]bool{}
+	for i, p := range prompts {
+		res := model.StandardResolutions()[i%len(model.StandardResolutions())]
+		distinct[fmt.Sprintf("%d|%s|%v|%s", p.Theme, p.Text, p.Mods, res)] = true
+	}
+	if c.Len() != len(distinct) {
+		t.Fatalf("Len after warm = %d, want %d distinct", c.Len(), len(distinct))
+	}
+	if c.Len() == 0 || c.Len() > 500 {
+		t.Fatalf("Len after warm = %d out of range", c.Len())
 	}
 }
 

@@ -88,6 +88,7 @@ type Engine struct {
 	cfg    Config
 
 	free    simgpu.Mask
+	failed  simgpu.Mask
 	runs    map[RunID]*Run
 	nextRun RunID
 
@@ -101,6 +102,7 @@ type Engine struct {
 	latentTransfers int
 	remaps          int
 	warmups         int
+	runsAborted     int
 	decodePeakBytes float64
 	stepPeakBytes   float64
 }

@@ -18,7 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "table1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9",
 		"table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-		"table4", "table5", "table6", "ext1", "ext2",
+		"table4", "table5", "table6", "ext1", "ext2", "fault1",
 	}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
@@ -299,6 +299,48 @@ func TestTable4TransferNegligible(t *testing.T) {
 			if v >= 0.05 {
 				t.Errorf("latent transfer %v%% exceeds the paper's 0.05%% bound", v)
 			}
+		}
+	}
+}
+
+// TestFault1RequeueBeatsAblation is the failure sweep's acceptance claim: a
+// faulted simulation completes without panicking, and the requeue recovery
+// yields strictly higher SAR than the no-requeue ablation at every fault
+// count.
+func TestFault1RequeueBeatsAblation(t *testing.T) {
+	ctx := quickCtx()
+	ctx.NumRequests = 120
+	ctx.Rate = 20
+	tables := mustRun(t, "fault1", ctx)
+	if len(tables) != 2 {
+		t.Fatalf("fault1 emitted %d tables, want sweep + ablation", len(tables))
+	}
+	sweep, ablation := tables[0], tables[1]
+
+	// TetriServe must survive (not stall) at every fault count in the sweep.
+	for _, row := range sweep.Rows {
+		if row[0] == "TetriServe" && row[2] == "stalled" {
+			t.Fatalf("TetriServe stalled at %s faults; round-based recovery must never deadlock", row[1])
+		}
+	}
+
+	sar := func(name, faults string) float64 {
+		for _, row := range ablation.Rows {
+			if row[0] == name && row[1] == faults {
+				v, err := strconv.ParseFloat(row[2], 64)
+				if err != nil {
+					t.Fatalf("ablation SAR cell %q: %v", row[2], err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("ablation row %s/%s missing", name, faults)
+		return 0
+	}
+	for _, faults := range []string{"1", "2"} {
+		with, without := sar("requeue", faults), sar("no-requeue", faults)
+		if with <= without {
+			t.Errorf("%s fault(s): requeue SAR %.2f not strictly above no-requeue %.2f", faults, with, without)
 		}
 	}
 }

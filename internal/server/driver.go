@@ -4,10 +4,10 @@
 // time-scaled so hardware-scale latencies replay quickly in demos).
 //
 // The driver is the live counterpart of internal/sim: one goroutine owns
-// all scheduling state, receives arrivals over a channel, fires round ticks
-// and block completions from an event queue, and sleeps on the real clock
-// between events. Job records are the only shared state; they are guarded
-// by a mutex for the HTTP handlers.
+// all scheduling state, receives arrivals and fault commands over channels,
+// fires round ticks and block completions from an event queue, and sleeps
+// on the real clock between events. Job records are the only shared state;
+// they are guarded by a mutex for the HTTP handlers.
 package server
 
 import (
@@ -34,6 +34,9 @@ const (
 	JobQueued    JobState = "queued"
 	JobRunning   JobState = "running"
 	JobCompleted JobState = "completed"
+	// JobDropped marks a job expired by the timeout policy: it sat queued
+	// past DropLateFactor × SLO and was abandoned at a round boundary.
+	JobDropped JobState = "dropped"
 )
 
 // Job is the externally visible record of one generation request.
@@ -73,6 +76,17 @@ type DriverConfig struct {
 	// demand and derives their deadline by interpolating the SLO policy in
 	// token count; off, such submissions are rejected. Default off.
 	AdmitAnyResolution bool
+	// DropLateFactor > 0 expires a queued job once now exceeds
+	// arrival + SLO×factor without it starting — the driver counterpart of
+	// sim.Config.DropLateFactor, checked at every planning boundary so the
+	// queue cannot grow without bound under overload. 0 disables expiry.
+	DropLateFactor float64
+}
+
+// faultCmd is an injected fault-plane command handled on the loop goroutine.
+type faultCmd struct {
+	mask    simgpu.Mask
+	recover bool
 }
 
 // Driver runs the serving loop.
@@ -84,16 +98,30 @@ type Driver struct {
 	sched sched.Scheduler
 
 	arrive  chan *Job
+	faultc  chan faultCmd
 	stop    chan struct{}
 	stopped chan struct{}
 
+	stopOnce sync.Once
+
 	mu        sync.Mutex
+	started   bool
 	jobs      map[workload.RequestID]*Job
 	nextID    workload.RequestID
 	completed int
 	met       int
 	queued    int
 	running   int
+	dropped   int
+	// Error counters: a serving loop must degrade loudly, not silently.
+	planRejected int
+	startFailed  int
+	runsAborted  int
+	roundTicks   int
+	// gpuBusy and failed mirror engine telemetry under mu so Snapshot
+	// never races the loop goroutine that owns the engine.
+	gpuBusy float64
+	failed  simgpu.Mask
 }
 
 // NewDriver builds and validates a driver (not yet running).
@@ -116,6 +144,7 @@ func NewDriver(cfg DriverConfig) (*Driver, error) {
 		eng:     engine.New(cfg.Model, cfg.Topo, prof, engCfg),
 		sched:   cfg.Scheduler,
 		arrive:  make(chan *Job, 256),
+		faultc:  make(chan faultCmd, 16),
 		stop:    make(chan struct{}),
 		stopped: make(chan struct{}),
 		jobs:    make(map[workload.RequestID]*Job),
@@ -125,16 +154,53 @@ func NewDriver(cfg DriverConfig) (*Driver, error) {
 // Profile exposes the offline-profiled cost table.
 func (d *Driver) Profile() *costmodel.Profile { return d.prof }
 
-// Start launches the serving loop goroutine.
+// Start launches the serving loop goroutine. Start is idempotent; starting
+// an already-stopped driver launches a loop that exits immediately.
 func (d *Driver) Start() {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.mu.Unlock()
 	d.clk = clock.NewReal(d.cfg.Speedup)
 	go d.loop()
 }
 
-// Stop shuts the loop down and waits for it to exit.
+// Stop shuts the loop down and waits for it to exit. Stop is idempotent and
+// safe to call before Start: the stop signal is latched once, and the wait
+// only happens when a loop was actually launched.
 func (d *Driver) Stop() {
-	close(d.stop)
-	<-d.stopped
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.mu.Lock()
+	started := d.started
+	d.mu.Unlock()
+	if started {
+		<-d.stopped
+	}
+}
+
+// FailGPUs injects a fail-stop fault for the masked GPUs: in-flight blocks
+// touching them are aborted with partial-step credit and their jobs requeued
+// onto the surviving devices at the next plan. Returns an error only if the
+// driver is stopped.
+func (d *Driver) FailGPUs(mask simgpu.Mask) error {
+	return d.sendFault(faultCmd{mask: mask})
+}
+
+// RecoverGPUs returns previously failed GPUs to service.
+func (d *Driver) RecoverGPUs(mask simgpu.Mask) error {
+	return d.sendFault(faultCmd{mask: mask, recover: true})
+}
+
+func (d *Driver) sendFault(cmd faultCmd) error {
+	select {
+	case d.faultc <- cmd:
+		return nil
+	case <-d.stop:
+		return fmt.Errorf("server: driver stopped")
+	}
 }
 
 // Submit enqueues a generation request and returns a snapshot of its job.
@@ -149,6 +215,11 @@ func (d *Driver) Submit(prompt workload.Prompt, res model.Resolution, slo time.D
 	}
 	if slo <= 0 {
 		slo = workload.NewSLOPolicy(1.0).InterpolatedBudget(res)
+	}
+	select {
+	case <-d.stop:
+		return Job{}, fmt.Errorf("server: driver stopped")
+	default:
 	}
 	d.mu.Lock()
 	id := d.nextID
@@ -172,6 +243,12 @@ func (d *Driver) Submit(prompt workload.Prompt, res model.Resolution, slo time.D
 	case d.arrive <- job:
 		return snap, nil
 	case <-d.stop:
+		// The loop never saw this job; roll back the optimistic insertion
+		// so Snapshot counters stay truthful.
+		d.mu.Lock()
+		delete(d.jobs, id)
+		d.queued--
+		d.mu.Unlock()
 		return Job{}, fmt.Errorf("server: driver stopped")
 	}
 }
@@ -187,14 +264,25 @@ func (d *Driver) JobStatus(id workload.RequestID) (Job, bool) {
 	return *j, true
 }
 
-// Stats summarizes served traffic.
+// Stats summarizes served traffic and serving-loop health.
 type Stats struct {
 	Completed int     `json:"completed"`
 	MetSLO    int     `json:"met_slo"`
 	SAR       float64 `json:"sar"`
 	Queued    int     `json:"queued"`
 	Running   int     `json:"running"`
+	Dropped   int     `json:"dropped"`
 	GPUBusyS  float64 `json:"gpu_busy_seconds"`
+	// Error counters: plans the validator rejected, assignments the engine
+	// refused to start, and blocks aborted by GPU faults.
+	PlanRejected int `json:"plan_rejected"`
+	StartFailed  int `json:"start_failed"`
+	RunsAborted  int `json:"runs_aborted"`
+	// RoundTicks counts fired round boundaries (0 for event-driven
+	// schedulers); the τ grid stays anchored even under late wake-ups.
+	RoundTicks int `json:"round_ticks"`
+	// FailedGPUs lists devices currently out of service.
+	FailedGPUs []int `json:"failed_gpus,omitempty"`
 }
 
 // Snapshot returns aggregate serving statistics.
@@ -202,11 +290,19 @@ func (d *Driver) Snapshot() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	st := Stats{
-		Completed: d.completed,
-		MetSLO:    d.met,
-		Queued:    d.queued,
-		Running:   d.running,
-		GPUBusyS:  d.eng.GPUBusySeconds(),
+		Completed:    d.completed,
+		MetSLO:       d.met,
+		Queued:       d.queued,
+		Running:      d.running,
+		Dropped:      d.dropped,
+		GPUBusyS:     d.gpuBusy,
+		PlanRejected: d.planRejected,
+		StartFailed:  d.startFailed,
+		RunsAborted:  d.runsAborted,
+		RoundTicks:   d.roundTicks,
+	}
+	for _, g := range d.failed.IDs() {
+		st.FailedGPUs = append(st.FailedGPUs, int(g))
 	}
 	if d.completed > 0 {
 		st.SAR = float64(d.met) / float64(d.completed)
@@ -234,9 +330,42 @@ func (d *Driver) loop() {
 	}
 
 	states := make(map[workload.RequestID]*sched.RequestState)
+	runEv := make(map[engine.RunID]eventq.Handle)
 	var pending []*sched.RequestState
 
+	// expire applies the timeout policy at planning boundaries: a job still
+	// queued past DropLateFactor × SLO is abandoned — its client is gone,
+	// and keeping it would let the queue grow without bound under overload.
+	expire := func(now time.Duration) {
+		if d.cfg.DropLateFactor <= 0 {
+			return
+		}
+		kept := pending[:0]
+		for _, st := range pending {
+			limit := st.Req.Arrival + time.Duration(float64(st.Req.SLO)*d.cfg.DropLateFactor)
+			if st.Running || now <= limit {
+				kept = append(kept, st)
+				continue
+			}
+			id := st.Req.ID
+			d.eng.ReleaseLatent(id)
+			delete(states, id)
+			d.mu.Lock()
+			if j, ok := d.jobs[id]; ok && j.State == JobQueued {
+				j.State = JobDropped
+				d.queued--
+				d.dropped++
+			}
+			d.mu.Unlock()
+		}
+		for i := len(kept); i < len(pending); i++ {
+			pending[i] = nil
+		}
+		pending = kept
+	}
+
 	plan := func(now time.Duration) {
+		expire(now)
 		snapshot := make([]*sched.RequestState, 0, len(pending))
 		for _, st := range pending {
 			if !st.Running && st.Remaining > 0 {
@@ -262,13 +391,19 @@ func (d *Driver) loop() {
 		}
 		assignments := d.sched.Plan(ctx)
 		if err := sched.ValidatePlan(ctx, assignments); err != nil {
-			// A scheduler bug must not kill the serving loop; skip this
-			// plan and retry at the next event.
+			// A scheduler bug must not kill the serving loop; count it,
+			// skip this plan, and retry at the next event.
+			d.mu.Lock()
+			d.planRejected++
+			d.mu.Unlock()
 			return
 		}
 		for _, asg := range assignments {
 			run, err := d.eng.Start(now, asg, states, schedOver)
 			if err != nil {
+				d.mu.Lock()
+				d.startFailed++
+				d.mu.Unlock()
 				continue
 			}
 			for _, id := range asg.Requests {
@@ -287,7 +422,7 @@ func (d *Driver) loop() {
 				}
 				d.mu.Unlock()
 			}
-			q.Push(run.End, evRunDone, run)
+			runEv[run.ID] = q.Push(run.End, evRunDone, run)
 		}
 	}
 
@@ -329,10 +464,38 @@ func (d *Driver) loop() {
 		d.mu.Unlock()
 	}
 
+	// finishJob retires a completed request: decode, release, account.
+	finishJob := func(now time.Duration, id workload.RequestID, st *sched.RequestState) {
+		completion := d.eng.Decode(now, st.Req.Res)
+		d.eng.ReleaseLatent(id)
+		if d.cfg.Cache != nil {
+			d.cfg.Cache.Insert(st.Req.Prompt, st.Req.Res)
+		}
+		delete(states, id)
+		d.mu.Lock()
+		if j, ok := d.jobs[id]; ok {
+			j.State = JobCompleted
+			j.Completed = completion
+			j.Latency = completion - j.Arrival
+			j.MetSLO = j.Latency <= j.SLO
+			j.AvgDegree = st.AvgDegree()
+			d.running--
+			d.completed++
+			if j.MetSLO {
+				d.met++
+			}
+		}
+		d.mu.Unlock()
+	}
+
 	onRunDone := func(now time.Duration, run *engine.Run) {
 		if err := d.eng.Finish(run); err != nil {
 			return
 		}
+		delete(runEv, run.ID)
+		d.mu.Lock()
+		d.gpuBusy = d.eng.GPUBusySeconds()
+		d.mu.Unlock()
 		for id, steps := range run.Steps {
 			st := states[id]
 			st.Running = false
@@ -344,26 +507,67 @@ func (d *Driver) loop() {
 				pending = append(pending, st)
 				continue
 			}
-			completion := d.eng.Decode(now, st.Req.Res)
-			d.eng.ReleaseLatent(id)
-			if d.cfg.Cache != nil {
-				d.cfg.Cache.Insert(st.Req.Prompt, st.Req.Res)
-			}
-			delete(states, id)
+			finishJob(now, id, st)
+		}
+	}
+
+	// onFault is the recovery path the round scheduler makes cheap: abort
+	// the dead blocks, credit completed steps, requeue the survivors, and
+	// let the next plan re-pack them on the remaining GPUs.
+	onFault := func(now time.Duration, cmd faultCmd) {
+		if cmd.recover {
+			recovered := d.eng.RecoverGPUs(cmd.mask)
 			d.mu.Lock()
-			if j, ok := d.jobs[id]; ok {
-				j.State = JobCompleted
-				j.Completed = completion
-				j.Latency = completion - j.Arrival
-				j.MetSLO = j.Latency <= j.SLO
-				j.AvgDegree = st.AvgDegree()
-				d.running--
-				d.completed++
-				if j.MetSLO {
-					d.met++
-				}
-			}
+			d.failed = d.eng.FailedGPUs()
 			d.mu.Unlock()
+			if recovered != 0 && !roundBased {
+				plan(now)
+			}
+			return
+		}
+		failures := d.eng.FailGPUs(now, cmd.mask)
+		for _, f := range failures {
+			if h, ok := runEv[f.Run.ID]; ok {
+				q.Cancel(h)
+				delete(runEv, f.Run.ID)
+			}
+			d.mu.Lock()
+			d.runsAborted++
+			d.mu.Unlock()
+			for id, done := range f.StepsDone {
+				st := states[id]
+				st.Running = false
+				if done > 0 {
+					st.Started = true
+					st.Remaining -= done
+					st.StepsByDegree[f.Run.Degree] += done
+				}
+				if st.Remaining <= 0 {
+					// Every step finished before the fault; only the
+					// decode remained.
+					finishJob(now, id, st)
+					continue
+				}
+				pending = append(pending, st)
+				d.mu.Lock()
+				if j, ok := d.jobs[id]; ok && j.State == JobRunning {
+					j.State = JobQueued
+					d.running--
+					d.queued++
+				}
+				d.mu.Unlock()
+			}
+		}
+		// Placement preservation must not steer survivors onto dead GPUs.
+		for _, st := range states {
+			st.LastGroup = st.LastGroup.Without(cmd.mask)
+		}
+		d.mu.Lock()
+		d.failed = d.eng.FailedGPUs()
+		d.gpuBusy = d.eng.GPUBusySeconds()
+		d.mu.Unlock()
+		if !roundBased {
+			plan(now)
 		}
 	}
 
@@ -399,6 +603,8 @@ func (d *Driver) loop() {
 			if !roundBased || (eager && d.eng.Free() != 0) {
 				plan(now)
 			}
+		case cmd := <-d.faultc:
+			onFault(d.clk.Now(), cmd)
 		case <-wake:
 			for {
 				next := q.Peek()
@@ -414,8 +620,15 @@ func (d *Driver) loop() {
 						plan(now)
 					}
 				case evRoundTick:
+					d.mu.Lock()
+					d.roundTicks++
+					d.mu.Unlock()
 					plan(now)
-					q.Push(now+d.sched.RoundDuration(), evRoundTick, nil)
+					// Reschedule from the event's scheduled time, not the
+					// processing time: a late wake-up must not shift the τ
+					// grid the round scheduler assumes (drift would
+					// otherwise accumulate forever).
+					q.Push(ev.At+d.sched.RoundDuration(), evRoundTick, nil)
 				}
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tetriserve/internal/model"
+	"tetriserve/internal/simgpu"
 	"tetriserve/internal/workload"
 )
 
@@ -18,6 +19,7 @@ import (
 //	GET  /v1/jobs/{id}            → Job
 //	GET  /v1/stats                → Stats
 //	GET  /v1/profile              → offline-profiled step times
+//	POST /v1/faults               {fail_gpus?, recover_gpus?} → Stats
 //	GET  /healthz                 → 200 ok
 type API struct {
 	Driver *Driver
@@ -38,6 +40,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/", a.handleJob)
 	mux.HandleFunc("GET /v1/stats", a.handleStats)
 	mux.HandleFunc("GET /v1/profile", a.handleProfile)
+	mux.HandleFunc("POST /v1/faults", a.handleFaults)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -93,6 +96,58 @@ func (a *API) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.Driver.Snapshot())
+}
+
+// FaultRequest is the fault-injection payload: GPU ids to fail-stop and/or
+// return to service.
+type FaultRequest struct {
+	FailGPUs    []int `json:"fail_gpus,omitempty"`
+	RecoverGPUs []int `json:"recover_gpus,omitempty"`
+}
+
+func (a *API) handleFaults(w http.ResponseWriter, r *http.Request) {
+	var req FaultRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	toMask := func(ids []int) (simgpu.Mask, error) {
+		var m simgpu.Mask
+		for _, id := range ids {
+			if id < 0 || id >= a.Driver.cfg.Topo.N {
+				return 0, fmt.Errorf("GPU %d outside node of %d GPUs", id, a.Driver.cfg.Topo.N)
+			}
+			m |= simgpu.MaskOf(simgpu.GPUID(id))
+		}
+		return m, nil
+	}
+	fail, err := toMask(req.FailGPUs)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	recov, err := toMask(req.RecoverGPUs)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if fail == 0 && recov == 0 {
+		httpError(w, http.StatusBadRequest, "fail_gpus or recover_gpus required")
+		return
+	}
+	if fail != 0 {
+		if err := a.Driver.FailGPUs(fail); err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+	}
+	if recov != 0 {
+		if err := a.Driver.RecoverGPUs(recov); err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, a.Driver.Snapshot())
 }
 

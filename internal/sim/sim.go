@@ -50,6 +50,15 @@ type Config struct {
 	// arrival + SLO×factor without completion (the paper's timeout
 	// semantics for the Figure 9 CDF). 0 disables dropping.
 	DropLateFactor float64
+	// Faults schedules fail-stop GPU failures (and optional recoveries)
+	// injected during the run. In-flight blocks touching a failed GPU are
+	// aborted with partial-step credit and their survivors requeued for the
+	// next plan on the remaining devices.
+	Faults []simgpu.Fault
+	// NoRequeueOnFault drops a fault's surviving victims instead of
+	// requeueing them — the recovery ablation the failure sweep compares
+	// against.
+	NoRequeueOnFault bool
 	// MaxVirtualTime aborts runaway simulations (default 4 h virtual).
 	MaxVirtualTime time.Duration
 }
@@ -79,6 +88,9 @@ type RunRecord struct {
 	Group      simgpu.Mask
 	BestEffort bool
 	Batched    bool
+	// Aborted marks a block killed mid-flight by a GPU fault; End is the
+	// fault time, not the planned completion.
+	Aborted bool
 }
 
 // GPUs returns the device ids the block occupied.
@@ -96,6 +108,8 @@ type Result struct {
 	PlanCalls      int
 	Remaps         int
 	Warmups        int
+	// RunsAborted counts blocks killed by injected GPU faults.
+	RunsAborted int
 }
 
 // event kinds.
@@ -103,6 +117,8 @@ const (
 	evArrival = iota
 	evRunDone
 	evRoundTick
+	evGPUFail
+	evGPURecover
 )
 
 type simulator struct {
@@ -115,8 +131,11 @@ type simulator struct {
 	// requests.
 	pending  []*sched.RequestState
 	inflight map[engine.RunID]*engine.Run
-	done     map[workload.RequestID]bool
-	res      *Result
+	// runEv maps in-flight runs to their completion events so GPU faults
+	// can cancel the completions of blocks they abort.
+	runEv map[engine.RunID]eventq.Handle
+	done  map[workload.RequestID]bool
+	res   *Result
 	// left counts requests not yet finalized.
 	left int
 	// roundBased caches the scheduler mode.
@@ -129,6 +148,20 @@ type simulator struct {
 
 // Run executes the simulation to completion and returns the result.
 func Run(cfg Config) (*Result, error) {
+	s, err := newSimulator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.loop(); err != nil {
+		return nil, err
+	}
+	return s.res, nil
+}
+
+// newSimulator validates the configuration and builds a ready-to-run
+// simulator (separated from Run so tests can inspect internal state after
+// the loop drains).
+func newSimulator(cfg Config) (*simulator, error) {
 	if cfg.Model == nil || cfg.Topo == nil || cfg.Scheduler == nil {
 		return nil, fmt.Errorf("sim: Model, Topo and Scheduler are required")
 	}
@@ -147,12 +180,19 @@ func Run(cfg Config) (*Result, error) {
 		cfg.MaxVirtualTime = 4 * time.Hour
 	}
 
+	for _, f := range cfg.Faults {
+		if err := f.Validate(cfg.Topo); err != nil {
+			return nil, err
+		}
+	}
+
 	s := &simulator{
 		cfg:      cfg,
 		clk:      clock.NewVirtual(),
 		eng:      engine.New(cfg.Model, cfg.Topo, cfg.Profile, engCfg),
 		states:   make(map[workload.RequestID]*sched.RequestState),
 		inflight: make(map[engine.RunID]*engine.Run),
+		runEv:    make(map[engine.RunID]eventq.Handle),
 		done:     make(map[workload.RequestID]bool),
 		res: &Result{
 			SchedulerName: cfg.Scheduler.Name(),
@@ -171,13 +211,16 @@ func Run(cfg Config) (*Result, error) {
 	for _, r := range cfg.Requests {
 		s.q.Push(r.Arrival, evArrival, r)
 	}
+	for _, f := range cfg.Faults {
+		s.q.Push(f.FailAt, evGPUFail, simgpu.MaskOf(f.GPU))
+		if f.RecoverAt > 0 {
+			s.q.Push(f.RecoverAt, evGPURecover, simgpu.MaskOf(f.GPU))
+		}
+	}
 	if s.roundBased {
 		s.q.Push(0, evRoundTick, nil)
 	}
-	if err := s.loop(); err != nil {
-		return nil, err
-	}
-	return s.res, nil
+	return s, nil
 }
 
 func (s *simulator) loop() error {
@@ -202,12 +245,17 @@ func (s *simulator) loop() error {
 			if err := s.onRoundTick(now); err != nil {
 				return err
 			}
+		case evGPUFail:
+			s.onGPUFail(now, ev.Payload.(simgpu.Mask))
+		case evGPURecover:
+			s.onGPURecover(now, ev.Payload.(simgpu.Mask))
 		}
 	}
 	s.res.Makespan = s.clk.Now()
 	s.res.GPUBusySeconds = s.eng.GPUBusySeconds()
 	s.res.Remaps = s.eng.Remaps()
 	s.res.Warmups = s.eng.Warmups()
+	s.res.RunsAborted = s.eng.RunsAborted()
 	return nil
 }
 
@@ -241,6 +289,7 @@ func (s *simulator) onRunDone(now time.Duration, run *engine.Run) error {
 		return err
 	}
 	delete(s.inflight, run.ID)
+	delete(s.runEv, run.ID)
 	rec := RunRecord{
 		Start:      run.Start,
 		End:        run.End,
@@ -353,7 +402,71 @@ func (s *simulator) plan(now time.Duration) {
 			s.removePending(id)
 		}
 		s.inflight[run.ID] = run
-		s.q.Push(run.End, evRunDone, run)
+		s.runEv[run.ID] = s.q.Push(run.End, evRunDone, run)
+	}
+}
+
+// onGPUFail injects a fail-stop fault: the engine aborts intersecting
+// blocks, credits completed steps, and this layer requeues the surviving
+// members so the next plan re-packs them on the remaining GPUs — paying
+// latent re-transfer and group re-warm-up per the §5 cost model. With
+// NoRequeueOnFault the victims are dropped instead (the ablation).
+func (s *simulator) onGPUFail(now time.Duration, mask simgpu.Mask) {
+	failures := s.eng.FailGPUs(now, mask)
+	for _, f := range failures {
+		if h, ok := s.runEv[f.Run.ID]; ok {
+			s.q.Cancel(h)
+			delete(s.runEv, f.Run.ID)
+		}
+		delete(s.inflight, f.Run.ID)
+		s.res.Runs = append(s.res.Runs, RunRecord{
+			Start:      f.Run.Start,
+			End:        now,
+			Degree:     f.Run.Degree,
+			Steps:      f.Run.Asg.Steps,
+			Requests:   append([]workload.RequestID(nil), f.Run.Asg.Requests...),
+			Res:        f.Run.Res,
+			Group:      f.Run.Asg.Group,
+			BestEffort: f.Run.Asg.BestEffort,
+			Batched:    f.Run.Batched,
+			Aborted:    true,
+		})
+		for id, done := range f.StepsDone {
+			st := s.states[id]
+			st.Running = false
+			if done > 0 {
+				st.Started = true
+				st.Remaining -= done
+				st.StepsByDegree[f.Run.Degree] += done
+			}
+			switch {
+			case st.Remaining <= 0:
+				// Every step finished before the fault; only the decode
+				// remained, and the VAE runs outside the SP group.
+				s.finish(now, st)
+			case s.cfg.NoRequeueOnFault:
+				s.drop(now, st)
+			case s.cfg.DropLateFactor > 0 && s.pastDrop(now, st):
+				s.drop(now, st)
+			default:
+				s.pending = append(s.pending, st)
+			}
+		}
+	}
+	// Placement preservation must not steer survivors back onto dead GPUs.
+	for _, st := range s.states {
+		st.LastGroup = st.LastGroup.Without(mask)
+	}
+	if !s.roundBased {
+		s.plan(now)
+	}
+}
+
+// onGPURecover returns failed GPUs to the pool; round-based schedulers see
+// the capacity at the next tick, event-driven ones replan immediately.
+func (s *simulator) onGPURecover(now time.Duration, mask simgpu.Mask) {
+	if s.eng.RecoverGPUs(mask) != 0 && !s.roundBased {
+		s.plan(now)
 	}
 }
 
@@ -429,6 +542,7 @@ func (s *simulator) finish(now time.Duration, st *sched.RequestState) {
 		})
 		s.done[r.ID] = true
 		s.left--
+		delete(s.states, r.ID)
 		return
 	}
 	out := Outcome{
@@ -446,6 +560,7 @@ func (s *simulator) finish(now time.Duration, st *sched.RequestState) {
 	s.res.Outcomes = append(s.res.Outcomes, out)
 	s.done[r.ID] = true
 	s.left--
+	delete(s.states, r.ID)
 	if s.cfg.Trimmer != nil {
 		s.cfg.Trimmer.OnComplete(r.Prompt, r.Res, completion)
 	}
@@ -465,4 +580,5 @@ func (s *simulator) drop(now time.Duration, st *sched.RequestState) {
 	})
 	s.done[r.ID] = true
 	s.left--
+	delete(s.states, r.ID)
 }

@@ -1,0 +1,86 @@
+package simgpu
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Fault is a scheduled fail-stop event on one GPU: the device becomes
+// unusable at FailAt and, if RecoverAt > FailAt, returns to service at
+// RecoverAt (after a driver restart / cordon-uncordon cycle). RecoverAt = 0
+// means the GPU never comes back within the run.
+//
+// The fault model is deliberately fail-stop: a failed GPU stops executing
+// and communicating instantly, which is how NCCL-level failures manifest to
+// a serving system (the collective hangs or errors and the process group is
+// torn down). Partial or Byzantine failures are out of scope.
+type Fault struct {
+	GPU       GPUID
+	FailAt    time.Duration
+	RecoverAt time.Duration
+}
+
+// Validate checks the fault against a topology.
+func (f Fault) Validate(t *Topology) error {
+	if int(f.GPU) < 0 || int(f.GPU) >= t.N {
+		return fmt.Errorf("simgpu: fault GPU %d outside node of %d GPUs", f.GPU, t.N)
+	}
+	if f.FailAt < 0 {
+		return fmt.Errorf("simgpu: fault on GPU %d has negative FailAt %s", f.GPU, f.FailAt)
+	}
+	if f.RecoverAt != 0 && f.RecoverAt <= f.FailAt {
+		return fmt.Errorf("simgpu: fault on GPU %d recovers at %s before failing at %s",
+			f.GPU, f.RecoverAt, f.FailAt)
+	}
+	return nil
+}
+
+// ParseGPUList parses a comma-separated GPU id list ("1,3") into ids.
+// The empty string parses to nil.
+func ParseGPUList(s string) ([]GPUID, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	ids := make([]GPUID, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("simgpu: invalid GPU id %q", p)
+		}
+		ids = append(ids, GPUID(n))
+	}
+	return ids, nil
+}
+
+// ParseFaults builds a fail-stop schedule from a CLI-style GPU list: every
+// listed GPU fails at failAt and recovers at recoverAt (0 = never).
+func ParseFaults(gpus string, failAt, recoverAt time.Duration) ([]Fault, error) {
+	ids, err := ParseGPUList(gpus)
+	if err != nil {
+		return nil, err
+	}
+	faults := make([]Fault, 0, len(ids))
+	for _, id := range ids {
+		faults = append(faults, Fault{GPU: id, FailAt: failAt, RecoverAt: recoverAt})
+	}
+	return faults, nil
+}
+
+// Invalidate cools every warm group that contains a failed GPU: the group's
+// NCCL communicator is torn down by the fault, so the next collective over
+// any surviving reshuffle of those devices pays warm-up again (§5). It
+// returns the number of groups invalidated.
+func (r *GroupRegistry) Invalidate(failed Mask) int {
+	n := 0
+	for key, ok := range r.warm {
+		if ok && maskFromKey(key).Overlaps(failed) {
+			delete(r.warm, key)
+			n++
+		}
+	}
+	return n
+}

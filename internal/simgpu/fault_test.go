@@ -1,0 +1,111 @@
+package simgpu
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseGPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []GPUID
+		err  bool
+	}{
+		{"", nil, false},
+		{"  ", nil, false},
+		{"3", []GPUID{3}, false},
+		{"1,3", []GPUID{1, 3}, false},
+		{" 0 , 7 ", []GPUID{0, 7}, false},
+		{"1,x", nil, true},
+		{"-1", nil, true},
+		{"1,,2", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseGPUList(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseGPUList(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParseGPUList(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ParseGPUList(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	faults, err := ParseFaults("1,5", 30*time.Second, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 2 {
+		t.Fatalf("got %d faults, want 2", len(faults))
+	}
+	for i, want := range []GPUID{1, 5} {
+		f := faults[i]
+		if f.GPU != want || f.FailAt != 30*time.Second || f.RecoverAt != time.Minute {
+			t.Fatalf("fault %d = %+v", i, f)
+		}
+	}
+	if _, err := ParseFaults("nope", 0, 0); err == nil {
+		t.Fatal("bad GPU list accepted")
+	}
+	if empty, err := ParseFaults("", time.Second, 0); err != nil || len(empty) != 0 {
+		t.Fatalf("empty list: %v, %v", empty, err)
+	}
+}
+
+func TestFaultValidate(t *testing.T) {
+	topo := H100x8()
+	if err := (Fault{GPU: 3, FailAt: time.Second}).Validate(topo); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Fault{GPU: 3, FailAt: time.Second, RecoverAt: 2 * time.Second}).Validate(topo); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Fault{GPU: 8, FailAt: time.Second}).Validate(topo); err == nil {
+		t.Fatal("GPU outside topology accepted")
+	}
+	if err := (Fault{GPU: 0, FailAt: -time.Second}).Validate(topo); err == nil {
+		t.Fatal("negative FailAt accepted")
+	}
+	if err := (Fault{GPU: 0, FailAt: 2 * time.Second, RecoverAt: time.Second}).Validate(topo); err == nil {
+		t.Fatal("recovery before failure accepted")
+	}
+}
+
+// TestInvalidateCoolsOverlappingGroups: a fail-stop tears down every NCCL
+// communicator containing the dead GPU; disjoint groups stay warm.
+func TestInvalidateCoolsOverlappingGroups(t *testing.T) {
+	r := NewGroupRegistry(H100x8())
+	r.PrewarmCanonical()
+	before := r.WarmCount()
+
+	// Canonical groups containing GPU 1: {0,1}, {0,1,2,3}, {0..7}.
+	n := r.Invalidate(MaskOf(1))
+	if n != 3 {
+		t.Fatalf("invalidated %d groups, want 3", n)
+	}
+	if r.WarmCount() != before-3 {
+		t.Fatalf("warm count %d, want %d", r.WarmCount(), before-3)
+	}
+	if r.IsWarm(MaskOf(0, 1)) {
+		t.Fatal("group {0,1} still warm after GPU 1 failed")
+	}
+	if !r.IsWarm(MaskOf(4, 5)) || !r.IsWarm(MaskOf(4, 5, 6, 7)) {
+		t.Fatal("disjoint groups should stay warm")
+	}
+	// Invalidating again without re-warming is a no-op.
+	if got := r.Invalidate(MaskOf(1)); got != 0 {
+		t.Fatalf("second invalidate removed %d groups", got)
+	}
+	// Re-warming after recovery pays the cost again.
+	if r.EnsureWarm(MaskOf(0, 1)) == 0 {
+		t.Fatal("invalidated group re-warmed for free")
+	}
+}
