@@ -18,8 +18,11 @@ import (
 	"testing"
 	"time"
 
+	"tetriserve/internal/clock"
+	"tetriserve/internal/control"
 	"tetriserve/internal/core"
 	"tetriserve/internal/costmodel"
+	"tetriserve/internal/engine"
 	"tetriserve/internal/model"
 	"tetriserve/internal/sched"
 	"tetriserve/internal/sim"
@@ -73,6 +76,48 @@ func planLatency(depth int) func(*testing.B) {
 	}
 }
 
+// controlRoundTick measures the shared control loop's event-dispatch path —
+// plan + engine dispatch + finish/requeue bookkeeping — at a steady queue
+// depth. Requests carry effectively infinite step budgets and SLOs so the
+// pending population never shrinks: every iteration dispatches one loop
+// event (a τ boundary or a block completion) and the cost amortizes to the
+// per-round overhead both the simulator and the online driver pay.
+func controlRoundTick(depth int) func(*testing.B) {
+	return func(b *testing.B) {
+		clk := clock.NewVirtual()
+		l, err := control.New(control.Config{
+			Model:     benchMdl,
+			Topo:      benchTopo,
+			Scheduler: core.NewScheduler(benchProf, benchTopo, core.DefaultConfig()),
+			Profile:   benchProf,
+			Engine:    engine.DefaultConfig(),
+			Perpetual: true,
+		}, clk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resList := model.StandardResolutions()
+		for i := 0; i < depth; i++ {
+			l.Arrive(&workload.Request{
+				ID:    workload.RequestID(i),
+				Res:   resList[i%len(resList)],
+				Steps: 1 << 20,
+				SLO:   1000 * time.Hour,
+			})
+		}
+		l.Begin()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev := l.PopEvent()
+			clk.Advance(ev.At)
+			if err := l.Dispatch(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func stepTimeEstimate(b *testing.B) {
 	est := costmodel.NewEstimator(benchMdl, benchTopo)
 	group := simgpu.CanonicalGroup(0, 4)
@@ -121,6 +166,9 @@ func main() {
 		{"PlanLatency/queue=16", planLatency(16)},
 		{"PlanLatency/queue=64", planLatency(64)},
 		{"PlanLatency/queue=256", planLatency(256)},
+		{"ControlRoundTick/queue=16", controlRoundTick(16)},
+		{"ControlRoundTick/queue=64", controlRoundTick(64)},
+		{"ControlRoundTick/queue=256", controlRoundTick(256)},
 		{"StepTimeEstimate", stepTimeEstimate},
 		{"ProfileLookup", profileLookup},
 		{"Simulation/TetriServe", simulation(func() sched.Scheduler {

@@ -4,9 +4,14 @@
 //
 // All simulation time is represented as time.Duration offsets from a zero
 // epoch. The virtual clock never sleeps: it is advanced explicitly by the
-// discrete-event loop in internal/sim. The real clock maps virtual durations
-// onto wall time through a configurable speed-up factor so that the demo
-// server can replay hardware-scale latencies quickly.
+// discrete-event adapter in internal/sim. The real clock maps virtual
+// durations onto wall time through a configurable speed-up factor so that
+// the demo server can replay hardware-scale latencies quickly.
+//
+// internal/control's Loop — the round-based serving core shared by the
+// simulator and the online driver — is parameterized over the Clock
+// interface and never reads time any other way; injecting Virtual vs. Real
+// is the entire difference in how time passes between the two worlds.
 package clock
 
 import (

@@ -1,0 +1,664 @@
+// Package control is the clock-agnostic, round-based serving control plane —
+// the single implementation of the scheduling loop the paper describes
+// (deadline-aware allocation → knapsack packing → placement-preserving
+// dispatch). It owns all request state (pending/running trackers), the τ
+// round grid, plan → dispatch, fault requeue, drop/timeout expiry, and
+// finish/drop bookkeeping.
+//
+// The loop is parameterized over clock.Clock and driven through an explicit
+// event queue, so the exact same code runs in two worlds:
+//
+//   - internal/sim advances a clock.Virtual to each event and drains the
+//     queue to completion (discrete-event simulation);
+//   - internal/server sleeps on a clock.Real between events and feeds
+//     arrivals and fault commands in from channels (live serving).
+//
+// Adapters observe per-request lifecycle transitions through Hooks (the
+// driver mirrors them into its HTTP-visible job records); everything else —
+// outcomes, run records, plan latencies, health counters — accumulates in
+// the shared Result, which is why the simulator's trace export and the
+// driver's /v1/stats agree by construction.
+package control
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tetriserve/internal/clock"
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/engine"
+	"tetriserve/internal/eventq"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+// StepTrimmer is the hook cache-based acceleration (Nirvana, §6.2) plugs
+// into: it may shrink a request's step count on arrival and observes
+// completions to update its state. The simulator passes it through from its
+// config; the driver wraps the approximate latent cache in one.
+type StepTrimmer interface {
+	// OnArrival returns how many initial steps to skip for the prompt.
+	OnArrival(p workload.Prompt, res model.Resolution, steps int, now time.Duration) int
+	// OnComplete records a served request for future reuse.
+	OnComplete(p workload.Prompt, res model.Resolution, now time.Duration)
+}
+
+// Hooks are optional per-transition callbacks for adapter-side bookkeeping
+// (the driver's job-state mirror). Every field may be nil. Hooks run on the
+// loop's goroutine, synchronously with the transition they describe.
+type Hooks struct {
+	// Arriving fires before admission bookkeeping (before the trimmer and
+	// the tracker insert) — the driver's on-demand profile extension point.
+	Arriving func(now time.Duration, r *workload.Request)
+	// Admitted fires once the request is tracked and pending.
+	Admitted func(now time.Duration, r *workload.Request)
+	// Started fires when a request joins a dispatched block.
+	Started func(now time.Duration, id workload.RequestID)
+	// Requeued fires when a fault aborts a request's block and the survivor
+	// returns to the pending queue (not on ordinary end-of-block requeues,
+	// which keep the request logically running from the caller's view).
+	Requeued func(now time.Duration, id workload.RequestID)
+	// Finished fires for completed requests, Dropped for expired ones
+	// (timeout policy or no-requeue fault ablation).
+	Finished func(now time.Duration, o Outcome)
+	Dropped  func(now time.Duration, o Outcome)
+	// PlanRejected / StartFailed fire when the loop degrades loudly.
+	PlanRejected func(now time.Duration, err error)
+	StartFailed  func(now time.Duration, err error)
+}
+
+// Config describes one control loop.
+type Config struct {
+	Model     *model.Model
+	Topo      *simgpu.Topology
+	Scheduler sched.Scheduler
+	// Profile is the offline-profiled cost table (required; adapters build
+	// a default over the standard resolutions when their caller omits one).
+	Profile *costmodel.Profile
+	// Engine tunes execution physics.
+	Engine engine.Config
+	// Trimmer optionally shortens requests via caching.
+	Trimmer StepTrimmer
+	// DropLateFactor > 0 expires a request once now exceeds
+	// arrival + SLO×factor without completion — both the queued-job expiry
+	// checked at every planning boundary and the timeout semantics for
+	// results delivered too late (the paper's Figure 9 "dropped/timeout"
+	// population). 0 disables dropping.
+	DropLateFactor float64
+	// NoRequeueOnFault drops a fault's surviving victims instead of
+	// requeueing them — the recovery ablation the failure sweep compares
+	// against.
+	NoRequeueOnFault bool
+	// Perpetual keeps round ticks firing when no requests are outstanding
+	// (the live driver); off, the grid stops once every scheduled request
+	// is finalized (the simulator's termination condition).
+	Perpetual bool
+	// Strict panics on invalid plans and engine start rejections instead of
+	// only counting them — the simulator's oracle behavior for experiments,
+	// where a scheduler bug must abort the run, not skew the numbers. The
+	// driver leaves it off: a serving loop counts the failure in Result and
+	// retries at the next event.
+	Strict bool
+	// Hooks receive lifecycle callbacks.
+	Hooks Hooks
+}
+
+// Event kinds on the loop's queue. Arrivals and faults appear only when the
+// adapter pre-schedules them (the simulator); the driver injects those
+// directly via Arrive/Fail/Recover.
+const (
+	evArrival = iota
+	evRunDone
+	evRoundTick
+	evGPUFail
+	evGPURecover
+)
+
+// Loop is the shared round-based control plane. It is not safe for
+// concurrent use: exactly one goroutine (the simulator's event loop or the
+// driver's serving goroutine) owns it.
+type Loop struct {
+	cfg Config
+	clk clock.Clock
+	q   eventq.Queue
+	eng *engine.Engine
+
+	states map[workload.RequestID]*sched.RequestState
+	// pending preserves arrival order among unfinished, non-running
+	// requests.
+	pending  []*sched.RequestState
+	inflight map[engine.RunID]*engine.Run
+	// runEv maps in-flight runs to their completion events so GPU faults
+	// can cancel the completions of blocks they abort.
+	runEv map[engine.RunID]eventq.Handle
+	done  map[workload.RequestID]bool
+	res   *Result
+	// left counts admitted-or-scheduled requests not yet finalized.
+	left int
+	// roundBased caches the scheduler mode.
+	roundBased bool
+	// eager additionally plans on arrivals for round-based schedulers.
+	eager     bool
+	tau       time.Duration
+	schedOver time.Duration
+}
+
+// New validates the configuration and builds a ready-to-run loop.
+func New(cfg Config, clk clock.Clock) (*Loop, error) {
+	if cfg.Model == nil || cfg.Topo == nil || cfg.Scheduler == nil {
+		return nil, fmt.Errorf("control: Model, Topo and Scheduler are required")
+	}
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("control: Profile is required")
+	}
+	if clk == nil {
+		return nil, fmt.Errorf("control: clock is required")
+	}
+	l := &Loop{
+		cfg:      cfg,
+		clk:      clk,
+		eng:      engine.New(cfg.Model, cfg.Topo, cfg.Profile, cfg.Engine),
+		states:   make(map[workload.RequestID]*sched.RequestState),
+		inflight: make(map[engine.RunID]*engine.Run),
+		runEv:    make(map[engine.RunID]eventq.Handle),
+		done:     make(map[workload.RequestID]bool),
+		res: &Result{
+			SchedulerName: cfg.Scheduler.Name(),
+			NGPU:          cfg.Topo.N,
+		},
+		roundBased: cfg.Scheduler.RoundDuration() > 0,
+		tau:        cfg.Scheduler.RoundDuration(),
+	}
+	if o, ok := cfg.Scheduler.(interface{ Overhead() time.Duration }); ok {
+		l.schedOver = o.Overhead()
+	}
+	if e, ok := cfg.Scheduler.(interface{ EagerAdmission() bool }); ok {
+		l.eager = e.EagerAdmission()
+	}
+	return l, nil
+}
+
+// Engine exposes the loop-owned execution engine for adapter telemetry
+// (busy seconds, failed mask, memory accounting). Read it only from the
+// goroutine driving the loop.
+func (l *Loop) Engine() *engine.Engine { return l.eng }
+
+// Result exposes the loop-owned accumulator. Use Finalize or SnapshotResult
+// for a consistent view with engine telemetry filled in.
+func (l *Loop) Result() *Result { return l.res }
+
+// Unfinished reports how many scheduled or admitted requests have not been
+// finalized — the simulator's termination condition.
+func (l *Loop) Unfinished() int { return l.left }
+
+// StateCount reports tracked (non-finalized) request states; it must drain
+// to zero with Unfinished, or the tracker leaks.
+func (l *Loop) StateCount() int { return len(l.states) }
+
+// ScheduleArrival enqueues a trace request to arrive at its Arrival time
+// (simulator pre-scheduling).
+func (l *Loop) ScheduleArrival(r *workload.Request) {
+	l.left++
+	l.q.Push(r.Arrival, evArrival, r)
+}
+
+// ScheduleFault enqueues a fail-stop fault (and its optional recovery).
+func (l *Loop) ScheduleFault(f simgpu.Fault) {
+	l.q.Push(f.FailAt, evGPUFail, simgpu.MaskOf(f.GPU))
+	if f.RecoverAt > 0 {
+		l.q.Push(f.RecoverAt, evGPURecover, simgpu.MaskOf(f.GPU))
+	}
+}
+
+// Begin anchors the τ grid: round-based schedulers get their first tick at
+// the current clock reading. Call it after pre-scheduling arrivals/faults so
+// same-instant arrivals are admitted before the tick plans them.
+func (l *Loop) Begin() {
+	if l.roundBased {
+		l.q.Push(l.clk.Now(), evRoundTick, nil)
+	}
+}
+
+// NextEvent peeks the earliest pending event without removing it, or nil.
+func (l *Loop) NextEvent() *eventq.Event { return l.q.Peek() }
+
+// PopEvent removes and returns the earliest pending event, or nil.
+func (l *Loop) PopEvent() *eventq.Event { return l.q.Pop() }
+
+// Dispatch handles one popped event. The caller is responsible for clock
+// discipline: the simulator advances its virtual clock to ev.At first; the
+// driver dispatches events whose time has passed on the real clock.
+func (l *Loop) Dispatch(ev *eventq.Event) error {
+	now := l.clk.Now()
+	switch ev.Kind {
+	case evArrival:
+		l.admit(now, ev.Payload.(*workload.Request))
+	case evRunDone:
+		return l.onRunDone(now, ev.Payload.(*engine.Run))
+	case evRoundTick:
+		l.onRoundTick(ev.At, now)
+	case evGPUFail:
+		l.onGPUFail(now, ev.Payload.(simgpu.Mask))
+	case evGPURecover:
+		l.onGPURecover(now, ev.Payload.(simgpu.Mask))
+	}
+	return nil
+}
+
+// Arrive admits a request right now (driver path: arrivals come from a
+// channel, not the pre-scheduled queue). The request's Arrival is stamped
+// from the clock.
+func (l *Loop) Arrive(r *workload.Request) {
+	l.left++
+	l.admit(l.clk.Now(), r)
+}
+
+// Fail injects a fail-stop fault for the masked GPUs right now.
+func (l *Loop) Fail(mask simgpu.Mask) { l.onGPUFail(l.clk.Now(), mask) }
+
+// Recover returns previously failed GPUs to the pool right now.
+func (l *Loop) Recover(mask simgpu.Mask) { l.onGPURecover(l.clk.Now(), mask) }
+
+// Finalize fills engine telemetry and the makespan into the result and
+// returns it (shared storage, not a copy).
+func (l *Loop) Finalize() *Result {
+	l.fillTelemetry()
+	return l.res
+}
+
+// SnapshotResult returns a deep copy of the result with telemetry filled —
+// the driver's point-in-time view for trace export and Gantt rendering.
+func (l *Loop) SnapshotResult() *Result {
+	l.fillTelemetry()
+	return l.res.Clone()
+}
+
+func (l *Loop) fillTelemetry() {
+	l.res.Makespan = l.clk.Now()
+	l.res.GPUBusySeconds = l.eng.GPUBusySeconds()
+	l.res.Remaps = l.eng.Remaps()
+	l.res.Warmups = l.eng.Warmups()
+	l.res.RunsAborted = l.eng.RunsAborted()
+}
+
+// admit runs the arrival path: trim, track, queue, and (for event-driven or
+// eager round-based schedulers) plan immediately.
+func (l *Loop) admit(now time.Duration, r *workload.Request) {
+	if l.cfg.Hooks.Arriving != nil {
+		l.cfg.Hooks.Arriving(now, r)
+	}
+	r.Arrival = now
+	steps := r.Steps
+	if l.cfg.Trimmer != nil {
+		skip := l.cfg.Trimmer.OnArrival(r.Prompt, r.Res, steps, now)
+		if skip < 0 {
+			skip = 0
+		}
+		if skip >= steps {
+			skip = steps - 1 // at least one step always runs
+		}
+		r.SkippedSteps = skip
+		steps -= skip
+	}
+	st := &sched.RequestState{
+		Req:           r,
+		Remaining:     steps,
+		StepsByDegree: make(map[int]int),
+	}
+	l.states[r.ID] = st
+	l.pending = append(l.pending, st)
+	if l.cfg.Hooks.Admitted != nil {
+		l.cfg.Hooks.Admitted(now, r)
+	}
+	if !l.roundBased || (l.eager && l.eng.Free() != 0) {
+		l.plan(now)
+	}
+}
+
+func (l *Loop) onRunDone(now time.Duration, run *engine.Run) error {
+	if err := l.eng.Finish(run); err != nil {
+		return err
+	}
+	delete(l.inflight, run.ID)
+	delete(l.runEv, run.ID)
+	l.res.Runs = append(l.res.Runs, RunRecord{
+		Start:      run.Start,
+		End:        run.End,
+		Degree:     run.Degree,
+		Steps:      run.Asg.Steps,
+		Requests:   append([]workload.RequestID(nil), run.Asg.Requests...),
+		Res:        run.Res,
+		Group:      run.Asg.Group,
+		BestEffort: run.Asg.BestEffort,
+		Batched:    run.Batched,
+	})
+
+	// Iterate members in assignment order, not map order, so decode-queue
+	// ordering (and therefore completion times) is deterministic.
+	for _, id := range run.Asg.Requests {
+		steps, ok := run.Steps[id]
+		if !ok {
+			continue
+		}
+		st := l.states[id]
+		st.Running = false
+		st.Started = true
+		st.Remaining -= steps
+		st.LastGroup = run.Asg.Group
+		st.StepsByDegree[run.Degree] += steps
+		if st.Remaining <= 0 {
+			l.finish(now, st)
+		} else if l.cfg.DropLateFactor > 0 && l.pastDrop(now, st) {
+			l.drop(now, st)
+		} else {
+			l.pending = append(l.pending, st)
+		}
+	}
+	if !l.roundBased {
+		l.plan(now)
+	}
+	return nil
+}
+
+// onRoundTick fires a τ boundary. at is the tick's scheduled time (the grid
+// anchor rescheduling derives from, so late wake-ups on the real clock never
+// accumulate drift); now is the clock reading.
+func (l *Loop) onRoundTick(at, now time.Duration) {
+	// If a round-aligned block is still running (noise overrun), defer the
+	// tick until it ends so every round starts from a clean boundary.
+	latest := time.Duration(-1)
+	for _, run := range l.inflight {
+		if run.Asg.RoundAligned && run.End > latest {
+			latest = run.End
+		}
+	}
+	if latest > now {
+		l.q.Push(latest+time.Microsecond, evRoundTick, nil)
+		return
+	}
+	l.res.RoundTicks++
+	l.plan(now)
+	if l.cfg.Perpetual || l.left > 0 {
+		l.q.Push(at+l.tau, evRoundTick, nil)
+	}
+}
+
+// plan applies the drop policy, then invokes the scheduler and starts the
+// returned assignments.
+func (l *Loop) plan(now time.Duration) {
+	l.expire(now)
+	ctx := &sched.PlanContext{
+		Now:     now,
+		Free:    l.eng.Free(),
+		Pending: l.snapshotPending(),
+		Running: l.snapshotRunning(),
+		Profile: l.cfg.Profile,
+		Topo:    l.cfg.Topo,
+	}
+	if len(ctx.Pending) == 0 {
+		return
+	}
+	start := time.Now()
+	plan := l.cfg.Scheduler.Plan(ctx)
+	l.res.PlanLatencies = append(l.res.PlanLatencies, time.Since(start))
+	l.res.PlanCalls++
+	if err := sched.ValidatePlan(ctx, plan); err != nil {
+		// A scheduler bug must not corrupt serving state: count it, skip
+		// this plan, and retry at the next event. Strict mode (simulator)
+		// additionally aborts the run — experiment numbers from a buggy
+		// scheduler are worse than no numbers.
+		l.res.PlanRejected++
+		if l.cfg.Hooks.PlanRejected != nil {
+			l.cfg.Hooks.PlanRejected(now, err)
+		}
+		if l.cfg.Strict {
+			panic(fmt.Sprintf("control: scheduler %q produced invalid plan: %v", l.cfg.Scheduler.Name(), err))
+		}
+		return
+	}
+	for _, asg := range plan {
+		run, err := l.eng.Start(now, asg, l.states, l.dispatchDelay())
+		if err != nil {
+			l.res.StartFailed++
+			if l.cfg.Hooks.StartFailed != nil {
+				l.cfg.Hooks.StartFailed(now, err)
+			}
+			if l.cfg.Strict {
+				panic(fmt.Sprintf("control: engine rejected validated assignment: %v", err))
+			}
+			continue
+		}
+		for _, id := range asg.Requests {
+			l.states[id].Running = true
+			l.removePending(id)
+			if l.cfg.Hooks.Started != nil {
+				l.cfg.Hooks.Started(now, id)
+			}
+		}
+		l.inflight[run.ID] = run
+		l.runEv[run.ID] = l.q.Push(run.End, evRunDone, run)
+	}
+}
+
+// expire applies the timeout policy at planning boundaries: a request still
+// pending past DropLateFactor × SLO is abandoned — its client is gone, and
+// keeping it would let the queue grow without bound under overload.
+func (l *Loop) expire(now time.Duration) {
+	if l.cfg.DropLateFactor <= 0 {
+		return
+	}
+	kept := l.pending[:0]
+	for _, st := range l.pending {
+		if !st.Running && l.pastDrop(now, st) {
+			l.drop(now, st)
+		} else {
+			kept = append(kept, st)
+		}
+	}
+	for i := len(kept); i < len(l.pending); i++ {
+		l.pending[i] = nil
+	}
+	l.pending = kept
+}
+
+// onGPUFail injects a fail-stop fault: the engine aborts intersecting
+// blocks, credits completed steps, and this layer requeues the surviving
+// members so the next plan re-packs them on the remaining GPUs — paying
+// latent re-transfer and group re-warm-up per the §5 cost model. With
+// NoRequeueOnFault the victims are dropped instead (the ablation).
+func (l *Loop) onGPUFail(now time.Duration, mask simgpu.Mask) {
+	failures := l.eng.FailGPUs(now, mask)
+	// The engine surfaces aborts in map order; sort for a deterministic
+	// requeue (and therefore pending) order.
+	sort.Slice(failures, func(i, j int) bool { return failures[i].Run.ID < failures[j].Run.ID })
+	for _, f := range failures {
+		if h, ok := l.runEv[f.Run.ID]; ok {
+			l.q.Cancel(h)
+			delete(l.runEv, f.Run.ID)
+		}
+		delete(l.inflight, f.Run.ID)
+		l.res.Runs = append(l.res.Runs, RunRecord{
+			Start:      f.Run.Start,
+			End:        now,
+			Degree:     f.Run.Degree,
+			Steps:      f.Run.Asg.Steps,
+			Requests:   append([]workload.RequestID(nil), f.Run.Asg.Requests...),
+			Res:        f.Run.Res,
+			Group:      f.Run.Asg.Group,
+			BestEffort: f.Run.Asg.BestEffort,
+			Batched:    f.Run.Batched,
+			Aborted:    true,
+		})
+		for _, id := range f.Run.Asg.Requests {
+			done, ok := f.StepsDone[id]
+			if !ok {
+				continue
+			}
+			st := l.states[id]
+			st.Running = false
+			if done > 0 {
+				st.Started = true
+				st.Remaining -= done
+				st.StepsByDegree[f.Run.Degree] += done
+			}
+			switch {
+			case st.Remaining <= 0:
+				// Every step finished before the fault; only the decode
+				// remained, and the VAE runs outside the SP group.
+				l.finish(now, st)
+			case l.cfg.NoRequeueOnFault:
+				l.drop(now, st)
+			case l.cfg.DropLateFactor > 0 && l.pastDrop(now, st):
+				l.drop(now, st)
+			default:
+				l.pending = append(l.pending, st)
+				if l.cfg.Hooks.Requeued != nil {
+					l.cfg.Hooks.Requeued(now, id)
+				}
+			}
+		}
+	}
+	// Placement preservation must not steer survivors back onto dead GPUs.
+	for _, st := range l.states {
+		st.LastGroup = st.LastGroup.Without(mask)
+	}
+	if !l.roundBased {
+		l.plan(now)
+	}
+}
+
+// onGPURecover returns failed GPUs to the pool; round-based schedulers see
+// the capacity at the next tick, event-driven ones replan immediately.
+func (l *Loop) onGPURecover(now time.Duration, mask simgpu.Mask) {
+	if l.eng.RecoverGPUs(mask) != 0 && !l.roundBased {
+		l.plan(now)
+	}
+}
+
+// dispatchDelay is the control-plane latency charged per block.
+// Round-based scheduling pays its decision loop (already budgeted in the
+// scheduler's window); event-driven baselines dispatch directly.
+func (l *Loop) dispatchDelay() time.Duration {
+	if l.roundBased {
+		return l.schedOver
+	}
+	return 0
+}
+
+func (l *Loop) snapshotPending() []*sched.RequestState {
+	out := make([]*sched.RequestState, 0, len(l.pending))
+	for _, st := range l.pending {
+		if !st.Running && st.Remaining > 0 && !l.done[st.Req.ID] {
+			out = append(out, st)
+		}
+	}
+	// Arrival order is part of the FIFO baselines' semantics; re-queued
+	// requests must not jump ahead of earlier arrivals.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Req.Arrival != out[j].Req.Arrival {
+			return out[i].Req.Arrival < out[j].Req.Arrival
+		}
+		return out[i].Req.ID < out[j].Req.ID
+	})
+	return out
+}
+
+func (l *Loop) snapshotRunning() []*sched.RequestState {
+	var out []*sched.RequestState
+	for _, st := range l.states {
+		if st.Running {
+			out = append(out, st)
+		}
+	}
+	// The tracker is a map; order the snapshot so scheduler inputs are
+	// reproducible.
+	sort.Slice(out, func(i, j int) bool { return out[i].Req.ID < out[j].Req.ID })
+	return out
+}
+
+func (l *Loop) removePending(id workload.RequestID) {
+	for i, st := range l.pending {
+		if st.Req.ID == id {
+			l.pending = append(l.pending[:i], l.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+func (l *Loop) pastDrop(now time.Duration, st *sched.RequestState) bool {
+	limit := st.Req.Arrival + time.Duration(float64(st.Req.SLO)*l.cfg.DropLateFactor)
+	return now > limit
+}
+
+func (l *Loop) finish(now time.Duration, st *sched.RequestState) {
+	r := st.Req
+	completion := l.eng.Decode(now, r.Res)
+	l.eng.ReleaseLatent(r.ID)
+	// Timeout semantics: a result delivered past DropLateFactor × SLO has
+	// been abandoned by the client and counts as dropped (Figure 9's
+	// "dropped/timeout" population).
+	if l.cfg.DropLateFactor > 0 &&
+		completion > r.Arrival+time.Duration(float64(r.SLO)*l.cfg.DropLateFactor) {
+		l.finalize(now, Outcome{
+			ID:       r.ID,
+			Res:      r.Res,
+			Arrival:  r.Arrival,
+			Deadline: r.Deadline(),
+			Dropped:  true,
+			Steps:    r.Steps - r.SkippedSteps,
+			Skipped:  r.SkippedSteps,
+		})
+		return
+	}
+	out := Outcome{
+		ID:         r.ID,
+		Res:        r.Res,
+		Arrival:    r.Arrival,
+		Deadline:   r.Deadline(),
+		Completion: completion,
+		Met:        completion <= r.Deadline(),
+		Latency:    completion - r.Arrival,
+		AvgDegree:  st.AvgDegree(),
+		Steps:      r.Steps - r.SkippedSteps,
+		Skipped:    r.SkippedSteps,
+	}
+	l.res.Outcomes = append(l.res.Outcomes, out)
+	l.done[r.ID] = true
+	l.left--
+	delete(l.states, r.ID)
+	if l.cfg.Hooks.Finished != nil {
+		l.cfg.Hooks.Finished(now, out)
+	}
+	if l.cfg.Trimmer != nil {
+		l.cfg.Trimmer.OnComplete(r.Prompt, r.Res, completion)
+	}
+}
+
+func (l *Loop) drop(now time.Duration, st *sched.RequestState) {
+	r := st.Req
+	l.eng.ReleaseLatent(r.ID)
+	l.finalize(now, Outcome{
+		ID:       r.ID,
+		Res:      r.Res,
+		Arrival:  r.Arrival,
+		Deadline: r.Deadline(),
+		Dropped:  true,
+		Steps:    r.Steps - r.SkippedSteps,
+		Skipped:  r.SkippedSteps,
+	})
+}
+
+// finalize retires a dropped request (completions go through finish, which
+// also feeds the trimmer).
+func (l *Loop) finalize(now time.Duration, out Outcome) {
+	l.res.Outcomes = append(l.res.Outcomes, out)
+	l.done[out.ID] = true
+	l.left--
+	delete(l.states, out.ID)
+	if l.cfg.Hooks.Dropped != nil {
+		l.cfg.Hooks.Dropped(now, out)
+	}
+}

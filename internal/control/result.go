@@ -1,0 +1,82 @@
+package control
+
+import (
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+// Outcome is the fate of one request.
+type Outcome struct {
+	ID         workload.RequestID
+	Res        model.Resolution
+	Arrival    time.Duration
+	Deadline   time.Duration
+	Completion time.Duration // 0 when dropped
+	Dropped    bool
+	Met        bool
+	Latency    time.Duration
+	AvgDegree  float64
+	Steps      int
+	Skipped    int
+}
+
+// RunRecord logs one executed block for timeline metrics.
+type RunRecord struct {
+	Start, End time.Duration
+	Degree     int
+	Steps      int
+	Requests   []workload.RequestID
+	Res        model.Resolution
+	Group      simgpu.Mask
+	BestEffort bool
+	Batched    bool
+	// Aborted marks a block killed mid-flight by a GPU fault; End is the
+	// fault time, not the planned completion.
+	Aborted bool
+}
+
+// GPUs returns the device ids the block occupied.
+func (r RunRecord) GPUs() []simgpu.GPUID { return r.Group.IDs() }
+
+// Result aggregates a run of the control loop. The simulator returns it
+// directly; the online driver exposes point-in-time snapshots of it, so the
+// same structure feeds metrics, Gantt rendering, and trace export in both
+// worlds.
+type Result struct {
+	SchedulerName  string
+	NGPU           int
+	Outcomes       []Outcome
+	Runs           []RunRecord
+	Makespan       time.Duration
+	GPUBusySeconds float64
+	PlanLatencies  []time.Duration
+	PlanCalls      int
+	Remaps         int
+	Warmups        int
+	// RunsAborted counts blocks killed by injected GPU faults.
+	RunsAborted int
+	// Health counters: a serving loop must degrade loudly, not silently.
+	// PlanRejected counts plans the validator refused; StartFailed counts
+	// assignments the engine would not start; RoundTicks counts fired round
+	// boundaries (0 for event-driven schedulers).
+	PlanRejected int
+	StartFailed  int
+	RoundTicks   int
+}
+
+// Clone returns a deep copy safe to hand across goroutines (the online
+// driver snapshots the loop-owned result this way).
+func (r *Result) Clone() *Result {
+	c := *r
+	c.Outcomes = append([]Outcome(nil), r.Outcomes...)
+	c.Runs = make([]RunRecord, len(r.Runs))
+	for i, rec := range r.Runs {
+		rec.Requests = append([]workload.RequestID(nil), rec.Requests...)
+		c.Runs[i] = rec
+	}
+	c.PlanLatencies = append([]time.Duration(nil), r.PlanLatencies...)
+	return &c
+}

@@ -10,7 +10,7 @@ import (
 	"strings"
 	"time"
 
-	"tetriserve/internal/sim"
+	"tetriserve/internal/control"
 	"tetriserve/internal/workload"
 )
 
@@ -26,7 +26,7 @@ type Config struct {
 }
 
 // Render draws the run log of a simulation result.
-func Render(res *sim.Result, cfg Config) string {
+func Render(res *control.Result, cfg Config) string {
 	if cfg.Width <= 0 {
 		cfg.Width = 80
 	}
@@ -68,7 +68,7 @@ func Render(res *sim.Result, cfg Config) string {
 	for g := range rows {
 		rows[g] = []rune(strings.Repeat(".", cfg.Width))
 	}
-	runs := append([]sim.RunRecord(nil), res.Runs...)
+	runs := append([]control.RunRecord(nil), res.Runs...)
 	sort.Slice(runs, func(i, j int) bool { return runs[i].Start < runs[j].Start })
 	for _, r := range runs {
 		if r.End <= cfg.From || r.Start >= to {

@@ -9,14 +9,14 @@ import (
 	"sort"
 	"time"
 
+	"tetriserve/internal/control"
 	"tetriserve/internal/model"
-	"tetriserve/internal/sim"
 	"tetriserve/internal/stats"
 )
 
 // SAR returns the SLO Attainment Ratio: the fraction of all requests
 // (dropped included) that completed within their deadline.
-func SAR(res *sim.Result) float64 {
+func SAR(res *control.Result) float64 {
 	if len(res.Outcomes) == 0 {
 		return 0
 	}
@@ -31,7 +31,7 @@ func SAR(res *sim.Result) float64 {
 
 // SARByResolution returns per-resolution SAR — the spider-plot axes of
 // Figures 4, 7 and 8.
-func SARByResolution(res *sim.Result) map[model.Resolution]float64 {
+func SARByResolution(res *control.Result) map[model.Resolution]float64 {
 	met := map[model.Resolution]int{}
 	total := map[model.Resolution]int{}
 	for _, o := range res.Outcomes {
@@ -49,7 +49,7 @@ func SARByResolution(res *sim.Result) map[model.Resolution]float64 {
 
 // CompletedLatencies returns end-to-end latencies in seconds over completed
 // (non-dropped) requests — the Figure 9 population.
-func CompletedLatencies(res *sim.Result) []float64 {
+func CompletedLatencies(res *control.Result) []float64 {
 	var xs []float64
 	for _, o := range res.Outcomes {
 		if !o.Dropped {
@@ -60,28 +60,28 @@ func CompletedLatencies(res *sim.Result) []float64 {
 }
 
 // MeanLatency returns the mean completed latency in seconds (Table 5).
-func MeanLatency(res *sim.Result) float64 {
+func MeanLatency(res *control.Result) float64 {
 	return stats.Mean(CompletedLatencies(res))
 }
 
 // LatencyCDF builds the empirical latency CDF over completed requests.
-func LatencyCDF(res *sim.Result) *stats.CDF {
+func LatencyCDF(res *control.Result) *stats.CDF {
 	return stats.NewCDF(CompletedLatencies(res))
 }
 
 // P99Latency returns the 99th-percentile completed latency in seconds.
-func P99Latency(res *sim.Result) float64 {
+func P99Latency(res *control.Result) float64 {
 	return stats.Percentile(CompletedLatencies(res), 99)
 }
 
 // TimeSeriesSAR computes SAR over a sliding window of completions/deadline
 // expiries ordered by arrival time — Figure 10's stability view. Each point
 // is (window-center seconds, SAR within the window).
-func TimeSeriesSAR(res *sim.Result, window time.Duration) [][2]float64 {
+func TimeSeriesSAR(res *control.Result, window time.Duration) [][2]float64 {
 	if len(res.Outcomes) == 0 || window <= 0 {
 		return nil
 	}
-	outs := append([]sim.Outcome(nil), res.Outcomes...)
+	outs := append([]control.Outcome(nil), res.Outcomes...)
 	sort.Slice(outs, func(i, j int) bool { return outs[i].Arrival < outs[j].Arrival })
 	end := outs[len(outs)-1].Arrival
 	var pts [][2]float64
@@ -108,9 +108,9 @@ func TimeSeriesSAR(res *sim.Result, window time.Duration) [][2]float64 {
 // DegreeTimeline returns, per resolution, (request arrival seconds,
 // steps-weighted average SP degree) points — Figure 11's view of how
 // TetriServe shapes parallelism per request over time.
-func DegreeTimeline(res *sim.Result) map[model.Resolution][][2]float64 {
+func DegreeTimeline(res *control.Result) map[model.Resolution][][2]float64 {
 	out := map[model.Resolution][][2]float64{}
-	outs := append([]sim.Outcome(nil), res.Outcomes...)
+	outs := append([]control.Outcome(nil), res.Outcomes...)
 	sort.Slice(outs, func(i, j int) bool { return outs[i].Arrival < outs[j].Arrival })
 	for _, o := range outs {
 		if o.Dropped || o.AvgDegree == 0 {
@@ -122,7 +122,7 @@ func DegreeTimeline(res *sim.Result) map[model.Resolution][][2]float64 {
 }
 
 // MeanDegreeByResolution averages the per-request step-weighted degree.
-func MeanDegreeByResolution(res *sim.Result) map[model.Resolution]float64 {
+func MeanDegreeByResolution(res *control.Result) map[model.Resolution]float64 {
 	sum := map[model.Resolution]float64{}
 	n := map[model.Resolution]int{}
 	for _, o := range res.Outcomes {
@@ -140,7 +140,7 @@ func MeanDegreeByResolution(res *sim.Result) map[model.Resolution]float64 {
 }
 
 // Utilization returns GPU-busy seconds divided by (makespan × N).
-func Utilization(res *sim.Result) float64 {
+func Utilization(res *control.Result) float64 {
 	if res.Makespan <= 0 || res.NGPU == 0 {
 		return 0
 	}
@@ -148,7 +148,7 @@ func Utilization(res *sim.Result) float64 {
 }
 
 // GPUSecondsPerRequest returns mean GPU-seconds consumed per request.
-func GPUSecondsPerRequest(res *sim.Result) float64 {
+func GPUSecondsPerRequest(res *control.Result) float64 {
 	if len(res.Outcomes) == 0 {
 		return 0
 	}
@@ -156,7 +156,7 @@ func GPUSecondsPerRequest(res *sim.Result) float64 {
 }
 
 // MaxPlanLatency returns the worst scheduler decision latency observed.
-func MaxPlanLatency(res *sim.Result) time.Duration {
+func MaxPlanLatency(res *control.Result) time.Duration {
 	max := time.Duration(0)
 	for _, d := range res.PlanLatencies {
 		if d > max {
@@ -167,7 +167,7 @@ func MaxPlanLatency(res *sim.Result) time.Duration {
 }
 
 // BatchedShare returns the fraction of executed blocks that were batched.
-func BatchedShare(res *sim.Result) float64 {
+func BatchedShare(res *control.Result) float64 {
 	if len(res.Runs) == 0 {
 		return 0
 	}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"tetriserve/internal/core"
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sim"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/trace"
+	"tetriserve/internal/workload"
+)
+
+// divergenceTrace is the shared workload for the sim/driver lockstep test:
+// ten comfortably serveable requests across the resolution mix, plus two
+// hopeless ones whose SLO cannot be met and which the unified drop policy
+// must expire. SLOs are generous so real-clock jitter at high speedup can
+// never flip a met/missed verdict.
+func divergenceTrace(defaultSteps int) []*workload.Request {
+	mix := []model.Resolution{
+		model.Res256, model.Res512, model.Res512, model.Res1024, model.Res256,
+		model.Res512, model.Res256, model.Res512, model.Res1024, model.Res256,
+	}
+	var reqs []*workload.Request
+	for i, res := range mix {
+		slo := 20 * time.Second
+		if res == model.Res1024 {
+			slo = 30 * time.Second
+		}
+		reqs = append(reqs, &workload.Request{
+			ID:      workload.RequestID(i),
+			Prompt:  workload.Prompt{Text: fmt.Sprintf("req %d", i), Theme: i},
+			Res:     res,
+			Steps:   defaultSteps,
+			Arrival: time.Duration(i) * 300 * time.Millisecond,
+			SLO:     slo,
+		})
+	}
+	for i, at := range []time.Duration{1500 * time.Millisecond, 2100 * time.Millisecond} {
+		id := len(mix) + i
+		reqs = append(reqs, &workload.Request{
+			ID:      workload.RequestID(id),
+			Prompt:  workload.Prompt{Text: fmt.Sprintf("hopeless %d", i), Theme: id},
+			Res:     model.Res256,
+			Steps:   defaultSteps,
+			Arrival: at,
+			SLO:     time.Millisecond,
+		})
+	}
+	return reqs
+}
+
+// outcomeSets splits a result into completed/dropped/met ID sets.
+func outcomeSets(res *sim.Result) (completed, dropped, met map[workload.RequestID]bool) {
+	completed = map[workload.RequestID]bool{}
+	dropped = map[workload.RequestID]bool{}
+	met = map[workload.RequestID]bool{}
+	for _, o := range res.Outcomes {
+		if o.Dropped {
+			dropped[o.ID] = true
+			continue
+		}
+		completed[o.ID] = true
+		if o.Met {
+			met[o.ID] = true
+		}
+	}
+	return
+}
+
+// TestSimDriverDivergence replays the same trace through the virtual-clock
+// adapter (sim) and the real-clock adapter (Driver at high speedup) and
+// requires identical completion sets, drop sets, met sets, and therefore
+// SAR. Since both adapters are thin shells over internal/control, this test
+// locks the two serving paths together permanently.
+func TestSimDriverDivergence(t *testing.T) {
+	const dropFactor = 2.0
+	mdl := model.FLUX()
+	topo := simgpu.H100x8()
+	prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
+
+	simRes, err := sim.Run(sim.Config{
+		Model:          mdl,
+		Topo:           topo,
+		Scheduler:      core.NewScheduler(prof, topo, core.DefaultConfig()),
+		Requests:       divergenceTrace(mdl.DefaultSteps),
+		DropLateFactor: dropFactor,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := newTestDriver(t, func(cfg *DriverConfig) { cfg.DropLateFactor = dropFactor })
+	reqs := divergenceTrace(mdl.DefaultSteps)
+	// Submission order matches trace IDs (the driver assigns sequential
+	// IDs), and wall sleeps reproduce the arrival spacing under speedup.
+	start := d.clk.Now()
+	for _, r := range reqs {
+		for d.clk.Now()-start < r.Arrival {
+			time.Sleep(500 * time.Microsecond)
+		}
+		job, err := d.Submit(r.Prompt, r.Res, r.SLO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.ID != r.ID {
+			t.Fatalf("driver assigned ID %d to trace request %d", job.ID, r.ID)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := d.Snapshot()
+		if st.Completed+st.Dropped == len(reqs) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("driver never finalized all requests: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	drvRes := d.Result()
+	simC, simD, simM := outcomeSets(simRes)
+	drvC, drvD, drvM := outcomeSets(drvRes)
+	if !reflect.DeepEqual(simC, drvC) {
+		t.Errorf("completion sets diverged:\n sim    %v\n driver %v", simC, drvC)
+	}
+	if !reflect.DeepEqual(simD, drvD) {
+		t.Errorf("drop sets diverged:\n sim    %v\n driver %v", simD, drvD)
+	}
+	if !reflect.DeepEqual(simM, drvM) {
+		t.Errorf("met sets diverged:\n sim    %v\n driver %v", simM, drvM)
+	}
+	simSAR := float64(len(simM)) / float64(len(reqs))
+	drvSAR := float64(len(drvM)) / float64(len(reqs))
+	if simSAR != drvSAR {
+		t.Errorf("SAR diverged: sim %.3f, driver %.3f", simSAR, drvSAR)
+	}
+}
+
+// TestDriverTraceMatchesStats exercises the driver's inherited trace
+// surface: the JSONL stream served at /v1/trace must round-trip through the
+// trace analyzer to the exact counters /v1/stats reports.
+func TestDriverTraceMatchesStats(t *testing.T) {
+	d := newTestDriver(t, func(cfg *DriverConfig) { cfg.DropLateFactor = 2.0 })
+	ts := httptest.NewServer(NewAPI(d).Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, err := d.Submit(workload.Prompt{Text: "ok", Theme: i}, model.Res256, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Submit(workload.Prompt{Text: "hopeless"}, model.Res256, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	var st Stats
+	for {
+		st = d.Snapshot()
+		if st.Completed+st.Dropped == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never finalized: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/trace: status %d", resp.StatusCode)
+	}
+	evs, err := trace.Read(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := trace.Analyze(evs)
+	if err != nil {
+		t.Fatalf("trace failed consistency analysis: %v", err)
+	}
+	st = d.Snapshot()
+	if sum.Requests != st.Completed+st.Dropped {
+		t.Errorf("trace requests = %d, stats finalized = %d", sum.Requests, st.Completed+st.Dropped)
+	}
+	if sum.Completed != st.Completed {
+		t.Errorf("trace completed = %d, stats %d", sum.Completed, st.Completed)
+	}
+	if sum.Dropped != st.Dropped {
+		t.Errorf("trace dropped = %d, stats %d", sum.Dropped, st.Dropped)
+	}
+	if sum.Met != st.MetSLO {
+		t.Errorf("trace met = %d, stats %d", sum.Met, st.MetSLO)
+	}
+	if sum.Blocks == 0 || sum.GPUSeconds <= 0 {
+		t.Errorf("trace missing block records: %+v", sum)
+	}
+}

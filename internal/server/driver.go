@@ -1,13 +1,17 @@
 // Package server is the online serving frontend: an HTTP API backed by a
-// real-time driver that runs the exact same scheduler and execution engine
-// as the offline simulator, but against the wall clock (optionally
-// time-scaled so hardware-scale latencies replay quickly in demos).
+// real-time driver that runs the exact same control plane as the offline
+// simulator — internal/control's Loop, with all of its plan → dispatch,
+// round-tick, fault-requeue, and drop/timeout logic — but against the wall
+// clock (optionally time-scaled so hardware-scale latencies replay quickly
+// in demos).
 //
-// The driver is the live counterpart of internal/sim: one goroutine owns
-// all scheduling state, receives arrivals and fault commands over channels,
-// fires round ticks and block completions from an event queue, and sleeps
-// on the real clock between events. Job records are the only shared state;
-// they are guarded by a mutex for the HTTP handlers.
+// The driver is a thin adapter: one goroutine owns the loop, receives
+// arrivals and fault commands over channels, sleeps on the real clock until
+// the loop's next event, and dispatches everything whose time has come.
+// Job records are the only state it adds; they mirror the loop's lifecycle
+// hooks under a mutex for the HTTP handlers, and the loop's shared Result
+// gives the driver trace JSONL export and Gantt-compatible run records for
+// free.
 package server
 
 import (
@@ -17,9 +21,9 @@ import (
 
 	"tetriserve/internal/cache"
 	"tetriserve/internal/clock"
+	"tetriserve/internal/control"
 	"tetriserve/internal/costmodel"
 	"tetriserve/internal/engine"
-	"tetriserve/internal/eventq"
 	"tetriserve/internal/model"
 	"tetriserve/internal/sched"
 	"tetriserve/internal/simgpu"
@@ -34,8 +38,8 @@ const (
 	JobQueued    JobState = "queued"
 	JobRunning   JobState = "running"
 	JobCompleted JobState = "completed"
-	// JobDropped marks a job expired by the timeout policy: it sat queued
-	// past DropLateFactor × SLO and was abandoned at a round boundary.
+	// JobDropped marks a job expired by the timeout policy: it exceeded
+	// DropLateFactor × SLO without completing and was abandoned.
 	JobDropped JobState = "dropped"
 )
 
@@ -76,10 +80,11 @@ type DriverConfig struct {
 	// demand and derives their deadline by interpolating the SLO policy in
 	// token count; off, such submissions are rejected. Default off.
 	AdmitAnyResolution bool
-	// DropLateFactor > 0 expires a queued job once now exceeds
-	// arrival + SLO×factor without it starting — the driver counterpart of
-	// sim.Config.DropLateFactor, checked at every planning boundary so the
-	// queue cannot grow without bound under overload. 0 disables expiry.
+	// DropLateFactor > 0 expires a job once now exceeds
+	// arrival + SLO×factor without completion — control.Config's policy,
+	// shared verbatim with sim.Config.DropLateFactor: queued jobs expire at
+	// planning boundaries, requeued jobs at block completion, and a result
+	// delivered too late counts as dropped. 0 disables expiry.
 	DropLateFactor float64
 }
 
@@ -91,35 +96,39 @@ type faultCmd struct {
 
 // Driver runs the serving loop.
 type Driver struct {
-	cfg   DriverConfig
-	prof  *costmodel.Profile
-	clk   *clock.Real
-	eng   *engine.Engine
-	sched sched.Scheduler
+	cfg  DriverConfig
+	prof *costmodel.Profile
+	clk  *clock.Real
 
-	arrive  chan *Job
-	faultc  chan faultCmd
-	stop    chan struct{}
+	arrive chan *Job
+	faultc chan faultCmd
+	snapc  chan chan *control.Result
+	stop   chan struct{}
+	// stopped closes after the loop goroutine has published its final
+	// result snapshot.
 	stopped chan struct{}
 
 	stopOnce sync.Once
 
-	mu        sync.Mutex
-	started   bool
-	jobs      map[workload.RequestID]*Job
-	nextID    workload.RequestID
+	mu      sync.Mutex
+	started bool
+	jobs    map[workload.RequestID]*Job
+	nextID  workload.RequestID
+	// final is the loop's last result snapshot, published at shutdown so
+	// Result keeps working after Stop.
+	final     *control.Result
 	completed int
 	met       int
 	queued    int
 	running   int
 	dropped   int
-	// Error counters: a serving loop must degrade loudly, not silently.
+	// Health counters mirrored from the control loop's Result under mu so
+	// Snapshot never races the loop goroutine that owns it.
 	planRejected int
 	startFailed  int
 	runsAborted  int
 	roundTicks   int
-	// gpuBusy and failed mirror engine telemetry under mu so Snapshot
-	// never races the loop goroutine that owns the engine.
+	// gpuBusy and failed mirror engine telemetry the same way.
 	gpuBusy float64
 	failed  simgpu.Mask
 }
@@ -134,17 +143,12 @@ func NewDriver(cfg DriverConfig) (*Driver, error) {
 	}
 	est := costmodel.NewEstimator(cfg.Model, cfg.Topo)
 	prof := costmodel.BuildProfile(est, costmodel.ProfilerConfig{})
-	engCfg := engine.DefaultConfig()
-	if cfg.EngineCfg != nil {
-		engCfg = *cfg.EngineCfg
-	}
 	return &Driver{
 		cfg:     cfg,
 		prof:    prof,
-		eng:     engine.New(cfg.Model, cfg.Topo, prof, engCfg),
-		sched:   cfg.Scheduler,
 		arrive:  make(chan *Job, 256),
 		faultc:  make(chan faultCmd, 16),
+		snapc:   make(chan chan *control.Result),
 		stop:    make(chan struct{}),
 		stopped: make(chan struct{}),
 		jobs:    make(map[workload.RequestID]*Job),
@@ -195,6 +199,13 @@ func (d *Driver) RecoverGPUs(mask simgpu.Mask) error {
 }
 
 func (d *Driver) sendFault(cmd faultCmd) error {
+	// Check the latch first: after Stop, both select cases below are ready
+	// (the buffered channel still accepts) and Go would pick one at random.
+	select {
+	case <-d.stop:
+		return fmt.Errorf("server: driver stopped")
+	default:
+	}
 	select {
 	case d.faultc <- cmd:
 		return nil
@@ -209,7 +220,8 @@ func (d *Driver) Submit(prompt workload.Prompt, res model.Resolution, slo time.D
 		return Job{}, fmt.Errorf("server: invalid resolution %v", res)
 	}
 	// With AdmitAnyResolution the profile can grow, but only ever on the
-	// loop goroutine (see onArrival); in that mode Submit must not read it.
+	// loop goroutine (see the arrival path); in that mode Submit must not
+	// read it.
 	if !d.cfg.AdmitAnyResolution && !d.prof.Has(res) {
 		return Job{}, fmt.Errorf("server: resolution %v not profiled; supported: %v", res, d.prof.Resolutions())
 	}
@@ -264,6 +276,29 @@ func (d *Driver) JobStatus(id workload.RequestID) (Job, bool) {
 	return *j, true
 }
 
+// Result returns a point-in-time snapshot of the control loop's result —
+// outcomes, run records, plan latencies, health counters — the same
+// structure the simulator returns, so trace export and Gantt rendering work
+// identically against live traffic. Safe to call concurrently; after Stop
+// it returns the loop's final state.
+func (d *Driver) Result() *control.Result {
+	d.mu.Lock()
+	if !d.started {
+		d.mu.Unlock()
+		return &control.Result{SchedulerName: d.cfg.Scheduler.Name(), NGPU: d.cfg.Topo.N}
+	}
+	d.mu.Unlock()
+	reply := make(chan *control.Result, 1)
+	select {
+	case d.snapc <- reply:
+		return <-reply
+	case <-d.stopped:
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return d.final
+	}
+}
+
 // Stats summarizes served traffic and serving-loop health.
 type Stats struct {
 	Completed int     `json:"completed"`
@@ -310,276 +345,156 @@ func (d *Driver) Snapshot() Stats {
 	return st
 }
 
-// loop is the real-time counterpart of internal/sim's event loop. All
-// scheduling state (states, pending, the engine) is owned by this goroutine.
-func (d *Driver) loop() {
-	defer close(d.stopped)
-	var q eventq.Queue
-	const (
-		evRunDone = iota
-		evRoundTick
-	)
-	roundBased := d.sched.RoundDuration() > 0
-	var schedOver time.Duration
-	if o, ok := d.sched.(interface{ Overhead() time.Duration }); ok {
-		schedOver = o.Overhead()
-	}
-	eager := false
-	if e, ok := d.sched.(interface{ EagerAdmission() bool }); ok {
-		eager = e.EagerAdmission()
-	}
+// cacheTrimmer adapts the approximate latent cache to the control loop's
+// StepTrimmer hook.
+type cacheTrimmer struct{ c *cache.Cache }
 
-	states := make(map[workload.RequestID]*sched.RequestState)
-	runEv := make(map[engine.RunID]eventq.Handle)
-	var pending []*sched.RequestState
+func (t cacheTrimmer) OnArrival(p workload.Prompt, res model.Resolution, steps int, now time.Duration) int {
+	return t.c.Lookup(p, res, steps)
+}
 
-	// expire applies the timeout policy at planning boundaries: a job still
-	// queued past DropLateFactor × SLO is abandoned — its client is gone,
-	// and keeping it would let the queue grow without bound under overload.
-	expire := func(now time.Duration) {
-		if d.cfg.DropLateFactor <= 0 {
-			return
-		}
-		kept := pending[:0]
-		for _, st := range pending {
-			limit := st.Req.Arrival + time.Duration(float64(st.Req.SLO)*d.cfg.DropLateFactor)
-			if st.Running || now <= limit {
-				kept = append(kept, st)
-				continue
+func (t cacheTrimmer) OnComplete(p workload.Prompt, res model.Resolution, now time.Duration) {
+	t.c.Insert(p, res)
+}
+
+// hooks builds the lifecycle callbacks that mirror control-loop transitions
+// into the HTTP-visible job records. All hooks run on the loop goroutine;
+// the mutex only guards against concurrent HTTP reads.
+func (d *Driver) hooks() control.Hooks {
+	return control.Hooks{
+		Admitted: func(now time.Duration, r *workload.Request) {
+			d.mu.Lock()
+			if j, ok := d.jobs[r.ID]; ok {
+				j.Arrival = now
+				j.Skipped = r.SkippedSteps
 			}
-			id := st.Req.ID
-			d.eng.ReleaseLatent(id)
-			delete(states, id)
+			d.mu.Unlock()
+		},
+		Started: func(now time.Duration, id workload.RequestID) {
 			d.mu.Lock()
 			if j, ok := d.jobs[id]; ok && j.State == JobQueued {
-				j.State = JobDropped
+				j.State = JobRunning
 				d.queued--
+				d.running++
+			}
+			d.mu.Unlock()
+		},
+		Requeued: func(now time.Duration, id workload.RequestID) {
+			// Fault path only: the survivor goes back to the queue until the
+			// next plan re-packs it. Ordinary end-of-block requeues keep the
+			// job "running" from the client's perspective — its block is
+			// merely between rounds.
+			d.mu.Lock()
+			if j, ok := d.jobs[id]; ok && j.State == JobRunning {
+				j.State = JobQueued
+				d.running--
+				d.queued++
+			}
+			d.mu.Unlock()
+		},
+		Finished: func(now time.Duration, o control.Outcome) {
+			d.mu.Lock()
+			if j, ok := d.jobs[o.ID]; ok {
+				d.retireLocked(j)
+				j.State = JobCompleted
+				j.Completed = o.Completion
+				j.Latency = o.Latency
+				j.MetSLO = o.Met
+				j.AvgDegree = o.AvgDegree
+				d.completed++
+				if o.Met {
+					d.met++
+				}
+			}
+			d.mu.Unlock()
+		},
+		Dropped: func(now time.Duration, o control.Outcome) {
+			d.mu.Lock()
+			if j, ok := d.jobs[o.ID]; ok {
+				d.retireLocked(j)
+				j.State = JobDropped
 				d.dropped++
 			}
 			d.mu.Unlock()
-		}
-		for i := len(kept); i < len(pending); i++ {
-			pending[i] = nil
-		}
-		pending = kept
+		},
 	}
+}
 
-	plan := func(now time.Duration) {
-		expire(now)
-		snapshot := make([]*sched.RequestState, 0, len(pending))
-		for _, st := range pending {
-			if !st.Running && st.Remaining > 0 {
-				snapshot = append(snapshot, st)
-			}
-		}
-		if len(snapshot) == 0 {
-			return
-		}
-		var running []*sched.RequestState
-		for _, st := range states {
-			if st.Running {
-				running = append(running, st)
-			}
-		}
-		ctx := &sched.PlanContext{
-			Now:     now,
-			Free:    d.eng.Free(),
-			Pending: snapshot,
-			Running: running,
-			Profile: d.prof,
-			Topo:    d.cfg.Topo,
-		}
-		assignments := d.sched.Plan(ctx)
-		if err := sched.ValidatePlan(ctx, assignments); err != nil {
-			// A scheduler bug must not kill the serving loop; count it,
-			// skip this plan, and retry at the next event.
-			d.mu.Lock()
-			d.planRejected++
-			d.mu.Unlock()
-			return
-		}
-		for _, asg := range assignments {
-			run, err := d.eng.Start(now, asg, states, schedOver)
-			if err != nil {
-				d.mu.Lock()
-				d.startFailed++
-				d.mu.Unlock()
-				continue
-			}
-			for _, id := range asg.Requests {
-				states[id].Running = true
-				for i, st := range pending {
-					if st.Req.ID == id {
-						pending = append(pending[:i], pending[i+1:]...)
-						break
-					}
-				}
-				d.mu.Lock()
-				if j, ok := d.jobs[id]; ok && j.State == JobQueued {
-					j.State = JobRunning
-					d.queued--
-					d.running++
-				}
-				d.mu.Unlock()
-			}
-			runEv[run.ID] = q.Push(run.End, evRunDone, run)
-		}
+// retireLocked decrements the queue-position counter a job currently
+// occupies. Callers hold mu and set the terminal state afterwards.
+func (d *Driver) retireLocked(j *Job) {
+	switch j.State {
+	case JobQueued:
+		d.queued--
+	case JobRunning:
+		d.running--
 	}
+}
 
-	onArrival := func(now time.Duration, job *Job) {
-		steps := d.cfg.Model.DefaultSteps
-		skip := 0
-		res := model.Resolution{W: job.Width, H: job.Height}
-		// On-demand profiling for non-standard resolutions happens here,
-		// on the loop goroutine that owns all profile reads, so the
-		// scheduler never observes an unprofiled request.
-		if d.cfg.AdmitAnyResolution && !d.prof.Has(res) {
-			d.prof.Extend(costmodel.NewEstimator(d.cfg.Model, d.cfg.Topo), res)
-		}
-		if d.cfg.Cache != nil {
-			skip = d.cfg.Cache.Lookup(job.prompt, res, steps)
-			if skip >= steps {
-				skip = steps - 1
-			}
-		}
-		req := &workload.Request{
-			ID:           job.ID,
-			Prompt:       job.prompt,
-			Res:          res,
-			Steps:        steps,
-			SkippedSteps: skip,
-			Arrival:      now,
-			SLO:          job.SLO,
-		}
-		st := &sched.RequestState{
-			Req:           req,
-			Remaining:     steps - skip,
-			StepsByDegree: map[int]int{},
-		}
-		states[job.ID] = st
-		pending = append(pending, st)
+// loop is the real-time adapter around control.Loop: sleep until the loop's
+// next event is due on the (speedup-scaled) wall clock, dispatch everything
+// whose time has come, and inject channel-fed arrivals and fault commands
+// as they happen. The loop goroutine owns ctl exclusively.
+func (d *Driver) loop() {
+	engCfg := engine.DefaultConfig()
+	if d.cfg.EngineCfg != nil {
+		engCfg = *d.cfg.EngineCfg
+	}
+	ctlCfg := control.Config{
+		Model:          d.cfg.Model,
+		Topo:           d.cfg.Topo,
+		Scheduler:      d.cfg.Scheduler,
+		Profile:        d.prof,
+		Engine:         engCfg,
+		DropLateFactor: d.cfg.DropLateFactor,
+		// A live serving loop never stops ticking (capacity may free up or
+		// arrive at any moment) and never panics on scheduler bugs — it
+		// counts them and retries at the next event.
+		Perpetual: true,
+		Hooks:     d.hooks(),
+	}
+	if d.cfg.Cache != nil {
+		ctlCfg.Trimmer = cacheTrimmer{c: d.cfg.Cache}
+	}
+	ctl, err := control.New(ctlCfg, d.clk)
+	if err != nil {
+		// NewDriver validated the same invariants; this is unreachable
+		// without a programming error.
+		panic(fmt.Sprintf("server: control loop rejected validated config: %v", err))
+	}
+	defer func() {
 		d.mu.Lock()
-		job.Arrival = now
-		job.Skipped = skip
+		d.final = ctl.SnapshotResult()
+		d.mu.Unlock()
+		close(d.stopped)
+	}()
+
+	// syncTelemetry mirrors loop + engine counters into the mutex-guarded
+	// fields Snapshot reads. Runs on the loop goroutine after every batch
+	// of work.
+	syncTelemetry := func() {
+		res := ctl.Result()
+		eng := ctl.Engine()
+		busy := eng.GPUBusySeconds()
+		failed := eng.FailedGPUs()
+		aborted := eng.RunsAborted()
+		d.mu.Lock()
+		d.planRejected = res.PlanRejected
+		d.startFailed = res.StartFailed
+		d.roundTicks = res.RoundTicks
+		d.runsAborted = aborted
+		d.gpuBusy = busy
+		d.failed = failed
 		d.mu.Unlock()
 	}
 
-	// finishJob retires a completed request: decode, release, account.
-	finishJob := func(now time.Duration, id workload.RequestID, st *sched.RequestState) {
-		completion := d.eng.Decode(now, st.Req.Res)
-		d.eng.ReleaseLatent(id)
-		if d.cfg.Cache != nil {
-			d.cfg.Cache.Insert(st.Req.Prompt, st.Req.Res)
-		}
-		delete(states, id)
-		d.mu.Lock()
-		if j, ok := d.jobs[id]; ok {
-			j.State = JobCompleted
-			j.Completed = completion
-			j.Latency = completion - j.Arrival
-			j.MetSLO = j.Latency <= j.SLO
-			j.AvgDegree = st.AvgDegree()
-			d.running--
-			d.completed++
-			if j.MetSLO {
-				d.met++
-			}
-		}
-		d.mu.Unlock()
-	}
-
-	onRunDone := func(now time.Duration, run *engine.Run) {
-		if err := d.eng.Finish(run); err != nil {
-			return
-		}
-		delete(runEv, run.ID)
-		d.mu.Lock()
-		d.gpuBusy = d.eng.GPUBusySeconds()
-		d.mu.Unlock()
-		for id, steps := range run.Steps {
-			st := states[id]
-			st.Running = false
-			st.Started = true
-			st.Remaining -= steps
-			st.LastGroup = run.Asg.Group
-			st.StepsByDegree[run.Degree] += steps
-			if st.Remaining > 0 {
-				pending = append(pending, st)
-				continue
-			}
-			finishJob(now, id, st)
-		}
-	}
-
-	// onFault is the recovery path the round scheduler makes cheap: abort
-	// the dead blocks, credit completed steps, requeue the survivors, and
-	// let the next plan re-pack them on the remaining GPUs.
-	onFault := func(now time.Duration, cmd faultCmd) {
-		if cmd.recover {
-			recovered := d.eng.RecoverGPUs(cmd.mask)
-			d.mu.Lock()
-			d.failed = d.eng.FailedGPUs()
-			d.mu.Unlock()
-			if recovered != 0 && !roundBased {
-				plan(now)
-			}
-			return
-		}
-		failures := d.eng.FailGPUs(now, cmd.mask)
-		for _, f := range failures {
-			if h, ok := runEv[f.Run.ID]; ok {
-				q.Cancel(h)
-				delete(runEv, f.Run.ID)
-			}
-			d.mu.Lock()
-			d.runsAborted++
-			d.mu.Unlock()
-			for id, done := range f.StepsDone {
-				st := states[id]
-				st.Running = false
-				if done > 0 {
-					st.Started = true
-					st.Remaining -= done
-					st.StepsByDegree[f.Run.Degree] += done
-				}
-				if st.Remaining <= 0 {
-					// Every step finished before the fault; only the
-					// decode remained.
-					finishJob(now, id, st)
-					continue
-				}
-				pending = append(pending, st)
-				d.mu.Lock()
-				if j, ok := d.jobs[id]; ok && j.State == JobRunning {
-					j.State = JobQueued
-					d.running--
-					d.queued++
-				}
-				d.mu.Unlock()
-			}
-		}
-		// Placement preservation must not steer survivors onto dead GPUs.
-		for _, st := range states {
-			st.LastGroup = st.LastGroup.Without(cmd.mask)
-		}
-		d.mu.Lock()
-		d.failed = d.eng.FailedGPUs()
-		d.gpuBusy = d.eng.GPUBusySeconds()
-		d.mu.Unlock()
-		if !roundBased {
-			plan(now)
-		}
-	}
-
-	if roundBased {
-		q.Push(d.clk.Now()+d.sched.RoundDuration(), evRoundTick, nil)
-	}
+	ctl.Begin()
 
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
 	for {
 		var wake <-chan time.Time
-		if next := q.Peek(); next != nil {
+		if next := ctl.NextEvent(); next != nil {
 			wall := time.Duration(float64(next.At-d.clk.Now()) / d.cfg.Speedup)
 			if wall < 0 {
 				wall = 0
@@ -598,39 +513,40 @@ func (d *Driver) loop() {
 		case <-d.stop:
 			return
 		case job := <-d.arrive:
-			now := d.clk.Now()
-			onArrival(now, job)
-			if !roundBased || (eager && d.eng.Free() != 0) {
-				plan(now)
+			// On-demand profiling for non-standard resolutions happens here,
+			// on the loop goroutine that owns all profile reads, so the
+			// scheduler never observes an unprofiled request.
+			res := model.Resolution{W: job.Width, H: job.Height}
+			if d.cfg.AdmitAnyResolution && !d.prof.Has(res) {
+				d.prof.Extend(costmodel.NewEstimator(d.cfg.Model, d.cfg.Topo), res)
 			}
+			ctl.Arrive(&workload.Request{
+				ID:     job.ID,
+				Prompt: job.prompt,
+				Res:    res,
+				Steps:  job.Steps,
+				SLO:    job.SLO,
+			})
 		case cmd := <-d.faultc:
-			onFault(d.clk.Now(), cmd)
+			if cmd.recover {
+				ctl.Recover(cmd.mask)
+			} else {
+				ctl.Fail(cmd.mask)
+			}
+		case reply := <-d.snapc:
+			reply <- ctl.SnapshotResult()
 		case <-wake:
 			for {
-				next := q.Peek()
+				next := ctl.NextEvent()
 				if next == nil || next.At > d.clk.Now() {
 					break
 				}
-				ev := q.Pop()
-				now := d.clk.Now()
-				switch ev.Kind {
-				case evRunDone:
-					onRunDone(now, ev.Payload.(*engine.Run))
-					if !roundBased {
-						plan(now)
-					}
-				case evRoundTick:
-					d.mu.Lock()
-					d.roundTicks++
-					d.mu.Unlock()
-					plan(now)
-					// Reschedule from the event's scheduled time, not the
-					// processing time: a late wake-up must not shift the τ
-					// grid the round scheduler assumes (drift would
-					// otherwise accumulate forever).
-					q.Push(ev.At+d.sched.RoundDuration(), evRoundTick, nil)
-				}
+				// Dispatch's only error source is the engine refusing a
+				// completion it no longer tracks; the serving loop skips the
+				// stale event and keeps going.
+				_ = ctl.Dispatch(ctl.PopEvent())
 			}
 		}
+		syncTelemetry()
 	}
 }

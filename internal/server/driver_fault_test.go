@@ -175,7 +175,7 @@ func TestDriverExpiresQueuedJobs(t *testing.T) {
 // below elapsed/τ.
 func TestDriverRoundTicksStayOnGrid(t *testing.T) {
 	d := newTestDriver(t)
-	tau := d.sched.RoundDuration()
+	tau := d.cfg.Scheduler.RoundDuration()
 	if tau <= 0 {
 		t.Fatal("test needs a round-based scheduler")
 	}

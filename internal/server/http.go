@@ -10,6 +10,7 @@ import (
 
 	"tetriserve/internal/model"
 	"tetriserve/internal/simgpu"
+	"tetriserve/internal/trace"
 	"tetriserve/internal/workload"
 )
 
@@ -20,6 +21,7 @@ import (
 //	GET  /v1/stats                → Stats
 //	GET  /v1/profile              → offline-profiled step times
 //	POST /v1/faults               {fail_gpus?, recover_gpus?} → Stats
+//	GET  /v1/trace                → JSONL event log (same format as tetrisim export)
 //	GET  /healthz                 → 200 ok
 type API struct {
 	Driver *Driver
@@ -41,6 +43,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", a.handleStats)
 	mux.HandleFunc("GET /v1/profile", a.handleProfile)
 	mux.HandleFunc("POST /v1/faults", a.handleFaults)
+	mux.HandleFunc("GET /v1/trace", a.handleTrace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -149,6 +152,19 @@ func (a *API) handleFaults(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, a.Driver.Snapshot())
+}
+
+// handleTrace streams the control loop's event log as JSON lines — the same
+// format `tetrisim export` writes for offline runs, produced from the same
+// shared Result, so the trace analyzer and Gantt renderer work unchanged
+// against live traffic.
+func (a *API) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	evs := trace.FromResult(a.Driver.Result())
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := trace.Write(w, evs); err != nil {
+		// Headers are gone; the truncated stream is the best signal left.
+		_ = err
+	}
 }
 
 // profileEntry is one row of the profile dump.

@@ -178,8 +178,8 @@ func TestStatesMapDrained(t *testing.T) {
 		if err := s.loop(); err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
-		if len(s.states) != 0 {
-			t.Fatalf("%s: %d request states leaked after the loop drained", tc.name, len(s.states))
+		if n := s.ctl.StateCount(); n != 0 {
+			t.Fatalf("%s: %d request states leaked after the loop drained", tc.name, n)
 		}
 	}
 }

@@ -3,6 +3,13 @@
 // producing per-request outcomes and run logs from which every evaluation
 // metric (SAR, latency CDFs, degree timelines, utilization) derives.
 //
+// The scheduling loop itself — admission, τ round ticks, plan → dispatch,
+// fault requeue, drop expiry, finish accounting — lives in internal/control
+// and is shared verbatim with the online driver (internal/server). This
+// package is only the discrete-event harness around it: it pre-schedules the
+// trace and fault script on the loop's event queue, then advances a virtual
+// clock to each event and dispatches it until every request is finalized.
+//
 // Round-based schedulers (TetriServe) are invoked at fixed τ boundaries;
 // event-driven schedulers (xDiT, RSSP, EDF) are invoked on every arrival and
 // completion. Both paths share the engine, so all policies pay identical
@@ -11,28 +18,29 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"tetriserve/internal/clock"
+	"tetriserve/internal/control"
 	"tetriserve/internal/costmodel"
 	"tetriserve/internal/engine"
-	"tetriserve/internal/eventq"
 	"tetriserve/internal/model"
 	"tetriserve/internal/sched"
 	"tetriserve/internal/simgpu"
 	"tetriserve/internal/workload"
 )
 
-// StepTrimmer is the hook cache-based acceleration (Nirvana, §6.2) plugs
-// into: it may shrink a request's step count on arrival and observes
-// completions to update its state.
-type StepTrimmer interface {
-	// OnArrival returns how many initial steps to skip for the prompt.
-	OnArrival(p workload.Prompt, res model.Resolution, steps int, now time.Duration) int
-	// OnComplete records a served request for future reuse.
-	OnComplete(p workload.Prompt, res model.Resolution, now time.Duration)
-}
+// StepTrimmer is the cache-acceleration hook; see control.StepTrimmer.
+type StepTrimmer = control.StepTrimmer
+
+// Outcome is the fate of one request; see control.Outcome.
+type Outcome = control.Outcome
+
+// RunRecord logs one executed block; see control.RunRecord.
+type RunRecord = control.RunRecord
+
+// Result aggregates a run; see control.Result.
+type Result = control.Result
 
 // Config describes one simulation run.
 type Config struct {
@@ -63,87 +71,10 @@ type Config struct {
 	MaxVirtualTime time.Duration
 }
 
-// Outcome is the fate of one request.
-type Outcome struct {
-	ID         workload.RequestID
-	Res        model.Resolution
-	Arrival    time.Duration
-	Deadline   time.Duration
-	Completion time.Duration // 0 when dropped
-	Dropped    bool
-	Met        bool
-	Latency    time.Duration
-	AvgDegree  float64
-	Steps      int
-	Skipped    int
-}
-
-// RunRecord logs one executed block for timeline metrics.
-type RunRecord struct {
-	Start, End time.Duration
-	Degree     int
-	Steps      int
-	Requests   []workload.RequestID
-	Res        model.Resolution
-	Group      simgpu.Mask
-	BestEffort bool
-	Batched    bool
-	// Aborted marks a block killed mid-flight by a GPU fault; End is the
-	// fault time, not the planned completion.
-	Aborted bool
-}
-
-// GPUs returns the device ids the block occupied.
-func (r RunRecord) GPUs() []simgpu.GPUID { return r.Group.IDs() }
-
-// Result aggregates a run.
-type Result struct {
-	SchedulerName  string
-	NGPU           int
-	Outcomes       []Outcome
-	Runs           []RunRecord
-	Makespan       time.Duration
-	GPUBusySeconds float64
-	PlanLatencies  []time.Duration
-	PlanCalls      int
-	Remaps         int
-	Warmups        int
-	// RunsAborted counts blocks killed by injected GPU faults.
-	RunsAborted int
-}
-
-// event kinds.
-const (
-	evArrival = iota
-	evRunDone
-	evRoundTick
-	evGPUFail
-	evGPURecover
-)
-
 type simulator struct {
-	cfg    Config
-	clk    *clock.Virtual
-	q      eventq.Queue
-	eng    *engine.Engine
-	states map[workload.RequestID]*sched.RequestState
-	// pending preserves arrival order among unfinished, non-running
-	// requests.
-	pending  []*sched.RequestState
-	inflight map[engine.RunID]*engine.Run
-	// runEv maps in-flight runs to their completion events so GPU faults
-	// can cancel the completions of blocks they abort.
-	runEv map[engine.RunID]eventq.Handle
-	done  map[workload.RequestID]bool
-	res   *Result
-	// left counts requests not yet finalized.
-	left int
-	// roundBased caches the scheduler mode.
-	roundBased bool
-	// eager additionally plans on arrivals for round-based schedulers.
-	eager     bool
-	tau       time.Duration
-	schedOver time.Duration
+	cfg Config
+	clk *clock.Virtual
+	ctl *control.Loop
 }
 
 // Run executes the simulation to completion and returns the result.
@@ -155,7 +86,7 @@ func Run(cfg Config) (*Result, error) {
 	if err := s.loop(); err != nil {
 		return nil, err
 	}
-	return s.res, nil
+	return s.ctl.Finalize(), nil
 }
 
 // newSimulator validates the configuration and builds a ready-to-run
@@ -186,399 +117,48 @@ func newSimulator(cfg Config) (*simulator, error) {
 		}
 	}
 
-	s := &simulator{
-		cfg:      cfg,
-		clk:      clock.NewVirtual(),
-		eng:      engine.New(cfg.Model, cfg.Topo, cfg.Profile, engCfg),
-		states:   make(map[workload.RequestID]*sched.RequestState),
-		inflight: make(map[engine.RunID]*engine.Run),
-		runEv:    make(map[engine.RunID]eventq.Handle),
-		done:     make(map[workload.RequestID]bool),
-		res: &Result{
-			SchedulerName: cfg.Scheduler.Name(),
-			NGPU:          cfg.Topo.N,
-		},
-		left:       len(cfg.Requests),
-		roundBased: cfg.Scheduler.RoundDuration() > 0,
-		tau:        cfg.Scheduler.RoundDuration(),
-	}
-	if o, ok := cfg.Scheduler.(interface{ Overhead() time.Duration }); ok {
-		s.schedOver = o.Overhead()
-	}
-	if e, ok := cfg.Scheduler.(interface{ EagerAdmission() bool }); ok {
-		s.eager = e.EagerAdmission()
+	clk := clock.NewVirtual()
+	ctl, err := control.New(control.Config{
+		Model:            cfg.Model,
+		Topo:             cfg.Topo,
+		Scheduler:        cfg.Scheduler,
+		Profile:          cfg.Profile,
+		Engine:           engCfg,
+		Trimmer:          cfg.Trimmer,
+		DropLateFactor:   cfg.DropLateFactor,
+		NoRequeueOnFault: cfg.NoRequeueOnFault,
+		// The simulator is the oracle harness: a scheduler bug must abort
+		// the run (panic), not leak into experiment tables.
+		Strict: true,
+	}, clk)
+	if err != nil {
+		return nil, err
 	}
 	for _, r := range cfg.Requests {
-		s.q.Push(r.Arrival, evArrival, r)
+		ctl.ScheduleArrival(r)
 	}
 	for _, f := range cfg.Faults {
-		s.q.Push(f.FailAt, evGPUFail, simgpu.MaskOf(f.GPU))
-		if f.RecoverAt > 0 {
-			s.q.Push(f.RecoverAt, evGPURecover, simgpu.MaskOf(f.GPU))
-		}
+		ctl.ScheduleFault(f)
 	}
-	if s.roundBased {
-		s.q.Push(0, evRoundTick, nil)
-	}
-	return s, nil
+	ctl.Begin()
+	return &simulator{cfg: cfg, clk: clk, ctl: ctl}, nil
 }
 
+// loop drains the event queue under the virtual clock: advance to the next
+// event's timestamp, dispatch it, repeat until every request is finalized.
 func (s *simulator) loop() error {
-	for s.left > 0 {
-		ev := s.q.Pop()
+	for s.ctl.Unfinished() > 0 {
+		ev := s.ctl.PopEvent()
 		if ev == nil {
-			return fmt.Errorf("sim: %d requests unfinished but no pending events (deadlock)", s.left)
+			return fmt.Errorf("sim: %d requests unfinished but no pending events (deadlock)", s.ctl.Unfinished())
 		}
 		if ev.At > s.cfg.MaxVirtualTime {
-			return fmt.Errorf("sim: exceeded max virtual time %s with %d requests left", s.cfg.MaxVirtualTime, s.left)
+			return fmt.Errorf("sim: exceeded max virtual time %s with %d requests left", s.cfg.MaxVirtualTime, s.ctl.Unfinished())
 		}
 		s.clk.Advance(ev.At)
-		now := ev.At
-		switch ev.Kind {
-		case evArrival:
-			s.onArrival(now, ev.Payload.(*workload.Request))
-		case evRunDone:
-			if err := s.onRunDone(now, ev.Payload.(*engine.Run)); err != nil {
-				return err
-			}
-		case evRoundTick:
-			if err := s.onRoundTick(now); err != nil {
-				return err
-			}
-		case evGPUFail:
-			s.onGPUFail(now, ev.Payload.(simgpu.Mask))
-		case evGPURecover:
-			s.onGPURecover(now, ev.Payload.(simgpu.Mask))
+		if err := s.ctl.Dispatch(ev); err != nil {
+			return err
 		}
-	}
-	s.res.Makespan = s.clk.Now()
-	s.res.GPUBusySeconds = s.eng.GPUBusySeconds()
-	s.res.Remaps = s.eng.Remaps()
-	s.res.Warmups = s.eng.Warmups()
-	s.res.RunsAborted = s.eng.RunsAborted()
-	return nil
-}
-
-func (s *simulator) onArrival(now time.Duration, r *workload.Request) {
-	steps := r.Steps
-	if s.cfg.Trimmer != nil {
-		skip := s.cfg.Trimmer.OnArrival(r.Prompt, r.Res, steps, now)
-		if skip < 0 {
-			skip = 0
-		}
-		if skip >= steps {
-			skip = steps - 1 // at least one step always runs
-		}
-		r.SkippedSteps = skip
-		steps -= skip
-	}
-	st := &sched.RequestState{
-		Req:           r,
-		Remaining:     steps,
-		StepsByDegree: make(map[int]int),
-	}
-	s.states[r.ID] = st
-	s.pending = append(s.pending, st)
-	if !s.roundBased || (s.eager && s.eng.Free() != 0) {
-		s.plan(now)
-	}
-}
-
-func (s *simulator) onRunDone(now time.Duration, run *engine.Run) error {
-	if err := s.eng.Finish(run); err != nil {
-		return err
-	}
-	delete(s.inflight, run.ID)
-	delete(s.runEv, run.ID)
-	rec := RunRecord{
-		Start:      run.Start,
-		End:        run.End,
-		Degree:     run.Degree,
-		Steps:      run.Asg.Steps,
-		Requests:   append([]workload.RequestID(nil), run.Asg.Requests...),
-		Res:        run.Res,
-		Group:      run.Asg.Group,
-		BestEffort: run.Asg.BestEffort,
-		Batched:    run.Batched,
-	}
-	s.res.Runs = append(s.res.Runs, rec)
-
-	for id, steps := range run.Steps {
-		st := s.states[id]
-		st.Running = false
-		st.Started = true
-		st.Remaining -= steps
-		st.LastGroup = run.Asg.Group
-		st.StepsByDegree[run.Degree] += steps
-		if st.Remaining <= 0 {
-			s.finish(now, st)
-		} else {
-			if s.cfg.DropLateFactor > 0 && s.pastDrop(now, st) {
-				s.drop(now, st)
-			} else {
-				s.pending = append(s.pending, st)
-			}
-		}
-	}
-	if !s.roundBased {
-		s.plan(now)
 	}
 	return nil
-}
-
-func (s *simulator) onRoundTick(now time.Duration) error {
-	// If a round-aligned block is still running (noise overrun), defer the
-	// tick until it ends so every round starts from a clean boundary.
-	latest := time.Duration(-1)
-	for _, run := range s.runningAligned() {
-		if run.End > latest {
-			latest = run.End
-		}
-	}
-	if latest > now {
-		s.q.Push(latest+time.Microsecond, evRoundTick, nil)
-		return nil
-	}
-	s.plan(now)
-	if s.left > 0 {
-		s.q.Push(now+s.tau, evRoundTick, nil)
-	}
-	return nil
-}
-
-func (s *simulator) runningAligned() []*engine.Run {
-	var out []*engine.Run
-	for _, run := range s.inflight {
-		if run.Asg.RoundAligned {
-			out = append(out, run)
-		}
-	}
-	return out
-}
-
-// plan drops expired requests, then invokes the scheduler and starts the
-// returned assignments.
-func (s *simulator) plan(now time.Duration) {
-	if s.cfg.DropLateFactor > 0 {
-		kept := s.pending[:0]
-		for _, st := range s.pending {
-			if !st.Running && s.pastDrop(now, st) {
-				s.drop(now, st)
-			} else {
-				kept = append(kept, st)
-			}
-		}
-		for i := len(kept); i < len(s.pending); i++ {
-			s.pending[i] = nil
-		}
-		s.pending = kept
-	}
-	ctx := &sched.PlanContext{
-		Now:     now,
-		Free:    s.eng.Free(),
-		Pending: s.snapshotPending(),
-		Running: s.snapshotRunning(),
-		Profile: s.cfg.Profile,
-		Topo:    s.cfg.Topo,
-	}
-	if len(ctx.Pending) == 0 {
-		return
-	}
-	start := time.Now()
-	plan := s.cfg.Scheduler.Plan(ctx)
-	s.res.PlanLatencies = append(s.res.PlanLatencies, time.Since(start))
-	s.res.PlanCalls++
-	if err := sched.ValidatePlan(ctx, plan); err != nil {
-		panic(fmt.Sprintf("sim: scheduler %q produced invalid plan: %v", s.cfg.Scheduler.Name(), err))
-	}
-	for _, asg := range plan {
-		run, err := s.eng.Start(now, asg, s.states, s.dispatchDelay())
-		if err != nil {
-			panic(fmt.Sprintf("sim: engine rejected validated assignment: %v", err))
-		}
-		for _, id := range asg.Requests {
-			st := s.states[id]
-			st.Running = true
-			s.removePending(id)
-		}
-		s.inflight[run.ID] = run
-		s.runEv[run.ID] = s.q.Push(run.End, evRunDone, run)
-	}
-}
-
-// onGPUFail injects a fail-stop fault: the engine aborts intersecting
-// blocks, credits completed steps, and this layer requeues the surviving
-// members so the next plan re-packs them on the remaining GPUs — paying
-// latent re-transfer and group re-warm-up per the §5 cost model. With
-// NoRequeueOnFault the victims are dropped instead (the ablation).
-func (s *simulator) onGPUFail(now time.Duration, mask simgpu.Mask) {
-	failures := s.eng.FailGPUs(now, mask)
-	for _, f := range failures {
-		if h, ok := s.runEv[f.Run.ID]; ok {
-			s.q.Cancel(h)
-			delete(s.runEv, f.Run.ID)
-		}
-		delete(s.inflight, f.Run.ID)
-		s.res.Runs = append(s.res.Runs, RunRecord{
-			Start:      f.Run.Start,
-			End:        now,
-			Degree:     f.Run.Degree,
-			Steps:      f.Run.Asg.Steps,
-			Requests:   append([]workload.RequestID(nil), f.Run.Asg.Requests...),
-			Res:        f.Run.Res,
-			Group:      f.Run.Asg.Group,
-			BestEffort: f.Run.Asg.BestEffort,
-			Batched:    f.Run.Batched,
-			Aborted:    true,
-		})
-		for id, done := range f.StepsDone {
-			st := s.states[id]
-			st.Running = false
-			if done > 0 {
-				st.Started = true
-				st.Remaining -= done
-				st.StepsByDegree[f.Run.Degree] += done
-			}
-			switch {
-			case st.Remaining <= 0:
-				// Every step finished before the fault; only the decode
-				// remained, and the VAE runs outside the SP group.
-				s.finish(now, st)
-			case s.cfg.NoRequeueOnFault:
-				s.drop(now, st)
-			case s.cfg.DropLateFactor > 0 && s.pastDrop(now, st):
-				s.drop(now, st)
-			default:
-				s.pending = append(s.pending, st)
-			}
-		}
-	}
-	// Placement preservation must not steer survivors back onto dead GPUs.
-	for _, st := range s.states {
-		st.LastGroup = st.LastGroup.Without(mask)
-	}
-	if !s.roundBased {
-		s.plan(now)
-	}
-}
-
-// onGPURecover returns failed GPUs to the pool; round-based schedulers see
-// the capacity at the next tick, event-driven ones replan immediately.
-func (s *simulator) onGPURecover(now time.Duration, mask simgpu.Mask) {
-	if s.eng.RecoverGPUs(mask) != 0 && !s.roundBased {
-		s.plan(now)
-	}
-}
-
-// dispatchDelay is the control-plane latency charged per block.
-// Round-based scheduling pays its decision loop (already budgeted in the
-// scheduler's window); event-driven baselines dispatch directly.
-func (s *simulator) dispatchDelay() time.Duration {
-	if s.roundBased {
-		return s.schedOver
-	}
-	return 0
-}
-
-func (s *simulator) snapshotPending() []*sched.RequestState {
-	out := make([]*sched.RequestState, 0, len(s.pending))
-	for _, st := range s.pending {
-		if !st.Running && st.Remaining > 0 && !s.done[st.Req.ID] {
-			out = append(out, st)
-		}
-	}
-	// Arrival order is part of the FIFO baselines' semantics; re-queued
-	// requests must not jump ahead of earlier arrivals.
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Req.Arrival != out[j].Req.Arrival {
-			return out[i].Req.Arrival < out[j].Req.Arrival
-		}
-		return out[i].Req.ID < out[j].Req.ID
-	})
-	return out
-}
-
-func (s *simulator) snapshotRunning() []*sched.RequestState {
-	var out []*sched.RequestState
-	for _, st := range s.states {
-		if st.Running {
-			out = append(out, st)
-		}
-	}
-	return out
-}
-
-func (s *simulator) removePending(id workload.RequestID) {
-	for i, st := range s.pending {
-		if st.Req.ID == id {
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			return
-		}
-	}
-}
-
-func (s *simulator) pastDrop(now time.Duration, st *sched.RequestState) bool {
-	limit := st.Req.Arrival + time.Duration(float64(st.Req.SLO)*s.cfg.DropLateFactor)
-	return now > limit
-}
-
-func (s *simulator) finish(now time.Duration, st *sched.RequestState) {
-	r := st.Req
-	completion := s.eng.Decode(now, r.Res)
-	s.eng.ReleaseLatent(r.ID)
-	// Timeout semantics: a result delivered past DropLateFactor × SLO has
-	// been abandoned by the client and counts as dropped (Figure 9's
-	// "dropped/timeout" population).
-	if s.cfg.DropLateFactor > 0 &&
-		completion > r.Arrival+time.Duration(float64(r.SLO)*s.cfg.DropLateFactor) {
-		s.res.Outcomes = append(s.res.Outcomes, Outcome{
-			ID:       r.ID,
-			Res:      r.Res,
-			Arrival:  r.Arrival,
-			Deadline: r.Deadline(),
-			Dropped:  true,
-			Steps:    r.Steps - r.SkippedSteps,
-			Skipped:  r.SkippedSteps,
-		})
-		s.done[r.ID] = true
-		s.left--
-		delete(s.states, r.ID)
-		return
-	}
-	out := Outcome{
-		ID:         r.ID,
-		Res:        r.Res,
-		Arrival:    r.Arrival,
-		Deadline:   r.Deadline(),
-		Completion: completion,
-		Met:        completion <= r.Deadline(),
-		Latency:    completion - r.Arrival,
-		AvgDegree:  st.AvgDegree(),
-		Steps:      r.Steps - r.SkippedSteps,
-		Skipped:    r.SkippedSteps,
-	}
-	s.res.Outcomes = append(s.res.Outcomes, out)
-	s.done[r.ID] = true
-	s.left--
-	delete(s.states, r.ID)
-	if s.cfg.Trimmer != nil {
-		s.cfg.Trimmer.OnComplete(r.Prompt, r.Res, completion)
-	}
-}
-
-func (s *simulator) drop(now time.Duration, st *sched.RequestState) {
-	r := st.Req
-	s.eng.ReleaseLatent(r.ID)
-	s.res.Outcomes = append(s.res.Outcomes, Outcome{
-		ID:       r.ID,
-		Res:      r.Res,
-		Arrival:  r.Arrival,
-		Deadline: r.Deadline(),
-		Dropped:  true,
-		Steps:    r.Steps - r.SkippedSteps,
-		Skipped:  r.SkippedSteps,
-	})
-	s.done[r.ID] = true
-	s.left--
-	delete(s.states, r.ID)
 }

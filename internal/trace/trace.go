@@ -1,9 +1,11 @@
-// Package trace turns simulation results into a structured, replayable
-// event log (JSON lines) and rebuilds summary statistics from such logs.
-// This is the observability surface a production deployment would ship to
-// its metrics pipeline; round-tripping through it is also a consistency
-// check on the simulator's bookkeeping (the analyzer's numbers must match
-// the metrics computed directly from the result).
+// Package trace turns control-plane results — from the offline simulator or
+// the online driver's /v1/trace endpoint, which share internal/control's
+// Result — into a structured, replayable event log (JSON lines) and rebuilds
+// summary statistics from such logs. This is the observability surface a
+// production deployment would ship to its metrics pipeline; round-tripping
+// through it is also a consistency check on the control loop's bookkeeping
+// (the analyzer's numbers must match the metrics computed directly from the
+// result).
 package trace
 
 import (
@@ -14,7 +16,7 @@ import (
 	"sort"
 	"time"
 
-	"tetriserve/internal/sim"
+	"tetriserve/internal/control"
 	"tetriserve/internal/workload"
 )
 
@@ -52,7 +54,7 @@ type Event struct {
 }
 
 // FromResult linearizes a simulation result into time-ordered events.
-func FromResult(res *sim.Result) []Event {
+func FromResult(res *control.Result) []Event {
 	var evs []Event
 	for _, o := range res.Outcomes {
 		evs = append(evs, Event{
