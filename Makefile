@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-snapshot check
+.PHONY: build vet test race bench bench-snapshot check fuzz cover
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,19 @@ bench:
 # refreshed snapshot alongside planner/cost-model changes.
 bench-snapshot:
 	$(GO) run ./cmd/tetribench -o BENCH_planner.json
+
+# Short randomized sweep of both invariant fuzz targets (the committed
+# seed corpus under internal/invariant/testdata/fuzz replays in the plain
+# test run; this explores beyond it). FUZZTIME tunes the per-target budget.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test ./internal/invariant -run '^$$' -fuzz '^FuzzPlanRound$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/invariant -run '^$$' -fuzz '^FuzzControlLoop$$' -fuzztime $(FUZZTIME)
+
+# Aggregate coverage profile across every package.
+cover:
+	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Everything a PR must pass: compile, vet, full suite, race detector.
 check: build vet test race

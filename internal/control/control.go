@@ -47,8 +47,10 @@ type StepTrimmer interface {
 }
 
 // Hooks are optional per-transition callbacks for adapter-side bookkeeping
-// (the driver's job-state mirror). Every field may be nil. Hooks run on the
-// loop's goroutine, synchronously with the transition they describe.
+// (the driver's job-state mirror) and for observers such as the
+// internal/invariant oracle. Every field may be nil. Hooks run on the loop's
+// goroutine, synchronously with the transition they describe. Use Then to
+// fan a transition out to several observers.
 type Hooks struct {
 	// Arriving fires before admission bookkeeping (before the trimmer and
 	// the tracker insert) — the driver's on-demand profile extension point.
@@ -68,6 +70,67 @@ type Hooks struct {
 	// PlanRejected / StartFailed fire when the loop degrades loudly.
 	PlanRejected func(now time.Duration, err error)
 	StartFailed  func(now time.Duration, err error)
+
+	// Planned fires after a plan passes validation and before dispatch.
+	// ctx and plan alias scheduler-owned scratch storage: observers must
+	// read synchronously and never retain either value past the callback.
+	Planned func(now time.Duration, ctx *sched.PlanContext, plan []sched.Assignment)
+	// RunStarted fires when the engine accepts a block; RunFinished fires
+	// when the block retires at its end time. The *engine.Run is the loop's
+	// live record — observers must not mutate it.
+	RunStarted  func(now time.Duration, run *engine.Run)
+	RunFinished func(now time.Duration, run *engine.Run)
+	// RunAborted fires when a GPU fault kills an in-flight block, before the
+	// surviving members are requeued or dropped. stepsDone credits the steps
+	// each member completed before the fault.
+	RunAborted func(now time.Duration, run *engine.Run, stepsDone map[workload.RequestID]int)
+	// GPUFailed and GPURecovered observe effective fault-plane transitions:
+	// the mask holds only GPUs that actually changed state (re-failing a
+	// dead GPU or recovering a healthy one does not fire).
+	GPUFailed    func(now time.Duration, mask simgpu.Mask)
+	GPURecovered func(now time.Duration, mask simgpu.Mask)
+}
+
+// Then returns hooks that invoke h's callback first and next's second for
+// every transition, so several observers (the driver's job mirror, the
+// invariant oracle) can watch one loop without knowing about each other.
+func (h Hooks) Then(next Hooks) Hooks {
+	return Hooks{
+		Arriving:     chain2(h.Arriving, next.Arriving),
+		Admitted:     chain2(h.Admitted, next.Admitted),
+		Started:      chain2(h.Started, next.Started),
+		Requeued:     chain2(h.Requeued, next.Requeued),
+		Finished:     chain2(h.Finished, next.Finished),
+		Dropped:      chain2(h.Dropped, next.Dropped),
+		PlanRejected: chain2(h.PlanRejected, next.PlanRejected),
+		StartFailed:  chain2(h.StartFailed, next.StartFailed),
+		Planned:      chain3(h.Planned, next.Planned),
+		RunStarted:   chain2(h.RunStarted, next.RunStarted),
+		RunFinished:  chain2(h.RunFinished, next.RunFinished),
+		RunAborted:   chain3(h.RunAborted, next.RunAborted),
+		GPUFailed:    chain2(h.GPUFailed, next.GPUFailed),
+		GPURecovered: chain2(h.GPURecovered, next.GPURecovered),
+	}
+}
+
+func chain2[A, B any](a, b func(A, B)) func(A, B) {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(x A, y B) { a(x, y); b(x, y) }
+}
+
+func chain3[A, B, C any](a, b func(A, B, C)) func(A, B, C) {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(x A, y B, z C) { a(x, y, z); b(x, y, z) }
 }
 
 // Config describes one control loop.
@@ -322,6 +385,9 @@ func (l *Loop) onRunDone(now time.Duration, run *engine.Run) error {
 	if err := l.eng.Finish(run); err != nil {
 		return err
 	}
+	if l.cfg.Hooks.RunFinished != nil {
+		l.cfg.Hooks.RunFinished(now, run)
+	}
 	delete(l.inflight, run.ID)
 	delete(l.runEv, run.ID)
 	l.res.Runs = append(l.res.Runs, RunRecord{
@@ -419,6 +485,9 @@ func (l *Loop) plan(now time.Duration) {
 		}
 		return
 	}
+	if l.cfg.Hooks.Planned != nil {
+		l.cfg.Hooks.Planned(now, ctx, plan)
+	}
 	for _, asg := range plan {
 		run, err := l.eng.Start(now, asg, l.states, l.dispatchDelay())
 		if err != nil {
@@ -430,6 +499,9 @@ func (l *Loop) plan(now time.Duration) {
 				panic(fmt.Sprintf("control: engine rejected validated assignment: %v", err))
 			}
 			continue
+		}
+		if l.cfg.Hooks.RunStarted != nil {
+			l.cfg.Hooks.RunStarted(now, run)
 		}
 		for _, id := range asg.Requests {
 			l.states[id].Running = true
@@ -470,11 +542,18 @@ func (l *Loop) expire(now time.Duration) {
 // latent re-transfer and group re-warm-up per the §5 cost model. With
 // NoRequeueOnFault the victims are dropped instead (the ablation).
 func (l *Loop) onGPUFail(now time.Duration, mask simgpu.Mask) {
+	prevFailed := l.eng.FailedGPUs()
 	failures := l.eng.FailGPUs(now, mask)
+	if newly := l.eng.FailedGPUs().Without(prevFailed); newly != 0 && l.cfg.Hooks.GPUFailed != nil {
+		l.cfg.Hooks.GPUFailed(now, newly)
+	}
 	// The engine surfaces aborts in map order; sort for a deterministic
 	// requeue (and therefore pending) order.
 	sort.Slice(failures, func(i, j int) bool { return failures[i].Run.ID < failures[j].Run.ID })
 	for _, f := range failures {
+		if l.cfg.Hooks.RunAborted != nil {
+			l.cfg.Hooks.RunAborted(now, f.Run, f.StepsDone)
+		}
 		if h, ok := l.runEv[f.Run.ID]; ok {
 			l.q.Cancel(h)
 			delete(l.runEv, f.Run.ID)
@@ -533,7 +612,14 @@ func (l *Loop) onGPUFail(now time.Duration, mask simgpu.Mask) {
 // onGPURecover returns failed GPUs to the pool; round-based schedulers see
 // the capacity at the next tick, event-driven ones replan immediately.
 func (l *Loop) onGPURecover(now time.Duration, mask simgpu.Mask) {
-	if l.eng.RecoverGPUs(mask) != 0 && !l.roundBased {
+	recovered := l.eng.RecoverGPUs(mask)
+	if recovered == 0 {
+		return
+	}
+	if l.cfg.Hooks.GPURecovered != nil {
+		l.cfg.Hooks.GPURecovered(now, recovered)
+	}
+	if !l.roundBased {
 		l.plan(now)
 	}
 }

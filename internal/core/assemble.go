@@ -288,8 +288,17 @@ func (s *Scheduler) batchSmall(ctx *sched.PlanContext, placedList []*placed, fre
 				break
 			}
 			// Joint step count: every member advances up to `steps` this
-			// round (clipped to its own remaining by the engine).
+			// round (clipped to its own remaining by the engine). The block
+			// executes min(qb, host remaining) steps, so survival must be
+			// tested at that clipped count — a donor with more remaining
+			// than the host makes less progress than qb would suggest.
 			steps := qb
+			if steps > host.cand.st.Remaining {
+				steps = host.cand.st.Remaining
+			}
+			if steps <= 0 {
+				continue
+			}
 			ok := survivesBatch(tNext, host.cand, steps) && survivesBatch(tNext, donor.cand, steps)
 			for _, m := range host.members {
 				if !ok {
@@ -298,12 +307,6 @@ func (s *Scheduler) batchSmall(ctx *sched.PlanContext, placedList []*placed, fre
 				ok = survivesBatch(tNext, m, steps)
 			}
 			if !ok {
-				continue
-			}
-			if steps > host.cand.st.Remaining {
-				steps = host.cand.st.Remaining
-			}
-			if steps <= 0 {
 				continue
 			}
 			sc.memberArena = append(sc.memberArena, donor.cand)

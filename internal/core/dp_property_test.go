@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"tetriserve/internal/sched"
+	"tetriserve/internal/stats"
+	"tetriserve/internal/workload"
+)
+
+// This file pins Algorithm 1 against Appendix B on a class of instances
+// where both provably solve the same problem, so equality is exact rather
+// than tolerance-based.
+//
+// Construction: every request has one step, arrives at 0, and every step
+// time and every deadline lies in [10ms, 20ms). A second dispatch wave can
+// start no earlier than 10ms and finish no earlier than 20ms — past every
+// deadline — so a request is met iff it starts at time 0 on a degree k with
+// T(k) ≤ deadline, and all met requests overlap just before t=10ms, bounding
+// their total width by N. Both solvers therefore face the identical
+// max-cardinality knapsack: pick requests and feasible degrees with total
+// width ≤ N. The DP's survivor count must equal the exhaustive optimum.
+
+// knapsackReq is one request of a generated instance.
+type knapsackReq struct {
+	deadline time.Duration
+	stepTime map[int]time.Duration // degree → step time, all in [10ms, 20ms)
+}
+
+type knapsackInstance struct {
+	n       int
+	degrees []int
+	reqs    []knapsackReq
+}
+
+func (ki knapsackInstance) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "N=%d degrees=%v", ki.n, ki.degrees)
+	for i, r := range ki.reqs {
+		fmt.Fprintf(&sb, "\n  req%d deadline=%s stepTime=%v", i, r.deadline, r.stepTime)
+	}
+	return sb.String()
+}
+
+func randKnapsackInstance(rng *stats.RNG) knapsackInstance {
+	n := 1 + rng.Intn(4) // N ≤ 4
+	var degrees []int
+	for k := 1; k <= n; k *= 2 {
+		degrees = append(degrees, k)
+	}
+	r := 1 + rng.Intn(3) // R ≤ 3
+	reqs := make([]knapsackReq, r)
+	ms := func() time.Duration { return time.Duration(10+rng.Intn(10)) * time.Millisecond }
+	for i := range reqs {
+		st := make(map[int]time.Duration, len(degrees))
+		for _, k := range degrees {
+			st[k] = ms()
+		}
+		reqs[i] = knapsackReq{deadline: ms(), stepTime: st}
+	}
+	return knapsackInstance{n: n, degrees: degrees, reqs: reqs}
+}
+
+// exhaustiveMet runs the Appendix B solver on a frozen clock (deterministic,
+// cannot time out) and returns the optimal met count.
+func exhaustiveMet(ki knapsackInstance) int {
+	reqs := make([]sched.ExhaustiveRequest, len(ki.reqs))
+	for i, r := range ki.reqs {
+		reqs[i] = sched.ExhaustiveRequest{
+			Arrival:  0,
+			Deadline: r.deadline,
+			Steps:    1,
+			StepTime: r.stepTime,
+		}
+	}
+	inst := sched.ExhaustiveInstance{N: ki.n, Degrees: ki.degrees, Requests: reqs}
+	frozen := func() time.Time { return time.Unix(0, 0) }
+	return sched.SolveExhaustiveClock(inst, time.Nanosecond, frozen).Met
+}
+
+// dpMet builds the per-request options the way Algorithm 1 sees them — one
+// option per feasible degree, each surviving — and returns how many requests
+// the group-knapsack DP keeps alive.
+func dpMet(ki knapsackInstance) int {
+	s := &Scheduler{} // packDP only touches the scratch arena
+	cands := make([]*candidate, len(ki.reqs))
+	for i, r := range ki.reqs {
+		c := &candidate{
+			st: &sched.RequestState{
+				Req:       &workload.Request{ID: workload.RequestID(i), Steps: 1, SLO: r.deadline},
+				Remaining: 1,
+			},
+		}
+		for _, k := range ki.degrees {
+			if r.stepTime[k] <= r.deadline {
+				c.options = append(c.options, option{
+					degree:    k,
+					planSteps: 1,
+					stepTime:  r.stepTime[k],
+					q:         1,
+					survive:   true,
+				})
+			}
+		}
+		cands[i] = c
+	}
+	met := 0
+	for _, sel := range s.packDP(cands, ki.n) {
+		if sel.optIdx >= 0 && sel.cand.options[sel.optIdx].survive {
+			met++
+		}
+	}
+	return met
+}
+
+// shrink minimizes a counterexample: drop whole requests, then individual
+// degrees, as long as the disagreement persists.
+func shrink(ki knapsackInstance) knapsackInstance {
+	disagrees := func(k knapsackInstance) bool {
+		return len(k.reqs) > 0 && dpMet(k) != exhaustiveMet(k)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range ki.reqs {
+			cand := ki
+			cand.reqs = append(append([]knapsackReq(nil), ki.reqs[:i]...), ki.reqs[i+1:]...)
+			if disagrees(cand) {
+				ki = cand
+				changed = true
+				break
+			}
+		}
+		if changed {
+			continue
+		}
+		for i, r := range ki.reqs {
+			for _, k := range ki.degrees {
+				if _, ok := r.stepTime[k]; !ok {
+					continue
+				}
+				cand := ki
+				cand.reqs = append([]knapsackReq(nil), ki.reqs...)
+				st := make(map[int]time.Duration, len(r.stepTime))
+				for d, t := range r.stepTime {
+					if d != k {
+						st[d] = t
+					}
+				}
+				cand.reqs[i] = knapsackReq{deadline: r.deadline, stepTime: st}
+				if disagrees(cand) {
+					ki = cand
+					changed = true
+					break
+				}
+			}
+			if changed {
+				break
+			}
+		}
+	}
+	return ki
+}
+
+// TestDPMatchesExhaustiveOptimum is the Appendix B property test: on 1200
+// random small instances the group-knapsack DP's survival count equals the
+// exhaustive solver's optimum exactly.
+func TestDPMatchesExhaustiveOptimum(t *testing.T) {
+	rng := stats.NewRNG(20260805)
+	const instances = 1200
+	for i := 0; i < instances; i++ {
+		ki := randKnapsackInstance(rng)
+		dp, ex := dpMet(ki), exhaustiveMet(ki)
+		if dp != ex {
+			min := shrink(ki)
+			t.Fatalf("instance %d: DP met %d, exhaustive met %d\nshrunk counterexample (DP %d vs exhaustive %d):\n%s",
+				i, dp, ex, dpMet(min), exhaustiveMet(min), min)
+		}
+	}
+}

@@ -79,6 +79,10 @@ type Config struct {
 	BatchTokenCap int
 	// Seed feeds the random placement used when preservation is off.
 	Seed uint64
+	// WallClock supplies the time source for the plan-latency diagnostic
+	// (Table 6). Defaults to time.Now; deterministic harnesses inject a
+	// fake clock so a Plan call never reads the wall.
+	WallClock func() time.Time
 }
 
 // DefaultConfig returns the paper's default mechanism set.
@@ -121,6 +125,9 @@ func (c *Config) normalize() {
 	}
 	if c.Seed == 0 {
 		c.Seed = 7
+	}
+	if c.WallClock == nil {
+		c.WallClock = time.Now
 	}
 }
 
@@ -221,9 +228,9 @@ func (s *Scheduler) window() time.Duration { return s.tau - s.cfg.SchedOverhead 
 // only until the next Plan call; callers that retain assignments across
 // rounds must copy them (the engine does).
 func (s *Scheduler) Plan(ctx *sched.PlanContext) []sched.Assignment {
-	started := time.Now()
+	started := s.cfg.WallClock()
 	defer func() {
-		s.lastPlanLatency = time.Since(started)
+		s.lastPlanLatency = s.cfg.WallClock().Sub(started)
 		s.roundsPlanned++
 	}()
 

@@ -35,7 +35,7 @@ func runExt2(ctx Context) []*tablefmt.Table {
 		mi := i / (len(makers) * len(scales))
 		ki := i / len(scales) % len(makers)
 		si := i % len(scales)
-		return runOne(f, makers[ki](), trace(ctx, f, mixes[mi], nil, scales[si]))
+		return runOne(ctx, f, makers[ki](), trace(ctx, f, mixes[mi], nil, scales[si]))
 	})
 	var tables []*tablefmt.Table
 	for mi, mix := range mixes {

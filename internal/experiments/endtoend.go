@@ -62,7 +62,7 @@ func runEndToEnd(ctx Context, mix workload.Mix, figNo string) []*tablefmt.Table 
 	scales := workload.SLOScales()
 	results := mapCells(ctx, len(makers)*len(scales), func(i int) *sim.Result {
 		mi, si := i/len(scales), i%len(scales)
-		return runOne(f, makers[mi](), trace(ctx, f, mix, nil, scales[si]))
+		return runOne(ctx, f, makers[mi](), trace(ctx, f, mix, nil, scales[si]))
 	})
 
 	bestFixed := map[float64]float64{}
@@ -103,7 +103,7 @@ func runFig9(ctx Context) []*tablefmt.Table {
 	makers := allMakers(f)
 	results := mapCells(ctx, len(mixes)*len(makers), func(i int) *sim.Result {
 		mi, ki := i/len(makers), i%len(makers)
-		return runOne(f, makers[ki](), trace(ctx, f, mixes[mi], nil, 1.0),
+		return runOne(ctx, f, makers[ki](), trace(ctx, f, mixes[mi], nil, 1.0),
 			func(c *sim.Config) { c.DropLateFactor = 4.0 })
 	})
 	var tables []*tablefmt.Table
@@ -151,7 +151,7 @@ func runTable3(ctx Context) []*tablefmt.Table {
 			c := warmCache(ctx, f)
 			opts = append(opts, func(cfg *sim.Config) { cfg.Trimmer = &cache.Trimmer{C: c} })
 		}
-		res := runOne(f, makers[ki](), trace(ctx, f, mixes[mi], nil, 1.0), opts...)
+		res := runOne(ctx, f, makers[ki](), trace(ctx, f, mixes[mi], nil, 1.0), opts...)
 		return metrics.SAR(res)
 	})
 	for mi, mix := range mixes {

@@ -189,7 +189,9 @@ func schedulerSet(f *fixture) []sched.Scheduler {
 
 // runOne executes a single simulation, panicking on configuration errors
 // (experiments are static; a failure is a bug, not an input problem).
-func runOne(f *fixture, sc sched.Scheduler, reqs []*workload.Request, opts ...func(*sim.Config)) *sim.Result {
+// Quick-mode cells run with the invariant oracle attached, so every table
+// the test suite regenerates doubles as a full invariant audit.
+func runOne(ctx Context, f *fixture, sc sched.Scheduler, reqs []*workload.Request, opts ...func(*sim.Config)) *sim.Result {
 	cfg := sim.Config{
 		Model:     f.mdl,
 		Topo:      f.topo,
@@ -199,7 +201,8 @@ func runOne(f *fixture, sc sched.Scheduler, reqs []*workload.Request, opts ...fu
 		// Requests that blow through 4x their SLO are timed out and
 		// dropped, matching the paper's serving semantics (Figure 9);
 		// SAR counts them as misses either way.
-		DropLateFactor: 4.0,
+		DropLateFactor:  4.0,
+		CheckInvariants: ctx.Quick,
 	}
 	for _, o := range opts {
 		o(&cfg)

@@ -65,7 +65,7 @@ func runExt1(ctx Context) []*tablefmt.Table {
 		vi := i / len(scales) % len(variants)
 		si := i % len(scales)
 		sc := core.NewScheduler(f.prof, f.topo, extVariant(variants[vi]))
-		return runOne(f, sc, trace(ctx, f, mixes[mi], nil, scales[si]))
+		return runOne(ctx, f, sc, trace(ctx, f, mixes[mi], nil, scales[si]))
 	})
 	var tables []*tablefmt.Table
 	for mi, mix := range mixes {

@@ -47,7 +47,7 @@ func failureFaults(ctx Context, n int) []simgpu.Fault {
 // runFaultCell runs one sweep cell, tolerating schedulers that stall: an
 // event-driven policy whose fixed group no longer exists among the
 // surviving GPUs deadlocks, and that outcome is itself the result.
-func runFaultCell(f *fixture, sc sched.Scheduler, reqs []*workload.Request, faults []simgpu.Fault, noRequeue bool) (*sim.Result, error) {
+func runFaultCell(ctx Context, f *fixture, sc sched.Scheduler, reqs []*workload.Request, faults []simgpu.Fault, noRequeue bool) (*sim.Result, error) {
 	return sim.Run(sim.Config{
 		Model:            f.mdl,
 		Topo:             f.topo,
@@ -57,6 +57,7 @@ func runFaultCell(f *fixture, sc sched.Scheduler, reqs []*workload.Request, faul
 		DropLateFactor:   4.0,
 		Faults:           faults,
 		NoRequeueOnFault: noRequeue,
+		CheckInvariants:  ctx.Quick,
 	})
 }
 
@@ -112,7 +113,7 @@ func runFault1(ctx Context) []*tablefmt.Table {
 	}
 	results := mapCells(ctx, len(cells), func(i int) out {
 		c := cells[i]
-		r, err := runFaultCell(f, c.mk(), reqs, failureFaults(ctx, c.faults), false)
+		r, err := runFaultCell(ctx, f, c.mk(), reqs, failureFaults(ctx, c.faults), false)
 		return out{r, err}
 	})
 
@@ -142,7 +143,7 @@ func runFault1(ctx Context) []*tablefmt.Table {
 	abCells := []abCell{{1, false}, {1, true}, {2, false}, {2, true}}
 	abResults := mapCells(ctx, len(abCells), func(i int) out {
 		c := abCells[i]
-		r, err := runFaultCell(f, newTetri(f), reqs, failureFaults(ctx, c.faults), c.noRequeue)
+		r, err := runFaultCell(ctx, f, newTetri(f), reqs, failureFaults(ctx, c.faults), c.noRequeue)
 		return out{r, err}
 	})
 	ablation := tablefmt.New("Failure ablation: TetriServe with and without fault requeue",

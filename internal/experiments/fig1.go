@@ -73,6 +73,7 @@ func runFig1(ctx Context) []*tablefmt.Table {
 		res, err := sim.Run(sim.Config{
 			Model: mdl, Topo: topo, Scheduler: c.mk(),
 			Requests: fig1Trace(mdl), Profile: prof,
+			CheckInvariants: ctx.Quick,
 		})
 		if err != nil {
 			panic(fmt.Sprintf("experiments: fig1 %s: %v", c.name, err))

@@ -111,12 +111,12 @@ func runFig4(ctx Context) []*tablefmt.Table {
 	for _, k := range f.topo.Degrees() {
 		rowA := []string{fmt.Sprintf("xDiT SP=%d", k)}
 		for _, scale := range workload.SLOScales() {
-			res := runOne(f, newFixed(k), trace(ctx, f, mix, nil, scale))
+			res := runOne(ctx, f, newFixed(k), trace(ctx, f, mix, nil, scale))
 			rowA = append(rowA, fm(metrics.SAR(res)))
 		}
 		ta.AddRow(rowA...)
 
-		res := runOne(f, newFixed(k), trace(ctx, f, mix, nil, 1.0))
+		res := runOne(ctx, f, newFixed(k), trace(ctx, f, mix, nil, 1.0))
 		by := metrics.SARByResolution(res)
 		tb.AddRow(fmt.Sprintf("xDiT SP=%d", k),
 			fm(by[model.Res256]), fm(by[model.Res512]), fm(by[model.Res1024]), fm(by[model.Res2048]))

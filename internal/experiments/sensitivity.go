@@ -59,7 +59,7 @@ func runFig12(ctx Context) []*tablefmt.Table {
 		mi := i / (len(makers) * len(scales))
 		ki := i / len(scales) % len(makers)
 		si := i % len(scales)
-		res := runOne(f, makers[ki](), trace(ctx, f, mixes[mi], nil, scales[si]))
+		res := runOne(ctx, f, makers[ki](), trace(ctx, f, mixes[mi], nil, scales[si]))
 		return metrics.SAR(res)
 	})
 	var tables []*tablefmt.Table
@@ -91,7 +91,7 @@ func runFig13(ctx Context) []*tablefmt.Table {
 		ki, ri := i/len(rates), i%len(rates)
 		rctx := ctx
 		rctx.Rate = rates[ri]
-		res := runOne(f, makers[ki](), trace(rctx, f, workload.UniformMix(),
+		res := runOne(rctx, f, makers[ki](), trace(rctx, f, workload.UniformMix(),
 			workload.PoissonArrivals{PerMinute: rates[ri]}, 1.0))
 		return metrics.SAR(res)
 	})
@@ -114,7 +114,7 @@ func runFig14(ctx Context) []*tablefmt.Table {
 	resolutions := model.StandardResolutions()
 	sars := mapCells(ctx, len(makers)*len(resolutions), func(i int) float64 {
 		ki, ri := i/len(resolutions), i%len(resolutions)
-		res := runOne(f, makers[ki](), trace(ctx, f, workload.HomogeneousMix(resolutions[ri]), nil, 1.5))
+		res := runOne(ctx, f, makers[ki](), trace(ctx, f, workload.HomogeneousMix(resolutions[ri]), nil, 1.5))
 		return metrics.SAR(res)
 	})
 	for ki, mkSched := range makers {
@@ -144,7 +144,7 @@ func runFig15(ctx Context) []*tablefmt.Table {
 		sc := core.NewScheduler(f.prof, f.topo, cfg)
 		rctx := ctx
 		rctx.Rate = rates[ri]
-		res := runOne(f, sc, trace(rctx, f, workload.UniformMix(),
+		res := runOne(rctx, f, sc, trace(rctx, f, workload.UniformMix(),
 			workload.PoissonArrivals{PerMinute: rates[ri]}, 1.0))
 		return metrics.SAR(res)
 	})

@@ -48,7 +48,7 @@ func runFig10(ctx Context) []*tablefmt.Table {
 		// Each cell builds its own bursty arrival process: the process is
 		// stateful (it memoizes burst phases) and must not be shared.
 		arr := workload.NewBurstyArrivals(ctx.Rate)
-		return runOne(f, makers[i](), trace(ctx, f, mix, arr, 1.5))
+		return runOne(ctx, f, makers[i](), trace(ctx, f, mix, arr, 1.5))
 	})
 	for ki, mkSched := range makers {
 		name := mkSched().Name()
@@ -69,7 +69,7 @@ func runFig11(ctx Context) []*tablefmt.Table {
 	ctx = ctx.withDefaults()
 	f := fix("flux-h100")
 	arr := workload.NewBurstyArrivals(ctx.Rate)
-	res := runOne(f, newTetri(f), trace(ctx, f, workload.UniformMix(), arr, 1.5))
+	res := runOne(ctx, f, newTetri(f), trace(ctx, f, workload.UniformMix(), arr, 1.5))
 
 	mean := metrics.MeanDegreeByResolution(res)
 	t := tablefmt.New("Figure 11: steps-weighted average SP degree per request (TetriServe, Uniform, 1.5x)",

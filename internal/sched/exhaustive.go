@@ -55,13 +55,20 @@ type ExhaustiveSolution struct {
 
 // SolveExhaustive runs the Appendix B solver with a wall-clock budget.
 func SolveExhaustive(inst ExhaustiveInstance, timeout time.Duration) ExhaustiveSolution {
-	start := time.Now()
+	return SolveExhaustiveClock(inst, timeout, time.Now)
+}
+
+// SolveExhaustiveClock is SolveExhaustive with an injectable time source, so
+// deterministic harnesses (the DP-vs-exhaustive property test, fuzz targets)
+// can pin the budget to a fake clock and never time out under load.
+func SolveExhaustiveClock(inst ExhaustiveInstance, timeout time.Duration, now func() time.Time) ExhaustiveSolution {
+	start := now()
 	deadline := start.Add(timeout)
 	sol := ExhaustiveSolution{Met: -1}
 
 	r := len(inst.Requests)
 	if r == 0 {
-		return ExhaustiveSolution{Elapsed: time.Since(start)}
+		return ExhaustiveSolution{Elapsed: now().Sub(start)}
 	}
 	// Current degree-sequence choice per request.
 	seqs := make([][]int, r)
@@ -89,14 +96,14 @@ func SolveExhaustive(inst ExhaustiveInstance, timeout time.Duration) ExhaustiveS
 	enumerate = func(req int) bool {
 		if req == r {
 			evaluate()
-			return sol.Explored%256 != 0 || time.Now().Before(deadline)
+			return sol.Explored%256 != 0 || now().Before(deadline)
 		}
 		return enumerateSteps(inst, seqs, req, 0, func() bool { return enumerate(req + 1) })
 	}
 	if !enumerate(0) {
 		sol.TimedOut = true
 	}
-	sol.Elapsed = time.Since(start)
+	sol.Elapsed = now().Sub(start)
 	if sol.Met < 0 {
 		sol.Met = 0
 	}

@@ -151,6 +151,37 @@ func TestExhaustiveTimeout(t *testing.T) {
 	}
 }
 
+// TestExhaustiveFrozenClockNeverTimesOut: with an injected frozen clock the
+// budget check can never trip, so the search is exhaustive and bit-for-bit
+// repeatable regardless of machine load — the property the deterministic
+// fuzz/property harnesses rely on.
+func TestExhaustiveFrozenClockNeverTimesOut(t *testing.T) {
+	var reqs []ExhaustiveRequest
+	for i := 0; i < 2; i++ {
+		reqs = append(reqs, ExhaustiveRequest{
+			Arrival:  0,
+			Deadline: time.Second,
+			Steps:    3,
+			StepTime: perfectScaling(100*time.Millisecond, 4),
+		})
+	}
+	inst := simpleInstance(4, reqs)
+	frozen := func() time.Time { return time.Unix(0, 0) }
+	// A 1ns budget would time out instantly on the wall clock; frozen time
+	// never reaches the deadline, so the search must run to exhaustion.
+	a := SolveExhaustiveClock(inst, time.Nanosecond, frozen)
+	if a.TimedOut {
+		t.Fatal("frozen clock tripped the budget check")
+	}
+	if a.Elapsed != 0 {
+		t.Fatalf("frozen clock measured elapsed %v", a.Elapsed)
+	}
+	b := SolveExhaustiveClock(inst, time.Nanosecond, frozen)
+	if a.Met != b.Met || a.GPUSeconds != b.GPUSeconds || a.Explored != b.Explored {
+		t.Fatalf("frozen-clock runs diverged: %+v vs %+v", a, b)
+	}
+}
+
 // TestExplosionGrowth reproduces Table 6's qualitative claim: exploration
 // count grows superexponentially with queue depth.
 func TestExplosionGrowth(t *testing.T) {

@@ -86,17 +86,21 @@ func TestSimDriverDivergence(t *testing.T) {
 	prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
 
 	simRes, err := sim.Run(sim.Config{
-		Model:          mdl,
-		Topo:           topo,
-		Scheduler:      core.NewScheduler(prof, topo, core.DefaultConfig()),
-		Requests:       divergenceTrace(mdl.DefaultSteps),
-		DropLateFactor: dropFactor,
+		Model:           mdl,
+		Topo:            topo,
+		Scheduler:       core.NewScheduler(prof, topo, core.DefaultConfig()),
+		Requests:        divergenceTrace(mdl.DefaultSteps),
+		DropLateFactor:  dropFactor,
+		CheckInvariants: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	d := newTestDriver(t, func(cfg *DriverConfig) { cfg.DropLateFactor = dropFactor })
+	d := newTestDriver(t, func(cfg *DriverConfig) {
+		cfg.DropLateFactor = dropFactor
+		cfg.CheckInvariants = true
+	})
 	reqs := divergenceTrace(mdl.DefaultSteps)
 	// Submission order matches trace IDs (the driver assigns sequential
 	// IDs), and wall sleeps reproduce the arrival spacing under speedup.
@@ -123,6 +127,10 @@ func TestSimDriverDivergence(t *testing.T) {
 			t.Fatalf("driver never finalized all requests: %+v", st)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+
+	if vs := d.InvariantViolations(); len(vs) != 0 {
+		t.Errorf("driver run violated %d invariants; first: %v", len(vs), vs[0])
 	}
 
 	drvRes := d.Result()

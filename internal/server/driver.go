@@ -24,6 +24,7 @@ import (
 	"tetriserve/internal/control"
 	"tetriserve/internal/costmodel"
 	"tetriserve/internal/engine"
+	"tetriserve/internal/invariant"
 	"tetriserve/internal/model"
 	"tetriserve/internal/sched"
 	"tetriserve/internal/simgpu"
@@ -86,6 +87,11 @@ type DriverConfig struct {
 	// planning boundaries, requeued jobs at block completion, and a result
 	// delivered too late counts as dropped. 0 disables expiry.
 	DropLateFactor float64
+	// CheckInvariants attaches the internal/invariant oracle to the serving
+	// loop. Unlike the simulator the driver never panics on a violation —
+	// the oracle records it and InvariantViolations exposes the list, so a
+	// live deployment degrades loudly instead of dying.
+	CheckInvariants bool
 }
 
 // faultCmd is an injected fault-plane command handled on the loop goroutine.
@@ -131,6 +137,9 @@ type Driver struct {
 	// gpuBusy and failed mirror engine telemetry the same way.
 	gpuBusy float64
 	failed  simgpu.Mask
+	// oracle is set by the loop goroutine before the control loop starts
+	// (guarded by mu for the cross-goroutine read in InvariantViolations).
+	oracle *invariant.Oracle
 }
 
 // NewDriver builds and validates a driver (not yet running).
@@ -299,6 +308,19 @@ func (d *Driver) Result() *control.Result {
 	}
 }
 
+// InvariantViolations returns the scheduling-invariant violations the
+// attached oracle has recorded so far (nil when CheckInvariants is off or
+// the loop has been clean). Safe to call concurrently with the loop.
+func (d *Driver) InvariantViolations() []invariant.Violation {
+	d.mu.Lock()
+	o := d.oracle
+	d.mu.Unlock()
+	if o == nil {
+		return nil
+	}
+	return o.Violations()
+}
+
 // Stats summarizes served traffic and serving-loop health.
 type Stats struct {
 	Completed int     `json:"completed"`
@@ -455,6 +477,12 @@ func (d *Driver) loop() {
 	}
 	if d.cfg.Cache != nil {
 		ctlCfg.Trimmer = cacheTrimmer{c: d.cfg.Cache}
+	}
+	if d.cfg.CheckInvariants {
+		o := invariant.Attach(&ctlCfg)
+		d.mu.Lock()
+		d.oracle = o
+		d.mu.Unlock()
 	}
 	ctl, err := control.New(ctlCfg, d.clk)
 	if err != nil {

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+// TestOracleCleanAcrossSchedulers runs every policy family with the
+// invariant oracle attached: zero violations on clean traces, traces with
+// timeout drops, and — for the round-based scheduler — traces with GPU
+// faults and recovery. This is the tentpole's main acceptance check: the
+// existing planner and engine respect every audited invariant.
+func TestOracleCleanAcrossSchedulers(t *testing.T) {
+	for _, sc := range []sched.Scheduler{tetri(), sched.NewFixedSP(2), sched.NewFixedSP(8), sched.NewRSSP(8), sched.NewEDF()} {
+		res := runSim(t, sc, genTrace(40, 5, 1.2), func(c *Config) {
+			c.CheckInvariants = true
+			c.DropLateFactor = 4.0
+		})
+		if len(res.Outcomes) != 40 {
+			t.Fatalf("%s: %d outcomes for 40 requests", sc.Name(), len(res.Outcomes))
+		}
+	}
+}
+
+func TestOracleCleanUnderFaults(t *testing.T) {
+	res := runSim(t, tetri(), faultTrace(30, 11), func(c *Config) {
+		c.CheckInvariants = true
+		c.DropLateFactor = 4.0
+		c.Faults = []simgpu.Fault{
+			{GPU: 1, FailAt: 16700 * time.Millisecond, RecoverAt: 40 * time.Second},
+			{GPU: 5, FailAt: 45 * time.Second},
+		}
+	})
+	if res.RunsAborted == 0 {
+		t.Fatal("faults landed on an idle cluster; the scenario exercises nothing")
+	}
+}
+
+// evilBatcher merges every pending same-resolution pair into one batch with
+// no survival test — exactly the §5 bug class the oracle exists to catch.
+// sched.ValidatePlan accepts its plans (disjoint groups, known requests,
+// homogeneous resolutions), so only the oracle can flag them.
+type evilBatcher struct{}
+
+func (evilBatcher) Name() string                 { return "evil-batcher" }
+func (evilBatcher) RoundDuration() time.Duration { return 100 * time.Millisecond }
+
+func (evilBatcher) Plan(ctx *sched.PlanContext) []sched.Assignment {
+	var pair []*sched.RequestState
+	for _, st := range ctx.Pending {
+		if len(pair) == 0 || pair[0].Req.Res == st.Req.Res {
+			pair = append(pair, st)
+		}
+		if len(pair) == 2 {
+			break
+		}
+	}
+	group := simgpu.MaskOf(0, 1, 2, 3)
+	if len(pair) < 2 || group&^ctx.Free != 0 {
+		return nil
+	}
+	return []sched.Assignment{{
+		Requests: []workload.RequestID{pair[0].Req.ID, pair[1].Req.ID},
+		Group:    group,
+		Steps:    2,
+	}}
+}
+
+func TestOracleCatchesSurvivalViolation(t *testing.T) {
+	// Same resolution, wildly different budgets: batching them at round pace
+	// makes the tight one definitely late, which survival forbids.
+	reqs := []*workload.Request{
+		{ID: 1, Res: model.Res1024, Steps: 50, SLO: time.Hour},
+		{ID: 2, Res: model.Res1024, Steps: 50, SLO: 50 * time.Millisecond},
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("oracle let a survival-violating batch through")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "batch-survival") {
+			t.Fatalf("expected a batch-survival panic, got %v", r)
+		}
+	}()
+	Run(Config{
+		Model:           testMdl,
+		Topo:            testTopo,
+		Scheduler:       evilBatcher{},
+		Requests:        reqs,
+		Profile:         testProf,
+		CheckInvariants: true,
+	})
+}

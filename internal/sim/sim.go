@@ -24,6 +24,7 @@ import (
 	"tetriserve/internal/control"
 	"tetriserve/internal/costmodel"
 	"tetriserve/internal/engine"
+	"tetriserve/internal/invariant"
 	"tetriserve/internal/model"
 	"tetriserve/internal/sched"
 	"tetriserve/internal/simgpu"
@@ -67,14 +68,21 @@ type Config struct {
 	// requeueing them — the recovery ablation the failure sweep compares
 	// against.
 	NoRequeueOnFault bool
+	// CheckInvariants attaches the internal/invariant oracle to the run:
+	// every plan and execution transition is audited against the paper's
+	// scheduling invariants, panicking on the first violation (the simulator
+	// always runs the control loop in Strict mode) and failing the run if
+	// the end-of-run audit finds bookkeeping drift.
+	CheckInvariants bool
 	// MaxVirtualTime aborts runaway simulations (default 4 h virtual).
 	MaxVirtualTime time.Duration
 }
 
 type simulator struct {
-	cfg Config
-	clk *clock.Virtual
-	ctl *control.Loop
+	cfg    Config
+	clk    *clock.Virtual
+	ctl    *control.Loop
+	oracle *invariant.Oracle
 }
 
 // Run executes the simulation to completion and returns the result.
@@ -86,7 +94,13 @@ func Run(cfg Config) (*Result, error) {
 	if err := s.loop(); err != nil {
 		return nil, err
 	}
-	return s.ctl.Finalize(), nil
+	res := s.ctl.Finalize()
+	if s.oracle != nil {
+		if err := s.oracle.VerifyResult(res); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+	return res, nil
 }
 
 // newSimulator validates the configuration and builds a ready-to-run
@@ -118,7 +132,7 @@ func newSimulator(cfg Config) (*simulator, error) {
 	}
 
 	clk := clock.NewVirtual()
-	ctl, err := control.New(control.Config{
+	ctlCfg := control.Config{
 		Model:            cfg.Model,
 		Topo:             cfg.Topo,
 		Scheduler:        cfg.Scheduler,
@@ -130,7 +144,12 @@ func newSimulator(cfg Config) (*simulator, error) {
 		// The simulator is the oracle harness: a scheduler bug must abort
 		// the run (panic), not leak into experiment tables.
 		Strict: true,
-	}, clk)
+	}
+	var oracle *invariant.Oracle
+	if cfg.CheckInvariants {
+		oracle = invariant.Attach(&ctlCfg)
+	}
+	ctl, err := control.New(ctlCfg, clk)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +160,7 @@ func newSimulator(cfg Config) (*simulator, error) {
 		ctl.ScheduleFault(f)
 	}
 	ctl.Begin()
-	return &simulator{cfg: cfg, clk: clk, ctl: ctl}, nil
+	return &simulator{cfg: cfg, clk: clk, ctl: ctl, oracle: oracle}, nil
 }
 
 // loop drains the event queue under the virtual clock: advance to the next
