@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-snapshot check fuzz cover
+.PHONY: build vet test race bench bench-snapshot check fuzz cover obs-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,11 @@ FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./internal/invariant -run '^$$' -fuzz '^FuzzPlanRound$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/invariant -run '^$$' -fuzz '^FuzzControlLoop$$' -fuzztime $(FUZZTIME)
+
+# End-to-end smoke test of the telemetry plane against a real daemon:
+# scrape /metrics, read /v1/rounds, follow the live trace, run tetrictl top.
+obs-smoke:
+	bash scripts/obs_smoke.sh
 
 # Aggregate coverage profile across every package.
 cover:

@@ -27,6 +27,7 @@ import (
 	"tetriserve/internal/sched"
 	"tetriserve/internal/sim"
 	"tetriserve/internal/simgpu"
+	"tetriserve/internal/telemetry"
 	"tetriserve/internal/workload"
 )
 
@@ -118,6 +119,56 @@ func controlRoundTick(depth int) func(*testing.B) {
 	}
 }
 
+// hookOverhead is controlRoundTick with the full telemetry plane attached:
+// the delta against the bare numbers is the per-event price of live
+// observability. A warm-up long enough to wrap the 512-round ring puts the
+// decision log in steady state (recycled storage) before measurement starts.
+func hookOverhead(depth int) func(*testing.B) {
+	return func(b *testing.B) {
+		clk := clock.NewVirtual()
+		plane := telemetry.NewPlane()
+		plane.SetClusterSize(benchTopo.N)
+		l, err := control.New(control.Config{
+			Model:     benchMdl,
+			Topo:      benchTopo,
+			Scheduler: core.NewScheduler(benchProf, benchTopo, core.DefaultConfig()),
+			Profile:   benchProf,
+			Engine:    engine.DefaultConfig(),
+			Perpetual: true,
+			Hooks:     plane.Hooks(),
+		}, clk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resList := model.StandardResolutions()
+		for i := 0; i < depth; i++ {
+			l.Arrive(&workload.Request{
+				ID:    workload.RequestID(i),
+				Res:   resList[i%len(resList)],
+				Steps: 1 << 20,
+				SLO:   1000 * time.Hour,
+			})
+		}
+		l.Begin()
+		for i := 0; i < 2048; i++ {
+			ev := l.PopEvent()
+			clk.Advance(ev.At)
+			if err := l.Dispatch(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev := l.PopEvent()
+			clk.Advance(ev.At)
+			if err := l.Dispatch(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func stepTimeEstimate(b *testing.B) {
 	est := costmodel.NewEstimator(benchMdl, benchTopo)
 	group := simgpu.CanonicalGroup(0, 4)
@@ -169,6 +220,8 @@ func main() {
 		{"ControlRoundTick/queue=16", controlRoundTick(16)},
 		{"ControlRoundTick/queue=64", controlRoundTick(64)},
 		{"ControlRoundTick/queue=256", controlRoundTick(256)},
+		{"HookOverhead/queue=64", hookOverhead(64)},
+		{"HookOverhead/queue=256", hookOverhead(256)},
 		{"StepTimeEstimate", stepTimeEstimate},
 		{"ProfileLookup", profileLookup},
 		{"Simulation/TetriServe", simulation(func() sched.Scheduler {

@@ -4,11 +4,16 @@
 //	tetrictl status 3
 //	tetrictl stats
 //	tetrictl load -n 40 -rate 12 -mix uniform   # generate load and report SAR
+//	tetrictl tail                               # follow the live trace stream
+//	tetrictl top                                # one-shot telemetry dashboard
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +46,10 @@ func main() {
 		err = cmdStats(cli)
 	case "load":
 		err = cmdLoad(cli, args[1:])
+	case "tail":
+		err = cmdTail(cli, args[1:])
+	case "top":
+		err = cmdTop(cli, args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -216,11 +225,151 @@ func cmdLoad(c *client, args []string) error {
 	return nil
 }
 
+// cmdTail follows /v1/trace?follow=1 and prints each event as one JSON line.
+// The stream is unbounded; a dedicated client without a request timeout is
+// used so the follow can run until interrupted (or -for elapses).
+func cmdTail(c *client, args []string) error {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	dur := fs.Duration("for", 0, "stop after this long (0 = until interrupted)")
+	_ = fs.Parse(args)
+
+	req, err := http.NewRequest("GET", c.base+"/v1/trace?follow=1", nil)
+	if err != nil {
+		return err
+	}
+	if *dur > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *dur)
+		defer cancel()
+		req = req.WithContext(ctx)
+	}
+	follower := &http.Client{} // no timeout: the stream is long-lived
+	resp, err := follower.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("server returned %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}
+
+// cmdTop renders a one-shot text dashboard from /metrics and /v1/rounds.
+func cmdTop(c *client, args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	nRounds := fs.Int("rounds", 5, "number of recent rounds to show")
+	_ = fs.Parse(args)
+
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("server returned %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	m := map[string]float64{}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		sp := bytes.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(string(line[sp+1:]), "%g", &v); err == nil {
+			m[string(line[:sp])] = v
+		}
+	}
+	sum := func(prefix string) float64 {
+		total := 0.0
+		for k, v := range m {
+			if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+				total += v
+			}
+		}
+		return total
+	}
+	completed := m["tetriserve_completed_total"]
+	met := m["tetriserve_slo_met_total"]
+	sar := 0.0
+	if completed > 0 {
+		sar = met / completed
+	}
+	fmt.Printf("requests   %6.0f   completed %6.0f   dropped %4.0f   SLO %.2f\n",
+		m["tetriserve_requests_total"], completed, sum("tetriserve_dropped_total"), sar)
+	fmt.Printf("queue      %6.0f   running   %6.0f   gpus %2.0f (failed %.0f)   busy %.1fs\n",
+		m["tetriserve_queue_depth"], m["tetriserve_running_requests"],
+		m["tetriserve_gpus"], m["tetriserve_failed_gpus"],
+		m["tetriserve_gpu_busy_seconds_total"])
+	fmt.Printf("plans      %6.0f   rejected  %6.0f   rounds %5.0f   trace-drops %.0f\n",
+		m["tetriserve_plan_calls_total"], m["tetriserve_plan_rejected_total"],
+		m["tetriserve_round_ticks_total"], m["tetriserve_trace_dropped_events_total"])
+
+	var rounds []struct {
+		Seq           uint64  `json:"seq"`
+		AtUS          int64   `json:"at_us"`
+		PlanLatencyUS float64 `json:"plan_latency_us"`
+		Pending       int     `json:"pending"`
+		Running       int     `json:"running"`
+		FreeGPUs      int     `json:"free_gpus"`
+		Rejected      string  `json:"rejected,omitempty"`
+		Decisions     []struct {
+			Request         int    `json:"request"`
+			Resolution      string `json:"resolution"`
+			Degree          int    `json:"degree"`
+			Steps           int    `json:"steps"`
+			DeadlineSlackUS int64  `json:"deadline_slack_us"`
+			Survives        bool   `json:"survives"`
+		} `json:"decisions"`
+	}
+	if err := c.getJSON(fmt.Sprintf("/v1/rounds?n=%d", *nRounds), &rounds); err != nil {
+		return err
+	}
+	if len(rounds) > 0 {
+		fmt.Println("\nrecent rounds:")
+	}
+	for _, r := range rounds {
+		fmt.Printf("  #%d t=%s plan=%.0fµs pending=%d running=%d free=%d",
+			r.Seq, time.Duration(r.AtUS)*time.Microsecond, r.PlanLatencyUS,
+			r.Pending, r.Running, r.FreeGPUs)
+		if r.Rejected != "" {
+			fmt.Printf(" REJECTED(%s)", r.Rejected)
+		}
+		fmt.Println()
+		for _, d := range r.Decisions {
+			verdict := "late"
+			if d.Survives {
+				verdict = "ok"
+			}
+			fmt.Printf("    req %d %s sp=%d steps=%d slack=%s %s\n",
+				d.Request, d.Resolution, d.Degree, d.Steps,
+				time.Duration(d.DeadlineSlackUS)*time.Microsecond, verdict)
+		}
+	}
+	return nil
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tetrictl [-server URL] submit [-prompt P] [-size 256|512|1024|2048] [-slo-ms N] [-wait]
   tetrictl [-server URL] status <job-id>
   tetrictl [-server URL] stats
-  tetrictl [-server URL] load [-n N] [-rate R] [-mix uniform|skewed] [-speedup S] [-seed N]`)
+  tetrictl [-server URL] load [-n N] [-rate R] [-mix uniform|skewed] [-speedup S] [-seed N]
+  tetrictl [-server URL] tail [-for D]
+  tetrictl [-server URL] top [-rounds N]`)
 	_ = model.StandardResolutions // documented sizes come from the model package
 }

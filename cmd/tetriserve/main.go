@@ -36,6 +36,7 @@ func main() {
 	schedName := flag.String("scheduler", "tetriserve", "tetriserve | sp1 | sp2 | sp4 | sp8 | rssp | edf")
 	granularity := flag.Int("granularity", 5, "TetriServe step granularity per round")
 	useCache := flag.Bool("cache", false, "enable Nirvana-style approximate latent cache")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	mdl, err := model.ByName(*mdlName)
@@ -63,6 +64,7 @@ func main() {
 	defer driver.Stop()
 
 	api := server.NewAPI(driver)
+	api.Pprof = *pprofOn
 	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
 
 	go func() {

@@ -18,6 +18,8 @@
 //	-quick         reduced sizes/timeouts (what the bench suite uses)
 //	-workers N     simulation cells run concurrently (default GOMAXPROCS; 1 = sequential)
 //	-markdown      emit GitHub-flavored markdown tables
+//	-metrics       attach the telemetry plane (timeline/export) and dump
+//	               Prometheus text to stderr at exit
 //	-fail-gpus S   comma-separated GPU ids to fail-stop (timeline/export)
 //	-fail-at D     virtual time of the fail-stop (default 30s)
 //	-recover-at D  virtual time the GPUs return (0 = never)
@@ -40,6 +42,7 @@ import (
 	"tetriserve/internal/sim"
 	"tetriserve/internal/simgpu"
 	"tetriserve/internal/tablefmt"
+	"tetriserve/internal/telemetry"
 	"tetriserve/internal/trace"
 	"tetriserve/internal/workload"
 )
@@ -54,6 +57,7 @@ func main() {
 	failGPUs := flag.String("fail-gpus", "", "comma-separated GPU ids to fail-stop during timeline/export runs")
 	failAt := flag.Duration("fail-at", 30*time.Second, "virtual time at which -fail-gpus fail")
 	recoverAt := flag.Duration("recover-at", 0, "virtual time at which failed GPUs recover (0 = never)")
+	metricsDump := flag.Bool("metrics", false, "attach the telemetry plane during timeline/export and dump /metrics text to stderr at exit")
 	flag.Parse()
 
 	faults, err := simgpu.ParseFaults(*failGPUs, *failAt, *recoverAt)
@@ -88,7 +92,7 @@ func main() {
 		if len(args) > 1 {
 			schedName = args[1]
 		}
-		if err := runTimelineOrExport(args[0], schedName, ctx, faults); err != nil {
+		if err := runTimelineOrExport(args[0], schedName, ctx, faults, *metricsDump); err != nil {
 			fmt.Fprintln(os.Stderr, "tetrisim:", err)
 			os.Exit(1)
 		}
@@ -163,7 +167,7 @@ func dumpProfiles() {
 // and either renders the GPU-occupancy chart (the CLI counterpart of
 // Figure 1) or emits the structured JSONL event log. Injected faults let
 // the recovery rescheduling be watched on the timeline.
-func runTimelineOrExport(mode, schedName string, ctx experiments.Context, faults []simgpu.Fault) error {
+func runTimelineOrExport(mode, schedName string, ctx experiments.Context, faults []simgpu.Fault, metricsDump bool) error {
 	mdl := model.FLUX()
 	topo := simgpu.H100x8()
 	prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
@@ -209,9 +213,21 @@ func runTimelineOrExport(mode, schedName string, ctx experiments.Context, faults
 		// shrunken cluster would deadlock the event loop.
 		simCfg.DropLateFactor = 4.0
 	}
+	var plane *telemetry.Plane
+	if metricsDump {
+		plane = telemetry.NewPlane()
+		plane.SetClusterSize(topo.N)
+		simCfg.Hooks = plane.Hooks()
+	}
 	res, err := sim.Run(simCfg)
 	if err != nil {
 		return err
+	}
+	if plane != nil {
+		plane.BindGPUBusy(func() float64 { return res.GPUBusySeconds })
+		if err := plane.Registry.WriteProm(os.Stderr); err != nil {
+			return err
+		}
 	}
 	if mode == "export" {
 		return trace.Write(os.Stdout, trace.FromResult(res))
@@ -239,5 +255,5 @@ func usage() {
   tetrisim list
   tetrisim [-seed N] [-n N] [-rate R] [-quick] [-markdown] run <id>... | run all
   tetrisim profile
-  tetrisim [-seed N] [-n N] [-rate R] [-fail-gpus 1,3 [-fail-at 30s] [-recover-at 90s]] timeline [tetriserve|sp1|sp2|sp4|sp8|rssp|edf]`)
+  tetrisim [-seed N] [-n N] [-rate R] [-metrics] [-fail-gpus 1,3 [-fail-at 30s] [-recover-at 90s]] timeline [tetriserve|sp1|sp2|sp4|sp8|rssp|edf]`)
 }

@@ -71,6 +71,16 @@ type Hooks struct {
 	PlanRejected func(now time.Duration, err error)
 	StartFailed  func(now time.Duration, err error)
 
+	// PlanComputed fires after every scheduler invocation — before
+	// validation, so rejected plans report solve latency too. Exactly one of
+	// Planned or PlanRejected follows, synchronously; ctx aliases
+	// scheduler-owned scratch storage and must only be read during the
+	// callback. latency is the wall-clock solve time.
+	PlanComputed func(now, latency time.Duration, ctx *sched.PlanContext)
+	// RoundTick fires at every effective τ boundary (after overrun
+	// deferral), with the grid-anchored tick time and the clock reading.
+	RoundTick func(at, now time.Duration)
+
 	// Planned fires after a plan passes validation and before dispatch.
 	// ctx and plan alias scheduler-owned scratch storage: observers must
 	// read synchronously and never retain either value past the callback.
@@ -104,6 +114,8 @@ func (h Hooks) Then(next Hooks) Hooks {
 		Dropped:      chain2(h.Dropped, next.Dropped),
 		PlanRejected: chain2(h.PlanRejected, next.PlanRejected),
 		StartFailed:  chain2(h.StartFailed, next.StartFailed),
+		PlanComputed: chain3(h.PlanComputed, next.PlanComputed),
+		RoundTick:    chain2(h.RoundTick, next.RoundTick),
 		Planned:      chain3(h.Planned, next.Planned),
 		RunStarted:   chain2(h.RunStarted, next.RunStarted),
 		RunFinished:  chain2(h.RunFinished, next.RunFinished),
@@ -418,7 +430,7 @@ func (l *Loop) onRunDone(now time.Duration, run *engine.Run) error {
 		if st.Remaining <= 0 {
 			l.finish(now, st)
 		} else if l.cfg.DropLateFactor > 0 && l.pastDrop(now, st) {
-			l.drop(now, st)
+			l.drop(now, st, DropExpired)
 		} else {
 			l.pending = append(l.pending, st)
 		}
@@ -446,6 +458,9 @@ func (l *Loop) onRoundTick(at, now time.Duration) {
 		return
 	}
 	l.res.RoundTicks++
+	if l.cfg.Hooks.RoundTick != nil {
+		l.cfg.Hooks.RoundTick(at, now)
+	}
 	l.plan(now)
 	if l.cfg.Perpetual || l.left > 0 {
 		l.q.Push(at+l.tau, evRoundTick, nil)
@@ -469,8 +484,12 @@ func (l *Loop) plan(now time.Duration) {
 	}
 	start := time.Now()
 	plan := l.cfg.Scheduler.Plan(ctx)
-	l.res.PlanLatencies = append(l.res.PlanLatencies, time.Since(start))
+	solve := time.Since(start)
+	l.res.PlanLatencies = append(l.res.PlanLatencies, solve)
 	l.res.PlanCalls++
+	if l.cfg.Hooks.PlanComputed != nil {
+		l.cfg.Hooks.PlanComputed(now, solve, ctx)
+	}
 	if err := sched.ValidatePlan(ctx, plan); err != nil {
 		// A scheduler bug must not corrupt serving state: count it, skip
 		// this plan, and retry at the next event. Strict mode (simulator)
@@ -525,7 +544,7 @@ func (l *Loop) expire(now time.Duration) {
 	kept := l.pending[:0]
 	for _, st := range l.pending {
 		if !st.Running && l.pastDrop(now, st) {
-			l.drop(now, st)
+			l.drop(now, st, DropExpired)
 		} else {
 			kept = append(kept, st)
 		}
@@ -589,9 +608,9 @@ func (l *Loop) onGPUFail(now time.Duration, mask simgpu.Mask) {
 				// remained, and the VAE runs outside the SP group.
 				l.finish(now, st)
 			case l.cfg.NoRequeueOnFault:
-				l.drop(now, st)
+				l.drop(now, st, DropFault)
 			case l.cfg.DropLateFactor > 0 && l.pastDrop(now, st):
-				l.drop(now, st)
+				l.drop(now, st, DropExpired)
 			default:
 				l.pending = append(l.pending, st)
 				if l.cfg.Hooks.Requeued != nil {
@@ -694,6 +713,7 @@ func (l *Loop) finish(now time.Duration, st *sched.RequestState) {
 			Arrival:  r.Arrival,
 			Deadline: r.Deadline(),
 			Dropped:  true,
+			Cause:    DropTimeout,
 			Steps:    r.Steps - r.SkippedSteps,
 			Skipped:  r.SkippedSteps,
 		})
@@ -723,7 +743,7 @@ func (l *Loop) finish(now time.Duration, st *sched.RequestState) {
 	}
 }
 
-func (l *Loop) drop(now time.Duration, st *sched.RequestState) {
+func (l *Loop) drop(now time.Duration, st *sched.RequestState, cause DropCause) {
 	r := st.Req
 	l.eng.ReleaseLatent(r.ID)
 	l.finalize(now, Outcome{
@@ -732,6 +752,7 @@ func (l *Loop) drop(now time.Duration, st *sched.RequestState) {
 		Arrival:  r.Arrival,
 		Deadline: r.Deadline(),
 		Dropped:  true,
+		Cause:    cause,
 		Steps:    r.Steps - r.SkippedSteps,
 		Skipped:  r.SkippedSteps,
 	})

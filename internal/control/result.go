@@ -8,6 +8,22 @@ import (
 	"tetriserve/internal/workload"
 )
 
+// DropCause classifies why a request was abandoned — the label on the
+// telemetry plane's drops-by-cause counter.
+type DropCause string
+
+// Drop causes.
+const (
+	// DropExpired: still queued (or requeued) past DropLateFactor × SLO.
+	DropExpired DropCause = "expired"
+	// DropTimeout: all steps finished but the decode delivered past the
+	// abandon point (Figure 9's "dropped/timeout" population).
+	DropTimeout DropCause = "timeout"
+	// DropFault: a GPU fault killed the block and NoRequeueOnFault dropped
+	// the survivor instead of requeueing it.
+	DropFault DropCause = "fault"
+)
+
 // Outcome is the fate of one request.
 type Outcome struct {
 	ID         workload.RequestID
@@ -16,11 +32,13 @@ type Outcome struct {
 	Deadline   time.Duration
 	Completion time.Duration // 0 when dropped
 	Dropped    bool
-	Met        bool
-	Latency    time.Duration
-	AvgDegree  float64
-	Steps      int
-	Skipped    int
+	// Cause is set only when Dropped.
+	Cause     DropCause
+	Met       bool
+	Latency   time.Duration
+	AvgDegree float64
+	Steps     int
+	Skipped   int
 }
 
 // RunRecord logs one executed block for timeline metrics.

@@ -77,6 +77,12 @@ func P99Latency(res *control.Result) float64 {
 // TimeSeriesSAR computes SAR over a sliding window of completions/deadline
 // expiries ordered by arrival time — Figure 10's stability view. Each point
 // is (window-center seconds, SAR within the window).
+//
+// Windows are [t, t+window) at stride window/2, so consecutive windows
+// overlap by half. The sweep is a single pass: both window edges only move
+// forward over the arrival-sorted outcomes, and the met/total counts update
+// incrementally — O(n log n) for the sort, O(n + points) for the sweep,
+// instead of rescanning every outcome per point.
 func TimeSeriesSAR(res *control.Result, window time.Duration) [][2]float64 {
 	if len(res.Outcomes) == 0 || window <= 0 {
 		return nil
@@ -84,22 +90,34 @@ func TimeSeriesSAR(res *control.Result, window time.Duration) [][2]float64 {
 	outs := append([]control.Outcome(nil), res.Outcomes...)
 	sort.Slice(outs, func(i, j int) bool { return outs[i].Arrival < outs[j].Arrival })
 	end := outs[len(outs)-1].Arrival
+	stride := window / 2
+	if stride <= 0 {
+		stride = window // sub-2ns windows cannot halve; don't spin forever
+	}
 	var pts [][2]float64
-	for t := time.Duration(0); t <= end; t += window / 2 {
-		lo, hi := t, t+window
-		met, total := 0, 0
-		for _, o := range outs {
-			if o.Arrival >= lo && o.Arrival < hi {
-				total++
-				if o.Met {
-					met++
-				}
+	// lo is the first outcome with Arrival >= t, hi the first with
+	// Arrival >= t+window; outs[lo:hi] is the window population.
+	lo, hi := 0, 0
+	met, total := 0, 0
+	for t := time.Duration(0); t <= end; t += stride {
+		for lo < len(outs) && outs[lo].Arrival < t {
+			total--
+			if outs[lo].Met {
+				met--
 			}
+			lo++
+		}
+		for hi < len(outs) && outs[hi].Arrival < t+window {
+			total++
+			if outs[hi].Met {
+				met++
+			}
+			hi++
 		}
 		if total == 0 {
 			continue
 		}
-		center := (lo + hi) / 2
+		center := t + window/2
 		pts = append(pts, [2]float64{center.Seconds(), float64(met) / float64(total)})
 	}
 	return pts

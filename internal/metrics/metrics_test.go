@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 	"time"
 
@@ -178,5 +180,83 @@ func TestTimeSeriesSARZeroWindow(t *testing.T) {
 	r := mkResult(out(1, model.Res256, 0, time.Second, true))
 	if TimeSeriesSAR(r, 0) != nil {
 		t.Fatal("zero window should yield nil")
+	}
+}
+
+// naiveTimeSeriesSAR is the reference O(n·points) rescan the two-pointer
+// sweep replaced; the equivalence test pins the rewrite to it.
+func naiveTimeSeriesSAR(res *sim.Result, window time.Duration) [][2]float64 {
+	if len(res.Outcomes) == 0 || window <= 0 {
+		return nil
+	}
+	outs := append([]sim.Outcome(nil), res.Outcomes...)
+	sort.Slice(outs, func(i, j int) bool { return outs[i].Arrival < outs[j].Arrival })
+	end := outs[len(outs)-1].Arrival
+	var pts [][2]float64
+	for t := time.Duration(0); t <= end; t += window / 2 {
+		lo, hi := t, t+window
+		met, total := 0, 0
+		for _, o := range outs {
+			if o.Arrival >= lo && o.Arrival < hi {
+				total++
+				if o.Met {
+					met++
+				}
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		center := (lo + hi) / 2
+		pts = append(pts, [2]float64{center.Seconds(), float64(met) / float64(total)})
+	}
+	return pts
+}
+
+// sarResult builds a deterministic pseudo-random result: bursty arrivals
+// (gaps between bursts leave empty windows) with mixed met/missed outcomes.
+func sarResult(n int) *sim.Result {
+	rng := rand.New(rand.NewSource(42))
+	outs := make([]sim.Outcome, n)
+	at := time.Duration(0)
+	for i := range outs {
+		if rng.Intn(20) == 0 {
+			at += time.Duration(rng.Intn(300)) * time.Second // inter-burst gap
+		}
+		at += time.Duration(rng.Intn(2000)) * time.Millisecond
+		outs[i] = out(i, model.Res512, at, time.Second, rng.Intn(3) > 0)
+	}
+	// Shuffle so the implementations' internal sort is exercised.
+	rng.Shuffle(len(outs), func(i, j int) { outs[i], outs[j] = outs[j], outs[i] })
+	return mkResult(outs...)
+}
+
+func TestTimeSeriesSARMatchesNaiveRescan(t *testing.T) {
+	for _, window := range []time.Duration{2 * time.Second, time.Minute, 10 * time.Minute} {
+		r := sarResult(500)
+		got := TimeSeriesSAR(r, window)
+		want := naiveTimeSeriesSAR(r, window)
+		if len(got) != len(want) {
+			t.Fatalf("window %v: %d points, want %d", window, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("window %v point %d: got %v, want %v", window, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// BenchmarkTimeSeriesSAR guards the two-pointer sweep: with many points per
+// outcome span the naive rescan is quadratic-ish, the sweep stays linear.
+func BenchmarkTimeSeriesSAR(b *testing.B) {
+	r := sarResult(5000)
+	window := 30 * time.Second
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if pts := TimeSeriesSAR(r, window); len(pts) == 0 {
+			b.Fatal("no points")
+		}
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"tetriserve/internal/model"
 	"tetriserve/internal/sched"
 	"tetriserve/internal/simgpu"
+	"tetriserve/internal/telemetry"
 	"tetriserve/internal/workload"
 )
 
@@ -140,6 +141,12 @@ type Driver struct {
 	// oracle is set by the loop goroutine before the control loop starts
 	// (guarded by mu for the cross-goroutine read in InvariantViolations).
 	oracle *invariant.Oracle
+
+	// plane is the live telemetry plane (metrics registry, round explainer,
+	// trace bus), fed by the same hook stream as the job mirror. Its GPU-busy
+	// counter is bound to the mutex mirror above, so /metrics and /v1/stats
+	// agree exactly.
+	plane *telemetry.Plane
 }
 
 // NewDriver builds and validates a driver (not yet running).
@@ -152,7 +159,7 @@ func NewDriver(cfg DriverConfig) (*Driver, error) {
 	}
 	est := costmodel.NewEstimator(cfg.Model, cfg.Topo)
 	prof := costmodel.BuildProfile(est, costmodel.ProfilerConfig{})
-	return &Driver{
+	d := &Driver{
 		cfg:     cfg,
 		prof:    prof,
 		arrive:  make(chan *Job, 256),
@@ -161,8 +168,20 @@ func NewDriver(cfg DriverConfig) (*Driver, error) {
 		stop:    make(chan struct{}),
 		stopped: make(chan struct{}),
 		jobs:    make(map[workload.RequestID]*Job),
-	}, nil
+		plane:   telemetry.NewPlane(),
+	}
+	d.plane.SetClusterSize(cfg.Topo.N)
+	d.plane.BindGPUBusy(func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return d.gpuBusy
+	})
+	return d, nil
 }
+
+// Telemetry exposes the live telemetry plane for the HTTP layer (/metrics,
+// /v1/rounds, /v1/trace?follow=1) and tests.
+func (d *Driver) Telemetry() *telemetry.Plane { return d.plane }
 
 // Profile exposes the offline-profiled cost table.
 func (d *Driver) Profile() *costmodel.Profile { return d.prof }
@@ -473,7 +492,7 @@ func (d *Driver) loop() {
 		// arrive at any moment) and never panics on scheduler bugs — it
 		// counts them and retries at the next event.
 		Perpetual: true,
-		Hooks:     d.hooks(),
+		Hooks:     d.hooks().Then(d.plane.Hooks()),
 	}
 	if d.cfg.Cache != nil {
 		ctlCfg.Trimmer = cacheTrimmer{c: d.cfg.Cache}

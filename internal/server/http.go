@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -22,9 +23,18 @@ import (
 //	GET  /v1/profile              → offline-profiled step times
 //	POST /v1/faults               {fail_gpus?, recover_gpus?} → Stats
 //	GET  /v1/trace                → JSONL event log (same format as tetrisim export)
+//	GET  /v1/trace?follow=1       → live event feed (SSE with Accept:
+//	                                text/event-stream, flushed JSONL otherwise)
+//	GET  /v1/rounds?n=K           → last K round-decision records
+//	GET  /metrics                 → Prometheus text exposition
 //	GET  /healthz                 → 200 ok
+//
+// Wrong-method hits on registered paths return 405 with an Allow header
+// (Go 1.22 method-pattern routing).
 type API struct {
 	Driver *Driver
+	// Pprof additionally mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
 	// hashPrompt derives the structured prompt from free text; the
 	// default buckets by a stable hash so similar texts share a theme.
 	hashPrompt func(string) workload.Prompt
@@ -39,15 +49,24 @@ func NewAPI(d *Driver) *API {
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/images/generations", a.handleGenerate)
-	mux.HandleFunc("GET /v1/jobs/", a.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJob)
 	mux.HandleFunc("GET /v1/stats", a.handleStats)
 	mux.HandleFunc("GET /v1/profile", a.handleProfile)
 	mux.HandleFunc("POST /v1/faults", a.handleFaults)
 	mux.HandleFunc("GET /v1/trace", a.handleTrace)
+	mux.HandleFunc("GET /v1/rounds", a.handleRounds)
+	mux.Handle("GET /metrics", a.Driver.Telemetry().Registry.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	if a.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -84,7 +103,7 @@ func (a *API) handleGenerate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleJob(w http.ResponseWriter, r *http.Request) {
-	idStr := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	idStr := r.PathValue("id")
 	id, err := strconv.Atoi(idStr)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "invalid job id %q", idStr)
@@ -157,14 +176,139 @@ func (a *API) handleFaults(w http.ResponseWriter, r *http.Request) {
 // handleTrace streams the control loop's event log as JSON lines — the same
 // format `tetrisim export` writes for offline runs, produced from the same
 // shared Result, so the trace analyzer and Gantt renderer work unchanged
-// against live traffic.
-func (a *API) handleTrace(w http.ResponseWriter, _ *http.Request) {
+// against live traffic. With ?follow=1 it switches to a live feed from the
+// telemetry bus instead.
+func (a *API) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if f := r.URL.Query().Get("follow"); f != "" && f != "0" {
+		a.followTrace(w, r)
+		return
+	}
 	evs := trace.FromResult(a.Driver.Result())
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	if err := trace.Write(w, evs); err != nil {
 		// Headers are gone; the truncated stream is the best signal left.
 		_ = err
 	}
+}
+
+// followTrace serves the live trace feed. The subscription buffers a bounded
+// number of events; if this client reads too slowly the bus drops events for
+// it (counted in tetriserve_trace_dropped_events_total) rather than ever
+// stalling the control loop. Events stream as SSE when the client accepts
+// text/event-stream, flushed JSONL otherwise, until the client disconnects.
+func (a *API) followTrace(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	ch, cancel := a.Driver.Telemetry().Bus.Subscribe(0)
+	defer cancel()
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			b, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if sse {
+				_, err = fmt.Fprintf(w, "data: %s\n\n", b)
+			} else {
+				_, err = fmt.Fprintf(w, "%s\n", b)
+			}
+			if err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// roundDecisionView is the JSON shape of one request's placement decision.
+type roundDecisionView struct {
+	Request    int    `json:"request"`
+	Resolution string `json:"resolution"`
+	Degree     int    `json:"degree"`
+	Steps      int    `json:"steps"`
+	GPUs       []int  `json:"gpus"`
+	BestEffort bool   `json:"best_effort,omitempty"`
+	Batched    bool   `json:"batched,omitempty"`
+	// DeadlineSlackUS is deadline − decision time (negative = already late).
+	DeadlineSlackUS int64 `json:"deadline_slack_us"`
+	// ProjectedFinishUS is the §5 survival estimate (0 when unprofiled).
+	ProjectedFinishUS int64 `json:"projected_finish_us,omitempty"`
+	Survives          bool  `json:"survives"`
+}
+
+// roundView is the JSON shape of one planning round's record.
+type roundView struct {
+	Seq           uint64              `json:"seq"`
+	AtUS          int64               `json:"at_us"`
+	PlanLatencyUS float64             `json:"plan_latency_us"`
+	Pending       int                 `json:"pending"`
+	Running       int                 `json:"running"`
+	FreeGPUs      int                 `json:"free_gpus"`
+	Rejected      string              `json:"rejected,omitempty"`
+	Decisions     []roundDecisionView `json:"decisions"`
+}
+
+// handleRounds serves the round-decision explainer: the last n planning
+// rounds (default 32), oldest first, each with per-request degree, deadline
+// slack and survival verdict — "why did request 42 get degree 2?" as an API.
+func (a *API) handleRounds(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, "invalid n %q", s)
+			return
+		}
+		n = v
+	}
+	recs := a.Driver.Telemetry().Rounds.Snapshot(n)
+	out := make([]roundView, 0, len(recs))
+	for _, rec := range recs {
+		rv := roundView{
+			Seq:           rec.Seq,
+			AtUS:          rec.At.Microseconds(),
+			PlanLatencyUS: float64(rec.PlanLatency.Nanoseconds()) / 1e3,
+			Pending:       rec.Pending,
+			Running:       rec.Running,
+			FreeGPUs:      rec.FreeGPUs,
+			Rejected:      rec.Rejected,
+			Decisions:     make([]roundDecisionView, 0, len(rec.Decisions)),
+		}
+		for _, d := range rec.Decisions {
+			dv := roundDecisionView{
+				Request:           int(d.Request),
+				Resolution:        d.Res.String(),
+				Degree:            d.Degree,
+				Steps:             d.Steps,
+				BestEffort:        d.BestEffort,
+				Batched:           d.Batched,
+				DeadlineSlackUS:   d.DeadlineSlack.Microseconds(),
+				ProjectedFinishUS: d.ProjectedFinish.Microseconds(),
+				Survives:          d.Survives,
+			}
+			for _, g := range simgpu.Mask(d.Group).IDs() {
+				dv.GPUs = append(dv.GPUs, int(g))
+			}
+			rv.Decisions = append(rv.Decisions, dv)
+		}
+		out = append(out, rv)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // profileEntry is one row of the profile dump.

@@ -1,0 +1,594 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"tetriserve/internal/core"
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sim"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/telemetry"
+	"tetriserve/internal/trace"
+	"tetriserve/internal/workload"
+)
+
+// finalizeJobs submits n serveable jobs plus one hopeless job and waits for
+// all of them to finalize.
+func finalizeJobs(t *testing.T, d *Driver, n int) Stats {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := d.Submit(workload.Prompt{Text: "ok", Theme: i}, model.Res256, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Submit(workload.Prompt{Text: "hopeless"}, model.Res256, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		st := d.Snapshot()
+		if st.Completed+st.Dropped == n+1 {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never finalized: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// promSample is one parsed exposition sample.
+type promSample struct {
+	name   string // includes labels, e.g. `x_bucket{le="1"}`
+	base   string // family part before '{'
+	labels string
+	value  float64
+}
+
+// parseProm parses Prometheus text exposition line-by-line, validating the
+// structure as it goes: every sample must follow a HELP and TYPE comment for
+// its family, and every line must be "name{labels} value".
+func parseProm(t *testing.T, text string) []promSample {
+	t.Helper()
+	help := map[string]bool{}
+	typed := map[string]string{}
+	var out []promSample
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: blank line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			help[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, parts[1])
+			}
+			typed[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		base, labels := name, ""
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			base, labels = name[:i], name[i:]
+			if !strings.HasSuffix(labels, "}") {
+				t.Fatalf("line %d: unterminated labels in %q", ln+1, name)
+			}
+		}
+		family := base
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			fam := strings.TrimSuffix(base, suffix)
+			if fam != base && typed[fam] == "histogram" {
+				family = fam
+				break
+			}
+		}
+		if !help[family] || typed[family] == "" {
+			t.Fatalf("line %d: sample %q before HELP/TYPE for %q", ln+1, name, family)
+		}
+		out = append(out, promSample{name: name, base: base, labels: labels, value: val})
+	}
+	return out
+}
+
+func TestMetricsScrapeMatchesStatsAndTrace(t *testing.T) {
+	d := newTestDriver(t, func(cfg *DriverConfig) { cfg.DropLateFactor = 2.0 })
+	ts := httptest.NewServer(NewAPI(d).Handler())
+	defer ts.Close()
+
+	st := finalizeJobs(t, d, 3)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(strings.Builder)
+	if _, err := bufio.NewReader(resp.Body).WriteTo(body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	samples := parseProm(t, body.String())
+	byName := map[string]float64{}
+	for _, s := range samples {
+		byName[s.name] = s.value
+	}
+
+	// Histogram buckets: le bounds strictly increasing per series, cumulative
+	// counts non-decreasing, +Inf present and equal to _count.
+	type bkt struct {
+		le  float64
+		val float64
+	}
+	buckets := map[string][]bkt{}
+	for _, s := range samples {
+		if !strings.HasSuffix(s.base, "_bucket") {
+			continue
+		}
+		i := strings.Index(s.labels, `le="`)
+		if i < 0 {
+			t.Fatalf("bucket without le: %q", s.name)
+		}
+		leStr := s.labels[i+len(`le="`):]
+		leStr = leStr[:strings.IndexByte(leStr, '"')]
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			le, err = strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				t.Fatalf("bad le %q", leStr)
+			}
+		}
+		series := strings.TrimSuffix(s.base, "_bucket") + s.labels[:i] // group key without le
+		buckets[series] = append(buckets[series], bkt{le: le, val: s.value})
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histogram buckets in exposition")
+	}
+	for series, bs := range buckets {
+		for i := 1; i < len(bs); i++ {
+			if bs[i].le <= bs[i-1].le {
+				t.Fatalf("%s: le bounds not increasing: %v", series, bs)
+			}
+			if bs[i].val < bs[i-1].val {
+				t.Fatalf("%s: bucket counts not cumulative: %v", series, bs)
+			}
+		}
+		if !math.IsInf(bs[len(bs)-1].le, 1) {
+			t.Fatalf("%s: missing +Inf bucket", series)
+		}
+	}
+
+	// Counters agree exactly with /v1/stats.
+	if got := byName["tetriserve_requests_total"]; got != float64(st.Completed+st.Dropped) {
+		t.Errorf("requests_total = %v, stats finalized = %d", got, st.Completed+st.Dropped)
+	}
+	if got := byName["tetriserve_completed_total"]; got != float64(st.Completed) {
+		t.Errorf("completed_total = %v, stats %d", got, st.Completed)
+	}
+	if got := byName["tetriserve_slo_met_total"]; got != float64(st.MetSLO) {
+		t.Errorf("slo_met_total = %v, stats %d", got, st.MetSLO)
+	}
+	if got := byName["tetriserve_gpu_busy_seconds_total"]; got != st.GPUBusyS {
+		t.Errorf("gpu_busy_seconds_total = %v, stats %v", got, st.GPUBusyS)
+	}
+	if byName["tetriserve_queue_depth"] != 0 || byName["tetriserve_running_requests"] != 0 {
+		t.Errorf("queue gauges nonzero after drain: %v / %v",
+			byName["tetriserve_queue_depth"], byName["tetriserve_running_requests"])
+	}
+
+	// ...and with the trace analyzer (GPU·seconds within µs-truncation
+	// tolerance; the integer counters exactly).
+	resp, err = http.Get(ts.URL + "/v1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := trace.Read(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := trace.Analyze(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName["tetriserve_requests_total"] != float64(sum.Requests) {
+		t.Errorf("requests_total = %v, trace %d", byName["tetriserve_requests_total"], sum.Requests)
+	}
+	if byName["tetriserve_slo_met_total"] != float64(sum.Met) {
+		t.Errorf("slo_met_total = %v, trace %d", byName["tetriserve_slo_met_total"], sum.Met)
+	}
+	busy := byName["tetriserve_gpu_busy_seconds_total"]
+	if diff := math.Abs(busy - sum.GPUSeconds); diff > 1e-3*(1+sum.GPUSeconds) {
+		t.Errorf("gpu busy %v vs trace %v (diff %v)", busy, sum.GPUSeconds, diff)
+	}
+}
+
+func TestRoundsEndpoint(t *testing.T) {
+	d := newTestDriver(t, func(cfg *DriverConfig) { cfg.DropLateFactor = 2.0 })
+	ts := httptest.NewServer(NewAPI(d).Handler())
+	defer ts.Close()
+
+	finalizeJobs(t, d, 2)
+
+	resp, err := http.Get(ts.URL + "/v1/rounds?n=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rounds []struct {
+		Seq           uint64  `json:"seq"`
+		AtUS          int64   `json:"at_us"`
+		PlanLatencyUS float64 `json:"plan_latency_us"`
+		Pending       int     `json:"pending"`
+		Decisions     []struct {
+			Request         int    `json:"request"`
+			Resolution      string `json:"resolution"`
+			Degree          int    `json:"degree"`
+			GPUs            []int  `json:"gpus"`
+			DeadlineSlackUS int64  `json:"deadline_slack_us"`
+			Survives        bool   `json:"survives"`
+		} `json:"decisions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rounds); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) == 0 || len(rounds) > 4 {
+		t.Fatalf("got %d rounds for n=4", len(rounds))
+	}
+	total := d.Telemetry().Rounds.Len()
+	if total == 0 {
+		t.Fatal("round log empty after serving")
+	}
+	// Oldest-first and contiguous.
+	for i := 1; i < len(rounds); i++ {
+		if rounds[i].Seq != rounds[i-1].Seq+1 {
+			t.Fatalf("rounds out of order: %d then %d", rounds[i-1].Seq, rounds[i].Seq)
+		}
+	}
+	// At least one round must explain a placement with degree + slack.
+	sawDecision := false
+	for _, rec := range d.Telemetry().Rounds.Snapshot(0) {
+		for _, dec := range rec.Decisions {
+			sawDecision = true
+			if dec.Degree < 1 {
+				t.Fatalf("decision without degree: %+v", dec)
+			}
+		}
+	}
+	if !sawDecision {
+		t.Fatal("no decision records captured")
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/rounds?n=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bogus n: status %d", resp.StatusCode)
+		}
+	}
+}
+
+func TestTraceFollowSSE(t *testing.T) {
+	d := newTestDriver(t, func(cfg *DriverConfig) { cfg.DropLateFactor = 2.0 })
+	ts := httptest.NewServer(NewAPI(d).Handler())
+	defer ts.Close()
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/trace?follow=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// The subscriber gauge must reflect the live follower.
+	gaugeDeadline := time.Now().Add(5 * time.Second)
+	for d.Telemetry().Bus.Subscribers() != 1 {
+		if time.Now().After(gaugeDeadline) {
+			t.Fatal("follow subscription never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Read SSE frames concurrently while jobs are served.
+	type frame struct {
+		ev  trace.Event
+		raw string
+	}
+	frames := make(chan frame, 1024)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				if line != "" {
+					frames <- frame{raw: "BAD:" + line}
+				}
+				continue
+			}
+			var ev trace.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				frames <- frame{raw: "BAD:" + line}
+				continue
+			}
+			frames <- frame{ev: ev, raw: line}
+		}
+		close(frames)
+	}()
+
+	finalizeJobs(t, d, 2)
+
+	// The final snapshot defines the expected event multiset.
+	snapResp, err := http.Get(ts.URL + "/v1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := trace.Read(snapResp.Body)
+	snapResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var live []trace.Event
+	timeout := time.After(10 * time.Second)
+	for len(live) < len(want) {
+		select {
+		case f, ok := <-frames:
+			if !ok {
+				t.Fatalf("stream closed after %d/%d events", len(live), len(want))
+			}
+			if strings.HasPrefix(f.raw, "BAD:") {
+				t.Fatalf("malformed SSE frame: %s", f.raw)
+			}
+			live = append(live, f.ev)
+		case <-timeout:
+			t.Fatalf("timed out with %d/%d events", len(live), len(want))
+		}
+	}
+
+	// Live feed and snapshot must be the same multiset (ordering differs:
+	// the live feed is hook-ordered, completions carry future decode
+	// timestamps).
+	key := func(evs []trace.Event) []string {
+		out := make([]string, len(evs))
+		for i := range evs {
+			b, _ := json.Marshal(evs[i])
+			out[i] = string(b)
+		}
+		sort.Strings(out)
+		return out
+	}
+	gotKeys, wantKeys := key(live), key(want)
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("event %d diverges:\nlive %s\nsnap %s", i, gotKeys[i], wantKeys[i])
+		}
+	}
+}
+
+func TestTraceFollowJSONL(t *testing.T) {
+	d := newTestDriver(t)
+	ts := httptest.NewServer(NewAPI(d).Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/trace?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	if _, err := d.Submit(workload.Prompt{Text: "one"}, model.Res256, 0); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("no line from follow stream")
+	}
+	var ev trace.Event
+	if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+		t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+	}
+	if ev.Kind != trace.KindArrival {
+		t.Fatalf("first event kind %q, want arrival", ev.Kind)
+	}
+}
+
+func TestJobRouteWildcardAndMethodNotAllowed(t *testing.T) {
+	d := newTestDriver(t)
+	ts := httptest.NewServer(NewAPI(d).Handler())
+	defer ts.Close()
+
+	job, err := d.Submit(workload.Prompt{Text: "route me"}, model.Res256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) *http.Response {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := get("/v1/jobs/" + strconv.Itoa(int(job.ID))); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job: status %d", resp.StatusCode)
+	}
+	if resp := get("/v1/jobs/999999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job: status %d", resp.StatusCode)
+	}
+	if resp := get("/v1/jobs/notanumber"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-numeric id: status %d", resp.StatusCode)
+	}
+
+	// Wrong-method hits on registered paths must 405, not 404.
+	for _, tc := range []struct{ method, path string }{
+		{"POST", "/v1/jobs/1"},
+		{"DELETE", "/v1/stats"},
+		{"GET", "/v1/images/generations"},
+		{"POST", "/metrics"},
+		{"PUT", "/v1/rounds"},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+		if resp.Header.Get("Allow") == "" {
+			t.Errorf("%s %s: missing Allow header", tc.method, tc.path)
+		}
+	}
+}
+
+func TestPprofGatedByFlag(t *testing.T) {
+	d := newTestDriver(t)
+	api := NewAPI(d)
+	ts := httptest.NewServer(api.Handler())
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without flag: status %d, want 404", resp.StatusCode)
+	}
+
+	api.Pprof = true
+	ts = httptest.NewServer(api.Handler())
+	defer ts.Close()
+	resp, err = http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with flag: status %d", resp.StatusCode)
+	}
+}
+
+// TestSimDriverTelemetryParity runs the divergence workload through both
+// adapters with a telemetry plane attached and requires identical terminal
+// counter values for every clock-independent series — the observability
+// companion to TestSimDriverDivergence.
+func TestSimDriverTelemetryParity(t *testing.T) {
+	const dropFactor = 2.0
+	mdl := model.FLUX()
+	topo := simgpu.H100x8()
+	prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
+
+	simPlane := telemetry.NewPlane()
+	simPlane.SetClusterSize(topo.N)
+	if _, err := sim.Run(sim.Config{
+		Model:           mdl,
+		Topo:            topo,
+		Scheduler:       core.NewScheduler(prof, topo, core.DefaultConfig()),
+		Requests:        divergenceTrace(mdl.DefaultSteps),
+		DropLateFactor:  dropFactor,
+		Hooks:           simPlane.Hooks(),
+		CheckInvariants: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	d := newTestDriver(t, func(cfg *DriverConfig) { cfg.DropLateFactor = dropFactor })
+	reqs := divergenceTrace(mdl.DefaultSteps)
+	start := d.clk.Now()
+	for _, r := range reqs {
+		for d.clk.Now()-start < r.Arrival {
+			time.Sleep(500 * time.Microsecond)
+		}
+		if _, err := d.Submit(r.Prompt, r.Res, r.SLO); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := d.Snapshot()
+		if st.Completed+st.Dropped == len(reqs) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("driver never finalized all requests: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	simSnap := simPlane.Registry.Snapshot()
+	drvSnap := d.Telemetry().Registry.Snapshot()
+	// Clock-independent series: outcome counters and per-resolution e2e
+	// completion counts must agree exactly. (Plan-call counts, histogram
+	// sums and GPU·seconds legitimately differ: the driver ticks
+	// perpetually on a jittery real clock.)
+	keys := []string{
+		"tetriserve_requests_total",
+		"tetriserve_completed_total",
+		"tetriserve_slo_met_total",
+		`tetriserve_dropped_total{cause="expired"}`,
+		`tetriserve_dropped_total{cause="timeout"}`,
+		`tetriserve_dropped_total{cause="fault"}`,
+		"tetriserve_runs_aborted_total",
+	}
+	for k := range simSnap {
+		if strings.HasPrefix(k, "tetriserve_e2e_latency_seconds_count") {
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys {
+		if simSnap[k] != drvSnap[k] {
+			t.Errorf("%s: sim %v, driver %v", k, simSnap[k], drvSnap[k])
+		}
+	}
+	if simSnap["tetriserve_requests_total"] != float64(len(reqs)) {
+		t.Fatalf("sim requests_total = %v, want %d", simSnap["tetriserve_requests_total"], len(reqs))
+	}
+}

@@ -68,6 +68,9 @@ type Config struct {
 	// requeueing them — the recovery ablation the failure sweep compares
 	// against.
 	NoRequeueOnFault bool
+	// Hooks are optional observer callbacks (telemetry planes, custom
+	// probes) composed onto the control loop before the invariant oracle.
+	Hooks control.Hooks
 	// CheckInvariants attaches the internal/invariant oracle to the run:
 	// every plan and execution transition is audited against the paper's
 	// scheduling invariants, panicking on the first violation (the simulator
@@ -144,6 +147,7 @@ func newSimulator(cfg Config) (*simulator, error) {
 		// The simulator is the oracle harness: a scheduler bug must abort
 		// the run (panic), not leak into experiment tables.
 		Strict: true,
+		Hooks:  cfg.Hooks,
 	}
 	var oracle *invariant.Oracle
 	if cfg.CheckInvariants {

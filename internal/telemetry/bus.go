@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tetriserve/internal/trace"
+)
+
+// Bus fans trace events out to live subscribers (the /v1/trace?follow=1
+// feed) without ever blocking the publisher. Each subscriber owns a
+// buffered channel; when it is full the event is dropped for that
+// subscriber and counted — a slow tail never stalls the control loop.
+//
+// Publish is wait-free against subscriptions: the subscriber list is
+// copy-on-write behind an atomic pointer, so the hook path pays one atomic
+// load (and nothing else when nobody is tailing).
+type Bus struct {
+	mu      sync.Mutex
+	subs    atomic.Pointer[[]*subscriber]
+	dropped *Counter // may be nil (standalone use)
+	gauge   *Gauge   // current subscriber count; may be nil
+}
+
+type subscriber struct {
+	ch      chan trace.Event
+	dropped atomic.Uint64
+}
+
+// NewBus builds a bus. dropped counts events lost to slow subscribers and
+// subs tracks the live subscriber count; either may be nil.
+func NewBus(dropped *Counter, subs *Gauge) *Bus {
+	return &Bus{dropped: dropped, gauge: subs}
+}
+
+// Active reports whether anyone is subscribed — publishers check it before
+// materializing an event, so the hook path allocates nothing when idle.
+func (b *Bus) Active() bool {
+	s := b.subs.Load()
+	return s != nil && len(*s) > 0
+}
+
+// Publish delivers ev to every subscriber whose buffer has room and drops
+// it (counted) for the rest. Never blocks.
+func (b *Bus) Publish(ev trace.Event) {
+	s := b.subs.Load()
+	if s == nil {
+		return
+	}
+	for _, sub := range *s {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped.Add(1)
+			if b.dropped != nil {
+				b.dropped.Inc()
+			}
+		}
+	}
+}
+
+// Subscribe registers a new subscriber with the given buffer size and
+// returns its event channel plus a cancel function. The channel is never
+// closed (a cancelled subscriber simply stops receiving); readers should
+// select against their own done signal. Cancel is idempotent.
+func (b *Bus) Subscribe(buf int) (<-chan trace.Event, func()) {
+	if buf <= 0 {
+		buf = 256
+	}
+	sub := &subscriber{ch: make(chan trace.Event, buf)}
+	b.mu.Lock()
+	old := b.subs.Load()
+	var next []*subscriber
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, sub)
+	b.subs.Store(&next)
+	b.mu.Unlock()
+	if b.gauge != nil {
+		b.gauge.Inc()
+	}
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			cur := b.subs.Load()
+			if cur != nil {
+				next := make([]*subscriber, 0, len(*cur))
+				for _, s := range *cur {
+					if s != sub {
+						next = append(next, s)
+					}
+				}
+				b.subs.Store(&next)
+			}
+			b.mu.Unlock()
+			if b.gauge != nil {
+				b.gauge.Dec()
+			}
+		})
+	}
+	return sub.ch, cancel
+}
+
+// Subscribers returns the current subscriber count.
+func (b *Bus) Subscribers() int {
+	s := b.subs.Load()
+	if s == nil {
+		return 0
+	}
+	return len(*s)
+}

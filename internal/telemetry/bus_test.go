@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"tetriserve/internal/trace"
+)
+
+func TestBusIdleAndActive(t *testing.T) {
+	b := NewBus(nil, nil)
+	if b.Active() {
+		t.Fatal("fresh bus should be inactive")
+	}
+	b.Publish(trace.Event{Kind: trace.KindArrival}) // no subscribers: no-op
+	ch, cancel := b.Subscribe(4)
+	if !b.Active() || b.Subscribers() != 1 {
+		t.Fatalf("active=%v subs=%d after subscribe", b.Active(), b.Subscribers())
+	}
+	b.Publish(trace.Event{AtUS: 7, Kind: trace.KindArrival})
+	if ev := <-ch; ev.AtUS != 7 {
+		t.Fatalf("received %+v", ev)
+	}
+	cancel()
+	cancel() // idempotent
+	if b.Active() || b.Subscribers() != 0 {
+		t.Fatal("bus should be inactive after cancel")
+	}
+}
+
+func TestBusSlowSubscriberDropsCounted(t *testing.T) {
+	r := NewRegistry()
+	dropped := r.Counter("dropped_total", "help")
+	gauge := r.Gauge("subs", "help")
+	b := NewBus(dropped, gauge)
+	_, cancel := b.Subscribe(2)
+	defer cancel()
+	if gauge.Value() != 1 {
+		t.Fatalf("subscriber gauge = %v", gauge.Value())
+	}
+	// Nobody reads: buffer (2) fills, the rest drop without blocking.
+	for i := 0; i < 10; i++ {
+		b.Publish(trace.Event{AtUS: int64(i)})
+	}
+	if got := dropped.Value(); got != 8 {
+		t.Fatalf("dropped = %v, want 8", got)
+	}
+}
+
+func TestBusFanOut(t *testing.T) {
+	b := NewBus(nil, nil)
+	a, cancelA := b.Subscribe(8)
+	c, cancelC := b.Subscribe(8)
+	defer cancelA()
+	defer cancelC()
+	b.Publish(trace.Event{AtUS: 1})
+	if (<-a).AtUS != 1 || (<-c).AtUS != 1 {
+		t.Fatal("both subscribers should receive the event")
+	}
+	cancelC()
+	b.Publish(trace.Event{AtUS: 2})
+	if (<-a).AtUS != 2 {
+		t.Fatal("remaining subscriber should keep receiving")
+	}
+	select {
+	case ev := <-c:
+		t.Fatalf("cancelled subscriber received %+v", ev)
+	default:
+	}
+}
+
+func TestBusConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBus(nil, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				b.Publish(trace.Event{AtUS: int64(j)})
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ch, cancel := b.Subscribe(16)
+				select {
+				case <-ch:
+				case <-stop:
+				default:
+				}
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if b.Subscribers() != 0 {
+		t.Fatalf("leaked subscribers: %d", b.Subscribers())
+	}
+}

@@ -1,0 +1,304 @@
+package telemetry
+
+import (
+	"time"
+
+	"tetriserve/internal/control"
+	"tetriserve/internal/engine"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/trace"
+	"tetriserve/internal/workload"
+)
+
+// Default histogram bucket layouts (seconds). End-to-end latency spans the
+// paper's SLO range (1.5 s–5 s budgets, DropLateFactor multiples above);
+// plan latency targets the sub-10 ms control-plane claim.
+var (
+	LatencyBuckets     = []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32, 64}
+	PlanLatencyBuckets = []float64{1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 0.1}
+)
+
+// Plane bundles the three telemetry pillars — metrics registry, round
+// explainer, trace bus — behind a single Hooks() attachment point. One
+// plane observes one control loop (the hook path is single-goroutine);
+// scrapes and subscriptions are safe from any goroutine.
+type Plane struct {
+	Registry *Registry
+	Rounds   *RoundLog
+	Bus      *Bus
+
+	requests, completed, sloMet *Counter
+	dropped                     map[control.DropCause]*Counter
+	requeued                    *Counter
+	planCalls, planRejected     *Counter
+	startFailed, roundTicks     *Counter
+	runsBatched, runsSolo       *Counter
+	runsAborted                 *Counter
+	queueDepth, runningReqs     *Gauge
+	failedGPUs, totalGPUs       *Gauge
+	planLatency                 *Histogram
+	e2e                         *HistogramVec
+	e2eByRes                    map[model.Resolution]*Histogram
+
+	// phase mirrors the driver's job-state machine (queued → running →
+	// terminal) so the queue gauges agree with /v1/stats by construction.
+	phase map[workload.RequestID]uint8
+}
+
+const (
+	phaseQueued uint8 = iota + 1
+	phaseRunning
+)
+
+// NewPlane builds a plane with the full metric catalogue registered.
+func NewPlane() *Plane {
+	reg := NewRegistry()
+	droppedVec := reg.CounterVec("tetriserve_dropped_total",
+		"Requests dropped, by cause (expired queue wait, late delivery timeout, GPU fault ablation).", "cause")
+	p := &Plane{
+		Registry: reg,
+		Rounds:   NewRoundLog(0),
+		requests: reg.Counter("tetriserve_requests_total",
+			"Requests admitted to the control loop."),
+		completed: reg.Counter("tetriserve_completed_total",
+			"Requests that completed (decode delivered)."),
+		sloMet: reg.Counter("tetriserve_slo_met_total",
+			"Completed requests that met their SLO deadline."),
+		dropped: map[control.DropCause]*Counter{
+			control.DropExpired: droppedVec.With(string(control.DropExpired)),
+			control.DropTimeout: droppedVec.With(string(control.DropTimeout)),
+			control.DropFault:   droppedVec.With(string(control.DropFault)),
+		},
+		requeued: reg.Counter("tetriserve_requeued_total",
+			"Requests returned to the queue after a GPU fault aborted their block."),
+		planCalls: reg.Counter("tetriserve_plan_calls_total",
+			"Scheduler invocations."),
+		planRejected: reg.Counter("tetriserve_plan_rejected_total",
+			"Plans refused by the validator."),
+		startFailed: reg.Counter("tetriserve_start_failed_total",
+			"Validated assignments the engine refused to start."),
+		roundTicks: reg.Counter("tetriserve_round_ticks_total",
+			"Fired τ round boundaries (0 for event-driven schedulers)."),
+		runsAborted: reg.Counter("tetriserve_runs_aborted_total",
+			"Step blocks killed mid-flight by GPU faults."),
+		queueDepth: reg.Gauge("tetriserve_queue_depth",
+			"Admitted requests waiting for GPUs."),
+		runningReqs: reg.Gauge("tetriserve_running_requests",
+			"Requests currently executing in a step block."),
+		failedGPUs: reg.Gauge("tetriserve_failed_gpus",
+			"GPUs currently out of service."),
+		totalGPUs: reg.Gauge("tetriserve_gpus",
+			"GPUs in the cluster topology."),
+		planLatency: reg.Histogram("tetriserve_plan_latency_seconds",
+			"Scheduler solve latency per plan call.", PlanLatencyBuckets),
+		e2e: reg.HistogramVec("tetriserve_e2e_latency_seconds",
+			"End-to-end latency of completed requests, by resolution.", LatencyBuckets, "resolution"),
+		e2eByRes: map[model.Resolution]*Histogram{},
+		phase:    map[workload.RequestID]uint8{},
+	}
+	runsVec := reg.CounterVec("tetriserve_runs_total",
+		"Executed step blocks, split by selective batching.", "batched")
+	p.runsBatched = runsVec.With("true")
+	p.runsSolo = runsVec.With("false")
+	p.Bus = NewBus(
+		reg.Counter("tetriserve_trace_dropped_events_total",
+			"Trace events dropped because a follow subscriber's buffer was full."),
+		reg.Gauge("tetriserve_trace_subscribers",
+			"Live /v1/trace?follow=1 subscribers."),
+	)
+	return p
+}
+
+// BindGPUBusy registers tetriserve_gpu_busy_seconds_total as a pull-time
+// counter reading the adapter's authoritative engine accumulator, so the
+// scrape agrees exactly with /v1/stats instead of re-deriving GPU·seconds
+// hook-side. fn must be safe from any goroutine.
+func (p *Plane) BindGPUBusy(fn func() float64) {
+	p.Registry.CounterFunc("tetriserve_gpu_busy_seconds_total",
+		"Accumulated GPU·seconds of executed step blocks.", fn)
+}
+
+// SetClusterSize records the topology size for utilization math.
+func (p *Plane) SetClusterSize(n int) { p.totalGPUs.Set(float64(n)) }
+
+// Hooks returns the control-loop observer callbacks. Attach with
+// Hooks.Then; all callbacks run on the loop goroutine.
+func (p *Plane) Hooks() control.Hooks {
+	return control.Hooks{
+		Admitted:     p.onAdmitted,
+		Started:      p.onStarted,
+		Requeued:     p.onRequeued,
+		Finished:     p.onFinished,
+		Dropped:      p.onDropped,
+		PlanComputed: p.onPlanComputed,
+		Planned:      p.onPlanned,
+		PlanRejected: p.onPlanRejected,
+		StartFailed:  func(time.Duration, error) { p.startFailed.Inc() },
+		RoundTick:    func(time.Duration, time.Duration) { p.roundTicks.Inc() },
+		RunStarted:   p.onRunStarted,
+		RunFinished:  p.onRunFinished,
+		RunAborted:   p.onRunAborted,
+		GPUFailed:    func(_ time.Duration, m simgpu.Mask) { p.failedGPUs.Add(float64(m.Count())) },
+		GPURecovered: func(_ time.Duration, m simgpu.Mask) { p.failedGPUs.Add(-float64(m.Count())) },
+	}
+}
+
+func (p *Plane) onAdmitted(now time.Duration, r *workload.Request) {
+	p.requests.Inc()
+	p.phase[r.ID] = phaseQueued
+	p.queueDepth.Inc()
+	if p.Bus.Active() {
+		p.Bus.Publish(trace.Event{
+			AtUS:       r.Arrival.Microseconds(),
+			Kind:       trace.KindArrival,
+			Requests:   []int{int(r.ID)},
+			Resolution: r.Res.String(),
+		})
+	}
+}
+
+func (p *Plane) onStarted(now time.Duration, id workload.RequestID) {
+	if p.phase[id] == phaseQueued {
+		p.phase[id] = phaseRunning
+		p.queueDepth.Dec()
+		p.runningReqs.Inc()
+	}
+}
+
+func (p *Plane) onRequeued(now time.Duration, id workload.RequestID) {
+	p.requeued.Inc()
+	if p.phase[id] == phaseRunning {
+		p.phase[id] = phaseQueued
+		p.runningReqs.Dec()
+		p.queueDepth.Inc()
+	}
+}
+
+// retire clears a request's queue-position gauge at finalization.
+func (p *Plane) retire(id workload.RequestID) {
+	switch p.phase[id] {
+	case phaseQueued:
+		p.queueDepth.Dec()
+	case phaseRunning:
+		p.runningReqs.Dec()
+	}
+	delete(p.phase, id)
+}
+
+func (p *Plane) onFinished(now time.Duration, o control.Outcome) {
+	p.retire(o.ID)
+	p.completed.Inc()
+	if o.Met {
+		p.sloMet.Inc()
+	}
+	h, ok := p.e2eByRes[o.Res]
+	if !ok {
+		h = p.e2e.With(o.Res.String())
+		p.e2eByRes[o.Res] = h
+	}
+	h.Observe(o.Latency.Seconds())
+	if p.Bus.Active() {
+		p.Bus.Publish(trace.Event{
+			AtUS:       o.Completion.Microseconds(),
+			Kind:       trace.KindComplete,
+			Requests:   []int{int(o.ID)},
+			Resolution: o.Res.String(),
+			Met:        o.Met,
+			LatencyUS:  o.Latency.Microseconds(),
+		})
+	}
+}
+
+func (p *Plane) onDropped(now time.Duration, o control.Outcome) {
+	p.retire(o.ID)
+	c, ok := p.dropped[o.Cause]
+	if !ok {
+		// Future causes still count (under their own label) rather than
+		// vanishing.
+		c = p.Registry.CounterVec("tetriserve_dropped_total", "", "cause").With(string(o.Cause))
+		p.dropped[o.Cause] = c
+	}
+	c.Inc()
+	if p.Bus.Active() {
+		p.Bus.Publish(trace.Event{
+			AtUS:       o.Deadline.Microseconds(),
+			Kind:       trace.KindDrop,
+			Requests:   []int{int(o.ID)},
+			Resolution: o.Res.String(),
+		})
+	}
+}
+
+func (p *Plane) onPlanComputed(now, latency time.Duration, ctx *sched.PlanContext) {
+	p.planCalls.Inc()
+	p.planLatency.Observe(latency.Seconds())
+	p.Rounds.OnPlanComputed(now, latency, ctx)
+}
+
+func (p *Plane) onPlanned(now time.Duration, ctx *sched.PlanContext, plan []sched.Assignment) {
+	p.Rounds.OnPlanned(now, ctx, plan)
+}
+
+func (p *Plane) onPlanRejected(now time.Duration, err error) {
+	p.planRejected.Inc()
+	p.Rounds.OnPlanRejected(now, err)
+}
+
+func (p *Plane) onRunStarted(now time.Duration, run *engine.Run) {
+	if p.Bus.Active() {
+		p.Bus.Publish(runEvent(trace.KindBlockStart, run.Start, run))
+	}
+}
+
+func (p *Plane) onRunFinished(now time.Duration, run *engine.Run) {
+	if run.Batched {
+		p.runsBatched.Inc()
+	} else {
+		p.runsSolo.Inc()
+	}
+	if p.Bus.Active() {
+		p.Bus.Publish(runEvent(trace.KindBlockEnd, run.End, run))
+	}
+}
+
+func (p *Plane) onRunAborted(now time.Duration, run *engine.Run, _ map[workload.RequestID]int) {
+	p.runsAborted.Inc()
+	// An aborted block still counts as an executed block in the run log
+	// (matching control.Result.Runs, which records it with End = fault
+	// time), so the batched-share denominator stays consistent.
+	if run.Batched {
+		p.runsBatched.Inc()
+	} else {
+		p.runsSolo.Inc()
+	}
+	if p.Bus.Active() {
+		p.Bus.Publish(runEvent(trace.KindBlockEnd, now, run))
+	}
+}
+
+// runEvent materializes a block event in the exact shape trace.FromResult
+// produces from the final Result, so the live feed is consistent with the
+// post-hoc snapshot. Only called while a subscriber is attached.
+func runEvent(kind trace.Kind, at time.Duration, run *engine.Run) trace.Event {
+	ids := make([]int, len(run.Asg.Requests))
+	for i, id := range run.Asg.Requests {
+		ids[i] = int(id)
+	}
+	gpus := make([]int, 0, run.Degree)
+	for _, g := range run.Asg.Group.IDs() {
+		gpus = append(gpus, int(g))
+	}
+	return trace.Event{
+		AtUS:       at.Microseconds(),
+		Kind:       kind,
+		Requests:   ids,
+		Resolution: run.Res.String(),
+		Degree:     run.Degree,
+		GPUs:       gpus,
+		Steps:      run.Asg.Steps,
+		BestEffort: run.Asg.BestEffort,
+		Batched:    run.Batched,
+	}
+}

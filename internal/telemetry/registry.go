@@ -1,0 +1,468 @@
+// Package telemetry is the live observability plane: a zero-dependency
+// metrics registry (counters, gauges, fixed-bucket histograms) exposed in
+// Prometheus text format, a bounded round-decision explainer, and a
+// non-blocking trace-event fan-out bus. All three are driven entirely by
+// control.Hooks — the same per-transition stream the invariant oracle
+// consumes — so the simulator and the online driver share one telemetry
+// implementation, attached via Hooks.Then composition.
+//
+// Design constraints, in order:
+//
+//   - the hook path must never block or panic: a slow scrape or a stalled
+//     trace subscriber drops data (counted), it never stalls the control
+//     loop;
+//   - the hook path must be allocation-light: counters and histograms are
+//     atomics, the round ring reuses record storage, and trace events are
+//     only materialized while a subscriber is attached;
+//   - scrape output must be deterministic: families and children are
+//     emitted in sorted order so tests can diff exposition text.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates metric families in the exposition output.
+type Kind uint8
+
+// Metric family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. All methods are safe for concurrent use; metric
+// updates are lock-free atomics so the control loop's hook path never
+// contends with scrapes.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+type family struct {
+	name, help string
+	kind       Kind
+	labelKeys  []string
+	buckets    []float64 // histograms only
+
+	mu       sync.RWMutex
+	children map[string]*metric
+}
+
+// metric is one time series: a float64 cell, a pull-time function, or a
+// histogram state.
+type metric struct {
+	labelVals []string
+	bits      atomic.Uint64 // float64 bits
+	fn        func() float64
+	hist      *histState
+}
+
+func (m *metric) value() float64 {
+	if m.fn != nil {
+		return m.fn()
+	}
+	return math.Float64frombits(m.bits.Load())
+}
+
+type histState struct {
+	bounds  []float64       // ascending upper bounds, +Inf implicit
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// addFloat atomically adds v to a float64 stored as uint64 bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// family returns (creating if needed) the named family, enforcing that
+// re-registrations agree on kind and label keys — a mismatch is a
+// programming error, not a runtime condition.
+func (r *Registry) family(name, help string, kind Kind, buckets []float64, labelKeys ...string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labelKeys) != len(labelKeys) {
+			panic(fmt.Sprintf("telemetry: %q re-registered as %v(%v), was %v(%v)",
+				name, kind, labelKeys, f.kind, f.labelKeys))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labelKeys: append([]string(nil), labelKeys...),
+		buckets:   append([]float64(nil), buckets...),
+		children:  map[string]*metric{},
+	}
+	r.families[name] = f
+	return f
+}
+
+func (f *family) child(labelVals []string) *metric {
+	if len(labelVals) != len(f.labelKeys) {
+		panic(fmt.Sprintf("telemetry: %q expects %d label values, got %d",
+			f.name, len(f.labelKeys), len(labelVals)))
+	}
+	key := strings.Join(labelVals, "\x00")
+	f.mu.RLock()
+	m, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.children[key]; ok {
+		return m
+	}
+	m = &metric{labelVals: append([]string(nil), labelVals...)}
+	if f.kind == KindHistogram {
+		m.hist = &histState{
+			bounds: f.buckets,
+			counts: make([]atomic.Uint64, len(f.buckets)+1),
+		}
+	}
+	f.children[key] = m
+	return m
+}
+
+// Counter is a monotonically increasing series.
+type Counter struct{ m *metric }
+
+// Inc adds one.
+func (c *Counter) Inc() { addFloat(&c.m.bits, 1) }
+
+// Add adds v; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	addFloat(&c.m.bits, v)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() float64 { return c.m.value() }
+
+// Gauge is a series that can go up and down.
+type Gauge struct{ m *metric }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.m.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (may be negative).
+func (g *Gauge) Add(v float64) { addFloat(&g.m.bits, v) }
+
+// Inc adds one. Dec subtracts one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value reads the current level.
+func (g *Gauge) Value() float64 { return g.m.value() }
+
+// Histogram is a fixed-bucket distribution. Observe is a few atomic adds —
+// no allocation, no locks — so it is safe on the control loop's hot path.
+type Histogram struct{ h *histState }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	s := h.h
+	idx := len(s.bounds) // +Inf overflow bucket
+	for i, b := range s.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	s.counts[idx].Add(1)
+	s.count.Add(1)
+	addFloat(&s.sumBits, v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.h.sumBits.Load()) }
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the child counter for the given label values.
+func (v *CounterVec) With(labelVals ...string) *Counter {
+	return &Counter{m: v.f.child(labelVals)}
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(labelVals ...string) *Histogram {
+	return &Histogram{h: v.f.child(labelVals).hist}
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return &Counter{m: r.family(name, help, KindCounter, nil).child(nil)}
+}
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, KindCounter, nil, labelKeys...)}
+}
+
+// CounterFunc registers a counter whose value is pulled from fn at scrape
+// time — for authoritative values owned elsewhere (the engine's GPU-busy
+// accumulator), where re-deriving them hook-side would risk drift. fn must
+// be safe to call from any goroutine.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.family(name, help, KindCounter, nil).child(nil).fn = fn
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return &Gauge{m: r.family(name, help, KindGauge, nil).child(nil)}
+}
+
+// GaugeFunc registers a gauge pulled from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.family(name, help, KindGauge, nil).child(nil).fn = fn
+}
+
+// Histogram registers (or returns) an unlabeled fixed-bucket histogram.
+// Buckets are ascending upper bounds; +Inf is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return &Histogram{h: r.family(name, help, KindHistogram, buckets).child(nil).hist}
+}
+
+// HistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelKeys ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, KindHistogram, buckets, labelKeys...)}
+}
+
+// WriteProm renders every family in Prometheus text exposition format
+// (version 0.0.4), families and children in sorted order.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, m := range f.sortedChildren() {
+			if f.kind == KindHistogram {
+				writeHistogram(&b, f, m)
+				continue
+			}
+			b.WriteString(f.name)
+			writeLabels(&b, f.labelKeys, m.labelVals, "", 0)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(m.value()))
+			b.WriteByte('\n')
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) sortedChildren() []*metric {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]*metric, 0, len(f.children))
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, f.children[k])
+	}
+	return out
+}
+
+func writeHistogram(b *strings.Builder, f *family, m *metric) {
+	h := m.hist
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		b.WriteString(f.name)
+		b.WriteString("_bucket")
+		writeLabels(b, f.labelKeys, m.labelVals, "le", bound)
+		fmt.Fprintf(b, " %d\n", cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	b.WriteString(f.name)
+	b.WriteString("_bucket")
+	writeLabels(b, f.labelKeys, m.labelVals, "le", math.Inf(1))
+	fmt.Fprintf(b, " %d\n", cum)
+	b.WriteString(f.name)
+	b.WriteString("_sum")
+	writeLabels(b, f.labelKeys, m.labelVals, "", 0)
+	b.WriteByte(' ')
+	b.WriteString(formatValue(math.Float64frombits(h.sumBits.Load())))
+	b.WriteByte('\n')
+	b.WriteString(f.name)
+	b.WriteString("_count")
+	writeLabels(b, f.labelKeys, m.labelVals, "", 0)
+	fmt.Fprintf(b, " %d\n", h.count.Load())
+}
+
+// writeLabels renders {k="v",...}; when leKey is non-empty a trailing
+// le="<bound>" pair is appended (histogram buckets).
+func writeLabels(b *strings.Builder, keys, vals []string, leKey string, le float64) {
+	if len(keys) == 0 && leKey == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		b.WriteString(formatBound(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Snapshot flattens every series into a name{labels} → value map — the
+// test-facing view. Histograms contribute cumulative _bucket entries plus
+// _sum and _count.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := map[string]float64{}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	var b strings.Builder
+	for _, f := range fams {
+		for _, m := range f.sortedChildren() {
+			if f.kind == KindHistogram {
+				h := m.hist
+				cum := uint64(0)
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					b.Reset()
+					b.WriteString(f.name)
+					b.WriteString("_bucket")
+					writeLabels(&b, f.labelKeys, m.labelVals, "le", bound)
+					out[b.String()] = float64(cum)
+				}
+				b.Reset()
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(&b, f.labelKeys, m.labelVals, "le", math.Inf(1))
+				out[b.String()] = float64(cum + h.counts[len(h.bounds)].Load())
+				b.Reset()
+				b.WriteString(f.name)
+				b.WriteString("_sum")
+				writeLabels(&b, f.labelKeys, m.labelVals, "", 0)
+				out[b.String()] = math.Float64frombits(h.sumBits.Load())
+				b.Reset()
+				b.WriteString(f.name)
+				b.WriteString("_count")
+				writeLabels(&b, f.labelKeys, m.labelVals, "", 0)
+				out[b.String()] = float64(h.count.Load())
+				continue
+			}
+			b.Reset()
+			b.WriteString(f.name)
+			writeLabels(&b, f.labelKeys, m.labelVals, "", 0)
+			out[b.String()] = m.value()
+		}
+	}
+	return out
+}
+
+// Handler returns an http.Handler serving the exposition text — the
+// GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// A failed scrape write means the client went away; nothing to do.
+		_ = r.WriteProm(w)
+	})
+}

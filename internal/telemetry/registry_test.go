@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters only go up
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("g", "help")
+	g.Set(10)
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+	// Re-registration returns the same series.
+	r.Counter("c_total", "help").Inc()
+	if got := c.Value(); got != 4.5 {
+		t.Fatalf("re-registered counter = %v, want 4.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "help", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("sum = %v, want 106", h.Sum())
+	}
+	snap := r.Snapshot()
+	// Cumulative: ≤1 holds {0.5, 1}, ≤2 adds 1.5, ≤4 adds 3, +Inf adds 100.
+	for key, want := range map[string]float64{
+		`h_seconds_bucket{le="1"}`:    2,
+		`h_seconds_bucket{le="2"}`:    3,
+		`h_seconds_bucket{le="4"}`:    4,
+		`h_seconds_bucket{le="+Inf"}`: 5,
+		`h_seconds_count`:             5,
+		`h_seconds_sum`:               106,
+	} {
+		if snap[key] != want {
+			t.Fatalf("%s = %v, want %v (snapshot %v)", key, snap[key], want, snap)
+		}
+	}
+}
+
+func TestVecChildrenAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("labeled_total", `back\slash and "quote"`, "cause")
+	v.With(`a"b`).Add(2)
+	v.With("plain").Inc()
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`# HELP labeled_total back\\slash and "quote"`,
+		"# TYPE labeled_total counter",
+		`labeled_total{cause="a\"b"} 2`,
+		`labeled_total{cause="plain"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	val := 1.25
+	r.CounterFunc("pulled_total", "help", func() float64 { return val })
+	if got := r.Snapshot()["pulled_total"]; got != 1.25 {
+		t.Fatalf("pulled = %v", got)
+	}
+	val = 9
+	if got := r.Snapshot()["pulled_total"]; got != 9 {
+		t.Fatalf("pulled after update = %v", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("x_total", "help")
+}
+
+func TestWritePromSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_total", "z").Inc()
+	r.Gauge("aaa", "a").Set(1)
+	r.Histogram("mmm_seconds", "m", []float64{1}).Observe(0.5)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	ia, im, iz := strings.Index(text, "# HELP aaa"), strings.Index(text, "# HELP mmm"), strings.Index(text, "# HELP zzz")
+	if ia < 0 || im < 0 || iz < 0 || !(ia < im && im < iz) {
+		t.Fatalf("families not sorted: aaa@%d mmm@%d zzz@%d\n%s", ia, im, iz, text)
+	}
+	// Every non-comment line is "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "help")
+	h := r.Histogram("conc_seconds", "help", []float64{0.5, 1})
+	v := r.CounterVec("conc_labeled_total", "help", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j%3) / 2)
+				v.With(string(rune('a' + i%2))).Inc()
+				if j%100 == 0 {
+					var b strings.Builder
+					_ = r.WriteProm(&b)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %v, want 8000", got)
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	snap := r.Snapshot()
+	if snap[`conc_labeled_total{k="a"}`]+snap[`conc_labeled_total{k="b"}`] != 8000 {
+		t.Fatalf("labeled sum = %v", snap)
+	}
+}

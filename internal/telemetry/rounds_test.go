@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+var roundsProf = costmodel.BuildProfile(
+	costmodel.NewEstimator(model.FLUX(), simgpu.H100x8()), costmodel.ProfilerConfig{})
+
+// fakeRound pushes one synthetic PlanComputed→Planned pair through the log.
+func fakeRound(l *RoundLog, now time.Duration, ids ...workload.RequestID) {
+	var pending []*sched.RequestState
+	var reqs []workload.RequestID
+	for _, id := range ids {
+		pending = append(pending, &sched.RequestState{
+			Req: &workload.Request{
+				ID: id, Res: model.Res512, Steps: 50,
+				SLO: 2 * time.Second, Arrival: now - time.Second,
+			},
+			Remaining: 50,
+		})
+		reqs = append(reqs, id)
+	}
+	ctx := &sched.PlanContext{
+		Now:     now,
+		Free:    simgpu.MaskOf(0) | simgpu.MaskOf(1),
+		Pending: pending,
+		Profile: roundsProf,
+	}
+	l.OnPlanComputed(now, 42*time.Microsecond, ctx)
+	var plan []sched.Assignment
+	if len(reqs) > 0 {
+		plan = []sched.Assignment{{
+			Requests: reqs,
+			Group:    simgpu.MaskOf(0) | simgpu.MaskOf(1),
+			Steps:    10,
+		}}
+	}
+	l.OnPlanned(now, ctx, plan)
+}
+
+func TestRoundLogDecisions(t *testing.T) {
+	l := NewRoundLog(8)
+	fakeRound(l, time.Second, 1, 2)
+	recs := l.Snapshot(0)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	rec := recs[0]
+	if rec.Seq != 0 || rec.At != time.Second || rec.PlanLatency != 42*time.Microsecond {
+		t.Fatalf("header = %+v", rec)
+	}
+	if rec.Pending != 2 || rec.FreeGPUs != 2 {
+		t.Fatalf("context snapshot = %+v", rec)
+	}
+	if len(rec.Decisions) != 2 {
+		t.Fatalf("decisions = %+v", rec.Decisions)
+	}
+	for _, d := range rec.Decisions {
+		if d.Degree != 2 || d.Steps != 10 || !d.Batched {
+			t.Fatalf("decision = %+v", d)
+		}
+		// Arrival now−1s, SLO 2s → deadline slack 1s at decision time.
+		if d.DeadlineSlack != time.Second {
+			t.Fatalf("slack = %v, want 1s", d.DeadlineSlack)
+		}
+		// 50 remaining steps at the profiled 512²@2 step time: the survival
+		// verdict must be derived (projection non-zero).
+		if d.ProjectedFinish == 0 {
+			t.Fatalf("projection missing: %+v", d)
+		}
+		e, ok := roundsProf.Lookup(model.Res512, 2, 1)
+		if !ok {
+			t.Fatal("profile lookup failed")
+		}
+		wantFinish := time.Second + 50*e.Mean
+		if d.ProjectedFinish != wantFinish {
+			t.Fatalf("projected = %v, want %v", d.ProjectedFinish, wantFinish)
+		}
+		if d.Survives != (wantFinish <= 2*time.Second) {
+			t.Fatalf("survives = %v for finish %v", d.Survives, wantFinish)
+		}
+	}
+}
+
+func TestRoundLogRejected(t *testing.T) {
+	l := NewRoundLog(8)
+	ctx := &sched.PlanContext{Now: time.Second, Profile: roundsProf}
+	l.OnPlanComputed(time.Second, time.Microsecond, ctx)
+	l.OnPlanRejected(time.Second, errors.New("overlapping groups"))
+	recs := l.Snapshot(0)
+	if len(recs) != 1 || recs[0].Rejected != "overlapping groups" || len(recs[0].Decisions) != 0 {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestRoundLogRingWrap(t *testing.T) {
+	l := NewRoundLog(4)
+	for i := 0; i < 10; i++ {
+		fakeRound(l, time.Duration(i+1)*time.Second, workload.RequestID(i))
+	}
+	if l.Len() != 10 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	recs := l.Snapshot(0)
+	if len(recs) != 4 {
+		t.Fatalf("retained %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if want := uint64(6 + i); rec.Seq != want {
+			t.Fatalf("record %d Seq = %d, want %d", i, rec.Seq, want)
+		}
+		if len(rec.Decisions) != 1 || rec.Decisions[0].Request != workload.RequestID(rec.Seq) {
+			t.Fatalf("record %d decisions = %+v", i, rec.Decisions)
+		}
+	}
+	last := l.Snapshot(2)
+	if len(last) != 2 || last[0].Seq != 8 || last[1].Seq != 9 {
+		t.Fatalf("Snapshot(2) = %+v", last)
+	}
+	// Snapshots are deep copies: mutating one must not corrupt the ring.
+	last[0].Decisions[0].Degree = 99
+	if l.Snapshot(2)[0].Decisions[0].Degree == 99 {
+		t.Fatal("snapshot aliases ring storage")
+	}
+}
+
+func TestRoundLogConcurrentSnapshot(t *testing.T) {
+	l := NewRoundLog(16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			fakeRound(l, time.Duration(i)*time.Millisecond, workload.RequestID(i))
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			if got := l.Len(); got != 500 {
+				t.Fatalf("Len = %d", got)
+			}
+			return
+		default:
+			for _, rec := range l.Snapshot(8) {
+				for _, d := range rec.Decisions {
+					if d.Degree != 2 {
+						panic(fmt.Sprintf("torn record: %+v", d))
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Observability smoke test: boot the daemon, drive a little load, and prove
+# the whole telemetry plane answers — /metrics scrapes as Prometheus text,
+# /v1/rounds explains recent decisions, the follow stream delivers live
+# events, and tetrictl's tail/top front-ends work against a real server.
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:8933}"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "== building =="
+go build -o "$TMP/tetriserve" ./cmd/tetriserve
+go build -o "$TMP/tetrictl" ./cmd/tetrictl
+
+echo "== starting tetriserve on $ADDR =="
+"$TMP/tetriserve" -addr "$ADDR" -speedup 50 -pprof &
+SERVE_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -fsS "$BASE/v1/stats" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "server died during startup" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+curl -fsS "$BASE/v1/stats" >/dev/null
+
+echo "== tailing the live trace while load runs =="
+"$TMP/tetrictl" -server "$BASE" tail -for 25s >"$TMP/tail.jsonl" &
+TAIL_PID=$!
+
+echo "== submitting load =="
+for i in 1 2 3; do
+  curl -fsS -X POST "$BASE/v1/images/generations" \
+    -H 'Content-Type: application/json' \
+    -d '{"prompt":"obs smoke '"$i"'","width":512,"height":512}' >/dev/null
+done
+
+# Wait until everything submitted has finalized.
+for i in $(seq 1 100); do
+  done_count=$(curl -fsS "$BASE/v1/stats" | sed -n 's/.*"completed":\([0-9]*\).*/\1/p')
+  [ "${done_count:-0}" -ge 3 ] && break
+  sleep 0.3
+done
+[ "${done_count:-0}" -ge 3 ] || { echo "jobs never completed" >&2; exit 1; }
+
+echo "== scraping /metrics =="
+curl -fsS "$BASE/metrics" >"$TMP/metrics.txt"
+grep -q '^# TYPE tetriserve_requests_total counter$' "$TMP/metrics.txt"
+grep -q '^tetriserve_requests_total 3$' "$TMP/metrics.txt"
+grep -q '^tetriserve_completed_total 3$' "$TMP/metrics.txt"
+grep -q '^# TYPE tetriserve_e2e_latency_seconds histogram$' "$TMP/metrics.txt"
+grep -q 'tetriserve_e2e_latency_seconds_bucket{resolution="512x512",le="+Inf"} 3' "$TMP/metrics.txt"
+echo "   $(grep -c '^tetriserve' "$TMP/metrics.txt") tetriserve samples"
+
+echo "== /v1/rounds =="
+curl -fsS "$BASE/v1/rounds?n=5" >"$TMP/rounds.json"
+grep -q '"degree"' "$TMP/rounds.json"
+grep -q '"deadline_slack_us"' "$TMP/rounds.json"
+
+echo "== pprof (flag-gated) =="
+curl -fsS "$BASE/debug/pprof/cmdline" >/dev/null
+
+echo "== tetrictl top =="
+"$TMP/tetrictl" -server "$BASE" top
+
+echo "== live trace tail =="
+wait "$TAIL_PID" || true
+head -10 "$TMP/tail.jsonl"
+lines=$(wc -l <"$TMP/tail.jsonl")
+# 3 jobs → at least arrival+complete each, plus block events.
+[ "$lines" -ge 6 ] || { echo "follow stream delivered only $lines events" >&2; exit 1; }
+grep -q '"kind":"arrival"' "$TMP/tail.jsonl"
+grep -q '"kind":"complete"' "$TMP/tail.jsonl"
+
+echo "obs-smoke OK ($lines live events)"
