@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-snapshot check fuzz cover obs-smoke
+.PHONY: build vet test race bench bench-snapshot bench-ci check fuzz cover obs-smoke
 
 build:
 	$(GO) build ./...
@@ -26,13 +26,23 @@ bench:
 bench-snapshot:
 	$(GO) run ./cmd/tetribench -o BENCH_planner.json
 
-# Short randomized sweep of both invariant fuzz targets (the committed
+# Regression gate: re-run the micro-benchmarks and diff against the
+# committed snapshot. Fails on >20% ns/op growth or any allocs/op increase
+# on any benchmark. Benchmarks are noisy on shared runners, so CI runs
+# this as a non-blocking job — treat a red bench-ci as a prompt to re-run
+# locally, not as ground truth.
+bench-ci:
+	$(GO) run ./cmd/tetribench -o /tmp/bench_candidate.json
+	$(GO) run ./scripts/benchdiff BENCH_planner.json /tmp/bench_candidate.json
+
+# Short randomized sweep of the invariant fuzz targets (the committed
 # seed corpus under internal/invariant/testdata/fuzz replays in the plain
 # test run; this explores beyond it). FUZZTIME tunes the per-target budget.
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./internal/invariant -run '^$$' -fuzz '^FuzzPlanRound$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/invariant -run '^$$' -fuzz '^FuzzControlLoop$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/invariant -run '^$$' -fuzz '^FuzzWarmStart$$' -fuzztime $(FUZZTIME)
 
 # End-to-end smoke test of the telemetry plane against a real daemon:
 # scrape /metrics, read /v1/rounds, follow the live trace, run tetrictl top.

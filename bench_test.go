@@ -91,39 +91,97 @@ var (
 		costmodel.NewEstimator(benchMdl, benchTopo), costmodel.ProfilerConfig{})
 )
 
+// benchPlanCtx builds the fixed planning snapshot the planner benches use.
+func benchPlanCtx(depth int) *sched.PlanContext {
+	resList := model.StandardResolutions()
+	pending := make([]*sched.RequestState, depth)
+	for i := range pending {
+		pending[i] = &sched.RequestState{
+			Req: &workload.Request{
+				ID:    workload.RequestID(i),
+				Res:   resList[i%len(resList)],
+				Steps: 50,
+				SLO:   5 * time.Second,
+			},
+			Remaining: 50,
+		}
+	}
+	return &sched.PlanContext{
+		Free:    benchTopo.AllMask(),
+		Pending: pending,
+		Profile: benchProf,
+		Topo:    benchTopo,
+	}
+}
+
 // BenchmarkPlanLatency measures one TetriServe round decision for queue
-// depths the paper tabulates — the <10 ms control-plane claim.
+// depths the paper tabulates — the <10 ms control-plane claim. With the
+// default warm-start configuration the fixed snapshot is answered from the
+// exact-replay cache after the first call; BenchmarkWarmStartPlan isolates
+// the cold and partially-warm regimes.
 func BenchmarkPlanLatency(b *testing.B) {
-	for _, depth := range []int{4, 16, 64, 256} {
+	for _, depth := range []int{4, 16, 64, 256, 1024, 4096} {
 		b.Run(fmt.Sprintf("queue=%d", depth), func(b *testing.B) {
 			s := core.NewScheduler(benchProf, benchTopo, core.DefaultConfig())
-			resList := model.StandardResolutions()
-			pending := make([]*sched.RequestState, depth)
-			for i := range pending {
-				res := resList[i%len(resList)]
-				pending[i] = &sched.RequestState{
-					Req: &workload.Request{
-						ID:    workload.RequestID(i),
-						Res:   res,
-						Steps: 50,
-						SLO:   5 * time.Second,
-					},
-					Remaining:     50,
-					StepsByDegree: map[int]int{},
-				}
-			}
-			ctx := &sched.PlanContext{
-				Free:    benchTopo.AllMask(),
-				Pending: pending,
-				Profile: benchProf,
-				Topo:    benchTopo,
-			}
+			ctx := benchPlanCtx(depth)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.Plan(ctx)
 			}
 		})
+	}
+}
+
+// BenchmarkWarmStartPlan pins the incremental planner's regimes at a 4096
+// deep queue: a full cold solve, a near-total DP resume (last request
+// perturbed each round), and 50%-average resume (rotating perturbation).
+func BenchmarkWarmStartPlan(b *testing.B) {
+	const depth = 4096
+	for _, mode := range []string{"cold", "steady", "churn"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			if mode == "cold" {
+				cfg.WarmStart = false
+			}
+			s := core.NewScheduler(benchProf, benchTopo, cfg)
+			ctx := benchPlanCtx(depth)
+			s.Plan(ctx)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				switch mode {
+				case "steady":
+					st := ctx.Pending[depth-1]
+					st.Remaining = 2 + (st.Remaining+1)%49
+				case "churn":
+					st := ctx.Pending[i%depth]
+					st.Remaining = 2 + (st.Remaining+1)%49
+				}
+				s.Plan(ctx)
+			}
+		})
+	}
+}
+
+// BenchmarkSimEvents measures simulator event throughput over a
+// pre-generated trace, isolating the event path from trace construction.
+func BenchmarkSimEvents(b *testing.B) {
+	reqs := workload.Generate(workload.GeneratorConfig{
+		Model:       benchMdl,
+		NumRequests: 150,
+		Seed:        1,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Config{
+			Model: benchMdl, Topo: benchTopo,
+			Scheduler: core.NewScheduler(benchProf, benchTopo, core.DefaultConfig()),
+			Requests:  reqs, Profile: benchProf,
+		}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -49,30 +49,90 @@ var (
 func planLatency(depth int) func(*testing.B) {
 	return func(b *testing.B) {
 		s := core.NewScheduler(benchProf, benchTopo, core.DefaultConfig())
-		resList := model.StandardResolutions()
-		pending := make([]*sched.RequestState, depth)
-		for i := range pending {
-			pending[i] = &sched.RequestState{
-				Req: &workload.Request{
-					ID:    workload.RequestID(i),
-					Res:   resList[i%len(resList)],
-					Steps: 50,
-					SLO:   5 * time.Second,
-				},
-				Remaining:     50,
-				StepsByDegree: map[int]int{},
-			}
-		}
-		ctx := &sched.PlanContext{
-			Free:    benchTopo.AllMask(),
-			Pending: pending,
-			Profile: benchProf,
-			Topo:    benchTopo,
-		}
+		ctx := benchCtx(depth)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			s.Plan(ctx)
+		}
+	}
+}
+
+// benchCtx builds the fixed planning snapshot planLatency-style benches use.
+func benchCtx(depth int) *sched.PlanContext {
+	resList := model.StandardResolutions()
+	pending := make([]*sched.RequestState, depth)
+	for i := range pending {
+		pending[i] = &sched.RequestState{
+			Req: &workload.Request{
+				ID:    workload.RequestID(i),
+				Res:   resList[i%len(resList)],
+				Steps: 50,
+				SLO:   5 * time.Second,
+			},
+			Remaining: 50,
+		}
+	}
+	return &sched.PlanContext{
+		Free:    benchTopo.AllMask(),
+		Pending: pending,
+		Profile: benchProf,
+		Topo:    benchTopo,
+	}
+}
+
+// warmStartPlan isolates the incremental planner's three regimes at one
+// queue depth. "cold" disables warm start entirely — the honest full-solve
+// number (and the denominator of the warm-start speedup). "steady" perturbs
+// the last pending request every iteration, so the exact-replay layer
+// misses but the DP resumes from a near-complete checkpoint. "churn"
+// perturbs a rotating request, so on average half the DP table is reusable.
+func warmStartPlan(mode string, depth int) func(*testing.B) {
+	return func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		if mode == "cold" {
+			cfg.WarmStart = false
+		}
+		s := core.NewScheduler(benchProf, benchTopo, cfg)
+		ctx := benchCtx(depth)
+		s.Plan(ctx)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			switch mode {
+			case "steady":
+				st := ctx.Pending[depth-1]
+				st.Remaining = 2 + (st.Remaining+1)%49
+			case "churn":
+				st := ctx.Pending[i%depth]
+				st.Remaining = 2 + (st.Remaining+1)%49
+			}
+			s.Plan(ctx)
+		}
+	}
+}
+
+// simEvents measures simulator event throughput over a pre-generated trace:
+// unlike simulation(), workload generation is hoisted out of the loop, so
+// the number is the event path itself (arena-allocated queue, pooled runs,
+// preallocated accumulators) rather than trace construction.
+func simEvents(n int) func(*testing.B) {
+	return func(b *testing.B) {
+		reqs := workload.Generate(workload.GeneratorConfig{
+			Model:       benchMdl,
+			NumRequests: n,
+			Seed:        1,
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(sim.Config{
+				Model: benchMdl, Topo: benchTopo,
+				Scheduler: core.NewScheduler(benchProf, benchTopo, core.DefaultConfig()),
+				Requests:  reqs, Profile: benchProf,
+			}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }
@@ -93,6 +153,9 @@ func controlRoundTick(depth int) func(*testing.B) {
 			Profile:   benchProf,
 			Engine:    engine.DefaultConfig(),
 			Perpetual: true,
+			Preallocate: control.Prealloc{
+				Requests: depth, Runs: 1 << 16, Rounds: 1 << 16,
+			},
 		}, clk)
 		if err != nil {
 			b.Fatal(err)
@@ -217,6 +280,12 @@ func main() {
 		{"PlanLatency/queue=16", planLatency(16)},
 		{"PlanLatency/queue=64", planLatency(64)},
 		{"PlanLatency/queue=256", planLatency(256)},
+		{"PlanLatency/queue=1024", planLatency(1024)},
+		{"PlanLatency/queue=4096", planLatency(4096)},
+		{"WarmStartPlan/cold/queue=4096", warmStartPlan("cold", 4096)},
+		{"WarmStartPlan/steady/queue=4096", warmStartPlan("steady", 4096)},
+		{"WarmStartPlan/churn/queue=4096", warmStartPlan("churn", 4096)},
+		{"SimEvents/reqs=150", simEvents(150)},
 		{"ControlRoundTick/queue=16", controlRoundTick(16)},
 		{"ControlRoundTick/queue=64", controlRoundTick(64)},
 		{"ControlRoundTick/queue=256", controlRoundTick(256)},

@@ -22,7 +22,7 @@ package control
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"tetriserve/internal/clock"
@@ -177,8 +177,25 @@ type Config struct {
 	// driver leaves it off: a serving loop counts the failure in Result and
 	// retries at the next event.
 	Strict bool
+	// Preallocate sizes the result accumulators up front so steady-state
+	// operation (and the 0-allocs/op benchmark guards) never pays append
+	// growth. Zero fields fall back to on-demand growth.
+	Preallocate Prealloc
 	// Hooks receive lifecycle callbacks.
 	Hooks Hooks
+}
+
+// Prealloc hints expected volumes for result accumulators; see
+// Config.Preallocate.
+type Prealloc struct {
+	// Requests is the expected number of admitted requests (sizes Outcomes
+	// and the tracker maps).
+	Requests int
+	// Runs is the expected number of executed blocks (sizes Runs and the
+	// run-record request arena).
+	Runs int
+	// Rounds is the expected number of planning rounds (sizes PlanLatencies).
+	Rounds int
 }
 
 // Event kinds on the loop's queue. Arrivals and faults appear only when the
@@ -219,6 +236,22 @@ type Loop struct {
 	eager     bool
 	tau       time.Duration
 	schedOver time.Duration
+
+	// Reused per-plan scratch (the control-plane analogue of the planner's
+	// planScratch): snapshot buffers, the PlanContext handed to the
+	// scheduler, and the plan validator all live across rounds so a planning
+	// boundary allocates nothing in steady state.
+	ctx      sched.PlanContext
+	pendSnap []*sched.RequestState
+	runSnap  []*sched.RequestState
+	// running tracks states with Running set, maintained at the three flip
+	// sites so snapshotRunning never walks the full (mostly finished)
+	// request tracker.
+	running []*sched.RequestState
+	checker sched.PlanChecker
+	// recArena backs RunRecord.Requests for all records in res.Runs, grown
+	// in place instead of one clone per record.
+	recArena []workload.RequestID
 }
 
 // New validates the configuration and builds a ready-to-run loop.
@@ -232,20 +265,31 @@ func New(cfg Config, clk clock.Clock) (*Loop, error) {
 	if clk == nil {
 		return nil, fmt.Errorf("control: clock is required")
 	}
+	pre := cfg.Preallocate
 	l := &Loop{
 		cfg:      cfg,
 		clk:      clk,
 		eng:      engine.New(cfg.Model, cfg.Topo, cfg.Profile, cfg.Engine),
-		states:   make(map[workload.RequestID]*sched.RequestState),
+		states:   make(map[workload.RequestID]*sched.RequestState, max(pre.Requests, 0)),
 		inflight: make(map[engine.RunID]*engine.Run),
 		runEv:    make(map[engine.RunID]eventq.Handle),
-		done:     make(map[workload.RequestID]bool),
+		done:     make(map[workload.RequestID]bool, max(pre.Requests, 0)),
 		res: &Result{
 			SchedulerName: cfg.Scheduler.Name(),
 			NGPU:          cfg.Topo.N,
 		},
 		roundBased: cfg.Scheduler.RoundDuration() > 0,
 		tau:        cfg.Scheduler.RoundDuration(),
+	}
+	if pre.Requests > 0 {
+		l.res.Outcomes = make([]Outcome, 0, pre.Requests)
+	}
+	if pre.Runs > 0 {
+		l.res.Runs = make([]RunRecord, 0, pre.Runs)
+		l.recArena = make([]workload.RequestID, 0, 2*pre.Runs)
+	}
+	if pre.Rounds > 0 {
+		l.res.PlanLatencies = make([]time.Duration, 0, pre.Rounds)
 	}
 	if o, ok := cfg.Scheduler.(interface{ Overhead() time.Duration }); ok {
 		l.schedOver = o.Overhead()
@@ -307,12 +351,16 @@ func (l *Loop) PopEvent() *eventq.Event { return l.q.Pop() }
 // discipline: the simulator advances its virtual clock to ev.At first; the
 // driver dispatches events whose time has passed on the real clock.
 func (l *Loop) Dispatch(ev *eventq.Event) error {
+	if ev == nil {
+		return nil
+	}
 	now := l.clk.Now()
+	var err error
 	switch ev.Kind {
 	case evArrival:
 		l.admit(now, ev.Payload.(*workload.Request))
 	case evRunDone:
-		return l.onRunDone(now, ev.Payload.(*engine.Run))
+		err = l.onRunDone(now, ev.Payload.(*engine.Run))
 	case evRoundTick:
 		l.onRoundTick(ev.At, now)
 	case evGPUFail:
@@ -320,7 +368,10 @@ func (l *Loop) Dispatch(ev *eventq.Event) error {
 	case evGPURecover:
 		l.onGPURecover(now, ev.Payload.(simgpu.Mask))
 	}
-	return nil
+	// The event has been consumed; hand its storage back to the queue so the
+	// next Push reuses it instead of allocating.
+	l.q.Recycle(ev)
+	return err
 }
 
 // Arrive admits a request right now (driver path: arrivals come from a
@@ -379,9 +430,8 @@ func (l *Loop) admit(now time.Duration, r *workload.Request) {
 		steps -= skip
 	}
 	st := &sched.RequestState{
-		Req:           r,
-		Remaining:     steps,
-		StepsByDegree: make(map[int]int),
+		Req:       r,
+		Remaining: steps,
 	}
 	l.states[r.ID] = st
 	l.pending = append(l.pending, st)
@@ -407,7 +457,7 @@ func (l *Loop) onRunDone(now time.Duration, run *engine.Run) error {
 		End:        run.End,
 		Degree:     run.Degree,
 		Steps:      run.Asg.Steps,
-		Requests:   append([]workload.RequestID(nil), run.Asg.Requests...),
+		Requests:   l.captureIDs(run.Asg.Requests),
 		Res:        run.Res,
 		Group:      run.Asg.Group,
 		BestEffort: run.Asg.BestEffort,
@@ -422,11 +472,11 @@ func (l *Loop) onRunDone(now time.Duration, run *engine.Run) error {
 			continue
 		}
 		st := l.states[id]
-		st.Running = false
+		l.clearRunning(st)
 		st.Started = true
 		st.Remaining -= steps
 		st.LastGroup = run.Asg.Group
-		st.StepsByDegree[run.Degree] += steps
+		st.StepsByDegree.Add(run.Degree, steps)
 		if st.Remaining <= 0 {
 			l.finish(now, st)
 		} else if l.cfg.DropLateFactor > 0 && l.pastDrop(now, st) {
@@ -435,10 +485,22 @@ func (l *Loop) onRunDone(now time.Duration, run *engine.Run) error {
 			l.pending = append(l.pending, st)
 		}
 	}
+	// Observers were notified and the record copied; the run struct can be
+	// recycled for a future Start.
+	l.eng.Release(run)
 	if !l.roundBased {
 		l.plan(now)
 	}
 	return nil
+}
+
+// captureIDs copies a run's member list into the loop's record arena,
+// returning a full-capacity-clipped slice that stays valid for the life of
+// the result (arena growth re-points the arena, not issued slices).
+func (l *Loop) captureIDs(ids []workload.RequestID) []workload.RequestID {
+	n := len(l.recArena)
+	l.recArena = append(l.recArena, ids...)
+	return l.recArena[n:len(l.recArena):len(l.recArena)]
 }
 
 // onRoundTick fires a τ boundary. at is the tick's scheduled time (the grid
@@ -463,15 +525,45 @@ func (l *Loop) onRoundTick(at, now time.Duration) {
 	}
 	l.plan(now)
 	if l.cfg.Perpetual || l.left > 0 {
-		l.q.Push(at+l.tau, evRoundTick, nil)
+		l.q.Push(l.nextTick(at), evRoundTick, nil)
 	}
+}
+
+// nextTick returns the grid point the next round tick should fire at —
+// normally at+τ. When the loop is completely idle (nothing pending, nothing
+// in flight) every tick before the next queued event is a no-op, so the
+// pre-scheduled-event world (the simulator) can fast-forward along the grid
+// to the first boundary that will observe the event. Skipped boundaries are
+// still counted in RoundTicks, keeping Result bookkeeping identical to
+// dispatching them one by one. The fast-forward is disabled when a RoundTick
+// hook is attached (observers see every boundary at its own dispatch) and in
+// Perpetual mode (the driver's arrivals are not pre-scheduled, so the queue
+// cannot bound the idle gap).
+func (l *Loop) nextTick(at time.Duration) time.Duration {
+	next := at + l.tau
+	if l.cfg.Perpetual || l.cfg.Hooks.RoundTick != nil ||
+		len(l.pending) != 0 || len(l.inflight) != 0 || l.tau <= 0 {
+		return next
+	}
+	nev := l.q.Peek()
+	if nev == nil || nev.At <= next {
+		return next
+	}
+	// First grid point at or past the next event; the k-1 boundaries before
+	// it would each have ticked, planned nothing, and rescheduled.
+	k := (nev.At - at + l.tau - 1) / l.tau
+	l.res.RoundTicks += int(k - 1)
+	return at + time.Duration(k)*l.tau
 }
 
 // plan applies the drop policy, then invokes the scheduler and starts the
 // returned assignments.
 func (l *Loop) plan(now time.Duration) {
 	l.expire(now)
-	ctx := &sched.PlanContext{
+	// The context and its snapshot slices are loop-owned scratch, rebuilt in
+	// place every round; hook observers already contract to read them only
+	// synchronously.
+	l.ctx = sched.PlanContext{
 		Now:     now,
 		Free:    l.eng.Free(),
 		Pending: l.snapshotPending(),
@@ -479,6 +571,7 @@ func (l *Loop) plan(now time.Duration) {
 		Profile: l.cfg.Profile,
 		Topo:    l.cfg.Topo,
 	}
+	ctx := &l.ctx
 	if len(ctx.Pending) == 0 {
 		return
 	}
@@ -490,7 +583,7 @@ func (l *Loop) plan(now time.Duration) {
 	if l.cfg.Hooks.PlanComputed != nil {
 		l.cfg.Hooks.PlanComputed(now, solve, ctx)
 	}
-	if err := sched.ValidatePlan(ctx, plan); err != nil {
+	if err := l.checker.Validate(ctx, plan); err != nil {
 		// A scheduler bug must not corrupt serving state: count it, skip
 		// this plan, and retry at the next event. Strict mode (simulator)
 		// additionally aborts the run — experiment numbers from a buggy
@@ -523,7 +616,7 @@ func (l *Loop) plan(now time.Duration) {
 			l.cfg.Hooks.RunStarted(now, run)
 		}
 		for _, id := range asg.Requests {
-			l.states[id].Running = true
+			l.setRunning(l.states[id])
 			l.removePending(id)
 			if l.cfg.Hooks.Started != nil {
 				l.cfg.Hooks.Started(now, id)
@@ -568,7 +661,15 @@ func (l *Loop) onGPUFail(now time.Duration, mask simgpu.Mask) {
 	}
 	// The engine surfaces aborts in map order; sort for a deterministic
 	// requeue (and therefore pending) order.
-	sort.Slice(failures, func(i, j int) bool { return failures[i].Run.ID < failures[j].Run.ID })
+	slices.SortFunc(failures, func(a, b *engine.RunFailure) int {
+		if a.Run.ID < b.Run.ID {
+			return -1
+		}
+		if a.Run.ID > b.Run.ID {
+			return 1
+		}
+		return 0
+	})
 	for _, f := range failures {
 		if l.cfg.Hooks.RunAborted != nil {
 			l.cfg.Hooks.RunAborted(now, f.Run, f.StepsDone)
@@ -583,7 +684,7 @@ func (l *Loop) onGPUFail(now time.Duration, mask simgpu.Mask) {
 			End:        now,
 			Degree:     f.Run.Degree,
 			Steps:      f.Run.Asg.Steps,
-			Requests:   append([]workload.RequestID(nil), f.Run.Asg.Requests...),
+			Requests:   l.captureIDs(f.Run.Asg.Requests),
 			Res:        f.Run.Res,
 			Group:      f.Run.Asg.Group,
 			BestEffort: f.Run.Asg.BestEffort,
@@ -596,11 +697,11 @@ func (l *Loop) onGPUFail(now time.Duration, mask simgpu.Mask) {
 				continue
 			}
 			st := l.states[id]
-			st.Running = false
+			l.clearRunning(st)
 			if done > 0 {
 				st.Started = true
 				st.Remaining -= done
-				st.StepsByDegree[f.Run.Degree] += done
+				st.StepsByDegree.Add(f.Run.Degree, done)
 			}
 			switch {
 			case st.Remaining <= 0:
@@ -618,6 +719,7 @@ func (l *Loop) onGPUFail(now time.Duration, mask simgpu.Mask) {
 				}
 			}
 		}
+		l.eng.Release(f.Run)
 	}
 	// Placement preservation must not steer survivors back onto dead GPUs.
 	for _, st := range l.states {
@@ -654,7 +756,7 @@ func (l *Loop) dispatchDelay() time.Duration {
 }
 
 func (l *Loop) snapshotPending() []*sched.RequestState {
-	out := make([]*sched.RequestState, 0, len(l.pending))
+	out := l.pendSnap[:0]
 	for _, st := range l.pending {
 		if !st.Running && st.Remaining > 0 && !l.done[st.Req.ID] {
 			out = append(out, st)
@@ -662,25 +764,64 @@ func (l *Loop) snapshotPending() []*sched.RequestState {
 	}
 	// Arrival order is part of the FIFO baselines' semantics; re-queued
 	// requests must not jump ahead of earlier arrivals.
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Req.Arrival != out[j].Req.Arrival {
-			return out[i].Req.Arrival < out[j].Req.Arrival
+	slices.SortStableFunc(out, func(a, b *sched.RequestState) int {
+		if a.Req.Arrival != b.Req.Arrival {
+			if a.Req.Arrival < b.Req.Arrival {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Req.ID < out[j].Req.ID
+		if a.Req.ID != b.Req.ID {
+			if a.Req.ID < b.Req.ID {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
+	l.pendSnap = out
 	return out
 }
 
-func (l *Loop) snapshotRunning() []*sched.RequestState {
-	var out []*sched.RequestState
-	for _, st := range l.states {
-		if st.Running {
-			out = append(out, st)
+// setRunning / clearRunning keep l.running in sync with st.Running. All
+// Running flips must go through them.
+func (l *Loop) setRunning(st *sched.RequestState) {
+	if !st.Running {
+		st.Running = true
+		l.running = append(l.running, st)
+	}
+}
+
+func (l *Loop) clearRunning(st *sched.RequestState) {
+	if !st.Running {
+		return
+	}
+	st.Running = false
+	for i, r := range l.running {
+		if r == st {
+			last := len(l.running) - 1
+			l.running[i] = l.running[last]
+			l.running[last] = nil
+			l.running = l.running[:last]
+			return
 		}
 	}
-	// The tracker is a map; order the snapshot so scheduler inputs are
-	// reproducible.
-	sort.Slice(out, func(i, j int) bool { return out[i].Req.ID < out[j].Req.ID })
+}
+
+func (l *Loop) snapshotRunning() []*sched.RequestState {
+	out := append(l.runSnap[:0], l.running...)
+	// l.running is insertion/removal order; sort so scheduler inputs are
+	// reproducible (same total order the old map walk produced).
+	slices.SortFunc(out, func(a, b *sched.RequestState) int {
+		if a.Req.ID < b.Req.ID {
+			return -1
+		}
+		if a.Req.ID > b.Req.ID {
+			return 1
+		}
+		return 0
+	})
+	l.runSnap = out
 	return out
 }
 

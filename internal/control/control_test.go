@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tetriserve/internal/clock"
+	"tetriserve/internal/core"
 	"tetriserve/internal/costmodel"
 	"tetriserve/internal/engine"
 	"tetriserve/internal/model"
@@ -228,5 +229,53 @@ func TestPerpetualTicks(t *testing.T) {
 		if l.Result().RoundTicks != 1 {
 			t.Fatalf("%s: RoundTicks = %d, want 1", tc.name, l.Result().RoundTicks)
 		}
+	}
+}
+
+// TestControlRoundTickZeroAlloc is the loop-side allocation guard: with
+// result accumulators preallocated and the queue in steady state, one event
+// dispatch — plan, engine start/finish, tracker bookkeeping, event recycling
+// — must not allocate at all. This pins the arena/pooling work across
+// eventq, engine, core and this package; any regression shows up as a
+// fractional allocs-per-run here long before it is visible in benchmarks.
+func TestControlRoundTickZeroAlloc(t *testing.T) {
+	mdl := model.FLUX()
+	topo := simgpu.H100x8()
+	prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
+	clk := clock.NewVirtual()
+	l, err := New(Config{
+		Model:       mdl,
+		Topo:        topo,
+		Scheduler:   core.NewScheduler(prof, topo, core.DefaultConfig()),
+		Profile:     prof,
+		Engine:      engine.DefaultConfig(),
+		Perpetual:   true,
+		Preallocate: Prealloc{Requests: 64, Runs: 1 << 15, Rounds: 1 << 15},
+	}, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resList := model.StandardResolutions()
+	for i := 0; i < 64; i++ {
+		l.Arrive(&workload.Request{
+			ID:    workload.RequestID(i),
+			Res:   resList[i%len(resList)],
+			Steps: 1 << 20,
+			SLO:   1000 * time.Hour,
+		})
+	}
+	l.Begin()
+	step := func() {
+		ev := l.PopEvent()
+		clk.Advance(ev.At)
+		if err := l.Dispatch(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2048; i++ {
+		step() // reach scratch high-water marks before measuring
+	}
+	if avg := testing.AllocsPerRun(2000, step); avg != 0 {
+		t.Fatalf("event dispatch allocates %.2f times per event, want 0", avg)
 	}
 }

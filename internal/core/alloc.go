@@ -53,9 +53,10 @@ func (s *Scheduler) buildCandidate(prof *costmodel.Profile, now, tNext time.Dura
 	if st.Remaining <= 0 {
 		return false
 	}
+	s.ensureMemo(prof) // no-op (and write-free) when the profile is unchanged
 	res := st.Req.Res
 	budget := st.Deadline() - now
-	tmin, _ := prof.MinStepTime(res)
+	tmin := s.minStep(prof, res)
 
 	mix := s.minGPUHourMix(prof, res, st.Remaining, budget)
 	*c = candidate{st: st, tmin: tmin}
@@ -91,34 +92,52 @@ type mixEntry struct {
 	stepTime  time.Duration
 }
 
+// mixBudget maps a raw deadline budget to the one the solver sees. With
+// DeadlineBucket set it floors the budget to a bucket multiple — strictly
+// conservative (never more slack than the request has) and shared between
+// the memo key and the solve input so the two cannot disagree.
+func (s *Scheduler) mixBudget(budget time.Duration) time.Duration {
+	b := s.cfg.DeadlineBucket
+	if b <= 0 {
+		return budget
+	}
+	q := budget / b
+	if budget < 0 && budget%b != 0 {
+		q-- // floor, not truncate: negative budgets round away from zero
+	}
+	return q * b
+}
+
 // minGPUHourMix returns the §4.2.1 minimal-GPU-hour allocation, memoized per
-// (resolution, remaining steps, budget) within the current plan epoch. The
-// memo is exact — see mixKey — so a hit returns the byte-identical plan the
-// solver would recompute; callers must treat the returned slice as
-// read-only.
+// (resolution, remaining steps, budget) within the current plan. The memo is
+// exact for the (possibly bucket-quantized) budget — see mixKey — so a hit
+// returns the byte-identical plan the solver would recompute; callers must
+// treat the returned slice as read-only.
 func (s *Scheduler) minGPUHourMix(prof *costmodel.Profile, res model.Resolution, steps int, budget time.Duration) []mixEntry {
 	s.ensureMemo(prof)
-	key := mixKey{res: res, steps: steps, budget: budget}
-	if mix, ok := s.scratch.mixMemo[key]; ok {
+	sc := &s.scratch
+	key := mixKey{res: res, steps: steps, budget: s.mixBudget(budget)}
+	if mix, ok := sc.mixMemo[key]; ok {
 		return mix
 	}
-	mix := s.computeMix(prof, res, steps, budget)
-	s.scratch.mixMemo[key] = mix
+	out, n := solveMix(key.steps, key.budget, s.degCfgs(prof, key.res))
+	var mix []mixEntry
+	if n == 1 {
+		mix = sc.putMix1(out[0])
+	} else {
+		mix = sc.putMix2(out[0], out[1])
+	}
+	sc.mixMemo[key] = mix
 	return mix
 }
 
-// computeMix solves §4.2.1's per-request optimization over the profiled
-// lookup table: split the remaining steps across at most two degrees so
-// that total time fits the budget while total GPU-seconds are minimized.
-// Two degrees suffice because GPU-seconds g(k)=k·T(k) and latency T(k) move
-// in opposite directions along the profiled frontier, so the optimum is a
-// split between two frontier points (the shape Figure 6 depicts). When even
-// the fastest degree misses the budget, the fastest single-degree plan is
-// returned so the request still makes best progress.
-func (s *Scheduler) computeMix(prof *costmodel.Profile, res model.Resolution, steps int, budget time.Duration) []mixEntry {
+// buildDegCfgs computes the per-degree effective costs for one resolution —
+// a pure function of (profile, resolution, window, quantization flag), all
+// fixed within a memo epoch, so degCfgs caches its result per resolution.
+func (s *Scheduler) buildDegCfgs(prof *costmodel.Profile, res model.Resolution) []degCfg {
 	degrees := prof.Degrees()
 	window := s.window()
-	cfgs := s.scratch.cfgs[:0]
+	cfgs := make([]degCfg, 0, len(degrees))
 	for _, k := range degrees {
 		t := prof.StepTime(res, k)
 		q := int(window / t)
@@ -144,8 +163,22 @@ func (s *Scheduler) computeMix(prof *costmodel.Profile, res model.Resolution, st
 			cfgs = append(cfgs, degCfg{k: k, t: t, g: float64(k) * t.Seconds()})
 		}
 	}
-	s.scratch.cfgs = cfgs
+	return cfgs
+}
 
+// solveMix solves §4.2.1's per-request optimization over the profiled
+// lookup table: split the remaining steps across at most two degrees so
+// that total time fits the budget while total GPU-seconds are minimized.
+// Two degrees suffice because GPU-seconds g(k)=k·T(k) and latency T(k) move
+// in opposite directions along the profiled frontier, so the optimum is a
+// split between two frontier points (the shape Figure 6 depicts). When even
+// the fastest degree misses the budget, the fastest single-degree plan is
+// returned so the request still makes best progress.
+//
+// The result is returned by value (≤ 2 entries plus a count) and cfgs is
+// read-only, so the function is pure: parallel candidate construction
+// (parallel.go) calls it from several goroutines against the shared cache.
+func solveMix(steps int, budget time.Duration, cfgs []degCfg) ([2]mixEntry, int) {
 	// The winning plan is tracked as indices into cfgs (single ≥ 0, or the
 	// slow/fast pair with x steps at slow) and materialized once at the end,
 	// so losing plans cost no allocation.
@@ -189,10 +222,10 @@ func (s *Scheduler) computeMix(prof *costmodel.Profile, res model.Resolution, st
 	switch {
 	case bestSingle >= 0:
 		c := cfgs[bestSingle]
-		return []mixEntry{{degree: c.k, planSteps: steps, stepTime: c.t}}
+		return [2]mixEntry{{degree: c.k, planSteps: steps, stepTime: c.t}}, 1
 	case bestSlow >= 0:
 		slow, fast := cfgs[bestSlow], cfgs[bestFast]
-		mix := []mixEntry{
+		mix := [2]mixEntry{
 			{degree: slow.k, planSteps: bestX, stepTime: slow.t},
 			{degree: fast.k, planSteps: steps - bestX, stepTime: fast.t},
 		}
@@ -201,7 +234,7 @@ func (s *Scheduler) computeMix(prof *costmodel.Profile, res model.Resolution, st
 		if mix[0].degree > mix[1].degree {
 			mix[0], mix[1] = mix[1], mix[0]
 		}
-		return mix
+		return mix, 2
 	}
 
 	// Infeasible even at maximum parallelism: run everything at the
@@ -214,5 +247,5 @@ func (s *Scheduler) computeMix(prof *costmodel.Profile, res model.Resolution, st
 		}
 	}
 	c := cfgs[fastest]
-	return []mixEntry{{degree: c.k, planSteps: steps, stepTime: c.t}}
+	return [2]mixEntry{{degree: c.k, planSteps: steps, stepTime: c.t}}, 1
 }

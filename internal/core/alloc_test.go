@@ -35,8 +35,7 @@ func mkState(id int, res model.Resolution, remaining int, arrival, slo time.Dura
 			Arrival: arrival,
 			SLO:     slo,
 		},
-		Remaining:     remaining,
-		StepsByDegree: map[int]int{},
+		Remaining: remaining,
 	}
 }
 

@@ -113,7 +113,7 @@ func (s *Scheduler) assemble(ctx *sched.PlanContext, sels []selection, cands []*
 		// cannot starve on-time requests of capacity.
 		budget := s.cfg.BestEffortGPUs
 		for _, st := range ctx.Running {
-			if st.DefinitelyLate(ctx.Now, ctx.Profile) {
+			if s.definitelyLate(ctx.Profile, st, ctx.Now) {
 				budget--
 			}
 		}

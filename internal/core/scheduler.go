@@ -77,6 +77,31 @@ type Config struct {
 	// count — batching only pays for requests that underutilize a GPU.
 	// Default 1024 tokens (≤ 512×512).
 	BatchTokenCap int
+	// WarmStart enables the incremental planning layer: an exact-replay
+	// cache keyed by a fingerprint of the pending/running sets (Layer A)
+	// and a prefix-resumable DP that re-solves only the candidates that
+	// changed since the previous round (Layer B). Both layers are
+	// bit-identical to a cold solve — see DESIGN.md §12 — so the knob only
+	// trades memory for control-plane latency. Default on.
+	WarmStart bool
+	// WarmStartMinReuse is the minimum number of matching prefix candidates
+	// required before the DP resumes from a checkpoint; below it the solve
+	// runs cold (a tiny reusable prefix is not worth the bookkeeping).
+	// Default 0 (any reusable prefix is taken).
+	WarmStartMinReuse int
+	// DeadlineBucket, when positive, rounds each request's deadline budget
+	// DOWN to a multiple of the bucket before the §4.2.1 mix solve. The
+	// quantized budget is used both as the memo key and as the solve input,
+	// so planning stays self-consistent and strictly conservative (a
+	// request is never given more slack than it has) while near-identical
+	// deadlines collapse onto one memo entry — the candidate-pruning lever
+	// for 10k-deep queues. Default 0 (exact budgets, paper behavior).
+	DeadlineBucket time.Duration
+	// Workers, when > 1, parallelizes candidate construction (the
+	// per-request mix solves) and wide DP row updates across goroutines.
+	// The merge order is fixed, so plans are bit-identical to the
+	// sequential solve. Default 0 (sequential).
+	Workers int
 	// Seed feeds the random placement used when preservation is off.
 	Seed uint64
 	// WallClock supplies the time source for the plan-latency diagnostic
@@ -100,6 +125,7 @@ func DefaultConfig() Config {
 		EagerAdmission:        true,
 		QuantizationAwareMix:  true,
 		BatchTokenCap:         1024,
+		WarmStart:             true,
 		Seed:                  7,
 	}
 }
@@ -125,6 +151,15 @@ func (c *Config) normalize() {
 	}
 	if c.Seed == 0 {
 		c.Seed = 7
+	}
+	if c.WarmStartMinReuse < 0 {
+		c.WarmStartMinReuse = 0
+	}
+	if c.DeadlineBucket < 0 {
+		c.DeadlineBucket = 0
+	}
+	if c.Workers < 0 {
+		c.Workers = 0
 	}
 	if c.WallClock == nil {
 		c.WallClock = time.Now
@@ -153,6 +188,27 @@ type Scheduler struct {
 	roundsPlanned     int
 	placementFailures int
 	lastPlanLatency   time.Duration
+
+	// Warm-start diagnostics (see warmstart.go).
+	warmHits    int
+	warmRows    int
+	coldRows    int
+	prunedCands int
+}
+
+// WarmStats summarizes the incremental-planning layer's effectiveness.
+type WarmStats struct {
+	// ReplayHits counts Plan calls answered entirely from the Layer-A
+	// exact-replay cache (no solve at all).
+	ReplayHits int
+	// ResumedRows counts DP candidate rows reused from a previous round's
+	// checkpoint table (Layer B).
+	ResumedRows int
+	// ColdRows counts DP candidate rows computed from scratch.
+	ColdRows int
+	// PrunedCandidates counts option-less candidates excluded from the DP
+	// (their contribution is a uniform value shift — see prune.go).
+	PrunedCandidates int
 }
 
 // NewScheduler builds a TetriServe scheduler for the profiled cluster.
@@ -219,6 +275,16 @@ func (s *Scheduler) PlacementFailures() int { return s.placementFailures }
 // the control-plane latency Table 6 compares against exhaustive search.
 func (s *Scheduler) LastPlanLatency() time.Duration { return s.lastPlanLatency }
 
+// Warm returns the incremental-planning diagnostics.
+func (s *Scheduler) Warm() WarmStats {
+	return WarmStats{
+		ReplayHits:       s.warmHits,
+		ResumedRows:      s.warmRows,
+		ColdRows:         s.coldRows,
+		PrunedCandidates: s.prunedCands,
+	}
+}
+
 // window returns the usable execution window within a round.
 func (s *Scheduler) window() time.Duration { return s.tau - s.cfg.SchedOverhead }
 
@@ -234,13 +300,20 @@ func (s *Scheduler) Plan(ctx *sched.PlanContext) []sched.Assignment {
 		s.roundsPlanned++
 	}()
 
+	// Layer A: if the planning inputs are bit-identical to the previous
+	// round's, the previous plan is still the answer — return it without
+	// touching any scratch (the cached plan aliases it).
+	if plan, ok := s.tryReplay(ctx); ok {
+		return plan
+	}
+
 	tNext := ctx.Now + s.tau
 	s.beginPlan(ctx.Profile)
 	sc := &s.scratch
 
 	// Partition pending requests into active and definitely-late.
 	for _, st := range ctx.Pending {
-		if st.DefinitelyLate(ctx.Now, ctx.Profile) {
+		if s.definitelyLate(ctx.Profile, st, ctx.Now) {
 			sc.late = append(sc.late, st)
 		} else {
 			sc.active = append(sc.active, st)
@@ -252,20 +325,30 @@ func (s *Scheduler) Plan(ctx *sched.PlanContext) []sched.Assignment {
 	// extend the table (on-demand profiling) without rebuilding schedulers.
 	// Candidates live in the scratch arena; the arena is sized up front so
 	// the pointers taken here stay valid.
-	arena := sc.grabCandidates(len(sc.active))
-	for i, st := range sc.active {
-		c := &arena[i]
-		if s.buildCandidate(ctx.Profile, ctx.Now, tNext, st, c) {
-			sc.cands = append(sc.cands, c)
+	if s.cfg.Workers > 1 && len(sc.active) >= parallelMinActive {
+		s.buildCandidatesParallel(ctx.Profile, ctx.Now, tNext)
+	} else {
+		arena := sc.grabCandidates(len(sc.active))
+		for i, st := range sc.active {
+			c := &arena[i]
+			if s.buildCandidate(ctx.Profile, ctx.Now, tNext, st, c) {
+				sc.cands = append(sc.cands, c)
+			}
 		}
 	}
 
-	// Stage 2: group-knapsack DP over the free capacity.
+	// Stage 2: group-knapsack DP over the free capacity, after excluding
+	// candidates that cannot affect the packing (prune.go).
 	capGPUs := ctx.Free.Count()
-	chosen := s.packDP(sc.cands, capGPUs)
+	chosen := s.packDP(s.pruneCandidates(sc.cands), capGPUs)
 
 	// Stage 3: placement, batching, elastic scale-up, best-effort lane.
-	return s.assemble(ctx, chosen, sc.cands, sc.late)
+	failBefore := s.placementFailures
+	plan := s.assemble(ctx, chosen, sc.cands, sc.late)
+
+	// Record the fingerprint + plan for the Layer-A replay cache.
+	s.snapshotReplay(ctx, plan, s.placementFailures-failBefore)
+	return plan
 }
 
 var _ sched.Scheduler = (*Scheduler)(nil)

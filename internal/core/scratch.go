@@ -19,22 +19,21 @@ import (
 	"tetriserve/internal/workload"
 )
 
-// mixKey identifies one deadline-aware allocation subproblem. The budget is
-// the exact remaining time to deadline: quantizing it would let two requests
-// with different deadlines share a (possibly wrong) plan and change round
-// decisions, so the memo trades hit rate for bit-for-bit reproducibility.
-// Requests of the same resolution arriving together (the common burst shape,
-// and the planner benchmark's queue) still collapse onto a handful of keys.
+// mixKey identifies one deadline-aware allocation subproblem. By default the
+// budget is the exact remaining time to deadline: quantizing the key alone
+// would let two requests with different deadlines share a (possibly wrong)
+// plan and change round decisions, so the memo trades hit rate for
+// bit-for-bit reproducibility. Config.DeadlineBucket quantizes the budget
+// *before* it reaches the solver — the rounded-down value is both the key
+// and the solve input, so the plan stays self-consistent (and conservative)
+// while near-identical deadlines collapse onto one entry. Requests of the
+// same resolution arriving together (the common burst shape, and the planner
+// benchmark's queue) collapse onto a handful of keys either way.
 type mixKey struct {
 	res    model.Resolution
 	steps  int
 	budget time.Duration
 }
-
-// mixMemoLimit bounds the memo so long-running servers with ever-shifting
-// deadlines cannot grow it without bound; on overflow the memo resets, which
-// only costs recomputation.
-const mixMemoLimit = 8192
 
 // planScratch is the arena reused across Plan calls.
 type planScratch struct {
@@ -46,20 +45,45 @@ type planScratch struct {
 	candArena []candidate
 	cands     []*candidate
 
-	// minGPUHourMix working set and memo. The memo lives across rounds
-	// within a "plan epoch": it is cleared whenever the profile identity or
-	// version changes (on-demand profiling extends tables in place).
-	cfgs        []degCfg
+	// minGPUHourMix working set, memo and result slab. The memo serves one
+	// Plan call: deadline budgets shift every round, so cross-round keys
+	// almost never repeat, and clearing per plan (clear() keeps the map's
+	// buckets) bounds both the map and the slab the memoized slices alias.
 	mixMemo     map[mixKey][]mixEntry
+	mixArena    []mixEntry
 	memoProf    *costmodel.Profile
 	memoVersion uint64
+	// tminCache memoizes Profile.MinStepTime per resolution — the lookup is
+	// a degree-loop of map probes and the planner needs it twice per pending
+	// request per round (late partition + candidate survival bounds). Tied
+	// to the memo epoch: reset only when the profile identity/version moves.
+	tminCache map[model.Resolution]time.Duration
+	// cfgCache memoizes buildDegCfgs per resolution on the same epoch: the
+	// table depends only on (profile, resolution, window, quantization
+	// flag), and rebuilding it was most of every solveMix call.
+	cfgCache map[model.Resolution][]degCfg
 
-	// Stage 2: DP rows. choice is the flattened back-pointer table,
-	// len(cands)×(capacity+1), reused between rounds.
-	dp     []int64
-	next   []int64
-	choice []int16
-	sels   []selection
+	// Stage 2: DP state. rows is the full (R+1)×cols value table — row i is
+	// the optimum over the first i candidates, kept (rather than the usual
+	// rolling pair) so a later round can resume from the deepest row whose
+	// candidate prefix is unchanged. choice is the flattened back-pointer
+	// table, len(cands)×cols. prof fingerprints each DP row's transition
+	// (see dpProfile); prevProf is last round's sequence, the warm-start
+	// comparison baseline.
+	rows     []int64
+	choice   []int16
+	sels     []selection
+	dpCands  []*candidate
+	prof     []uint64
+	prevProf []uint64
+	dpCols   int
+	dpValid  int // candidate rows of `rows` that match prevProf
+
+	// Layer-A replay cache (see warmstart.go).
+	replay replayState
+
+	// Workers>1 parallel candidate construction (see parallel.go).
+	par parScratch
 
 	// Stage 3: assembly. placed is the arena all *placed pointers index
 	// into; memberArena backs the per-host continuous-batching member
@@ -82,25 +106,78 @@ type degCfg struct {
 	g float64 // GPU-seconds per step
 }
 
-// beginPlan resets the per-round buffers and rolls the memo epoch if the
-// profile changed since the last round.
+// beginPlan resets the per-round buffers and memo for a fresh solve.
 func (s *Scheduler) beginPlan(prof *costmodel.Profile) {
 	sc := &s.scratch
 	sc.active = sc.active[:0]
 	sc.late = sc.late[:0]
 	sc.cands = sc.cands[:0]
 	s.ensureMemo(prof)
+	clear(sc.mixMemo)
+	sc.mixArena = sc.mixArena[:0]
 }
 
-// ensureMemo (re)initializes the allocation memo when it does not exist yet,
-// the profile identity or version changed, or the memo outgrew its bound.
+// ensureMemo (re)initializes the allocation memo when it does not exist yet
+// or the profile identity or version changed (on-demand profiling extends
+// tables in place and bumps Version).
 func (s *Scheduler) ensureMemo(prof *costmodel.Profile) {
 	sc := &s.scratch
-	if sc.mixMemo == nil || sc.memoProf != prof || sc.memoVersion != prof.Version() || len(sc.mixMemo) > mixMemoLimit {
+	if sc.mixMemo == nil || sc.memoProf != prof || sc.memoVersion != prof.Version() {
 		sc.mixMemo = make(map[mixKey][]mixEntry)
+		sc.tminCache = make(map[model.Resolution]time.Duration)
+		sc.cfgCache = make(map[model.Resolution][]degCfg)
 		sc.memoProf = prof
 		sc.memoVersion = prof.Version()
 	}
+}
+
+// minStep is the cached Profile.MinStepTime (value identical by
+// construction, so planning decisions cannot shift). The parallel candidate
+// pass reads the cache concurrently; that is safe because Plan's sequential
+// partition stage has already interned every pending resolution.
+func (s *Scheduler) minStep(prof *costmodel.Profile, res model.Resolution) time.Duration {
+	sc := &s.scratch
+	if t, ok := sc.tminCache[res]; ok {
+		return t
+	}
+	t, _ := prof.MinStepTime(res)
+	sc.tminCache[res] = t
+	return t
+}
+
+// degCfgs is the cached buildDegCfgs. The parallel candidate pass reads the
+// cache concurrently; that is safe because pass 1 (sequential) interns every
+// active resolution before any worker starts.
+func (s *Scheduler) degCfgs(prof *costmodel.Profile, res model.Resolution) []degCfg {
+	sc := &s.scratch
+	if c, ok := sc.cfgCache[res]; ok {
+		return c
+	}
+	c := s.buildDegCfgs(prof, res)
+	sc.cfgCache[res] = c
+	return c
+}
+
+// definitelyLate mirrors sched.RequestState.DefinitelyLate through the
+// tmin cache.
+func (s *Scheduler) definitelyLate(prof *costmodel.Profile, st *sched.RequestState, now time.Duration) bool {
+	return now+time.Duration(st.Remaining)*s.minStep(prof, st.Req.Res) > st.Deadline()
+}
+
+// putMix1 / putMix2 materialize a mix into the per-plan slab, returning a
+// clipped sub-slice so later appends cannot overwrite it. The slab may grow
+// (re-point) mid-plan; previously returned slices keep aliasing the old
+// backing array, which stays valid for the rest of the plan.
+func (sc *planScratch) putMix1(a mixEntry) []mixEntry {
+	start := len(sc.mixArena)
+	sc.mixArena = append(sc.mixArena, a)
+	return sc.mixArena[start:len(sc.mixArena):len(sc.mixArena)]
+}
+
+func (sc *planScratch) putMix2(a, b mixEntry) []mixEntry {
+	start := len(sc.mixArena)
+	sc.mixArena = append(sc.mixArena, a, b)
+	return sc.mixArena[start:len(sc.mixArena):len(sc.mixArena)]
 }
 
 // grabCandidates returns n zeroed candidate slots with stable addresses.
@@ -110,12 +187,4 @@ func (sc *planScratch) grabCandidates(n int) []candidate {
 	}
 	sc.candArena = sc.candArena[:n]
 	return sc.candArena
-}
-
-// int64Row returns a zero-length int64 buffer with at least n capacity.
-func int64Row(buf []int64, n int) []int64 {
-	if cap(buf) < n {
-		return make([]int64, n)
-	}
-	return buf[:n]
 }

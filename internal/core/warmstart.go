@@ -1,0 +1,128 @@
+package core
+
+// Layer A of the incremental planner: exact-replay caching. Plan is a pure
+// function of (pending set, running set, now, free mask, profile contents,
+// topology) plus the scheduler's fixed configuration — except for the random
+// placement drawn when placement preservation is off, which is why the cache
+// is gated on Config.PlacementPreservation (skipping a solve must not skip
+// RNG draws, or a replayed round would desynchronize every later one).
+//
+// After each cold solve the scheduler snapshots a fingerprint of those
+// inputs alongside the emitted plan. If the next Plan call presents a
+// bit-identical fingerprint, the previous plan is returned untouched: the
+// plan aliases the scheduler's scratch, and nothing between two Plan calls
+// mutates scratch, so the cached slice is still exactly what a fresh solve
+// would produce. This is the O(R) fast path for re-plans against an
+// unchanged world — repeated eager-admission invocations within one round,
+// steady-state idle rounds, and the planner benchmark's fixed context.
+
+import (
+	"time"
+
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+// reqKey fingerprints one request's planner-visible state: every field of
+// RequestState (and its Request) that any planning stage reads. Remaining
+// drives the mix and survival tests, lastGroup drives placement
+// preservation, arrival+slo fix the deadline.
+type reqKey struct {
+	id        workload.RequestID
+	res       model.Resolution
+	remaining int
+	lastGroup simgpu.Mask
+	arrival   time.Duration
+	slo       time.Duration
+}
+
+func makeReqKey(st *sched.RequestState) reqKey {
+	return reqKey{
+		id:        st.Req.ID,
+		res:       st.Req.Res,
+		remaining: st.Remaining,
+		lastGroup: st.LastGroup,
+		arrival:   st.Req.Arrival,
+		slo:       st.Req.SLO,
+	}
+}
+
+// replayState is the Layer-A cache: the previous round's input fingerprint
+// and the plan it produced.
+type replayState struct {
+	valid   bool
+	now     time.Duration
+	free    simgpu.Mask
+	prof    *costmodel.Profile
+	profVer uint64
+	topo    *simgpu.Topology
+	pending []reqKey
+	running []reqKey
+	plan    []sched.Assignment
+	// failures is how many placement failures the cached solve recorded, so
+	// a replay keeps the diagnostic counters identical to a re-solve.
+	failures int
+}
+
+// tryReplay returns the cached plan when the context fingerprint matches the
+// previous solve exactly.
+func (s *Scheduler) tryReplay(ctx *sched.PlanContext) ([]sched.Assignment, bool) {
+	if !s.cfg.WarmStart || !s.cfg.PlacementPreservation {
+		return nil, false
+	}
+	r := &s.scratch.replay
+	if !r.valid ||
+		r.now != ctx.Now ||
+		r.free != ctx.Free ||
+		r.prof != ctx.Profile ||
+		r.profVer != ctx.Profile.Version() ||
+		r.topo != ctx.Topo ||
+		!keysMatch(r.pending, ctx.Pending) ||
+		!keysMatch(r.running, ctx.Running) {
+		return nil, false
+	}
+	s.warmHits++
+	s.placementFailures += r.failures
+	return r.plan, true
+}
+
+// snapshotReplay records the solve just completed for the next tryReplay.
+func (s *Scheduler) snapshotReplay(ctx *sched.PlanContext, plan []sched.Assignment, failures int) {
+	if !s.cfg.WarmStart || !s.cfg.PlacementPreservation {
+		return
+	}
+	r := &s.scratch.replay
+	r.valid = true
+	r.now = ctx.Now
+	r.free = ctx.Free
+	r.prof = ctx.Profile
+	r.profVer = ctx.Profile.Version()
+	r.topo = ctx.Topo
+	r.pending = fillKeys(r.pending, ctx.Pending)
+	r.running = fillKeys(r.running, ctx.Running)
+	r.plan = plan
+	r.failures = failures
+}
+
+func fillKeys(dst []reqKey, sts []*sched.RequestState) []reqKey {
+	dst = dst[:0]
+	for _, st := range sts {
+		dst = append(dst, makeReqKey(st))
+	}
+	return dst
+}
+
+func keysMatch(keys []reqKey, sts []*sched.RequestState) bool {
+	if len(keys) != len(sts) {
+		return false
+	}
+	for i, st := range sts {
+		if keys[i] != makeReqKey(st) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/stats"
+	"tetriserve/internal/workload"
+)
+
+func testClonePlan(plan []sched.Assignment) []sched.Assignment {
+	out := make([]sched.Assignment, len(plan))
+	for i, a := range plan {
+		a.Requests = append([]workload.RequestID(nil), a.Requests...)
+		out[i] = a
+	}
+	return out
+}
+
+// randCtx builds a randomized planning snapshot on the 8-GPU test topology.
+func randCtx(rng *stats.RNG, n int) *sched.PlanContext {
+	resList := model.StandardResolutions()
+	now := time.Duration(rng.Intn(100000)) * time.Millisecond
+	pending := make([]*sched.RequestState, 0, n)
+	for i := 0; i < n; i++ {
+		arrival := now - time.Duration(rng.Intn(4000))*time.Millisecond
+		if arrival < 0 {
+			arrival = 0
+		}
+		st := mkState(i+1, resList[rng.Intn(len(resList))], 1+rng.Intn(50),
+			arrival, time.Duration(500+rng.Intn(8000))*time.Millisecond)
+		if rng.Intn(4) == 0 {
+			st.LastGroup = simgpu.CanonicalGroup(rng.Intn(4), 2)
+		}
+		pending = append(pending, st)
+	}
+	free := testTopo.AllMask()
+	for g := 0; g < 8; g++ {
+		if rng.Intn(4) == 0 {
+			free = free.Without(simgpu.MaskOf(simgpu.GPUID(g)))
+		}
+	}
+	return mkCtx(now, free, pending...)
+}
+
+// TestParallelPlanEquivalence: Workers>1 planning (parallel mix solves and
+// strata-parallel DP rows) must be bit-identical to the sequential solve.
+// The gate thresholds are lowered so the parallel paths run on instances
+// small enough for a unit test.
+func TestParallelPlanEquivalence(t *testing.T) {
+	oldActive, oldCols := parallelMinActive, dpParallelMinCols
+	parallelMinActive, dpParallelMinCols = 1, 2
+	defer func() { parallelMinActive, dpParallelMinCols = oldActive, oldCols }()
+
+	rng := stats.NewRNG(17)
+	for trial := 0; trial < 60; trial++ {
+		ctx := randCtx(rng, 1+rng.Intn(24))
+		seq := newTestScheduler(t)
+		par := newTestScheduler(t, func(c *Config) { c.Workers = 4 })
+		sp := testClonePlan(seq.Plan(ctx))
+		pp := testClonePlan(par.Plan(ctx))
+		if !reflect.DeepEqual(sp, pp) {
+			t.Fatalf("trial %d: parallel plan diverges from sequential:\n seq: %+v\n par: %+v", trial, sp, pp)
+		}
+	}
+}
+
+// TestWarmReplayHit: an identical snapshot must be answered from the Layer-A
+// cache — same plan, one replay hit — and any input perturbation must miss.
+func TestWarmReplayHit(t *testing.T) {
+	s := newTestScheduler(t)
+	st := mkState(1, model.Res1024, 50, 0, 5*time.Second)
+	ctx := mkCtx(0, testTopo.AllMask(), st)
+
+	first := testClonePlan(s.Plan(ctx))
+	second := s.Plan(ctx)
+	if s.Warm().ReplayHits != 1 {
+		t.Fatalf("ReplayHits = %d, want 1", s.Warm().ReplayHits)
+	}
+	if !reflect.DeepEqual(first, testClonePlan(second)) {
+		t.Fatalf("replayed plan differs:\n first: %+v\nsecond: %+v", first, second)
+	}
+
+	st.Remaining--
+	s.Plan(ctx)
+	if s.Warm().ReplayHits != 1 {
+		t.Fatal("perturbed snapshot must not hit the replay cache")
+	}
+}
+
+// TestWarmReplayGatedOnPreservation: with random placement the cache must
+// stay cold — a skipped solve would skip RNG draws and desynchronize every
+// later round from a cold-planned run.
+func TestWarmReplayGatedOnPreservation(t *testing.T) {
+	s := newTestScheduler(t, func(c *Config) { c.PlacementPreservation = false })
+	ctx := mkCtx(0, testTopo.AllMask(), mkState(1, model.Res1024, 50, 0, 5*time.Second))
+	s.Plan(ctx)
+	s.Plan(ctx)
+	if s.Warm().ReplayHits != 0 {
+		t.Fatalf("ReplayHits = %d with preservation off, want 0", s.Warm().ReplayHits)
+	}
+}
+
+// TestWarmStartResumesDPRows: across rounds where only part of the pending
+// set changes, the DP must reuse checkpointed rows.
+func TestWarmStartResumesDPRows(t *testing.T) {
+	s := newTestScheduler(t)
+	var pending []*sched.RequestState
+	for i := 0; i < 16; i++ {
+		pending = append(pending, mkState(i+1, model.Res512, 50, 0, 30*time.Second))
+	}
+	ctx := mkCtx(0, testTopo.AllMask(), pending...)
+	s.Plan(ctx)
+	base := s.Warm().ResumedRows
+
+	// Shrink only the LAST request's remaining steps: the candidate prefix
+	// before it is unchanged, so its rows must be resumed, not recomputed.
+	pending[len(pending)-1].Remaining = 10
+	s.Plan(ctx)
+	if got := s.Warm().ResumedRows - base; got == 0 {
+		t.Fatal("DP resumed no rows across a single-request change")
+	}
+}
+
+// TestWarmStartDisabledSolvesCold: with the knob off, no replay hits and no
+// resumed rows, ever.
+func TestWarmStartDisabledSolvesCold(t *testing.T) {
+	s := newTestScheduler(t, func(c *Config) { c.WarmStart = false })
+	ctx := mkCtx(0, testTopo.AllMask(), mkState(1, model.Res1024, 50, 0, 5*time.Second))
+	s.Plan(ctx)
+	s.Plan(ctx)
+	w := s.Warm()
+	if w.ReplayHits != 0 || w.ResumedRows != 0 {
+		t.Fatalf("WarmStart=false must solve cold, got %+v", w)
+	}
+}
+
+// TestMixBudgetFloors: DeadlineBucket rounds budgets down (toward -∞, not
+// toward zero) so quantized planning is strictly conservative.
+func TestMixBudgetFloors(t *testing.T) {
+	s := newTestScheduler(t, func(c *Config) { c.DeadlineBucket = 100 * time.Millisecond })
+	cases := []struct{ in, want time.Duration }{
+		{250 * time.Millisecond, 200 * time.Millisecond},
+		{200 * time.Millisecond, 200 * time.Millisecond},
+		{99 * time.Millisecond, 0},
+		{-1 * time.Millisecond, -100 * time.Millisecond},
+		{-100 * time.Millisecond, -100 * time.Millisecond},
+		{-150 * time.Millisecond, -200 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := s.mixBudget(c.in); got != c.want {
+			t.Fatalf("mixBudget(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if s0 := newTestScheduler(t); s0.mixBudget(123456) != 123456 {
+		t.Fatal("DeadlineBucket=0 must pass budgets through exactly")
+	}
+}
+
+// TestDeadlineBucketPlansStayValid: bucketed budgets change which mixes are
+// chosen but never the plan's structural validity.
+func TestDeadlineBucketPlansStayValid(t *testing.T) {
+	rng := stats.NewRNG(23)
+	for trial := 0; trial < 40; trial++ {
+		ctx := randCtx(rng, 1+rng.Intn(12))
+		s := newTestScheduler(t, func(c *Config) { c.DeadlineBucket = 250 * time.Millisecond })
+		if err := sched.ValidatePlan(ctx, s.Plan(ctx)); err != nil {
+			t.Fatalf("trial %d: bucketed plan invalid: %v", trial, err)
+		}
+	}
+}
+
+// TestZeroOptionPruning: option-less candidates are excluded from the DP
+// without changing the emitted plan.
+func TestZeroOptionPruning(t *testing.T) {
+	rng := stats.NewRNG(31)
+	for trial := 0; trial < 40; trial++ {
+		ctx := randCtx(rng, 1+rng.Intn(12))
+		s := newTestScheduler(t)
+		plan := testClonePlan(s.Plan(ctx))
+		if s.Warm().PrunedCandidates > 0 {
+			// Re-plan the identical snapshot cold and compare: pruning must
+			// be invisible in the output.
+			cold := newTestScheduler(t, func(c *Config) { c.WarmStart = false })
+			if !reflect.DeepEqual(plan, testClonePlan(cold.Plan(ctx))) {
+				t.Fatalf("trial %d: pruning changed the plan", trial)
+			}
+		}
+	}
+}
+
+// TestPlanZeroAllocSteadyState is the planner-side allocation guard: once
+// scratch reaches its high-water mark, Plan must not allocate — neither on
+// the Layer-A replay path nor on a full cold re-solve.
+func TestPlanZeroAllocSteadyState(t *testing.T) {
+	resList := model.StandardResolutions()
+	mkPending := func() []*sched.RequestState {
+		var pending []*sched.RequestState
+		for i := 0; i < 64; i++ {
+			pending = append(pending, mkState(i+1, resList[i%len(resList)], 50, 0, 5*time.Second))
+		}
+		return pending
+	}
+
+	t.Run("replay", func(t *testing.T) {
+		s := newTestScheduler(t)
+		ctx := mkCtx(0, testTopo.AllMask(), mkPending()...)
+		s.Plan(ctx) // warm the scratch + cache
+		if avg := testing.AllocsPerRun(100, func() { s.Plan(ctx) }); avg != 0 {
+			t.Fatalf("replayed Plan allocates %.1f times per call, want 0", avg)
+		}
+	})
+
+	t.Run("cold", func(t *testing.T) {
+		s := newTestScheduler(t, func(c *Config) { c.WarmStart = false })
+		ctx := mkCtx(0, testTopo.AllMask(), mkPending()...)
+		s.Plan(ctx)
+		s.Plan(ctx)
+		if avg := testing.AllocsPerRun(100, func() { s.Plan(ctx) }); avg != 0 {
+			t.Fatalf("cold Plan allocates %.1f times per call, want 0", avg)
+		}
+	})
+}

@@ -16,7 +16,6 @@ package engine
 
 import (
 	"fmt"
-	"slices"
 	"time"
 
 	"tetriserve/internal/costmodel"
@@ -76,6 +75,9 @@ type Run struct {
 	Batched bool
 	// Res is the (shared) resolution of the block's members.
 	Res model.Resolution
+	// reqbuf is the run-owned backing array for Asg.Requests, retained across
+	// pool recycles so steady-state Starts allocate nothing.
+	reqbuf []workload.RequestID
 }
 
 // Engine executes step blocks on the simulated cluster.
@@ -91,6 +93,9 @@ type Engine struct {
 	failed  simgpu.Mask
 	runs    map[RunID]*Run
 	nextRun RunID
+	// pool is the Run free list fed by Release; Start drains it so the
+	// steady-state dispatch path performs no per-run allocation.
+	pool []*Run
 
 	// latents tracks where each request's latent currently lives.
 	latents map[workload.RequestID]simgpu.Mask
@@ -162,19 +167,25 @@ func (e *Engine) Start(now time.Duration, asg sched.Assignment, states map[workl
 	}
 	// The run outlives this call, but sched.Scheduler only guarantees the
 	// plan's Requests storage until the next Plan; copy what we retain.
-	asg.Requests = slices.Clone(asg.Requests)
+	// Recycled runs donate their request buffer and steps map so the copy
+	// costs no allocation in steady state.
+	run := e.obtainRun()
+	run.reqbuf = append(run.reqbuf[:0], asg.Requests...)
+	asg.Requests = run.reqbuf
 	var res model.Resolution
-	steps := make(map[workload.RequestID]int, len(asg.Requests))
+	steps := run.Steps
 	overhead := dispatchDelay
 	maxReconf := time.Duration(0)
 	for i, id := range asg.Requests {
 		st, ok := states[id]
 		if !ok {
+			e.Release(run)
 			return nil, fmt.Errorf("engine: unknown request %d", id)
 		}
 		if i == 0 {
 			res = st.Req.Res
 		} else if st.Req.Res != res {
+			e.Release(run)
 			return nil, fmt.Errorf("engine: batch mixes resolutions")
 		}
 		n := asg.Steps
@@ -182,6 +193,7 @@ func (e *Engine) Start(now time.Duration, asg sched.Assignment, states map[workl
 			n = st.Remaining
 		}
 		if n <= 0 {
+			e.Release(run)
 			return nil, fmt.Errorf("engine: request %d has no remaining steps", id)
 		}
 		steps[id] = n
@@ -215,18 +227,15 @@ func (e *Engine) Start(now time.Duration, asg sched.Assignment, states map[workl
 	}
 	dur := overhead + time.Duration(maxSteps)*realized
 
-	run := &Run{
-		ID:       e.nextRun,
-		Asg:      asg,
-		Start:    now,
-		End:      now + dur,
-		Overhead: overhead,
-		StepTime: realized,
-		Steps:    steps,
-		Degree:   asg.Group.Count(),
-		Batched:  bs > 1,
-		Res:      res,
-	}
+	run.ID = e.nextRun
+	run.Asg = asg
+	run.Start = now
+	run.End = now + dur
+	run.Overhead = overhead
+	run.StepTime = realized
+	run.Degree = asg.Group.Count()
+	run.Batched = bs > 1
+	run.Res = res
 	e.nextRun++
 	e.runs[run.ID] = run
 	e.free = e.free.Without(asg.Group)
@@ -234,6 +243,36 @@ func (e *Engine) Start(now time.Duration, asg sched.Assignment, states map[workl
 		e.stepPeakBytes = act
 	}
 	return run, nil
+}
+
+// obtainRun returns a zeroed Run from the free list (or a fresh one),
+// keeping its reusable steps map and request buffer.
+func (e *Engine) obtainRun() *Run {
+	if n := len(e.pool); n > 0 {
+		run := e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		return run
+	}
+	return &Run{Steps: make(map[workload.RequestID]int, 4)}
+}
+
+// Release hands a retired run back to the engine for reuse by a later Start.
+// Call it only after the run has been finished (or aborted) and every
+// observer is done reading it: the struct, its Steps map and its Requests
+// storage are recycled in place. Releasing is optional — callers that retain
+// runs simply never call it.
+func (e *Engine) Release(run *Run) {
+	if run == nil {
+		return
+	}
+	if _, live := e.runs[run.ID]; live && e.runs[run.ID] == run {
+		return // still in flight; refuse to recycle under an active block
+	}
+	clear(run.Steps)
+	steps, buf := run.Steps, run.reqbuf[:0]
+	*run = Run{Steps: steps, reqbuf: buf}
+	e.pool = append(e.pool, run)
 }
 
 // Finish retires a run at its end time, freeing its GPUs and updating

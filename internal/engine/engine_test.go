@@ -37,8 +37,7 @@ func mkStates(res model.Resolution, remaining int, ids ...int) map[workload.Requ
 				Steps: remaining,
 				SLO:   5 * time.Second,
 			},
-			Remaining:     remaining,
-			StepsByDegree: map[int]int{},
+			Remaining: remaining,
 		}
 	}
 	return out

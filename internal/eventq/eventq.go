@@ -3,10 +3,14 @@
 // sequence-number tiebreak so that simultaneous events fire in the order
 // they were scheduled. Events can be cancelled in O(log n) via the handle
 // returned at push time.
+//
+// Event structs are pooled: Push draws from a free list refilled by Recycle,
+// so a steady-state simulation allocates no per-event memory. Handles carry
+// a generation stamp, making a stale handle to a recycled event a harmless
+// no-op rather than a cancellation of whatever event reused the slot.
 package eventq
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -18,16 +22,24 @@ type Event struct {
 
 	seq   uint64 // insertion order, breaks ties deterministically
 	index int    // heap index, -1 once popped or cancelled
+	gen   uint32 // incremented on recycle; invalidates old handles
 }
 
-// Handle identifies a scheduled event for cancellation.
-type Handle struct{ ev *Event }
+// Handle identifies a scheduled event for cancellation. A handle taken
+// before the event was popped or recycled stays safe to use: once the
+// event's generation moves on, Cancel and Valid treat it as spent.
+type Handle struct {
+	ev  *Event
+	gen uint32
+}
 
 // Queue is a min-heap of events keyed by (At, seq). The zero value is ready
 // to use. Queue is not safe for concurrent use; the simulator owns it.
 type Queue struct {
 	h   eventHeap
 	seq uint64
+	// pool is the free list of recycled events (see Recycle).
+	pool []*Event
 }
 
 // Len reports the number of pending events.
@@ -35,10 +47,21 @@ func (q *Queue) Len() int { return len(q.h) }
 
 // Push schedules an event and returns a cancellation handle.
 func (q *Queue) Push(at time.Duration, kind int, payload any) Handle {
-	ev := &Event{At: at, Kind: kind, Payload: payload, seq: q.seq}
+	var ev *Event
+	if n := len(q.pool); n > 0 {
+		ev = q.pool[n-1]
+		q.pool[n-1] = nil
+		q.pool = q.pool[:n-1]
+		ev.At, ev.Kind, ev.Payload = at, kind, payload
+	} else {
+		ev = &Event{At: at, Kind: kind, Payload: payload}
+	}
+	ev.seq = q.seq
 	q.seq++
-	heap.Push(&q.h, ev)
-	return Handle{ev: ev}
+	ev.index = len(q.h)
+	q.h = append(q.h, ev)
+	q.h.up(ev.index)
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // Peek returns the earliest pending event without removing it, or nil.
@@ -50,56 +73,108 @@ func (q *Queue) Peek() *Event {
 }
 
 // Pop removes and returns the earliest pending event, or nil if empty.
+// Ownership transfers to the caller; hand the event back with Recycle once
+// it has been dispatched to keep the hot path allocation-free.
 func (q *Queue) Pop() *Event {
 	if len(q.h) == 0 {
 		return nil
 	}
-	ev := heap.Pop(&q.h).(*Event)
-	return ev
+	return q.h.remove(0)
+}
+
+// Recycle returns a popped (or cancelled) event to the pool for reuse by a
+// later Push. The caller must not touch the event afterwards; outstanding
+// handles to it are invalidated. Recycling nil or an event still on the heap
+// is a no-op.
+func (q *Queue) Recycle(ev *Event) {
+	if ev == nil || ev.index >= 0 {
+		return
+	}
+	ev.gen++
+	ev.Payload = nil
+	q.pool = append(q.pool, ev)
 }
 
 // Cancel removes the event behind h if it is still pending. It reports
-// whether anything was removed. Cancelling twice is a harmless no-op.
+// whether anything was removed. Cancelling twice, or cancelling a handle
+// whose event has been recycled into a new one, is a harmless no-op. The
+// removed event is recycled automatically.
 func (q *Queue) Cancel(h Handle) bool {
-	if h.ev == nil || h.ev.index < 0 {
+	if !h.Valid() {
 		return false
 	}
-	heap.Remove(&q.h, h.ev.index)
+	q.h.remove(h.ev.index)
+	q.Recycle(h.ev)
 	return true
 }
 
 // Valid reports whether the handle still refers to a pending event.
-func (h Handle) Valid() bool { return h.ev != nil && h.ev.index >= 0 }
+func (h Handle) Valid() bool { return h.ev != nil && h.ev.index >= 0 && h.ev.gen == h.gen }
 
+// eventHeap is a hand-rolled binary min-heap over (At, seq). The key is a
+// total order (seq is unique), so the pop sequence is fully determined by
+// the push sequence — swapping container/heap's interface dispatch for the
+// concrete sift loops below cannot reorder a single event.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].At != h[j].At {
 		return h[i].At < h[j].At
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) {
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+func (h eventHeap) up(j int) {
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !h.less(j, parent) {
+			break
+		}
+		h.swap(j, parent)
+		j = parent
+	}
 }
 
-func (h *eventHeap) Pop() any {
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+// remove detaches and returns the event at heap index i, restoring the heap
+// property (the same swap-with-last scheme heap.Remove uses).
+func (h *eventHeap) remove(i int) *Event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+	n := len(old) - 1
+	if n != i {
+		old.swap(i, n)
+	}
+	ev := old[n]
+	old[n] = nil
 	ev.index = -1
-	*h = old[:n-1]
+	*h = old[:n]
+	if n != i {
+		(*h).down(i)
+		(*h).up(i)
+	}
 	return ev
 }

@@ -106,9 +106,8 @@ func measureDPLatency(f *fixture, n, r int, seed uint64) float64 {
 			SLO:     2 * time.Second,
 		}
 		pending = append(pending, &sched.RequestState{
-			Req:           req,
-			Remaining:     5,
-			StepsByDegree: map[int]int{},
+			Req:       req,
+			Remaining: 5,
 		})
 	}
 	ctx := &sched.PlanContext{

@@ -144,12 +144,105 @@ func FuzzPlanRound(f *testing.F) {
 	})
 }
 
+// warmColdEquivalence drives a warm-start scheduler and a cold one through
+// the same evolving sequence of planning snapshots and demands byte-identical
+// plans every round. The evolution mixes the three regimes the incremental
+// planner distinguishes: perturbed rounds (partial DP-prefix reuse, Layer B),
+// repeated identical snapshots (exact replay, Layer A), and churn heavy
+// enough to force cold solves.
+func warmColdEquivalence(t *testing.T, seed uint64, nGPUSel, nReqSel, flags uint8) {
+	n := 1 << (int(nGPUSel) % 4) // 1, 2, 4, 8 GPUs
+	nReq := 1 + int(nReqSel)%16
+	prof, topo := fuzzProfile(n)
+	resList := model.StandardResolutions()
+
+	mk := func(warmStart bool) *core.Scheduler {
+		cfg := core.DefaultConfig()
+		cfg.PlacementPreservation = flags&1 != 0
+		cfg.ElasticScaleUp = flags&2 != 0
+		cfg.SelectiveBatching = flags&4 != 0
+		cfg.BestEffortLane = flags&8 != 0
+		cfg.WarmStart = warmStart
+		cfg.WallClock = frozenWall
+		return core.NewScheduler(prof, topo, cfg)
+	}
+	warm, cold := mk(true), mk(false)
+
+	ctx := fuzzPlanContext(stats.NewRNG(seed), prof, topo, nReq)
+	rng := stats.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+	tau := warm.RoundDuration()
+	nextID := len(ctx.Pending) + 1
+	for round := 0; round < 12; round++ {
+		wp := clonePlan(warm.Plan(ctx))
+		cp := clonePlan(cold.Plan(ctx))
+		if !reflect.DeepEqual(wp, cp) {
+			t.Fatalf("round %d: warm and cold plans diverge:\n warm: %+v\n cold: %+v", round, wp, cp)
+		}
+		if err := sched.ValidatePlan(ctx, wp); err != nil {
+			t.Fatalf("round %d: plan failed validation: %v", round, err)
+		}
+		// Evolve the snapshot for the next round.
+		if rng.Intn(4) == 0 {
+			continue // unchanged snapshot: Layer-A replay vs cold re-solve
+		}
+		ctx.Now += tau
+		for _, st := range ctx.Pending {
+			switch rng.Intn(3) {
+			case 0:
+				st.Remaining -= rng.Intn(5)
+				if st.Remaining < 1 {
+					st.Remaining = 1
+				}
+			case 1:
+				st.LastGroup = randGroup(rng, topo.N)
+			}
+		}
+		if rng.Intn(3) == 0 {
+			ctx.Free = simgpu.Mask(rng.Uint64()) & topo.AllMask()
+		}
+		if rng.Intn(4) == 0 {
+			steps := 1 + rng.Intn(50)
+			ctx.Pending = append(ctx.Pending, &sched.RequestState{
+				Req: &workload.Request{
+					ID:      workload.RequestID(nextID),
+					Res:     resList[rng.Intn(len(resList))],
+					Steps:   steps,
+					Arrival: ctx.Now,
+					SLO:     time.Duration(200+rng.Intn(6000)) * time.Millisecond,
+				},
+				Remaining: steps,
+			})
+			nextID++
+		}
+	}
+}
+
+// FuzzWarmStart is the incremental planner's equivalence fuzzer: whatever
+// snapshot sequence the input derives, warm-start planning must be
+// bit-identical to cold planning (DESIGN.md §12's determinism argument,
+// enforced). Shares the FuzzPlanRound input shape so corpus entries transfer.
+func FuzzWarmStart(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(6), uint8(0))
+	f.Add(uint64(42), uint8(4), uint8(3), uint8(0b1111))
+	f.Add(uint64(7), uint8(2), uint8(12), uint8(0b0101))
+	f.Add(uint64(99), uint8(3), uint8(15), uint8(0b1101))
+	f.Fuzz(warmColdEquivalence)
+}
+
+// TestWarmColdEquivalence pins a deterministic battery of the same check so
+// the property is exercised by plain `go test` runs beyond corpus replay.
+func TestWarmColdEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 24; seed++ {
+		warmColdEquivalence(t, seed, uint8(seed), uint8(3*seed), uint8(seed>>1))
+	}
+}
+
 // TestSeedCorpusCommitted pins the replay contract: the committed corpus
-// under testdata/fuzz/ must exist and be non-empty for both targets, because
+// under testdata/fuzz/ must exist and be non-empty for every target, because
 // native Go fuzzing replays exactly those files as subtests of a plain
 // `go test ./...` — deleting the corpus would silently drop regressions.
 func TestSeedCorpusCommitted(t *testing.T) {
-	for _, target := range []string{"FuzzPlanRound", "FuzzControlLoop"} {
+	for _, target := range []string{"FuzzPlanRound", "FuzzControlLoop", "FuzzWarmStart"} {
 		entries, err := os.ReadDir(filepath.Join("testdata", "fuzz", target))
 		if err != nil {
 			t.Fatalf("%s corpus missing: %v", target, err)

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"math/bits"
+
 	"tetriserve/internal/simgpu"
 	"tetriserve/internal/stats"
 )
@@ -63,8 +65,7 @@ func BuddyOf(topo *simgpu.Topology, g simgpu.Mask) simgpu.Mask {
 	if k == 0 || k&(k-1) != 0 || 2*k > topo.N {
 		return 0
 	}
-	ids := g.IDs()
-	lo := int(ids[0])
+	lo := bits.TrailingZeros64(uint64(g))
 	if lo%k != 0 || g != simgpu.CanonicalGroup(lo/k, k) {
 		return 0
 	}

@@ -12,12 +12,38 @@ package sched
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"tetriserve/internal/costmodel"
 	"tetriserve/internal/simgpu"
 	"tetriserve/internal/workload"
 )
+
+// DegreeTally counts executed steps per sequence-parallel degree. Degrees are
+// powers of two (≤ 64, the Mask width), so the tally is a flat array indexed
+// by log2(degree) — a plain value with no heap footprint, unlike the map it
+// replaced, so tracker entries stay allocation-free on the hot path.
+type DegreeTally [7]int
+
+// Add credits steps executed at the given power-of-two degree.
+func (t *DegreeTally) Add(degree, steps int) {
+	t[bits.TrailingZeros(uint(degree))] += steps
+}
+
+// Get returns the steps executed at the given power-of-two degree.
+func (t *DegreeTally) Get(degree int) int {
+	return t[bits.TrailingZeros(uint(degree))]
+}
+
+// Total returns the steps executed across all degrees.
+func (t *DegreeTally) Total() int {
+	n := 0
+	for _, v := range t {
+		n += v
+	}
+	return n
+}
 
 // RequestState is the scheduler-visible state of one request — what the
 // paper's Request Tracker maintains (§3).
@@ -32,7 +58,7 @@ type RequestState struct {
 	LastGroup simgpu.Mask
 	// StepsByDegree tallies executed steps per parallelism degree, feeding
 	// the Figure 11 average-degree analysis.
-	StepsByDegree map[int]int
+	StepsByDegree DegreeTally
 	// Started reports whether any step has executed.
 	Started bool
 }
@@ -40,10 +66,6 @@ type RequestState struct {
 // Clone returns a deep copy (used by solvers that explore hypotheticals).
 func (s *RequestState) Clone() *RequestState {
 	c := *s
-	c.StepsByDegree = make(map[int]int, len(s.StepsByDegree))
-	for k, v := range s.StepsByDegree {
-		c.StepsByDegree[k] = v
-	}
 	return &c
 }
 
@@ -60,9 +82,9 @@ func (s *RequestState) DefinitelyLate(now time.Duration, prof *costmodel.Profile
 // AvgDegree returns the steps-weighted mean parallelism degree so far.
 func (s *RequestState) AvgDegree() float64 {
 	steps, weighted := 0, 0
-	for k, n := range s.StepsByDegree {
+	for i, n := range s.StepsByDegree {
 		steps += n
-		weighted += k * n
+		weighted += (1 << i) * n
 	}
 	if steps == 0 {
 		return 0
@@ -134,12 +156,33 @@ type Scheduler interface {
 // request membership, resolution-homogeneous batches. Both the simulator
 // and the tests use it as an oracle against scheduler bugs.
 func ValidatePlan(ctx *PlanContext, plan []Assignment) error {
-	pending := make(map[workload.RequestID]*RequestState, len(ctx.Pending))
+	var c PlanChecker
+	return c.Validate(ctx, plan)
+}
+
+// PlanChecker is a reusable ValidatePlan: it keeps its lookup maps across
+// calls (cleared, not reallocated) so validating a plan on the control loop's
+// hot path allocates nothing once the maps have grown to the working-set
+// size. The zero value is ready to use; not safe for concurrent use.
+type PlanChecker struct {
+	pending map[workload.RequestID]*RequestState
+	claimed map[workload.RequestID]bool
+}
+
+// Validate performs the same checks as ValidatePlan.
+func (c *PlanChecker) Validate(ctx *PlanContext, plan []Assignment) error {
+	if c.pending == nil {
+		c.pending = make(map[workload.RequestID]*RequestState, len(ctx.Pending))
+		c.claimed = make(map[workload.RequestID]bool)
+	} else {
+		clear(c.pending)
+		clear(c.claimed)
+	}
+	pending, claimed := c.pending, c.claimed
 	for _, st := range ctx.Pending {
 		pending[st.Req.ID] = st
 	}
 	used := simgpu.Mask(0)
-	claimed := make(map[workload.RequestID]bool)
 	for i := range plan {
 		a := &plan[i]
 		if err := a.Validate(ctx.Topo); err != nil {

@@ -25,8 +25,7 @@ func mkState(id int, res model.Resolution, remaining int, arrival, slo time.Dura
 			Arrival: arrival,
 			SLO:     slo,
 		},
-		Remaining:     remaining,
-		StepsByDegree: map[int]int{},
+		Remaining: remaining,
 	}
 }
 
@@ -42,8 +41,8 @@ func mkCtx(now time.Duration, free simgpu.Mask, pending ...*RequestState) *PlanC
 
 func TestRequestStateAvgDegree(t *testing.T) {
 	st := mkState(1, model.Res512, 10, 0, time.Second)
-	st.StepsByDegree[1] = 10
-	st.StepsByDegree[4] = 10
+	st.StepsByDegree.Add(1, 10)
+	st.StepsByDegree.Add(4, 10)
 	if got := st.AvgDegree(); got != 2.5 {
 		t.Fatalf("AvgDegree = %v, want 2.5", got)
 	}
@@ -66,11 +65,11 @@ func TestDefinitelyLate(t *testing.T) {
 
 func TestStateClone(t *testing.T) {
 	st := mkState(1, model.Res512, 5, 0, time.Second)
-	st.StepsByDegree[2] = 3
+	st.StepsByDegree.Add(2, 3)
 	c := st.Clone()
-	c.StepsByDegree[2] = 99
+	c.StepsByDegree.Add(2, 99)
 	c.Remaining = 1
-	if st.StepsByDegree[2] != 3 || st.Remaining != 5 {
+	if st.StepsByDegree.Get(2) != 3 || st.Remaining != 5 {
 		t.Fatal("Clone is not deep")
 	}
 }

@@ -76,9 +76,9 @@ func ParseFaults(gpus string, failAt, recoverAt time.Duration) ([]Fault, error) 
 // returns the number of groups invalidated.
 func (r *GroupRegistry) Invalidate(failed Mask) int {
 	n := 0
-	for key, ok := range r.warm {
-		if ok && maskFromKey(key).Overlaps(failed) {
-			delete(r.warm, key)
+	for m, ok := range r.warm {
+		if ok && m.Overlaps(failed) {
+			delete(r.warm, m)
 			n++
 		}
 	}

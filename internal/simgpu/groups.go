@@ -1,7 +1,7 @@
 package simgpu
 
 import (
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -12,7 +12,10 @@ import (
 // defers the rest to on-demand warm-up.
 type GroupRegistry struct {
 	topo *Topology
-	warm map[string]bool
+	// warm is keyed by the group mask itself — a bitset is already a
+	// canonical identity, so the hot dispatch path (EnsureWarm on every
+	// block start) stays free of string building.
+	warm map[Mask]bool
 	// WarmupCost is the one-time latency of the first collective on a
 	// cold group.
 	WarmupCost time.Duration
@@ -25,7 +28,7 @@ type GroupRegistry struct {
 func NewGroupRegistry(topo *Topology) *GroupRegistry {
 	return &GroupRegistry{
 		topo:              topo,
-		warm:              make(map[string]bool),
+		warm:              make(map[Mask]bool),
 		WarmupCost:        120 * time.Millisecond,
 		BufferBytesPerGPU: 512e6,
 	}
@@ -37,7 +40,7 @@ func (r *GroupRegistry) IsWarm(group Mask) bool {
 	if group.Count() <= 1 {
 		return true
 	}
-	return r.warm[GroupKey(group)]
+	return r.warm[group]
 }
 
 // EnsureWarm marks group warm, returning the latency penalty incurred if it
@@ -46,7 +49,7 @@ func (r *GroupRegistry) EnsureWarm(group Mask) time.Duration {
 	if r.IsWarm(group) {
 		return 0
 	}
-	r.warm[GroupKey(group)] = true
+	r.warm[group] = true
 	return r.WarmupCost
 }
 
@@ -57,11 +60,11 @@ func (r *GroupRegistry) WarmCount() int { return len(r.warm) }
 // groups containing it.
 func (r *GroupRegistry) WarmMemoryBytes(gpu GPUID) float64 {
 	total := 0.0
-	for key, ok := range r.warm {
+	for m, ok := range r.warm {
 		if !ok {
 			continue
 		}
-		if maskFromKey(key).Has(gpu) {
+		if m.Has(gpu) {
 			total += r.BufferBytesPerGPU
 		}
 	}
@@ -88,33 +91,12 @@ func (r *GroupRegistry) PrewarmCanonical() int {
 
 // WarmGroups returns the warm multi-GPU groups in deterministic order.
 func (r *GroupRegistry) WarmGroups() []Mask {
-	keys := make([]string, 0, len(r.warm))
-	for k := range r.warm {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]Mask, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, maskFromKey(k))
-	}
-	return out
-}
-
-func maskFromKey(key string) Mask {
-	var m Mask
-	id := 0
-	seen := false
-	for i := 0; i <= len(key); i++ {
-		if i == len(key) || key[i] == ',' {
-			if seen {
-				m |= 1 << uint(id)
-			}
-			id = 0
-			seen = false
-			continue
+	out := make([]Mask, 0, len(r.warm))
+	for m, ok := range r.warm {
+		if ok {
+			out = append(out, m)
 		}
-		id = id*10 + int(key[i]-'0')
-		seen = true
 	}
-	return m
+	slices.Sort(out)
+	return out
 }

@@ -102,14 +102,18 @@ func TestWarmGroupsDeterministic(t *testing.T) {
 	}
 }
 
-// TestMaskKeyRoundTrip: GroupKey and the internal parser invert each other.
+// TestMaskKeyRoundTrip: GroupKey and ParseGPUList invert each other.
 func TestMaskKeyRoundTrip(t *testing.T) {
 	check := func(raw uint16) bool {
 		m := Mask(raw)
 		if m == 0 {
 			return true
 		}
-		return maskFromKey(GroupKey(m)) == m
+		ids, err := ParseGPUList(GroupKey(m))
+		if err != nil {
+			return false
+		}
+		return MaskOf(ids...) == m
 	}
 	if err := quick.Check(check, nil); err != nil {
 		t.Fatal(err)

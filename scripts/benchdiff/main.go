@@ -1,0 +1,105 @@
+// Command benchdiff compares two tetribench JSON snapshots and exits
+// non-zero when the candidate regresses against the baseline: more than
+// +20% ns/op on any benchmark, or any increase at all in allocs/op (the
+// hot paths are pinned at zero and must stay there).
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff [-ns-tolerance 0.20] [-min-ns-delta 2000] baseline.json candidate.json
+//
+// A ns/op regression must exceed the fractional tolerance AND the absolute
+// floor to fail: nanosecond-scale benchmarks swing past 20% from scheduler
+// jitter alone, and the floor keeps them from flapping without loosening
+// the gate on the microsecond-scale paths that matter.
+//
+// Benchmarks present in only one file are reported but never fail the
+// gate, so adding a benchmark does not require lock-step snapshot updates.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type record struct {
+	Bench    string  `json:"bench"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+func load(path string) (map[string]record, []string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(raw, &recs); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]record, len(recs))
+	order := make([]string, 0, len(recs))
+	for _, r := range recs {
+		if _, dup := m[r.Bench]; !dup {
+			order = append(order, r.Bench)
+		}
+		m[r.Bench] = r
+	}
+	return m, order, nil
+}
+
+func main() {
+	tol := flag.Float64("ns-tolerance", 0.20, "allowed fractional ns/op growth before failing")
+	minNs := flag.Float64("min-ns-delta", 2000, "absolute ns/op growth a regression must also exceed")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-ns-tolerance f] baseline.json candidate.json")
+		os.Exit(2)
+	}
+	base, order, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cand, candOrder, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	failed := 0
+	for _, name := range order {
+		b := base[name]
+		c, ok := cand[name]
+		if !ok {
+			fmt.Printf("  %-40s baseline-only (skipped)\n", name)
+			continue
+		}
+		delta := 0.0
+		if b.NsOp > 0 {
+			delta = (c.NsOp - b.NsOp) / b.NsOp
+		}
+		status := "ok"
+		switch {
+		case c.AllocsOp > b.AllocsOp:
+			status = fmt.Sprintf("FAIL allocs/op %d -> %d", b.AllocsOp, c.AllocsOp)
+			failed++
+		case delta > *tol && c.NsOp-b.NsOp > *minNs:
+			status = fmt.Sprintf("FAIL ns/op +%.1f%% (limit +%.0f%%)", delta*100, *tol*100)
+			failed++
+		}
+		fmt.Printf("  %-40s %12.0f -> %12.0f ns/op (%+6.1f%%)  %3d -> %3d allocs/op  %s\n",
+			name, b.NsOp, c.NsOp, delta*100, b.AllocsOp, c.AllocsOp, status)
+	}
+	for _, name := range candOrder {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("  %-40s new benchmark (not gated)\n", name)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchdiff: %d regression(s) vs %s\n", failed, flag.Arg(0))
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no regressions vs %s\n", flag.Arg(0))
+}
