@@ -6,6 +6,13 @@
 //	tetriserve -addr :8900 -model flux -topo h100 -speedup 20
 //	tetriserve -scheduler sp4          # serve with a fixed xDiT baseline
 //	tetriserve -cache                  # enable Nirvana-style caching
+//
+// In -mode router the daemon serves no GPUs itself: it fronts a static list
+// of shard daemons with deadline-aware admission and routing:
+//
+//	tetriserve -mode shard -addr :8901 &
+//	tetriserve -mode shard -addr :8902 &
+//	tetriserve -mode router -addr :8900 -shards http://localhost:8901,http://localhost:8902
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"tetriserve/internal/core"
 	"tetriserve/internal/costmodel"
 	"tetriserve/internal/model"
+	"tetriserve/internal/router"
 	"tetriserve/internal/sched"
 	"tetriserve/internal/server"
 	"tetriserve/internal/simgpu"
@@ -30,6 +38,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8900", "listen address")
+	mode := flag.String("mode", "shard", "mode: shard (serve GPUs) | router (front shard daemons)")
 	mdlName := flag.String("model", "flux", "model: flux | sd3")
 	topoName := flag.String("topo", "h100", "topology: h100 | a40")
 	speedup := flag.Float64("speedup", 20, "simulated seconds per wall second")
@@ -37,23 +46,36 @@ func main() {
 	granularity := flag.Int("granularity", 5, "TetriServe step granularity per round")
 	useCache := flag.Bool("cache", false, "enable Nirvana-style approximate latent cache")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	shardList := flag.String("shards", "", "router mode: comma-separated shard base URLs (name=url or url)")
+	tenantWeights := flag.String("tenant-weights", "", "router mode: comma-separated tenant=weight pairs")
 	flag.Parse()
 
-	mdl, err := model.ByName(*mdlName)
+	switch *mode {
+	case "shard":
+		runShard(*addr, *mdlName, *topoName, *speedup, *schedName, *granularity, *useCache, *pprofOn)
+	case "router":
+		runRouter(*addr, *shardList, *tenantWeights)
+	default:
+		log.Fatalf("tetriserve: unknown -mode %q (want shard or router)", *mode)
+	}
+}
+
+func runShard(addr, mdlName, topoName string, speedup float64, schedName string, granularity int, useCache, pprofOn bool) {
+	mdl, err := model.ByName(mdlName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	topo, err := simgpu.ByName(*topoName)
+	topo, err := simgpu.ByName(topoName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sc, err := buildScheduler(*schedName, *granularity, mdl, topo)
+	sc, err := buildScheduler(schedName, granularity, mdl, topo)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	cfg := server.DriverConfig{Model: mdl, Topo: topo, Scheduler: sc, Speedup: *speedup}
-	if *useCache {
+	cfg := server.DriverConfig{Model: mdl, Topo: topo, Scheduler: sc, Speedup: speedup}
+	if useCache {
 		cfg.Cache = cache.New(cache.DefaultConfig())
 	}
 	driver, err := server.NewDriver(cfg)
@@ -64,21 +86,89 @@ func main() {
 	defer driver.Stop()
 
 	api := server.NewAPI(driver)
-	api.Pprof = *pprofOn
-	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
+	api.Pprof = pprofOn
+	log.Printf("tetriserve: %s on %s, scheduler=%s, speedup=%.0fx, listening on %s",
+		mdl.Name, topo.Name, sc.Name(), speedup, addr)
+	serve(addr, api.Handler())
+}
 
+func runRouter(addr, shardList, tenantWeights string) {
+	shards, err := parseShards(shardList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weights, err := parseWeights(tenantWeights)
+	if err != nil {
+		log.Fatal(err)
+	}
+	api, err := server.NewRouterAPI(router.Config{TenantWeights: weights}, shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, len(shards))
+	for i, s := range shards {
+		names[i] = s.Name()
+	}
+	log.Printf("tetriserve: router over %d shards (%s), listening on %s",
+		len(shards), strings.Join(names, ", "), addr)
+	serve(addr, api.Handler())
+}
+
+func serve(addr string, h http.Handler) {
+	srv := &http.Server{Addr: addr, Handler: h}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		_ = srv.Close()
 	}()
-
-	log.Printf("tetriserve: %s on %s, scheduler=%s, speedup=%.0fx, listening on %s",
-		mdl.Name, topo.Name, sc.Name(), *speedup, *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+}
+
+// parseShards resolves the -shards flag: "url" or "name=url", comma-separated.
+func parseShards(list string) ([]server.RouterShard, error) {
+	var shards []server.RouterShard
+	for _, item := range strings.Split(list, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, url := "", item
+		if k := strings.Index(item, "="); k >= 0 && !strings.Contains(item[:k], "/") {
+			name, url = item[:k], item[k+1:]
+		}
+		shards = append(shards, server.NewRemoteShard(name, url))
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("tetriserve: -mode router needs -shards url[,url...]")
+	}
+	return shards, nil
+}
+
+// parseWeights resolves the -tenant-weights flag: "tenant=weight" pairs.
+func parseWeights(list string) (map[string]float64, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	weights := map[string]float64{}
+	for _, item := range strings.Split(list, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		k := strings.Index(item, "=")
+		if k < 0 {
+			return nil, fmt.Errorf("tetriserve: invalid tenant weight %q (want tenant=weight)", item)
+		}
+		w, err := strconv.ParseFloat(item[k+1:], 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("tetriserve: invalid tenant weight %q", item)
+		}
+		weights[item[:k]] = w
+	}
+	return weights, nil
 }
 
 // buildScheduler resolves the -scheduler flag.

@@ -834,9 +834,22 @@ func (l *Loop) removePending(id workload.RequestID) {
 	}
 }
 
+// dropLimit is the absolute instant past which a request is abandoned under
+// the timeout policy: arrival + DropLateFactor × SLO. Every drop comparison
+// (queued expiry, post-fault requeue, late-delivery timeout) must go through
+// DropLimit/pastDrop so sim and driver share one boundary convention: a
+// request exactly AT the limit is still in budget; strictly past it is out.
+func (l *Loop) dropLimit(r *workload.Request) time.Duration {
+	return r.Arrival + time.Duration(float64(r.SLO)*l.cfg.DropLateFactor)
+}
+
+// DropLimit exposes the timeout boundary for observers (tests, the router's
+// feasibility probe). Zero-valued when dropping is disabled semantics still
+// hold: callers must gate on DropLateFactor > 0 themselves, as the loop does.
+func (l *Loop) DropLimit(r *workload.Request) time.Duration { return l.dropLimit(r) }
+
 func (l *Loop) pastDrop(now time.Duration, st *sched.RequestState) bool {
-	limit := st.Req.Arrival + time.Duration(float64(st.Req.SLO)*l.cfg.DropLateFactor)
-	return now > limit
+	return now > l.dropLimit(st.Req)
 }
 
 func (l *Loop) finish(now time.Duration, st *sched.RequestState) {
@@ -845,9 +858,10 @@ func (l *Loop) finish(now time.Duration, st *sched.RequestState) {
 	l.eng.ReleaseLatent(r.ID)
 	// Timeout semantics: a result delivered past DropLateFactor × SLO has
 	// been abandoned by the client and counts as dropped (Figure 9's
-	// "dropped/timeout" population).
-	if l.cfg.DropLateFactor > 0 &&
-		completion > r.Arrival+time.Duration(float64(r.SLO)*l.cfg.DropLateFactor) {
+	// "dropped/timeout" population). Shares dropLimit with pastDrop so a
+	// completion exactly at the boundary is delivered, never dropped —
+	// identical in sim and driver by construction.
+	if l.cfg.DropLateFactor > 0 && completion > l.dropLimit(r) {
 		l.finalize(now, Outcome{
 			ID:       r.ID,
 			Res:      r.Res,

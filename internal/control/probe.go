@@ -1,0 +1,151 @@
+package control
+
+import (
+	"fmt"
+	"time"
+
+	"tetriserve/internal/model"
+)
+
+// Feasibility is the read-only deadline projection the admission router
+// consults before placing a request on a loop: given the loop's current
+// backlog and health, when would a hypothetical request of this shape
+// plausibly start and finish, and can it still win its SLO?
+//
+// The projection is a fluid-model bound, deliberately built from the same
+// quantities the scheduler itself reasons with (the offline profile's
+// T(res,k) table, Algorithm 1's T_min survival bound) and nothing else:
+//
+//   - queue wait: the backlog's cheapest-possible GPU·seconds (each tracked
+//     request costed at its GPU-hour-optimal degree, min_k k·T(res,k))
+//     spread over the healthy devices;
+//   - boundary wait: one τ when a round-based loop cannot admit eagerly
+//     (eager admission off or no free GPUs), zero otherwise — mirroring the
+//     loop's own arrival-path planning condition;
+//   - service: remaining steps at the fastest profiled per-step time
+//     (T_i^min, the same optimistic bound DefinitelyLate uses), plus the
+//     per-block dispatch overhead.
+//
+// VAE decode is excluded, like the round explainer's survival verdict — the
+// decode queue is execution-side state the control plane does not project.
+// The probe is therefore optimistic: Winnable == false is a sound
+// early-reject signal ("cannot win even under best-case packing"), while
+// Winnable == true is a forecast, not a guarantee.
+type Feasibility struct {
+	// Now is the loop clock at probe time; Deadline is Now + the probed SLO.
+	Now      time.Duration
+	Deadline time.Duration
+	// ProjectedStart/ProjectedFinish bound the hypothetical request's
+	// execution window under the fluid model.
+	ProjectedStart  time.Duration
+	ProjectedFinish time.Duration
+	// Winnable reports ProjectedFinish ≤ Deadline.
+	Winnable bool
+	// Slack is Deadline − ProjectedFinish (negative when not winnable: how
+	// late the request would land at best).
+	Slack time.Duration
+	// QueueGPUSeconds is the tracked backlog's cheapest-possible GPU·seconds;
+	// ServiceGPUSeconds is the probed request's own cheapest cost (the
+	// router's fair-share ledger currency).
+	QueueGPUSeconds   float64
+	ServiceGPUSeconds float64
+	// Pending/Running count tracked requests; HealthyGPUs/FreeGPUs describe
+	// capacity at probe time.
+	Pending     int
+	Running     int
+	HealthyGPUs int
+	FreeGPUs    int
+	// MinStepTime and MinStepDegree are the profile's fastest per-step
+	// latency for the probed resolution and the degree achieving it.
+	MinStepTime   time.Duration
+	MinStepDegree int
+}
+
+// ProbeFeasibility projects deadline feasibility for a hypothetical request
+// (res, steps, slo) against the loop's current state without mutating any of
+// it: no tracker insert, no scheduler invocation, no engine transition — the
+// warm-start planner's caches, the decode queue, and the pending order are
+// all untouched, so probing is invisible to subsequent plans (the property
+// the router's no-mutation test pins down).
+//
+// steps ≤ 0 defaults to the model's step count. Unknown resolutions return
+// an error: feasibility of an uncalibrated shape is undefined, and the
+// router maps this to a client error rather than a 429.
+//
+// Like every other Loop method, ProbeFeasibility must run on the goroutine
+// that owns the loop (the driver exposes it via a channel round-trip).
+func (l *Loop) ProbeFeasibility(res model.Resolution, steps int, slo time.Duration) (Feasibility, error) {
+	if !l.cfg.Profile.Has(res) {
+		return Feasibility{}, fmt.Errorf("control: %v not in profile", res)
+	}
+	if steps <= 0 {
+		steps = l.cfg.Model.DefaultSteps
+	}
+	now := l.clk.Now()
+	f := Feasibility{
+		Now:         now,
+		Deadline:    now + slo,
+		HealthyGPUs: l.cfg.Topo.N - l.eng.FailedGPUs().Count(),
+		FreeGPUs:    l.eng.Free().Count(),
+		Running:     len(l.running),
+	}
+	f.MinStepTime, f.MinStepDegree = l.cfg.Profile.MinStepTime(res)
+	f.ServiceGPUSeconds = float64(steps) * l.minGPUSeconds(res)
+	if f.HealthyGPUs <= 0 {
+		// A fully failed pool can never win; pin the projection at the
+		// deadline horizon so Slack reports "late by the whole budget".
+		f.ProjectedStart = f.Deadline
+		f.ProjectedFinish = f.Deadline + slo
+		f.Slack = f.Deadline - f.ProjectedFinish
+		return f, nil
+	}
+
+	// Backlog: every tracked, unfinished request costed at its cheapest
+	// profiled degree. The pending list may hold stale entries for requests
+	// that finished out of a block (same filter snapshotPending applies);
+	// running requests are counted by their remaining steps only.
+	var backlog float64
+	for _, st := range l.pending {
+		if st.Running || st.Remaining <= 0 || l.done[st.Req.ID] {
+			continue
+		}
+		f.Pending++
+		backlog += float64(st.Remaining) * l.minGPUSeconds(st.Req.Res)
+	}
+	for _, st := range l.running {
+		if st.Remaining <= 0 {
+			continue
+		}
+		backlog += float64(st.Remaining) * l.minGPUSeconds(st.Req.Res)
+	}
+	f.QueueGPUSeconds = backlog
+	queueWait := time.Duration(backlog / float64(f.HealthyGPUs) * float64(time.Second))
+
+	// Boundary wait mirrors the arrival path's planning condition: a
+	// non-round-based loop plans on every arrival, and an eager round-based
+	// loop plans immediately whenever a GPU is free; otherwise the request
+	// waits out the current round.
+	var boundary time.Duration
+	if l.roundBased && !(l.eager && l.eng.Free() != 0) {
+		boundary = l.tau
+	}
+
+	f.ProjectedStart = now + boundary + queueWait
+	f.ProjectedFinish = f.ProjectedStart + time.Duration(steps)*f.MinStepTime + l.dispatchDelay()
+	f.Winnable = f.ProjectedFinish <= f.Deadline
+	f.Slack = f.Deadline - f.ProjectedFinish
+	return f, nil
+}
+
+// minGPUSeconds is the cheapest profiled per-step GPU·seconds for res —
+// min_k k·T(res,k), the §4.2.1 GPU-hour floor a perfectly packed schedule
+// approaches.
+func (l *Loop) minGPUSeconds(res model.Resolution) float64 {
+	best := 0.0
+	for i, k := range l.cfg.Profile.Degrees() {
+		if g := l.cfg.Profile.GPUSeconds(res, k); i == 0 || g < best {
+			best = g
+		}
+	}
+	return best
+}

@@ -1,0 +1,252 @@
+package control
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tetriserve/internal/clock"
+	"tetriserve/internal/core"
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/model"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+func newProbeLoop(t *testing.T) (*Loop, *clock.Virtual, *core.Scheduler) {
+	t.Helper()
+	mdl := model.FLUX()
+	topo := simgpu.H100x8()
+	prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
+	sc := core.NewScheduler(prof, topo, core.DefaultConfig())
+	clk := clock.NewVirtual()
+	cfg := testConfig(sc)
+	cfg.Profile = prof
+	l, err := New(cfg, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, clk, sc
+}
+
+func TestProbeIdleLoop(t *testing.T) {
+	l, _, _ := newProbeLoop(t)
+
+	f, err := l.ProbeFeasibility(model.Res512, 0, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Winnable {
+		t.Fatalf("idle 8×H100 pool must win a 30s SLO at 512²: %+v", f)
+	}
+	if f.Pending != 0 || f.Running != 0 || f.QueueGPUSeconds != 0 {
+		t.Fatalf("idle loop reported backlog: %+v", f)
+	}
+	if f.HealthyGPUs != 8 || f.FreeGPUs != 8 {
+		t.Fatalf("capacity wrong: %+v", f)
+	}
+	if f.Slack <= 0 || f.Slack != f.Deadline-f.ProjectedFinish {
+		t.Fatalf("slack inconsistent: %+v", f)
+	}
+	if f.ServiceGPUSeconds <= 0 || f.MinStepTime <= 0 || f.MinStepDegree <= 0 {
+		t.Fatalf("cost fields unset: %+v", f)
+	}
+
+	// An SLO shorter than best-case service time can never be won.
+	tight := time.Duration(model.FLUX().DefaultSteps) * f.MinStepTime / 2
+	f2, err := l.ProbeFeasibility(model.Res512, 0, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Winnable {
+		t.Fatalf("sub-service SLO %v reported winnable: %+v", tight, f2)
+	}
+	if f2.Slack >= 0 {
+		t.Fatalf("losing probe must carry negative slack: %+v", f2)
+	}
+}
+
+func TestProbeUnknownResolutionErrors(t *testing.T) {
+	l, _, _ := newProbeLoop(t)
+	if _, err := l.ProbeFeasibility(model.Resolution{W: 48, H: 48}, 0, time.Second); err == nil {
+		t.Fatal("want error for unprofiled resolution")
+	}
+}
+
+func TestProbeStepsDefault(t *testing.T) {
+	l, _, _ := newProbeLoop(t)
+	def, err := l.ProbeFeasibility(model.Res512, 0, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := l.ProbeFeasibility(model.Res512, model.FLUX().DefaultSteps, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.ProjectedFinish != explicit.ProjectedFinish {
+		t.Fatalf("steps<=0 must default to the model's count: %v vs %v",
+			def.ProjectedFinish, explicit.ProjectedFinish)
+	}
+}
+
+func TestProbeBacklogDelaysProjection(t *testing.T) {
+	l, _, _ := newProbeLoop(t)
+	idle, _ := l.ProbeFeasibility(model.Res512, 0, 30*time.Second)
+
+	for i := 0; i < 6; i++ {
+		l.Arrive(&workload.Request{
+			ID: workload.RequestID(100 + i), Res: model.Res1024,
+			Steps: 50, SLO: 30 * time.Second,
+		})
+	}
+	loaded, _ := l.ProbeFeasibility(model.Res512, 0, 30*time.Second)
+	if loaded.QueueGPUSeconds <= idle.QueueGPUSeconds {
+		t.Fatalf("backlog not reflected: %f ≤ %f", loaded.QueueGPUSeconds, idle.QueueGPUSeconds)
+	}
+	if loaded.ProjectedFinish <= idle.ProjectedFinish {
+		t.Fatalf("projection must move out under load: %v ≤ %v",
+			loaded.ProjectedFinish, idle.ProjectedFinish)
+	}
+}
+
+func TestProbeFullyFailedPoolNeverWins(t *testing.T) {
+	l, _, _ := newProbeLoop(t)
+	l.Begin()
+	l.Fail(simgpu.Mask(1<<8 - 1))
+	f, err := l.ProbeFeasibility(model.Res512, 0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Winnable || f.HealthyGPUs != 0 {
+		t.Fatalf("dead pool reported winnable: %+v", f)
+	}
+	if f.Slack >= 0 {
+		t.Fatalf("dead pool must report lateness: %+v", f)
+	}
+}
+
+// drain drives a loop to completion, optionally probing before every event
+// dispatch. It returns the finalized result.
+func drain(t *testing.T, l *Loop, clk *clock.Virtual, probe func()) *Result {
+	t.Helper()
+	for guard := 0; l.Unfinished() > 0; guard++ {
+		if guard > 2_000_000 {
+			t.Fatal("drain did not converge")
+		}
+		ev := l.NextEvent()
+		if ev == nil {
+			t.Fatalf("deadlock: %d unfinished, no events", l.Unfinished())
+		}
+		if probe != nil {
+			probe()
+		}
+		clk.Advance(ev.At)
+		if err := l.Dispatch(l.PopEvent()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l.Finalize()
+}
+
+// TestProbeNeverMutatesLoopState is the router-facing no-mutation property:
+// two identical loops replay the same trace, one interleaving feasibility
+// probes of randomized shapes before every event; every outcome, run record
+// count, plan-call count, and the warm-start planner's cache fingerprint must
+// be bit-identical. Pre-fix probes that planned speculatively (or touched the
+// decode queue) diverge here.
+func TestProbeNeverMutatesLoopState(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []model.Resolution{model.Res256, model.Res512, model.Res1024}
+
+	trace := workload.Generate(workload.GeneratorConfig{
+		Model: model.FLUX(), Seed: 3, NumRequests: 40,
+		Arrivals: workload.NewBurstyArrivals(30),
+	})
+
+	build := func() (*Loop, *clock.Virtual, *core.Scheduler) {
+		l, clk, sc := newProbeLoop(t)
+		for _, r := range trace {
+			cp := *r
+			l.ScheduleArrival(&cp)
+		}
+		l.Begin()
+		return l, clk, sc
+	}
+
+	quiet, qclk, qsc := build()
+	probed, pclk, psc := build()
+
+	res1 := drain(t, quiet, qclk, nil)
+	res2 := drain(t, probed, pclk, func() {
+		res := shapes[rng.Intn(len(shapes))]
+		slo := time.Duration(rng.Intn(20_000)) * time.Millisecond
+		if _, err := probed.ProbeFeasibility(res, 0, slo); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if len(res1.Outcomes) != len(res2.Outcomes) {
+		t.Fatalf("outcome counts diverged: %d vs %d", len(res1.Outcomes), len(res2.Outcomes))
+	}
+	for i := range res1.Outcomes {
+		if res1.Outcomes[i] != res2.Outcomes[i] {
+			t.Fatalf("outcome %d diverged:\n  quiet:  %+v\n  probed: %+v",
+				i, res1.Outcomes[i], res2.Outcomes[i])
+		}
+	}
+	if res1.PlanCalls != res2.PlanCalls || len(res1.Runs) != len(res2.Runs) ||
+		res1.Makespan != res2.Makespan || res1.GPUBusySeconds != res2.GPUBusySeconds {
+		t.Fatalf("aggregate state diverged:\n  quiet:  plans=%d runs=%d makespan=%v busy=%f\n  probed: plans=%d runs=%d makespan=%v busy=%f",
+			res1.PlanCalls, len(res1.Runs), res1.Makespan, res1.GPUBusySeconds,
+			res2.PlanCalls, len(res2.Runs), res2.Makespan, res2.GPUBusySeconds)
+	}
+	if qsc.Warm() != psc.Warm() {
+		t.Fatalf("warm-start cache fingerprint diverged: %+v vs %+v", qsc.Warm(), psc.Warm())
+	}
+}
+
+// TestProbeAgreesWithSingleShotOutcome checks calibration: for randomized
+// single-shot submissions on an idle pool, the probe's Winnable verdict must
+// agree with the served outcome's Met bit on at least 95% of trials. The
+// probe is an optimistic bound (decode excluded), so the residual band is
+// one-sided: a Winnable=false verdict must never see the request win.
+func TestProbeAgreesWithSingleShotOutcome(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []model.Resolution{model.Res256, model.Res512, model.Res1024}
+
+	const trials = 200
+	agree := 0
+	for i := 0; i < trials; i++ {
+		res := shapes[rng.Intn(len(shapes))]
+		// SLOs spanning hopeless to comfortable; the decision threshold for a
+		// single request sits somewhere inside this range.
+		slo := time.Duration(200+rng.Intn(20_000)) * time.Millisecond
+
+		l, clk, _ := newProbeLoop(t)
+		f, err := l.ProbeFeasibility(res, 0, slo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &workload.Request{
+			ID: 1, Res: res, Steps: model.FLUX().DefaultSteps, Arrival: 0, SLO: slo,
+		}
+		l.ScheduleArrival(r)
+		l.Begin()
+		out := drain(t, l, clk, nil)
+		if len(out.Outcomes) != 1 {
+			t.Fatalf("trial %d: %d outcomes", i, len(out.Outcomes))
+		}
+		met := out.Outcomes[0].Met
+		if f.Winnable == met {
+			agree++
+		} else if !f.Winnable && met {
+			// Optimism is allowed; pessimism (reject a winnable request) would
+			// make the router turn away servable traffic.
+			t.Fatalf("trial %d (%v, slo %v): probe said unwinnable but request met its SLO",
+				i, res, slo)
+		}
+	}
+	if ratio := float64(agree) / trials; ratio < 0.95 {
+		t.Fatalf("probe agreement %.1f%% < 95%%", 100*ratio)
+	}
+}

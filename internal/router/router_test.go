@@ -1,0 +1,281 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tetriserve/internal/control"
+	"tetriserve/internal/model"
+)
+
+// fakeShard answers probes from a table, standing in for a control.Loop.
+type fakeShard struct {
+	name    string
+	feas    control.Feasibility
+	err     error
+	probes  int
+	lastRes model.Resolution
+}
+
+func (s *fakeShard) Name() string { return s.name }
+
+func (s *fakeShard) ProbeFeasibility(res model.Resolution, steps int, slo time.Duration) (control.Feasibility, error) {
+	s.probes++
+	s.lastRes = res
+	return s.feas, s.err
+}
+
+func winnable(slack time.Duration, gpus int) control.Feasibility {
+	return control.Feasibility{
+		Winnable: true, Slack: slack,
+		HealthyGPUs: gpus, ServiceGPUSeconds: 1,
+	}
+}
+
+func losing(lateBy time.Duration, gpus int) control.Feasibility {
+	return control.Feasibility{
+		Winnable: false, Slack: -lateBy,
+		HealthyGPUs: gpus, ServiceGPUSeconds: 1,
+	}
+}
+
+func mustNew(t *testing.T, cfg Config, shards ...Shard) *Router {
+	t.Helper()
+	r, err := New(cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRoutepicksMaxSlackShard(t *testing.T) {
+	a := &fakeShard{name: "a", feas: winnable(time.Second, 2)}
+	b := &fakeShard{name: "b", feas: winnable(3*time.Second, 2)}
+	c := &fakeShard{name: "c", feas: losing(time.Second, 2)}
+	r := mustNew(t, Config{}, a, b, c)
+
+	dec := r.Route(0, "t", model.Res512, 0, 2*time.Second)
+	if !dec.Accepted || dec.Reason != ReasonRouted {
+		t.Fatalf("want routed, got %+v", dec)
+	}
+	if dec.Shard != 1 || dec.ShardName != "b" {
+		t.Fatalf("want shard b (1), got %d %q", dec.Shard, dec.ShardName)
+	}
+	if dec.Slack != 3*time.Second {
+		t.Fatalf("want slack 3s, got %v", dec.Slack)
+	}
+	if len(dec.Probes) != 3 {
+		t.Fatalf("want all 3 shards probed, got %d", len(dec.Probes))
+	}
+	for _, s := range []*fakeShard{a, b, c} {
+		if s.probes != 1 {
+			t.Fatalf("shard %s probed %d times", s.name, s.probes)
+		}
+	}
+}
+
+func TestRouteTieBreaksToLowestIndex(t *testing.T) {
+	a := &fakeShard{name: "a", feas: winnable(time.Second, 2)}
+	b := &fakeShard{name: "b", feas: winnable(time.Second, 2)}
+	r := mustNew(t, Config{}, a, b)
+
+	for i := 0; i < 5; i++ {
+		if dec := r.Route(0, "", model.Res512, 0, time.Second); dec.Shard != 0 {
+			t.Fatalf("tie must break to index 0, got %d", dec.Shard)
+		}
+	}
+}
+
+func TestRouteInfeasibleSetsRetryAfter(t *testing.T) {
+	// The least-loaded shard misses by 2 s, the other by 10 s: the client
+	// should come back after the smaller lateness.
+	a := &fakeShard{name: "a", feas: losing(10*time.Second, 2)}
+	b := &fakeShard{name: "b", feas: losing(2*time.Second, 2)}
+	r := mustNew(t, Config{}, a, b)
+
+	dec := r.Route(0, "t", model.Res512, 0, time.Second)
+	if dec.Accepted || dec.Reason != ReasonInfeasible {
+		t.Fatalf("want infeasible, got %+v", dec)
+	}
+	if dec.Shard != -1 || dec.ShardName != "" {
+		t.Fatalf("rejected decision must carry no shard, got %d %q", dec.Shard, dec.ShardName)
+	}
+	if dec.RetryAfter != 2*time.Second {
+		t.Fatalf("want Retry-After 2s (least-loaded lateness), got %v", dec.RetryAfter)
+	}
+}
+
+func TestRetryAfterFloorsAtMinimum(t *testing.T) {
+	a := &fakeShard{name: "a", feas: losing(10*time.Millisecond, 2)}
+	r := mustNew(t, Config{MinRetryAfter: 750 * time.Millisecond}, a)
+
+	dec := r.Route(0, "", model.Res512, 0, time.Second)
+	if dec.RetryAfter != 750*time.Millisecond {
+		t.Fatalf("want floored Retry-After 750ms, got %v", dec.RetryAfter)
+	}
+}
+
+func TestRouteUnknownResolution(t *testing.T) {
+	a := &fakeShard{name: "a", err: fmt.Errorf("resolution not profiled")}
+	b := &fakeShard{name: "b", err: fmt.Errorf("resolution not profiled")}
+	r := mustNew(t, Config{}, a, b)
+
+	dec := r.Route(0, "t", model.Resolution{W: 48, H: 48}, 0, time.Second)
+	if dec.Accepted || dec.Reason != ReasonUnknown {
+		t.Fatalf("want unknown_resolution, got %+v", dec)
+	}
+	if dec.Probes[0].Err == "" || dec.Probes[1].Err == "" {
+		t.Fatalf("probe errors must be preserved on the decision: %+v", dec.Probes)
+	}
+}
+
+func TestErroringShardIsSkippedNotFatal(t *testing.T) {
+	a := &fakeShard{name: "a", err: fmt.Errorf("driver stopped")}
+	b := &fakeShard{name: "b", feas: winnable(time.Second, 2)}
+	r := mustNew(t, Config{}, a, b)
+
+	dec := r.Route(0, "", model.Res512, 0, time.Second)
+	if !dec.Accepted || dec.Shard != 1 {
+		t.Fatalf("want routed to b despite a's error, got %+v", dec)
+	}
+}
+
+// TestWeightedFairShedding drives the fleet into overload with two tenants,
+// one consuming far beyond its weight: only the over-share tenant is shed,
+// the in-share tenant keeps being admitted.
+func TestWeightedFairShedding(t *testing.T) {
+	// One 2-GPU shard, always winnable with huge per-request cost so the
+	// window saturates fast: capacity = 0.85 × 2 GPUs × 10 s = 17 GPU·s;
+	// each admission books 10 GPU·s.
+	shard := &fakeShard{name: "a", feas: control.Feasibility{
+		Winnable: true, Slack: time.Second, HealthyGPUs: 2, ServiceGPUSeconds: 10,
+	}}
+	r := mustNew(t, Config{
+		FairnessWindow: 10 * time.Second,
+		TenantWeights:  map[string]float64{"heavy": 1, "light": 1},
+	}, shard)
+
+	now := 30 * time.Second // past the window ramp so capacity is full-size
+	var heavyShed, lightShed int
+	for i := 0; i < 12; i++ {
+		if dec := r.Route(now, "heavy", model.Res512, 0, time.Second); dec.Reason == ReasonShed {
+			heavyShed++
+		}
+		now += 100 * time.Millisecond
+	}
+	// heavy has saturated the window; light arrives with cheap requests that
+	// stay well inside its share.
+	shard.feas.ServiceGPUSeconds = 0.1
+	for i := 0; i < 4; i++ {
+		if dec := r.Route(now, "light", model.Res512, 0, time.Second); dec.Reason == ReasonShed {
+			lightShed++
+		}
+		now += 100 * time.Millisecond
+	}
+
+	if heavyShed == 0 {
+		t.Fatal("over-share tenant was never shed under overload")
+	}
+	if lightShed != 0 {
+		t.Fatalf("in-share tenant was shed %d times; weighted fairness must protect it", lightShed)
+	}
+	st := r.Stats()
+	if st.Shed != heavyShed {
+		t.Fatalf("stats shed %d != observed %d", st.Shed, heavyShed)
+	}
+}
+
+// TestNoSheddingWithoutOverload: a tenant over its share is still admitted
+// while the fleet has headroom — shedding requires both conditions.
+func TestNoSheddingWithoutOverload(t *testing.T) {
+	shard := &fakeShard{name: "a", feas: control.Feasibility{
+		Winnable: true, Slack: time.Second, HealthyGPUs: 8, ServiceGPUSeconds: 0.1,
+	}}
+	r := mustNew(t, Config{FairnessWindow: 10 * time.Second}, shard)
+
+	now := 30 * time.Second
+	for i := 0; i < 20; i++ {
+		if dec := r.Route(now, "only", model.Res512, 0, time.Second); !dec.Accepted {
+			t.Fatalf("request %d rejected (%s) with an idle fleet", i, dec.Reason)
+		}
+		now += 10 * time.Millisecond
+	}
+}
+
+// TestLedgerPruning: admissions age out of the fairness window, so a burst
+// long past stops counting against the tenant.
+func TestLedgerPruning(t *testing.T) {
+	shard := &fakeShard{name: "a", feas: control.Feasibility{
+		Winnable: true, Slack: time.Second, HealthyGPUs: 2, ServiceGPUSeconds: 10,
+	}}
+	r := mustNew(t, Config{FairnessWindow: 10 * time.Second}, shard)
+
+	now := 20 * time.Second
+	for i := 0; i < 10; i++ {
+		r.Route(now, "t", model.Res512, 0, time.Second)
+		now += 50 * time.Millisecond
+	}
+	// Jump far past the window: everything admitted above ages out.
+	now += time.Hour
+	dec := r.Route(now, "t", model.Res512, 0, time.Second)
+	if !dec.Accepted {
+		t.Fatalf("want admission after window reset, got %s", dec.Reason)
+	}
+	st := r.Stats()
+	for _, ts := range st.Tenants {
+		if ts.Tenant == "t" && ts.WindowGPUSeconds > 10.5 {
+			t.Fatalf("window GPU·s %f not pruned", ts.WindowGPUSeconds)
+		}
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	a := &fakeShard{name: "a", feas: winnable(time.Second, 2)}
+	r := mustNew(t, Config{}, a)
+
+	r.Route(0, "t1", model.Res512, 0, time.Second)
+	r.Route(0, "t2", model.Res512, 0, time.Second)
+	a.feas = losing(5*time.Second, 2)
+	r.Route(0, "t2", model.Res512, 0, time.Second)
+	a.err = fmt.Errorf("resolution not profiled")
+	r.Route(0, "t1", model.Resolution{W: 48, H: 48}, 0, time.Second)
+
+	st := r.Stats()
+	if st.Decisions != 4 || st.Routed != 2 || st.Infeasible != 1 || st.Unknown != 1 {
+		t.Fatalf("bad counters: %+v", st)
+	}
+	want := 1.0 / 4.0
+	if st.EarlyRejectRate != want {
+		t.Fatalf("early-reject rate %f, want %f", st.EarlyRejectRate, want)
+	}
+	if len(st.Shards) != 1 || st.Shards[0].Routed != 2 {
+		t.Fatalf("bad shard stats: %+v", st.Shards)
+	}
+	if len(st.Tenants) != 2 || st.Tenants[0].Tenant != "t1" || st.Tenants[1].Tenant != "t2" {
+		t.Fatalf("tenants must be sorted by name: %+v", st.Tenants)
+	}
+	if st.Tenants[1].Rejected != 1 {
+		t.Fatalf("t2 should have 1 rejection: %+v", st.Tenants[1])
+	}
+}
+
+func TestObserverSeesEveryDecision(t *testing.T) {
+	a := &fakeShard{name: "a", feas: winnable(time.Second, 2)}
+	var seen []Decision
+	r := mustNew(t, Config{Observer: func(d Decision) { seen = append(seen, d) }}, a)
+
+	r.Route(0, "t", model.Res512, 0, time.Second)
+	a.feas = losing(time.Second, 2)
+	r.Route(0, "t", model.Res512, 0, time.Second)
+
+	if len(seen) != 2 || seen[0].Reason != ReasonRouted || seen[1].Reason != ReasonInfeasible {
+		t.Fatalf("observer saw %+v", seen)
+	}
+}
+
+func TestNewRequiresShards(t *testing.T) {
+	if _, err := New(Config{}, nil); err == nil {
+		t.Fatal("want error for zero shards")
+	}
+}

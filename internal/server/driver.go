@@ -15,6 +15,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -101,6 +102,20 @@ type faultCmd struct {
 	recover bool
 }
 
+// probeCmd is a feasibility probe handled on the loop goroutine (the probe
+// reads loop state, which only that goroutine may touch).
+type probeCmd struct {
+	res   model.Resolution
+	steps int
+	slo   time.Duration
+	reply chan probeReply
+}
+
+type probeReply struct {
+	feas control.Feasibility
+	err  error
+}
+
 // Driver runs the serving loop.
 type Driver struct {
 	cfg  DriverConfig
@@ -110,6 +125,7 @@ type Driver struct {
 	arrive chan *Job
 	faultc chan faultCmd
 	snapc  chan chan *control.Result
+	probec chan probeCmd
 	stop   chan struct{}
 	// stopped closes after the loop goroutine has published its final
 	// result snapshot.
@@ -165,6 +181,7 @@ func NewDriver(cfg DriverConfig) (*Driver, error) {
 		arrive:  make(chan *Job, 256),
 		faultc:  make(chan faultCmd, 16),
 		snapc:   make(chan chan *control.Result),
+		probec:  make(chan probeCmd),
 		stop:    make(chan struct{}),
 		stopped: make(chan struct{}),
 		jobs:    make(map[workload.RequestID]*Job),
@@ -242,6 +259,12 @@ func (d *Driver) sendFault(cmd faultCmd) error {
 	}
 }
 
+// ErrUnknownResolution marks submissions whose resolution the cost profile
+// was never calibrated on (and on-demand profiling is off). The HTTP layer
+// maps it to 400: the request itself is malformed for this deployment, not
+// merely unservable right now.
+var ErrUnknownResolution = errors.New("resolution not profiled")
+
 // Submit enqueues a generation request and returns a snapshot of its job.
 func (d *Driver) Submit(prompt workload.Prompt, res model.Resolution, slo time.Duration) (Job, error) {
 	if !res.Valid() {
@@ -251,9 +274,13 @@ func (d *Driver) Submit(prompt workload.Prompt, res model.Resolution, slo time.D
 	// loop goroutine (see the arrival path); in that mode Submit must not
 	// read it.
 	if !d.cfg.AdmitAnyResolution && !d.prof.Has(res) {
-		return Job{}, fmt.Errorf("server: resolution %v not profiled; supported: %v", res, d.prof.Resolutions())
+		return Job{}, fmt.Errorf("server: %w: %v; supported: %v", ErrUnknownResolution, res, d.prof.Resolutions())
 	}
 	if slo <= 0 {
+		// The default deadline interpolates the SLO policy in token count,
+		// clamped to the calibrated anchor range — a resolution outside the
+		// policy's range inherits the nearest contract rather than an
+		// extrapolated (potentially absurd) one.
 		slo = workload.NewSLOPolicy(1.0).InterpolatedBudget(res)
 	}
 	select {
@@ -324,6 +351,29 @@ func (d *Driver) Result() *control.Result {
 		d.mu.Lock()
 		defer d.mu.Unlock()
 		return d.final
+	}
+}
+
+// Probe projects deadline feasibility for a hypothetical request against
+// the live loop's current backlog — control.Loop.ProbeFeasibility, funneled
+// onto the loop goroutine that owns all loop state. The probe mutates
+// nothing: submitting after a probe behaves exactly as if the probe never
+// happened. Safe to call concurrently; fails once the driver is stopped or
+// before it is started.
+func (d *Driver) Probe(res model.Resolution, steps int, slo time.Duration) (control.Feasibility, error) {
+	d.mu.Lock()
+	started := d.started
+	d.mu.Unlock()
+	if !started {
+		return control.Feasibility{}, fmt.Errorf("server: driver not started")
+	}
+	cmd := probeCmd{res: res, steps: steps, slo: slo, reply: make(chan probeReply, 1)}
+	select {
+	case d.probec <- cmd:
+		r := <-cmd.reply
+		return r.feas, r.err
+	case <-d.stopped:
+		return control.Feasibility{}, fmt.Errorf("server: driver stopped")
 	}
 }
 
@@ -582,6 +632,9 @@ func (d *Driver) loop() {
 			}
 		case reply := <-d.snapc:
 			reply <- ctl.SnapshotResult()
+		case cmd := <-d.probec:
+			feas, err := ctl.ProbeFeasibility(cmd.res, cmd.steps, cmd.slo)
+			cmd.reply <- probeReply{feas: feas, err: err}
 		case <-wake:
 			for {
 				next := ctl.NextEvent()

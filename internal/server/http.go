@@ -2,13 +2,16 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
 
+	"tetriserve/internal/control"
 	"tetriserve/internal/model"
 	"tetriserve/internal/simgpu"
 	"tetriserve/internal/trace"
@@ -21,6 +24,7 @@ import (
 //	GET  /v1/jobs/{id}            → Job
 //	GET  /v1/stats                → Stats
 //	GET  /v1/profile              → offline-profiled step times
+//	POST /v1/probe                {width, height, steps?, slo_ms} → feasibility
 //	POST /v1/faults               {fail_gpus?, recover_gpus?} → Stats
 //	GET  /v1/trace                → JSONL event log (same format as tetrisim export)
 //	GET  /v1/trace?follow=1       → live event feed (SSE with Accept:
@@ -35,6 +39,10 @@ type API struct {
 	Driver *Driver
 	// Pprof additionally mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
+	// Logf receives serving-path diagnostics that can no longer reach the
+	// client — encode failures after the status line is written, truncated
+	// streams. Defaults to log.Printf; tests inject a recorder.
+	Logf func(format string, args ...any)
 	// hashPrompt derives the structured prompt from free text; the
 	// default buckets by a stable hash so similar texts share a theme.
 	hashPrompt func(string) workload.Prompt
@@ -52,6 +60,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJob)
 	mux.HandleFunc("GET /v1/stats", a.handleStats)
 	mux.HandleFunc("GET /v1/profile", a.handleProfile)
+	mux.HandleFunc("POST /v1/probe", a.handleProbe)
 	mux.HandleFunc("POST /v1/faults", a.handleFaults)
 	mux.HandleFunc("GET /v1/trace", a.handleTrace)
 	mux.HandleFunc("GET /v1/rounds", a.handleRounds)
@@ -82,43 +91,145 @@ type GenerateRequest struct {
 func (a *API) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	var req GenerateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		a.httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
 	if strings.TrimSpace(req.Prompt) == "" {
-		httpError(w, http.StatusBadRequest, "prompt is required")
+		a.httpError(w, http.StatusBadRequest, "prompt is required")
 		return
 	}
 	res := model.Resolution{W: req.Width, H: req.Height}
 	if !res.Valid() {
-		httpError(w, http.StatusBadRequest, "width/height must be positive multiples of 16")
+		a.httpError(w, http.StatusBadRequest, "width/height must be positive multiples of 16")
 		return
 	}
 	job, err := a.Driver.Submit(a.hashPrompt(req.Prompt), res, time.Duration(req.SLOMillis)*time.Millisecond)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		// A resolution the profile knows nothing about is a malformed request
+		// for this deployment (400); transient serving conditions stay 422.
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, ErrUnknownResolution) {
+			code = http.StatusBadRequest
+		}
+		a.httpError(w, code, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, job)
+	a.writeJSON(w, http.StatusAccepted, job)
 }
 
 func (a *API) handleJob(w http.ResponseWriter, r *http.Request) {
 	idStr := r.PathValue("id")
 	id, err := strconv.Atoi(idStr)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "invalid job id %q", idStr)
+		a.httpError(w, http.StatusBadRequest, "invalid job id %q", idStr)
 		return
 	}
 	job, ok := a.Driver.JobStatus(workload.RequestID(id))
 	if !ok {
-		httpError(w, http.StatusNotFound, "job %d not found", id)
+		a.httpError(w, http.StatusNotFound, "job %d not found", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, job)
+	a.writeJSON(w, http.StatusOK, job)
 }
 
 func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, a.Driver.Snapshot())
+	a.writeJSON(w, http.StatusOK, a.Driver.Snapshot())
+}
+
+// ProbeRequest asks the shard for a read-only deadline-feasibility
+// projection — the admission router's per-shard question.
+type ProbeRequest struct {
+	Width  int `json:"width"`
+	Height int `json:"height"`
+	// Steps ≤ 0 defaults to the model's step count.
+	Steps     int   `json:"steps,omitempty"`
+	SLOMillis int64 `json:"slo_ms"`
+}
+
+// FeasibilityView is the JSON shape of control.Feasibility.
+type FeasibilityView struct {
+	Winnable          bool    `json:"winnable"`
+	NowUS             int64   `json:"now_us"`
+	DeadlineUS        int64   `json:"deadline_us"`
+	ProjectedStartUS  int64   `json:"projected_start_us"`
+	ProjectedFinishUS int64   `json:"projected_finish_us"`
+	SlackUS           int64   `json:"slack_us"`
+	QueueGPUSeconds   float64 `json:"queue_gpu_seconds"`
+	ServiceGPUSeconds float64 `json:"service_gpu_seconds"`
+	Pending           int     `json:"pending"`
+	Running           int     `json:"running"`
+	HealthyGPUs       int     `json:"healthy_gpus"`
+	FreeGPUs          int     `json:"free_gpus"`
+	MinStepUS         int64   `json:"min_step_us"`
+	MinStepDegree     int     `json:"min_step_degree"`
+}
+
+// NewFeasibilityView converts a probe result for the wire.
+func NewFeasibilityView(f control.Feasibility) FeasibilityView {
+	return FeasibilityView{
+		Winnable:          f.Winnable,
+		NowUS:             f.Now.Microseconds(),
+		DeadlineUS:        f.Deadline.Microseconds(),
+		ProjectedStartUS:  f.ProjectedStart.Microseconds(),
+		ProjectedFinishUS: f.ProjectedFinish.Microseconds(),
+		SlackUS:           f.Slack.Microseconds(),
+		QueueGPUSeconds:   f.QueueGPUSeconds,
+		ServiceGPUSeconds: f.ServiceGPUSeconds,
+		Pending:           f.Pending,
+		Running:           f.Running,
+		HealthyGPUs:       f.HealthyGPUs,
+		FreeGPUs:          f.FreeGPUs,
+		MinStepUS:         f.MinStepTime.Microseconds(),
+		MinStepDegree:     f.MinStepDegree,
+	}
+}
+
+// Feasibility converts the wire shape back into control.Feasibility (the
+// remote-shard client's inverse of NewFeasibilityView).
+func (v FeasibilityView) Feasibility() control.Feasibility {
+	return control.Feasibility{
+		Winnable:          v.Winnable,
+		Now:               time.Duration(v.NowUS) * time.Microsecond,
+		Deadline:          time.Duration(v.DeadlineUS) * time.Microsecond,
+		ProjectedStart:    time.Duration(v.ProjectedStartUS) * time.Microsecond,
+		ProjectedFinish:   time.Duration(v.ProjectedFinishUS) * time.Microsecond,
+		Slack:             time.Duration(v.SlackUS) * time.Microsecond,
+		QueueGPUSeconds:   v.QueueGPUSeconds,
+		ServiceGPUSeconds: v.ServiceGPUSeconds,
+		Pending:           v.Pending,
+		Running:           v.Running,
+		HealthyGPUs:       v.HealthyGPUs,
+		FreeGPUs:          v.FreeGPUs,
+		MinStepTime:       time.Duration(v.MinStepUS) * time.Microsecond,
+		MinStepDegree:     v.MinStepDegree,
+	}
+}
+
+// handleProbe answers the router's feasibility question. 400 for unknown
+// resolutions (feasibility of an uncalibrated shape is undefined), 200 with
+// the projection otherwise — including Winnable=false, which is a verdict,
+// not an error.
+func (a *API) handleProbe(w http.ResponseWriter, r *http.Request) {
+	var req ProbeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		a.httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	res := model.Resolution{W: req.Width, H: req.Height}
+	if !res.Valid() {
+		a.httpError(w, http.StatusBadRequest, "width/height must be positive multiples of 16")
+		return
+	}
+	if req.SLOMillis <= 0 {
+		a.httpError(w, http.StatusBadRequest, "slo_ms must be positive")
+		return
+	}
+	feas, err := a.Driver.Probe(res, req.Steps, time.Duration(req.SLOMillis)*time.Millisecond)
+	if err != nil {
+		a.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	a.writeJSON(w, http.StatusOK, NewFeasibilityView(feas))
 }
 
 // FaultRequest is the fault-injection payload: GPU ids to fail-stop and/or
@@ -131,7 +242,7 @@ type FaultRequest struct {
 func (a *API) handleFaults(w http.ResponseWriter, r *http.Request) {
 	var req FaultRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		a.httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
 	toMask := func(ids []int) (simgpu.Mask, error) {
@@ -146,31 +257,31 @@ func (a *API) handleFaults(w http.ResponseWriter, r *http.Request) {
 	}
 	fail, err := toMask(req.FailGPUs)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		a.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	recov, err := toMask(req.RecoverGPUs)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		a.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if fail == 0 && recov == 0 {
-		httpError(w, http.StatusBadRequest, "fail_gpus or recover_gpus required")
+		a.httpError(w, http.StatusBadRequest, "fail_gpus or recover_gpus required")
 		return
 	}
 	if fail != 0 {
 		if err := a.Driver.FailGPUs(fail); err != nil {
-			httpError(w, http.StatusConflict, "%v", err)
+			a.httpError(w, http.StatusConflict, "%v", err)
 			return
 		}
 	}
 	if recov != 0 {
 		if err := a.Driver.RecoverGPUs(recov); err != nil {
-			httpError(w, http.StatusConflict, "%v", err)
+			a.httpError(w, http.StatusConflict, "%v", err)
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, a.Driver.Snapshot())
+	a.writeJSON(w, http.StatusOK, a.Driver.Snapshot())
 }
 
 // handleTrace streams the control loop's event log as JSON lines — the same
@@ -186,8 +297,9 @@ func (a *API) handleTrace(w http.ResponseWriter, r *http.Request) {
 	evs := trace.FromResult(a.Driver.Result())
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	if err := trace.Write(w, evs); err != nil {
-		// Headers are gone; the truncated stream is the best signal left.
-		_ = err
+		// The 200 header is gone; a second WriteHeader would be worse than
+		// the truncated stream. Log so the failure is visible server-side.
+		a.logf("server: trace export truncated mid-stream: %v", err)
 	}
 }
 
@@ -199,12 +311,25 @@ func (a *API) handleTrace(w http.ResponseWriter, r *http.Request) {
 func (a *API) followTrace(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		httpError(w, http.StatusNotImplemented, "streaming unsupported")
+		a.httpError(w, http.StatusNotImplemented, "streaming unsupported")
 		return
 	}
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	// The deferred cancel is the unsubscribe contract: every exit path —
+	// client disconnect (ctx done), write failure, stalled-socket deadline —
+	// drops this subscriber, so the bus count returns to baseline and the
+	// control loop never accumulates dead tails.
 	ch, cancel := a.Driver.Telemetry().Bus.Subscribe(0)
 	defer cancel()
+	// A client that disconnects triggers ctx.Done, but one that merely stops
+	// reading leaves the connection open and lets TCP backpressure block the
+	// write forever, wedging this goroutine (and its subscription) for good.
+	// Per-write deadlines bound that: a write stalled past the window fails,
+	// and the handler exits through the same unsubscribe path. Recorders and
+	// exotic wrappers without deadline support are fine — SetWriteDeadline
+	// just returns ErrNotSupported and the ctx.Done path still applies.
+	rc := http.NewResponseController(w)
+	const writeWindow = 30 * time.Second
 	if sse {
 		w.Header().Set("Content-Type", "text/event-stream")
 	} else {
@@ -222,6 +347,7 @@ func (a *API) followTrace(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				continue
 			}
+			_ = rc.SetWriteDeadline(time.Now().Add(writeWindow))
 			if sse {
 				_, err = fmt.Fprintf(w, "data: %s\n\n", b)
 			} else {
@@ -271,7 +397,7 @@ func (a *API) handleRounds(w http.ResponseWriter, r *http.Request) {
 	if s := r.URL.Query().Get("n"); s != "" {
 		v, err := strconv.Atoi(s)
 		if err != nil || v < 0 {
-			httpError(w, http.StatusBadRequest, "invalid n %q", s)
+			a.httpError(w, http.StatusBadRequest, "invalid n %q", s)
 			return
 		}
 		n = v
@@ -308,7 +434,7 @@ func (a *API) handleRounds(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, rv)
 	}
-	writeJSON(w, http.StatusOK, out)
+	a.writeJSON(w, http.StatusOK, out)
 }
 
 // profileEntry is one row of the profile dump.
@@ -332,7 +458,7 @@ func (a *API) handleProfile(w http.ResponseWriter, _ *http.Request) {
 			})
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	a.writeJSON(w, http.StatusOK, out)
 }
 
 // HashPrompt derives a structured prompt from free text deterministically:
@@ -369,15 +495,26 @@ func fnv32(s string) uint32 {
 	return h
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+func (a *API) logf(format string, args ...any) {
+	if a.Logf != nil {
+		a.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// writeJSON emits one JSON response. Once WriteHeader has run the status
+// line is on the wire: a mid-encode failure (client gone, broken pipe) must
+// never be answered with a second header write (http.Error would trigger
+// net/http's "superfluous WriteHeader" path) — it is logged instead.
+func (a *API) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Too late to change the status; nothing useful to do.
-		_ = err
+		a.logf("server: writing %d response failed mid-stream: %v", code, err)
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+func (a *API) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	a.writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

@@ -1,0 +1,350 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"tetriserve/internal/control"
+	"tetriserve/internal/model"
+	"tetriserve/internal/router"
+	"tetriserve/internal/telemetry"
+	"tetriserve/internal/workload"
+)
+
+// RouterShard is a pool the routing tier can probe and submit to: the
+// router.Shard contract plus a submission path. LocalShard wraps an
+// in-process Driver; RemoteShard speaks to a shard daemon over HTTP.
+type RouterShard interface {
+	router.Shard
+	Submit(prompt workload.Prompt, res model.Resolution, slo time.Duration) (Job, error)
+}
+
+// LocalShard adapts an in-process Driver (its Probe/Submit are already
+// goroutine-safe channel round-trips).
+type LocalShard struct {
+	ShardName string
+	Driver    *Driver
+}
+
+// Name returns the shard's display name.
+func (s *LocalShard) Name() string { return s.ShardName }
+
+// ProbeFeasibility implements router.Shard.
+func (s *LocalShard) ProbeFeasibility(res model.Resolution, steps int, slo time.Duration) (control.Feasibility, error) {
+	return s.Driver.Probe(res, steps, slo)
+}
+
+// Submit implements RouterShard.
+func (s *LocalShard) Submit(prompt workload.Prompt, res model.Resolution, slo time.Duration) (Job, error) {
+	return s.Driver.Submit(prompt, res, slo)
+}
+
+// RemoteShard speaks the shard API (POST /v1/probe, POST
+// /v1/images/generations) of a tetriserve daemon running in -mode shard.
+type RemoteShard struct {
+	ShardName string
+	BaseURL   string
+	// Client defaults to a 10 s-timeout http.Client.
+	Client *http.Client
+}
+
+// NewRemoteShard builds a remote shard client; the name defaults to the URL.
+func NewRemoteShard(name, baseURL string) *RemoteShard {
+	if name == "" {
+		name = baseURL
+	}
+	return &RemoteShard{
+		ShardName: name,
+		BaseURL:   strings.TrimRight(baseURL, "/"),
+		Client:    &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// Name returns the shard's display name.
+func (s *RemoteShard) Name() string { return s.ShardName }
+
+func (s *RemoteShard) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := s.Client.Post(s.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("shard %s: %w", s.ShardName, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("shard %s: %w", s.ShardName, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("shard %s: %s", s.ShardName, e.Error)
+		}
+		return fmt.Errorf("shard %s: HTTP %d", s.ShardName, resp.StatusCode)
+	}
+	return json.Unmarshal(data, out)
+}
+
+// ProbeFeasibility implements router.Shard over HTTP.
+func (s *RemoteShard) ProbeFeasibility(res model.Resolution, steps int, slo time.Duration) (control.Feasibility, error) {
+	var v FeasibilityView
+	err := s.post("/v1/probe", ProbeRequest{
+		Width: res.W, Height: res.H, Steps: steps, SLOMillis: slo.Milliseconds(),
+	}, &v)
+	if err != nil {
+		return control.Feasibility{}, err
+	}
+	return v.Feasibility(), nil
+}
+
+// Submit implements RouterShard over HTTP.
+func (s *RemoteShard) Submit(prompt workload.Prompt, res model.Resolution, slo time.Duration) (Job, error) {
+	var job Job
+	err := s.post("/v1/images/generations", GenerateRequest{
+		Prompt: prompt.Text, Width: res.W, Height: res.H, SLOMillis: slo.Milliseconds(),
+	}, &job)
+	return job, err
+}
+
+// RouterAPI is the admission/routing front end — the -mode router HTTP
+// surface:
+//
+//	POST /v1/generate        {prompt, width, height, slo_ms?, steps?, tenant?}
+//	                         → 202 job + shard on accept,
+//	                           429 + Retry-After on early reject,
+//	                           400 for unknown resolutions
+//	GET  /v1/router/stats    → admission counters, per-shard and per-tenant
+//	GET  /v1/router/stats?explain=K → + the last K routing decisions
+//	GET  /metrics            → Prometheus text exposition (router metrics)
+//	GET  /healthz            → 200 ok
+//
+// The router's fairness window runs on its own monotonic clock (wall time
+// since construction); shard loops keep their own speedup-scaled clocks.
+type RouterAPI struct {
+	// Logf is the serving-path diagnostic sink, as on API.
+	Logf func(format string, args ...any)
+
+	rt         *router.Router
+	shards     []RouterShard
+	plane      *telemetry.RouterPlane
+	start      time.Time
+	hashPrompt func(string) workload.Prompt
+}
+
+// NewRouterAPI wires shards behind a router with telemetry attached.
+func NewRouterAPI(cfg router.Config, shards []RouterShard) (*RouterAPI, error) {
+	a := &RouterAPI{
+		shards:     shards,
+		plane:      telemetry.NewRouterPlane(nil),
+		start:      time.Now(),
+		hashPrompt: HashPrompt,
+	}
+	cfg.Observer = a.plane.Observe
+	rs := make([]router.Shard, len(shards))
+	for i, s := range shards {
+		rs[i] = s
+	}
+	rt, err := router.New(cfg, rs)
+	if err != nil {
+		return nil, err
+	}
+	a.rt = rt
+	return a, nil
+}
+
+// Router exposes the underlying router (stats, tests).
+func (a *RouterAPI) Router() *router.Router { return a.rt }
+
+// Telemetry exposes the router telemetry plane.
+func (a *RouterAPI) Telemetry() *telemetry.RouterPlane { return a.plane }
+
+// Handler returns the routed HTTP handler.
+func (a *RouterAPI) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/generate", a.handleGenerate)
+	mux.HandleFunc("GET /v1/router/stats", a.handleStats)
+	mux.Handle("GET /metrics", a.plane.Registry.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// RoutedGenerateRequest is the routing-mode submission payload.
+type RoutedGenerateRequest struct {
+	Prompt string `json:"prompt"`
+	Width  int    `json:"width"`
+	Height int    `json:"height"`
+	// SLOMillis overrides the default per-resolution deadline.
+	SLOMillis int64 `json:"slo_ms,omitempty"`
+	// Steps overrides the model's step count (≤ 0 = default).
+	Steps int `json:"steps,omitempty"`
+	// Tenant is the weighted-fair admission identity ("" = default tenant).
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// RoutedJob is the accepted-submission response: the shard's job record plus
+// where (and why) it landed.
+type RoutedJob struct {
+	Job
+	Shard string `json:"shard"`
+	// SlackUS is the chosen shard's projected deadline slack at admission.
+	SlackUS int64 `json:"slack_us"`
+}
+
+// rejectBody explains a 429.
+type rejectBody struct {
+	Error        string `json:"error"`
+	Reason       string `json:"reason"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+}
+
+func (a *RouterAPI) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req RoutedGenerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		a.httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Prompt) == "" {
+		a.httpError(w, http.StatusBadRequest, "prompt is required")
+		return
+	}
+	res := model.Resolution{W: req.Width, H: req.Height}
+	if !res.Valid() {
+		a.httpError(w, http.StatusBadRequest, "width/height must be positive multiples of 16")
+		return
+	}
+	slo := time.Duration(req.SLOMillis) * time.Millisecond
+	if slo <= 0 {
+		slo = workload.NewSLOPolicy(1.0).InterpolatedBudget(res)
+	}
+
+	dec := a.rt.Route(time.Since(a.start), req.Tenant, res, req.Steps, slo)
+	switch dec.Reason {
+	case router.ReasonUnknown:
+		a.httpError(w, http.StatusBadRequest, "resolution %v not profiled on any shard", res)
+		return
+	case router.ReasonInfeasible, router.ReasonShed:
+		// Early rejection: admitting would burn GPU·seconds on a guaranteed
+		// SLO miss (or starve in-budget tenants). Retry-After is in whole
+		// seconds per RFC 9110, rounded up so clients never retry early.
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int(math.Ceil(dec.RetryAfter.Seconds()))))
+		a.writeJSON(w, http.StatusTooManyRequests, rejectBody{
+			Error:        fmt.Sprintf("no shard can meet the %s deadline", slo),
+			Reason:       string(dec.Reason),
+			RetryAfterMS: dec.RetryAfter.Milliseconds(),
+		})
+		return
+	}
+
+	job, err := a.shards[dec.Shard].Submit(a.hashPrompt(req.Prompt), res, slo)
+	if err != nil {
+		// The probe said winnable but the shard refused (stopped, raced a
+		// restart): surface as 503, the one transient case left.
+		a.httpError(w, http.StatusServiceUnavailable, "shard %s: %v", dec.ShardName, err)
+		return
+	}
+	a.writeJSON(w, http.StatusAccepted, RoutedJob{
+		Job:     job,
+		Shard:   dec.ShardName,
+		SlackUS: dec.Slack.Microseconds(),
+	})
+}
+
+// routerStatsView is the /v1/router/stats response.
+type routerStatsView struct {
+	router.Stats
+	// Decisions holds the last K decisions when ?explain=K is set.
+	Explain []decisionView `json:"explain,omitempty"`
+}
+
+// decisionView is the JSON shape of one routing decision.
+type decisionView struct {
+	AtUS         int64             `json:"at_us"`
+	Tenant       string            `json:"tenant,omitempty"`
+	Resolution   string            `json:"resolution"`
+	SLOMS        int64             `json:"slo_ms"`
+	Accepted     bool              `json:"accepted"`
+	Reason       string            `json:"reason"`
+	Shard        string            `json:"shard,omitempty"`
+	SlackUS      int64             `json:"slack_us"`
+	RetryAfterMS int64             `json:"retry_after_ms,omitempty"`
+	Probes       []probeResultView `json:"probes"`
+}
+
+// probeResultView is one shard's projection inside a decision.
+type probeResultView struct {
+	Shard string `json:"shard"`
+	Error string `json:"error,omitempty"`
+	FeasibilityView
+}
+
+func (a *RouterAPI) handleStats(w http.ResponseWriter, r *http.Request) {
+	view := routerStatsView{Stats: a.rt.Stats()}
+	if s := r.URL.Query().Get("explain"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			a.httpError(w, http.StatusBadRequest, "invalid explain %q", s)
+			return
+		}
+		for _, dec := range a.plane.Log.Snapshot(n) {
+			dv := decisionView{
+				AtUS:         dec.At.Microseconds(),
+				Tenant:       dec.Tenant,
+				Resolution:   dec.Res.String(),
+				SLOMS:        dec.SLO.Milliseconds(),
+				Accepted:     dec.Accepted,
+				Reason:       string(dec.Reason),
+				Shard:        dec.ShardName,
+				SlackUS:      dec.Slack.Microseconds(),
+				RetryAfterMS: dec.RetryAfter.Milliseconds(),
+				Probes:       make([]probeResultView, 0, len(dec.Probes)),
+			}
+			for _, pr := range dec.Probes {
+				dv.Probes = append(dv.Probes, probeResultView{
+					Shard:           pr.Shard,
+					Error:           pr.Err,
+					FeasibilityView: NewFeasibilityView(pr.Feas),
+				})
+			}
+			view.Explain = append(view.Explain, dv)
+		}
+	}
+	a.writeJSON(w, http.StatusOK, view)
+}
+
+func (a *RouterAPI) logf(format string, args ...any) {
+	if a.Logf != nil {
+		a.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// writeJSON/httpError mirror API's write discipline: once the status line is
+// out, a mid-stream failure is logged, never answered with a second header.
+func (a *RouterAPI) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		a.logf("server: writing %d response failed mid-stream: %v", code, err)
+	}
+}
+
+func (a *RouterAPI) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	a.writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -166,7 +166,9 @@ func TestHTTPValidation(t *testing.T) {
 		{`not json`, http.StatusBadRequest},
 		{`{"prompt":"", "width":256, "height":256}`, http.StatusBadRequest},
 		{`{"prompt":"x", "width":17, "height":17}`, http.StatusBadRequest},
-		{`{"prompt":"x", "width":640, "height":640}`, http.StatusUnprocessableEntity},
+		// Unprofiled-but-valid resolutions are a client error for this
+		// deployment (the response lists the supported set), not a 422.
+		{`{"prompt":"x", "width":640, "height":640}`, http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		resp, err := http.Post(ts.URL+"/v1/images/generations", "application/json",

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"tetriserve/internal/clock"
+	"tetriserve/internal/control"
+	"tetriserve/internal/costmodel"
+	"tetriserve/internal/engine"
+	"tetriserve/internal/invariant"
+	"tetriserve/internal/model"
+	"tetriserve/internal/router"
+	"tetriserve/internal/sched"
+	"tetriserve/internal/simgpu"
+	"tetriserve/internal/workload"
+)
+
+// ShardSpec describes one independent control-plane pool in a sharded
+// simulation: its own topology, scheduler, and (optionally) cost profile —
+// the per-class pools the admission router balances across.
+type ShardSpec struct {
+	Name      string
+	Topo      *simgpu.Topology
+	Scheduler sched.Scheduler
+	// Profile defaults to BuildProfile over the standard resolutions for
+	// this shard's topology.
+	Profile *costmodel.Profile
+	// Engine overrides execution physics for this shard.
+	Engine *engine.Config
+}
+
+// ShardedConfig describes a router-over-shards simulation: the same request
+// trace the single-loop simulator consumes, fronted by the admission router
+// instead of being pre-scheduled onto one loop.
+type ShardedConfig struct {
+	Model  *model.Model
+	Shards []ShardSpec
+	// Requests must be sorted by Arrival (workload.Generate's output order).
+	Requests []*workload.Request
+	// Tenant maps a request to its admission tenant; nil puts everyone in
+	// one tenant ("", weight 1).
+	Tenant func(r *workload.Request) string
+	// Router tunes admission (weights, fairness window, overload factor).
+	// Shards and Observer are wired by the harness.
+	Router router.Config
+	// DropLateFactor, CheckInvariants and MaxVirtualTime carry the
+	// single-loop Config's semantics, applied per shard.
+	DropLateFactor  float64
+	CheckInvariants bool
+	MaxVirtualTime  time.Duration
+}
+
+// RejectedRequest records one early-rejected submission with the router's
+// full verdict (which shards were probed, why none won).
+type RejectedRequest struct {
+	Req      *workload.Request
+	Decision router.Decision
+}
+
+// ShardedResult aggregates a sharded run: one control Result per shard plus
+// the admission ledger. SLO attainment over the *offered* load (admitted and
+// rejected together) is the router-vs-monolith comparison metric.
+type ShardedResult struct {
+	Shards   []*Result
+	Rejected []RejectedRequest
+	Router   router.Stats
+	// Routed maps each admitted request ID to its shard index.
+	Routed map[workload.RequestID]int
+}
+
+// Offered returns the total offered load (admitted + rejected).
+func (r *ShardedResult) Offered() int {
+	n := len(r.Rejected)
+	for _, s := range r.Shards {
+		n += len(s.Outcomes)
+	}
+	return n
+}
+
+// loopShard adapts a control.Loop to the router's Shard interface. The
+// sharded harness is single-goroutine, so probing the loop directly is safe.
+type loopShard struct {
+	name string
+	l    *control.Loop
+}
+
+func (s loopShard) Name() string { return s.name }
+
+func (s loopShard) ProbeFeasibility(res model.Resolution, steps int, slo time.Duration) (control.Feasibility, error) {
+	return s.l.ProbeFeasibility(res, steps, slo)
+}
+
+// RunSharded executes a router-over-shards simulation to completion: all
+// shards share one virtual clock, arrivals are routed (or rejected) at their
+// arrival instant, and each shard's event queue drains exactly as in the
+// single-loop simulator. Event interleaving is deterministic: the earliest
+// event across shards runs first, arrivals run before same-instant shard
+// events (matching the single-loop convention where Begin follows
+// pre-scheduled arrivals), and shard index breaks remaining ties.
+func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
+	if cfg.Model == nil || len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("sim: Model and at least one shard are required")
+	}
+	if len(cfg.Requests) == 0 {
+		return nil, fmt.Errorf("sim: empty request trace")
+	}
+	if cfg.MaxVirtualTime <= 0 {
+		cfg.MaxVirtualTime = 4 * time.Hour
+	}
+	tenant := cfg.Tenant
+	if tenant == nil {
+		tenant = func(*workload.Request) string { return "" }
+	}
+
+	clk := clock.NewVirtual()
+	loops := make([]*control.Loop, len(cfg.Shards))
+	oracles := make([]*invariant.Oracle, len(cfg.Shards))
+	shards := make([]router.Shard, len(cfg.Shards))
+	for i, spec := range cfg.Shards {
+		if spec.Topo == nil || spec.Scheduler == nil {
+			return nil, fmt.Errorf("sim: shard %d needs Topo and Scheduler", i)
+		}
+		prof := spec.Profile
+		if prof == nil {
+			prof = costmodel.BuildProfile(
+				costmodel.NewEstimator(cfg.Model, spec.Topo), costmodel.ProfilerConfig{})
+		}
+		engCfg := engine.DefaultConfig()
+		if spec.Engine != nil {
+			engCfg = *spec.Engine
+		}
+		ctlCfg := control.Config{
+			Model:          cfg.Model,
+			Topo:           spec.Topo,
+			Scheduler:      spec.Scheduler,
+			Profile:        prof,
+			Engine:         engCfg,
+			DropLateFactor: cfg.DropLateFactor,
+			Strict:         true,
+			// Arrivals come from the router at their arrival instant, not
+			// from a pre-scheduled queue, so the round grid must keep
+			// ticking through idle gaps exactly like the live driver's —
+			// a non-perpetual grid would stop after the first idle round
+			// and never plan later arrivals. Termination is handled by the
+			// harness (all arrivals consumed, every shard drained).
+			Perpetual: true,
+			Preallocate: control.Prealloc{
+				Requests: len(cfg.Requests),
+				Runs:     8 * len(cfg.Requests),
+				Rounds:   8 * len(cfg.Requests),
+			},
+		}
+		if cfg.CheckInvariants {
+			oracles[i] = invariant.Attach(&ctlCfg)
+		}
+		l, err := control.New(ctlCfg, clk)
+		if err != nil {
+			return nil, fmt.Errorf("sim: shard %d: %w", i, err)
+		}
+		l.Begin()
+		loops[i] = l
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("shard%d", i)
+		}
+		shards[i] = loopShard{name: name, l: l}
+	}
+
+	rt, err := router.New(cfg.Router, shards)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ShardedResult{Routed: map[workload.RequestID]int{}}
+	next := 0 // next arrival index
+	for {
+		hasArrival := next < len(cfg.Requests)
+		unfinished := 0
+		for _, l := range loops {
+			unfinished += l.Unfinished()
+		}
+		if !hasArrival && unfinished == 0 {
+			break
+		}
+		// Earliest shard event (ties → lowest index) vs. next arrival.
+		ei, et := -1, time.Duration(0)
+		for i, l := range loops {
+			if ev := l.NextEvent(); ev != nil && (ei < 0 || ev.At < et) {
+				ei, et = i, ev.At
+			}
+		}
+		if hasArrival && (ei < 0 || cfg.Requests[next].Arrival <= et) {
+			r := cfg.Requests[next]
+			next++
+			clk.Advance(r.Arrival)
+			dec := rt.Route(r.Arrival, tenant(r), r.Res, r.Steps, r.SLO)
+			if dec.Accepted {
+				out.Routed[r.ID] = dec.Shard
+				loops[dec.Shard].Arrive(r)
+			} else {
+				out.Rejected = append(out.Rejected, RejectedRequest{Req: r, Decision: dec})
+			}
+			continue
+		}
+		if ei < 0 {
+			return nil, fmt.Errorf("sim: %d requests unfinished but no pending events (deadlock)", unfinished)
+		}
+		if et > cfg.MaxVirtualTime {
+			return nil, fmt.Errorf("sim: exceeded max virtual time %s with %d requests left", cfg.MaxVirtualTime, unfinished)
+		}
+		clk.Advance(et)
+		if err := loops[ei].Dispatch(loops[ei].PopEvent()); err != nil {
+			return nil, fmt.Errorf("sim: shard %d: %w", ei, err)
+		}
+	}
+
+	out.Shards = make([]*Result, len(loops))
+	for i, l := range loops {
+		res := l.Finalize()
+		if oracles[i] != nil {
+			if err := oracles[i].VerifyResult(res); err != nil {
+				return nil, fmt.Errorf("sim: shard %d: %w", i, err)
+			}
+		}
+		out.Shards[i] = res
+	}
+	out.Router = rt.Stats()
+	return out, nil
+}

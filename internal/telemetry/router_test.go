@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"tetriserve/internal/router"
+)
+
+func routedDecision(shard string) router.Decision {
+	return router.Decision{
+		Accepted: true, Reason: router.ReasonRouted,
+		Shard: 0, ShardName: shard, Tenant: "t",
+		Probes: []router.ProbeResult{{Shard: shard}},
+	}
+}
+
+func TestRouterPlaneCounters(t *testing.T) {
+	p := NewRouterPlane(nil)
+
+	p.Observe(routedDecision("a"))
+	p.Observe(routedDecision("a"))
+	p.Observe(routedDecision("b"))
+	p.Observe(router.Decision{Reason: router.ReasonInfeasible, Tenant: "t"})
+	p.Observe(router.Decision{Reason: router.ReasonShed, Tenant: "burst"})
+	p.Observe(router.Decision{Reason: router.ReasonUnknown})
+
+	if got := p.byReason[router.ReasonRouted].Value(); got != 3 {
+		t.Fatalf("routed = %v, want 3", got)
+	}
+	if got := p.byReason[router.ReasonInfeasible].Value(); got != 1 {
+		t.Fatalf("infeasible = %v, want 1", got)
+	}
+	if got := p.routedShard.With("a").Value(); got != 2 {
+		t.Fatalf("shard a routed = %v, want 2", got)
+	}
+	if got := p.shedTenant.With("burst").Value(); got != 1 {
+		t.Fatalf("tenant burst shed = %v, want 1", got)
+	}
+	if p.Log.Len() != 6 {
+		t.Fatalf("log recorded %d decisions, want 6", p.Log.Len())
+	}
+}
+
+func TestRouterPlaneExposition(t *testing.T) {
+	p := NewRouterPlane(nil)
+	p.Observe(routedDecision("a"))
+
+	var buf strings.Builder
+	if err := p.Registry.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`tetriserve_router_decisions_total{reason="routed"} 1`,
+		`tetriserve_router_routed_total{shard="a"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRouterLogRingEviction(t *testing.T) {
+	l := NewRouterLog(4)
+	for i := 0; i < 10; i++ {
+		l.Add(router.Decision{At: time.Duration(i) * time.Second})
+	}
+	if l.Len() != 10 {
+		t.Fatalf("Len = %d, want 10 (total recorded)", l.Len())
+	}
+	snap := l.Snapshot(0)
+	if len(snap) != 4 {
+		t.Fatalf("retained %d, want 4", len(snap))
+	}
+	for i, d := range snap {
+		if want := time.Duration(6+i) * time.Second; d.At != want {
+			t.Fatalf("snap[%d].At = %v, want %v (oldest first)", i, d.At, want)
+		}
+	}
+	if snap2 := l.Snapshot(2); len(snap2) != 2 || snap2[0].At != 8*time.Second {
+		t.Fatalf("Snapshot(2) = %+v", snap2)
+	}
+}
+
+func TestRouterLogSnapshotCopiesProbes(t *testing.T) {
+	l := NewRouterLog(2)
+	d := router.Decision{Probes: []router.ProbeResult{{Shard: "a"}}}
+	l.Add(d)
+	snap := l.Snapshot(1)
+	snap[0].Probes[0].Shard = "mutated"
+	if l.Snapshot(1)[0].Probes[0].Shard != "a" {
+		t.Fatal("Snapshot must deep-copy Probes")
+	}
+}
+
+func TestRouterPlaneConcurrentObserve(t *testing.T) {
+	p := NewRouterPlane(nil)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				p.Observe(routedDecision(fmt.Sprintf("s%d", g%2)))
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := p.byReason[router.ReasonRouted].Value(); got != 400 {
+		t.Fatalf("routed = %v, want 400", got)
+	}
+}

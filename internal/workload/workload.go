@@ -100,14 +100,11 @@ func (p SLOPolicy) InterpolatedBudget(res model.Resolution) time.Duration {
 	}
 	last := anchors[len(anchors)-1]
 	if t >= last.tokens {
-		// Extrapolate with the slope of the final segment so very large
-		// outputs get proportionally more time.
-		if len(anchors) == 1 {
-			return time.Duration(last.budget * p.Scale)
-		}
-		prev := anchors[len(anchors)-2]
-		slope := (last.budget - prev.budget) / (last.tokens - prev.tokens)
-		return time.Duration((last.budget + slope*(t-last.tokens)) * p.Scale)
+		// Clamp at the largest calibrated anchor. Extrapolating the final
+		// segment's slope was only ever calibrated between anchors; outside
+		// the range it manufactures deadlines no SLO contract backs (and for
+		// non-monotonic custom bases it can even go negative).
+		return time.Duration(last.budget * p.Scale)
 	}
 	for i := 1; i < len(anchors); i++ {
 		if t <= anchors[i].tokens {

@@ -230,11 +230,38 @@ func TestInterpolatedBudgetClampsBelow(t *testing.T) {
 	}
 }
 
-func TestInterpolatedBudgetExtrapolatesAbove(t *testing.T) {
+// TestInterpolatedBudgetClampsAbove is the extrapolation regression: budgets
+// outside the calibrated range clamp at the largest anchor instead of riding
+// the final segment's slope (pre-fix, 4096² got a manufactured ~13 s budget
+// no SLO contract backs).
+func TestInterpolatedBudgetClampsAbove(t *testing.T) {
 	p := NewSLOPolicy(1.0)
-	got := p.InterpolatedBudget(model.Resolution{W: 4096, H: 4096})
-	if got <= p.Budget(model.Res2048) {
-		t.Fatalf("4096px budget %v should exceed the 2048px 5s anchor", got)
+	for _, side := range []int{2304, 4096, 8192} {
+		got := p.InterpolatedBudget(model.Resolution{W: side, H: side})
+		if got != p.Budget(model.Res2048) {
+			t.Fatalf("%dpx budget %v, want clamp at the 2048px anchor %v",
+				side, got, p.Budget(model.Res2048))
+		}
+	}
+}
+
+// TestInterpolatedBudgetNeverNegative: with a custom base whose final
+// segment slopes downward, pre-fix extrapolation produced zero or negative
+// deadlines; the clamp keeps every budget at a calibrated value.
+func TestInterpolatedBudgetNeverNegative(t *testing.T) {
+	p := SLOPolicy{
+		Scale: 1.0,
+		Base: map[model.Resolution]time.Duration{
+			model.Res256: 4 * time.Second,
+			model.Res512: 1 * time.Second, // steep downward final segment
+		},
+	}
+	got := p.InterpolatedBudget(model.Resolution{W: 2048, H: 2048})
+	if got != time.Second {
+		t.Fatalf("out-of-range budget %v, want clamp at 1s; pre-fix this extrapolated negative", got)
+	}
+	if got <= 0 {
+		t.Fatalf("budget must be positive, got %v", got)
 	}
 }
 
