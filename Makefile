@@ -42,6 +42,7 @@ FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./internal/invariant -run '^$$' -fuzz '^FuzzPlanRound$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/invariant -run '^$$' -fuzz '^FuzzControlLoop$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/invariant -run '^$$' -fuzz '^FuzzElasticControlLoop$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/invariant -run '^$$' -fuzz '^FuzzWarmStart$$' -fuzztime $(FUZZTIME)
 
 # End-to-end smoke test of the telemetry plane against a real daemon:

@@ -268,6 +268,49 @@ func simulation(mk func() sched.Scheduler) func(*testing.B) {
 	}
 }
 
+// shardedSim measures the router-over-shards harness on a pre-generated
+// trace: admission probes, per-shard control loops on the arena event path,
+// and (optionally) the elastic rebalancer's probe/decide/resize rounds.
+func shardedSim(nShards, gpus int, elastic bool) func(*testing.B) {
+	return func(b *testing.B) {
+		reqs := workload.Generate(workload.GeneratorConfig{
+			Model:       benchMdl,
+			NumRequests: 150,
+			Seed:        1,
+		})
+		mkShards := func() []sim.ShardSpec {
+			specs := make([]sim.ShardSpec, nShards)
+			for i := range specs {
+				topo := simgpu.H100x8()
+				prof := costmodel.BuildProfile(costmodel.NewEstimator(benchMdl, topo), costmodel.ProfilerConfig{})
+				specs[i] = sim.ShardSpec{
+					Name:      fmt.Sprintf("shard%d", i),
+					Topo:      topo,
+					Scheduler: core.NewScheduler(prof, topo, core.DefaultConfig()),
+					Profile:   prof,
+					Capacity:  simgpu.MaskRange(0, gpus),
+				}
+			}
+			return specs
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := sim.ShardedConfig{
+				Model:    benchMdl,
+				Shards:   mkShards(),
+				Requests: reqs,
+			}
+			if elastic {
+				cfg.Rebalance = &sim.RebalanceConfig{}
+			}
+			if _, err := sim.RunSharded(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func main() {
 	out := flag.String("o", "BENCH_planner.json", "output snapshot path")
 	flag.Parse()
@@ -299,6 +342,8 @@ func main() {
 		{"Simulation/xDiT-SP8", simulation(func() sched.Scheduler {
 			return sched.NewFixedSP(8)
 		})},
+		{"ShardedSim/4x2", shardedSim(4, 2, false)},
+		{"ShardedSim/4x2-elastic", shardedSim(4, 2, true)},
 	}
 
 	var records []record

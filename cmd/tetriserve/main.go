@@ -16,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -25,11 +26,13 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"tetriserve/internal/cache"
 	"tetriserve/internal/core"
 	"tetriserve/internal/costmodel"
 	"tetriserve/internal/model"
+	"tetriserve/internal/rebalance"
 	"tetriserve/internal/router"
 	"tetriserve/internal/sched"
 	"tetriserve/internal/server"
@@ -48,13 +51,29 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	shardList := flag.String("shards", "", "router mode: comma-separated shard base URLs (name=url or url)")
 	tenantWeights := flag.String("tenant-weights", "", "router mode: comma-separated tenant=weight pairs")
+	probeTTL := flag.Duration("probe-ttl", 0, "router mode: cache shard feasibility probes for this long (0 = off)")
+	rebalanceOn := flag.Bool("rebalance", false, "router mode: enable elastic GPU rebalancing across shards")
+	rebalanceGPUs := flag.String("rebalance-gpus", "", "router mode: per-shard init:max GPU counts, e.g. 2:8,2:8 (required with -rebalance)")
+	rebalanceEvery := flag.Duration("rebalance-interval", 10*time.Second, "router mode: elastic decision cadence")
+	rebalanceGap := flag.Float64("rebalance-gap", 2.0, "router mode: min per-GPU queue-drain gap (seconds) before moving a GPU")
+	rebalanceMin := flag.Int("rebalance-min-gpus", 1, "router mode: floor below which a shard never donates")
 	flag.Parse()
 
 	switch *mode {
 	case "shard":
 		runShard(*addr, *mdlName, *topoName, *speedup, *schedName, *granularity, *useCache, *pprofOn)
 	case "router":
-		runRouter(*addr, *shardList, *tenantWeights)
+		runRouter(routerOptions{
+			addr:           *addr,
+			shardList:      *shardList,
+			tenantWeights:  *tenantWeights,
+			probeTTL:       *probeTTL,
+			rebalance:      *rebalanceOn,
+			rebalanceGPUs:  *rebalanceGPUs,
+			rebalanceEvery: *rebalanceEvery,
+			rebalanceGap:   *rebalanceGap,
+			rebalanceMin:   *rebalanceMin,
+		})
 	default:
 		log.Fatalf("tetriserve: unknown -mode %q (want shard or router)", *mode)
 	}
@@ -92,26 +111,75 @@ func runShard(addr, mdlName, topoName string, speedup float64, schedName string,
 	serve(addr, api.Handler())
 }
 
-func runRouter(addr, shardList, tenantWeights string) {
-	shards, err := parseShards(shardList)
+// routerOptions carries the parsed -mode router flags.
+type routerOptions struct {
+	addr           string
+	shardList      string
+	tenantWeights  string
+	probeTTL       time.Duration
+	rebalance      bool
+	rebalanceGPUs  string
+	rebalanceEvery time.Duration
+	rebalanceGap   float64
+	rebalanceMin   int
+}
+
+func runRouter(opt routerOptions) {
+	shards, err := parseShards(opt.shardList)
 	if err != nil {
 		log.Fatal(err)
 	}
-	weights, err := parseWeights(tenantWeights)
+	weights, err := parseWeights(opt.tenantWeights)
 	if err != nil {
 		log.Fatal(err)
 	}
-	api, err := server.NewRouterAPI(router.Config{TenantWeights: weights}, shards)
+	api, err := server.NewRouterAPI(router.Config{
+		TenantWeights: weights,
+		ProbeTTL:      opt.probeTTL,
+	}, shards)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if opt.rebalance {
+		init, max, err := parseRebalanceGPUs(opt.rebalanceGPUs, len(shards))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resizable := make([]server.ResizableShard, len(shards))
+		for i, s := range shards {
+			rs, ok := s.(server.ResizableShard)
+			if !ok {
+				log.Fatalf("tetriserve: shard %s does not support resizing", s.Name())
+			}
+			resizable[i] = rs
+		}
+		reb, err := server.NewLiveRebalancer(server.LiveRebalancerConfig{
+			Shards:      resizable,
+			InitialGPUs: init,
+			MaxGPUs:     max,
+			Policy: rebalance.New(rebalance.Config{
+				MinGPUs:         opt.rebalanceMin,
+				DrainGapSeconds: opt.rebalanceGap,
+			}),
+			Interval: opt.rebalanceEvery,
+			Router:   api.Router(),
+			Logf:     log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		reb.Start()
+		defer reb.Stop()
+		log.Printf("tetriserve: elastic rebalancing every %s (gap %.1fs, min %d GPUs)",
+			opt.rebalanceEvery, opt.rebalanceGap, opt.rebalanceMin)
 	}
 	names := make([]string, len(shards))
 	for i, s := range shards {
 		names[i] = s.Name()
 	}
 	log.Printf("tetriserve: router over %d shards (%s), listening on %s",
-		len(shards), strings.Join(names, ", "), addr)
-	serve(addr, api.Handler())
+		len(shards), strings.Join(names, ", "), opt.addr)
+	serve(opt.addr, api.Handler())
 }
 
 func serve(addr string, h http.Handler) {
@@ -127,9 +195,26 @@ func serve(addr string, h http.Handler) {
 	}
 }
 
+// Flag-parse error kinds, distinguishable with errors.Is so tests (and any
+// future config loader) can assert on the cause rather than message text.
+var (
+	ErrNoShards        = errors.New("no shards configured")
+	ErrDuplicateShard  = errors.New("duplicate shard name")
+	ErrEmptyShardURL   = errors.New("empty shard URL")
+	ErrMalformedPair   = errors.New("malformed pair")
+	ErrBadWeight       = errors.New("weight must be a positive number")
+	ErrDuplicateTenant = errors.New("duplicate tenant")
+	ErrBadGPUCount     = errors.New("invalid GPU count")
+	ErrShardCount      = errors.New("wrong number of shard entries")
+)
+
 // parseShards resolves the -shards flag: "url" or "name=url", comma-separated.
+// Duplicate shard names (explicit or URL-defaulted) are rejected: the router
+// keys stats and routing decisions by name, so two shards sharing one would
+// silently merge in every ledger.
 func parseShards(list string) ([]server.RouterShard, error) {
 	var shards []server.RouterShard
+	seen := map[string]bool{}
 	for _, item := range strings.Split(list, ",") {
 		item = strings.TrimSpace(item)
 		if item == "" {
@@ -139,15 +224,26 @@ func parseShards(list string) ([]server.RouterShard, error) {
 		if k := strings.Index(item, "="); k >= 0 && !strings.Contains(item[:k], "/") {
 			name, url = item[:k], item[k+1:]
 		}
-		shards = append(shards, server.NewRemoteShard(name, url))
+		if strings.TrimSpace(url) == "" {
+			return nil, fmt.Errorf("tetriserve: -shards entry %q: %w", item, ErrEmptyShardURL)
+		}
+		s := server.NewRemoteShard(name, url)
+		if seen[s.Name()] {
+			return nil, fmt.Errorf("tetriserve: -shards: %w: %q", ErrDuplicateShard, s.Name())
+		}
+		seen[s.Name()] = true
+		shards = append(shards, s)
 	}
 	if len(shards) == 0 {
-		return nil, fmt.Errorf("tetriserve: -mode router needs -shards url[,url...]")
+		return nil, fmt.Errorf("tetriserve: -mode router needs -shards url[,url...]: %w", ErrNoShards)
 	}
 	return shards, nil
 }
 
 // parseWeights resolves the -tenant-weights flag: "tenant=weight" pairs.
+// Malformed pairs, empty tenant names, non-positive or non-numeric weights,
+// and duplicate tenants are all rejected — a silently-last-wins duplicate
+// would make fair shares depend on flag order.
 func parseWeights(list string) (map[string]float64, error) {
 	if strings.TrimSpace(list) == "" {
 		return nil, nil
@@ -160,15 +256,54 @@ func parseWeights(list string) (map[string]float64, error) {
 		}
 		k := strings.Index(item, "=")
 		if k < 0 {
-			return nil, fmt.Errorf("tetriserve: invalid tenant weight %q (want tenant=weight)", item)
+			return nil, fmt.Errorf("tetriserve: -tenant-weights entry %q (want tenant=weight): %w", item, ErrMalformedPair)
 		}
-		w, err := strconv.ParseFloat(item[k+1:], 64)
+		tenant := strings.TrimSpace(item[:k])
+		if tenant == "" {
+			return nil, fmt.Errorf("tetriserve: -tenant-weights entry %q: %w", item, ErrMalformedPair)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(item[k+1:]), 64)
 		if err != nil || w <= 0 {
-			return nil, fmt.Errorf("tetriserve: invalid tenant weight %q", item)
+			return nil, fmt.Errorf("tetriserve: -tenant-weights entry %q: %w", item, ErrBadWeight)
 		}
-		weights[item[:k]] = w
+		if _, ok := weights[tenant]; ok {
+			return nil, fmt.Errorf("tetriserve: -tenant-weights: %w: %q", ErrDuplicateTenant, tenant)
+		}
+		weights[tenant] = w
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("tetriserve: -tenant-weights %q holds no pairs: %w", list, ErrMalformedPair)
 	}
 	return weights, nil
+}
+
+// parseRebalanceGPUs resolves the -rebalance-gpus flag: per-shard "init:max"
+// GPU counts, parallel to -shards.
+func parseRebalanceGPUs(list string, nShards int) (init, max []int, err error) {
+	items := []string{}
+	for _, item := range strings.Split(list, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			items = append(items, item)
+		}
+	}
+	if len(items) != nShards {
+		return nil, nil, fmt.Errorf("tetriserve: -rebalance-gpus has %d entries for %d shards: %w",
+			len(items), nShards, ErrShardCount)
+	}
+	for _, item := range items {
+		k := strings.Index(item, ":")
+		if k < 0 {
+			return nil, nil, fmt.Errorf("tetriserve: -rebalance-gpus entry %q (want init:max): %w", item, ErrMalformedPair)
+		}
+		i, err1 := strconv.Atoi(strings.TrimSpace(item[:k]))
+		m, err2 := strconv.Atoi(strings.TrimSpace(item[k+1:]))
+		if err1 != nil || err2 != nil || i < 0 || m <= 0 || i > m {
+			return nil, nil, fmt.Errorf("tetriserve: -rebalance-gpus entry %q: %w", item, ErrBadGPUCount)
+		}
+		init = append(init, i)
+		max = append(max, m)
+	}
+	return init, max, nil
 }
 
 // buildScheduler resolves the -scheduler flag.

@@ -94,6 +94,13 @@ type Hooks struct {
 	// surviving members are requeued or dropped. stepsDone credits the steps
 	// each member completed before the fault.
 	RunAborted func(now time.Duration, run *engine.Run, stepsDone map[workload.RequestID]int)
+	// RunPreempted fires when a capacity resize preempts an in-flight block
+	// (planned handoff: steps credited, latent retained on surviving
+	// members), before the members are requeued.
+	RunPreempted func(now time.Duration, run *engine.Run, stepsDone map[workload.RequestID]int)
+	// Resized fires on every effective capacity change, with the GPU sets
+	// the shard gave up and gained. A no-op resize (same mask) does not fire.
+	Resized func(now time.Duration, removed, added simgpu.Mask)
 	// GPUFailed and GPURecovered observe effective fault-plane transitions:
 	// the mask holds only GPUs that actually changed state (re-failing a
 	// dead GPU or recovering a healthy one does not fire).
@@ -120,6 +127,8 @@ func (h Hooks) Then(next Hooks) Hooks {
 		RunStarted:   chain2(h.RunStarted, next.RunStarted),
 		RunFinished:  chain2(h.RunFinished, next.RunFinished),
 		RunAborted:   chain3(h.RunAborted, next.RunAborted),
+		RunPreempted: chain3(h.RunPreempted, next.RunPreempted),
+		Resized:      chain3(h.Resized, next.Resized),
 		GPUFailed:    chain2(h.GPUFailed, next.GPUFailed),
 		GPURecovered: chain2(h.GPURecovered, next.GPURecovered),
 	}
@@ -207,6 +216,7 @@ const (
 	evRoundTick
 	evGPUFail
 	evGPURecover
+	evResize
 )
 
 // Loop is the shared round-based control plane. It is not safe for
@@ -236,6 +246,12 @@ type Loop struct {
 	eager     bool
 	tau       time.Duration
 	schedOver time.Duration
+	// resizeStaged/resizeMask hold a pending capacity change for round-based
+	// schedulers: ApplyResize stages it (last writer wins) and the next
+	// effective round tick applies it before planning, so every plan within
+	// a round sees one consistent capacity.
+	resizeStaged bool
+	resizeMask   simgpu.Mask
 
 	// Reused per-plan scratch (the control-plane analogue of the planner's
 	// planScratch): snapshot buffers, the PlanContext handed to the
@@ -332,6 +348,13 @@ func (l *Loop) ScheduleFault(f simgpu.Fault) {
 	}
 }
 
+// ScheduleResize enqueues a planned capacity change (simulator
+// pre-scheduling). Like ApplyResize, it stages the new mask when dispatched;
+// round-based schedulers apply it at the next effective round tick.
+func (l *Loop) ScheduleResize(r simgpu.Resize) {
+	l.q.Push(r.At, evResize, r.NewMask)
+}
+
 // Begin anchors the τ grid: round-based schedulers get their first tick at
 // the current clock reading. Call it after pre-scheduling arrivals/faults so
 // same-instant arrivals are admitted before the tick plans them.
@@ -367,6 +390,8 @@ func (l *Loop) Dispatch(ev *eventq.Event) error {
 		l.onGPUFail(now, ev.Payload.(simgpu.Mask))
 	case evGPURecover:
 		l.onGPURecover(now, ev.Payload.(simgpu.Mask))
+	case evResize:
+		l.stageResize(now, ev.Payload.(simgpu.Mask))
 	}
 	// The event has been consumed; hand its storage back to the queue so the
 	// next Push reuses it instead of allocating.
@@ -388,6 +413,27 @@ func (l *Loop) Fail(mask simgpu.Mask) { l.onGPUFail(l.clk.Now(), mask) }
 // Recover returns previously failed GPUs to the pool right now.
 func (l *Loop) Recover(mask simgpu.Mask) { l.onGPURecover(l.clk.Now(), mask) }
 
+// ApplyResize requests that the shard's owned GPU set become newMask. For
+// round-based schedulers the change takes effect at the next effective round
+// tick (after overrun deferral, before planning) so mid-round state never
+// sees a capacity flip; staging is last-writer-wins. Event-driven schedulers
+// have no round structure, so the resize applies immediately and replans.
+func (l *Loop) ApplyResize(newMask simgpu.Mask) {
+	l.stageResize(l.clk.Now(), newMask)
+}
+
+// stageResize is the shared entry for ApplyResize and pre-scheduled evResize
+// events.
+func (l *Loop) stageResize(now time.Duration, newMask simgpu.Mask) {
+	if !l.roundBased {
+		l.applyResize(now, newMask)
+		l.plan(now)
+		return
+	}
+	l.resizeStaged = true
+	l.resizeMask = newMask
+}
+
 // Finalize fills engine telemetry and the makespan into the result and
 // returns it (shared storage, not a copy).
 func (l *Loop) Finalize() *Result {
@@ -408,6 +454,8 @@ func (l *Loop) fillTelemetry() {
 	l.res.Remaps = l.eng.Remaps()
 	l.res.Warmups = l.eng.Warmups()
 	l.res.RunsAborted = l.eng.RunsAborted()
+	l.res.RunsPreempted = l.eng.RunsPreempted()
+	l.res.Resizes = l.eng.Resizes()
 }
 
 // admit runs the arrival path: trim, track, queue, and (for event-driven or
@@ -519,6 +567,13 @@ func (l *Loop) onRoundTick(at, now time.Duration) {
 		l.q.Push(latest+time.Microsecond, evRoundTick, nil)
 		return
 	}
+	// A staged capacity change lands exactly here: the boundary is clean
+	// (no round-aligned overrun), the plan below sees the new capacity, and
+	// every plan before the next tick sees the same one.
+	if l.resizeStaged {
+		l.resizeStaged = false
+		l.applyResize(now, l.resizeMask)
+	}
 	l.res.RoundTicks++
 	if l.cfg.Hooks.RoundTick != nil {
 		l.cfg.Hooks.RoundTick(at, now)
@@ -564,12 +619,13 @@ func (l *Loop) plan(now time.Duration) {
 	// place every round; hook observers already contract to read them only
 	// synchronously.
 	l.ctx = sched.PlanContext{
-		Now:     now,
-		Free:    l.eng.Free(),
-		Pending: l.snapshotPending(),
-		Running: l.snapshotRunning(),
-		Profile: l.cfg.Profile,
-		Topo:    l.cfg.Topo,
+		Now:      now,
+		Free:     l.eng.Free(),
+		Capacity: l.eng.Capacity(),
+		Pending:  l.snapshotPending(),
+		Running:  l.snapshotRunning(),
+		Profile:  l.cfg.Profile,
+		Topo:     l.cfg.Topo,
 	}
 	ctx := &l.ctx
 	if len(ctx.Pending) == 0 {
@@ -727,6 +783,93 @@ func (l *Loop) onGPUFail(now time.Duration, mask simgpu.Mask) {
 	}
 	if !l.roundBased {
 		l.plan(now)
+	}
+}
+
+// applyResize performs an effective capacity change. It mirrors onGPUFail's
+// bookkeeping with the planned-handoff semantics the resize path guarantees:
+// preempted members keep every completed step, their latents survive on the
+// retained group members, and they are ALWAYS requeued (NoRequeueOnFault is a
+// fault-recovery ablation and does not apply — no machine died) unless the
+// drop policy has already expired them.
+func (l *Loop) applyResize(now time.Duration, newMask simgpu.Mask) {
+	newMask &= l.cfg.Topo.AllMask()
+	prev := l.eng.Capacity()
+	removed := prev.Without(newMask)
+	added := newMask.Without(prev)
+	if removed == 0 && added == 0 {
+		return
+	}
+	preemptions := l.eng.Resize(now, newMask)
+	l.res.Resizes++
+	if l.cfg.Hooks.Resized != nil {
+		l.cfg.Hooks.Resized(now, removed, added)
+	}
+	// The engine surfaces preemptions in map order; sort for a deterministic
+	// requeue (and therefore pending) order.
+	slices.SortFunc(preemptions, func(a, b *engine.RunPreemption) int {
+		if a.Run.ID < b.Run.ID {
+			return -1
+		}
+		if a.Run.ID > b.Run.ID {
+			return 1
+		}
+		return 0
+	})
+	for _, p := range preemptions {
+		if l.cfg.Hooks.RunPreempted != nil {
+			l.cfg.Hooks.RunPreempted(now, p.Run, p.StepsDone)
+		}
+		if h, ok := l.runEv[p.Run.ID]; ok {
+			l.q.Cancel(h)
+			delete(l.runEv, p.Run.ID)
+		}
+		delete(l.inflight, p.Run.ID)
+		l.res.Runs = append(l.res.Runs, RunRecord{
+			Start:      p.Run.Start,
+			End:        now,
+			Degree:     p.Run.Degree,
+			Steps:      p.Run.Asg.Steps,
+			Requests:   l.captureIDs(p.Run.Asg.Requests),
+			Res:        p.Run.Res,
+			Group:      p.Run.Asg.Group,
+			BestEffort: p.Run.Asg.BestEffort,
+			Batched:    p.Run.Batched,
+			Aborted:    true,
+			Preempted:  true,
+		})
+		for _, id := range p.Run.Asg.Requests {
+			done, ok := p.StepsDone[id]
+			if !ok {
+				continue
+			}
+			st := l.states[id]
+			l.clearRunning(st)
+			if done > 0 {
+				st.Started = true
+				st.Remaining -= done
+				st.StepsByDegree.Add(p.Run.Degree, done)
+			}
+			switch {
+			case st.Remaining <= 0:
+				l.finish(now, st)
+			case l.cfg.DropLateFactor > 0 && l.pastDrop(now, st):
+				l.drop(now, st, DropExpired)
+			default:
+				l.pending = append(l.pending, st)
+				if l.cfg.Hooks.Requeued != nil {
+					l.cfg.Hooks.Requeued(now, id)
+				}
+			}
+		}
+		l.eng.Release(p.Run)
+	}
+	// Placement preservation must not steer requests toward GPUs the shard
+	// no longer owns.
+	if removed != 0 {
+		for _, st := range l.states {
+			st.LastGroup = st.LastGroup.Without(removed)
+		}
 	}
 }
 

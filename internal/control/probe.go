@@ -85,12 +85,15 @@ func (l *Loop) ProbeFeasibility(res model.Resolution, steps int, slo time.Durati
 	f := Feasibility{
 		Now:         now,
 		Deadline:    now + slo,
-		HealthyGPUs: l.cfg.Topo.N - l.eng.FailedGPUs().Count(),
+		HealthyGPUs: l.eng.HealthyGPUs(),
 		FreeGPUs:    l.eng.Free().Count(),
 		Running:     len(l.running),
 	}
-	f.MinStepTime, f.MinStepDegree = l.cfg.Profile.MinStepTime(res)
-	f.ServiceGPUSeconds = float64(steps) * l.minGPUSeconds(res)
+	// Degrees the shard cannot form (profile calibrated on the full node,
+	// capacity elastically shrunk below it) must not leak into the bound, or
+	// a 2-GPU shard would promise 8-way step times it can never run.
+	f.MinStepTime, f.MinStepDegree = l.minStepTimeWithin(res, f.HealthyGPUs)
+	f.ServiceGPUSeconds = float64(steps) * l.minGPUSecondsWithin(res, f.HealthyGPUs)
 	if f.HealthyGPUs <= 0 {
 		// A fully failed pool can never win; pin the projection at the
 		// deadline horizon so Slack reports "late by the whole budget".
@@ -110,13 +113,13 @@ func (l *Loop) ProbeFeasibility(res model.Resolution, steps int, slo time.Durati
 			continue
 		}
 		f.Pending++
-		backlog += float64(st.Remaining) * l.minGPUSeconds(st.Req.Res)
+		backlog += float64(st.Remaining) * l.minGPUSecondsWithin(st.Req.Res, f.HealthyGPUs)
 	}
 	for _, st := range l.running {
 		if st.Remaining <= 0 {
 			continue
 		}
-		backlog += float64(st.Remaining) * l.minGPUSeconds(st.Req.Res)
+		backlog += float64(st.Remaining) * l.minGPUSecondsWithin(st.Req.Res, f.HealthyGPUs)
 	}
 	f.QueueGPUSeconds = backlog
 	queueWait := time.Duration(backlog / float64(f.HealthyGPUs) * float64(time.Second))
@@ -137,15 +140,38 @@ func (l *Loop) ProbeFeasibility(res model.Resolution, steps int, slo time.Durati
 	return f, nil
 }
 
-// minGPUSeconds is the cheapest profiled per-step GPU·seconds for res —
-// min_k k·T(res,k), the §4.2.1 GPU-hour floor a perfectly packed schedule
-// approaches.
-func (l *Loop) minGPUSeconds(res model.Resolution) float64 {
-	best := 0.0
+// minGPUSecondsWithin is the cheapest profiled per-step GPU·seconds for res
+// over degrees the shard can actually form (k ≤ maxK) — min_k k·T(res,k),
+// the §4.2.1 GPU-hour floor a perfectly packed schedule approaches. When no
+// profiled degree fits (maxK below the smallest calibrated degree) the
+// smallest degree is used so the projection stays finite and deterministic.
+func (l *Loop) minGPUSecondsWithin(res model.Resolution, maxK int) float64 {
+	best, found := 0.0, false
 	for i, k := range l.cfg.Profile.Degrees() {
-		if g := l.cfg.Profile.GPUSeconds(res, k); i == 0 || g < best {
+		if k > maxK && i > 0 {
+			break // degrees are sorted ascending; keep i==0 as the fallback
+		}
+		if g := l.cfg.Profile.GPUSeconds(res, k); !found || g < best {
 			best = g
+			found = true
 		}
 	}
 	return best
+}
+
+// minStepTimeWithin is Profile.MinStepTime restricted to degrees ≤ maxK,
+// with the same smallest-degree fallback as minGPUSecondsWithin.
+func (l *Loop) minStepTimeWithin(res model.Resolution, maxK int) (time.Duration, int) {
+	var bestT time.Duration
+	bestK, found := 0, false
+	for i, k := range l.cfg.Profile.Degrees() {
+		if k > maxK && i > 0 {
+			break
+		}
+		if t := l.cfg.Profile.StepTime(res, k); !found || t < bestT {
+			bestT, bestK = t, k
+			found = true
+		}
+	}
+	return bestT, bestK
 }

@@ -54,6 +54,9 @@ type RunRecord struct {
 	// Aborted marks a block killed mid-flight by a GPU fault; End is the
 	// fault time, not the planned completion.
 	Aborted bool
+	// Preempted marks an Aborted block whose abort was a planned capacity
+	// resize (cooperative handoff), not a fault.
+	Preempted bool
 }
 
 // GPUs returns the device ids the block occupied.
@@ -76,6 +79,10 @@ type Result struct {
 	Warmups        int
 	// RunsAborted counts blocks killed by injected GPU faults.
 	RunsAborted int
+	// RunsPreempted counts blocks preempted by capacity resizes; Resizes
+	// counts effective capacity changes applied.
+	RunsPreempted int
+	Resizes       int
 	// Health counters: a serving loop must degrade loudly, not silently.
 	// PlanRejected counts plans the validator refused; StartFailed counts
 	// assignments the engine would not start; RoundTicks counts fired round

@@ -53,10 +53,14 @@ func makeReqKey(st *sched.RequestState) reqKey {
 // replayState is the Layer-A cache: the previous round's input fingerprint
 // and the plan it produced.
 type replayState struct {
-	valid   bool
-	now     time.Duration
-	free    simgpu.Mask
-	prof    *costmodel.Profile
+	valid bool
+	now   time.Duration
+	free  simgpu.Mask
+	// capacity covers elastic resizes: a capacity change that happens to
+	// leave the free mask bit-identical (e.g. donating a GPU that was failed)
+	// must still invalidate the cached plan.
+	capacity simgpu.Mask
+	prof     *costmodel.Profile
 	profVer uint64
 	topo    *simgpu.Topology
 	pending []reqKey
@@ -77,6 +81,7 @@ func (s *Scheduler) tryReplay(ctx *sched.PlanContext) ([]sched.Assignment, bool)
 	if !r.valid ||
 		r.now != ctx.Now ||
 		r.free != ctx.Free ||
+		r.capacity != ctx.Capacity ||
 		r.prof != ctx.Profile ||
 		r.profVer != ctx.Profile.Version() ||
 		r.topo != ctx.Topo ||
@@ -98,6 +103,7 @@ func (s *Scheduler) snapshotReplay(ctx *sched.PlanContext, plan []sched.Assignme
 	r.valid = true
 	r.now = ctx.Now
 	r.free = ctx.Free
+	r.capacity = ctx.Capacity
 	r.prof = ctx.Profile
 	r.profVer = ctx.Profile.Version()
 	r.topo = ctx.Topo

@@ -41,6 +41,11 @@ type Config struct {
 	// it off lets decodes overlap — faster tail but unbounded decoder
 	// memory (the OOM risk the paper designs against).
 	SequentialDecode bool
+	// Capacity restricts the engine to a subset of the topology's GPUs —
+	// the elastic-shard case where a shard owns k of the node's N slots and
+	// may later donate or receive slots via Resize. Zero means the full
+	// topology.
+	Capacity simgpu.Mask
 }
 
 // DefaultConfig returns the paper-faithful engine configuration.
@@ -89,9 +94,13 @@ type Engine struct {
 	rng    *stats.RNG
 	cfg    Config
 
-	free    simgpu.Mask
-	failed  simgpu.Mask
-	runs    map[RunID]*Run
+	// capacity is the GPU set this engine may use right now; Resize mutates
+	// it at round boundaries. free ⊆ capacity and failed∩capacity are the
+	// live/healthy accounting within it.
+	capacity simgpu.Mask
+	free     simgpu.Mask
+	failed   simgpu.Mask
+	runs     map[RunID]*Run
 	nextRun RunID
 	// pool is the Run free list fed by Release; Start drains it so the
 	// steady-state dispatch path performs no per-run allocation.
@@ -108,6 +117,8 @@ type Engine struct {
 	remaps          int
 	warmups         int
 	runsAborted     int
+	runsPreempted   int
+	resizes         int
 	decodePeakBytes float64
 	stepPeakBytes   float64
 }
@@ -120,16 +131,21 @@ func New(mdl *model.Model, topo *simgpu.Topology, prof *costmodel.Profile, cfg C
 	if cfg.Seed == 0 {
 		cfg.Seed = 11
 	}
+	capacity := cfg.Capacity & topo.AllMask()
+	if capacity == 0 {
+		capacity = topo.AllMask()
+	}
 	e := &Engine{
-		topo:    topo,
-		mdl:     mdl,
-		est:     costmodel.NewEstimator(mdl, topo),
-		groups:  simgpu.NewGroupRegistry(topo),
-		rng:     stats.NewRNG(cfg.Seed),
-		cfg:     cfg,
-		free:    topo.AllMask(),
-		runs:    make(map[RunID]*Run),
-		latents: make(map[workload.RequestID]simgpu.Mask),
+		topo:     topo,
+		mdl:      mdl,
+		est:      costmodel.NewEstimator(mdl, topo),
+		groups:   simgpu.NewGroupRegistry(topo),
+		rng:      stats.NewRNG(cfg.Seed),
+		cfg:      cfg,
+		capacity: capacity,
+		free:     capacity,
+		runs:     make(map[RunID]*Run),
+		latents:  make(map[workload.RequestID]simgpu.Mask),
 	}
 	if cfg.PrewarmCanonical {
 		e.groups.PrewarmCanonical()
@@ -139,6 +155,14 @@ func New(mdl *model.Model, topo *simgpu.Topology, prof *costmodel.Profile, cfg C
 
 // Free returns the idle GPU mask.
 func (e *Engine) Free() simgpu.Mask { return e.free }
+
+// Capacity returns the GPU set the engine currently owns (free ∪ busy ∪
+// failed-within-capacity). Resize mutates it.
+func (e *Engine) Capacity() simgpu.Mask { return e.capacity }
+
+// HealthyGPUs counts owned, non-failed GPUs — the denominator for any
+// fluid-model load estimate over this shard.
+func (e *Engine) HealthyGPUs() int { return e.capacity.Without(e.failed).Count() }
 
 // Running returns the number of in-flight blocks.
 func (e *Engine) Running() int { return len(e.runs) }

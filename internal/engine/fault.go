@@ -102,13 +102,15 @@ func (e *Engine) FailGPUs(now time.Duration, mask simgpu.Mask) []*RunFailure {
 // RecoverGPUs returns previously failed GPUs to service and reports which
 // ones actually transitioned. Recovered devices come back cold: their warm
 // groups were invalidated at fault time, so first collectives re-pay warm-up.
+// A recovered GPU the shard no longer owns (resized away while failed) is
+// healthy again but not free — it rejoins the pool only via a future Resize.
 func (e *Engine) RecoverGPUs(mask simgpu.Mask) simgpu.Mask {
 	recovered := mask & e.failed
 	if recovered == 0 {
 		return 0
 	}
 	e.failed = e.failed.Without(recovered)
-	e.free = e.free.Union(recovered)
+	e.free = e.free.Union(recovered & e.capacity)
 	return recovered
 }
 

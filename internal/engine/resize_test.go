@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"tetriserve/internal/model"
+	"tetriserve/internal/simgpu"
+)
+
+// TestResizePreemptsWithFullCredit: shrinking capacity out from under an
+// in-flight block preempts it cooperatively — completed steps credited, the
+// latent retained on the surviving members, survivors freed — unlike a fault,
+// which marks devices dead.
+func TestResizePreemptsWithFullCredit(t *testing.T) {
+	e := newEngine(t, func(c *Config) { c.Noise = 0 })
+	states := mkStates(model.Res1024, 50, 1)
+	group := simgpu.MaskOf(0, 1)
+	run, err := e.Start(0, asg(group, 10, 1), states, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Donate GPU 1 after ~3.5 steps of progress.
+	at := run.Start + run.Overhead + run.StepTime*7/2
+	newCap := e.Capacity().Without(simgpu.MaskOf(1))
+	preempted := e.Resize(at, newCap)
+	if len(preempted) != 1 {
+		t.Fatalf("got %d preemptions, want 1", len(preempted))
+	}
+	p := preempted[0]
+	if p.Run.ID != run.ID || p.At != at {
+		t.Fatalf("preemption = %+v", p)
+	}
+	if p.Departed != simgpu.MaskOf(1) {
+		t.Fatalf("departed = %v, want {1}", p.Departed)
+	}
+	if got := p.StepsDone[1]; got != 3 {
+		t.Fatalf("credit = %d steps, want 3", got)
+	}
+	if p.Error() == "" {
+		t.Fatal("RunPreemption must describe itself as an error")
+	}
+
+	if e.Running() != 0 {
+		t.Fatal("preempted run still tracked")
+	}
+	if e.RunsPreempted() != 1 || e.RunsAborted() != 0 {
+		t.Fatalf("preempted=%d aborted=%d, want 1, 0", e.RunsPreempted(), e.RunsAborted())
+	}
+	if e.Resizes() != 1 {
+		t.Fatalf("Resizes = %d", e.Resizes())
+	}
+	// Departing GPUs are healthy — no fault bookkeeping.
+	if e.FailedGPUs() != 0 {
+		t.Fatalf("FailedGPUs = %v after a planned resize", e.FailedGPUs())
+	}
+	if e.Capacity() != newCap {
+		t.Fatalf("Capacity = %v, want %v", e.Capacity(), newCap)
+	}
+	if e.HealthyGPUs() != newCap.Count() {
+		t.Fatalf("HealthyGPUs = %d, want %d", e.HealthyGPUs(), newCap.Count())
+	}
+	// Survivor freed; the donated GPU is out of the pool entirely.
+	if !e.Free().Has(0) {
+		t.Fatal("surviving GPU 0 not freed")
+	}
+	if e.Free().Has(1) {
+		t.Fatal("donated GPU 1 still in the free pool")
+	}
+	// Latent handoff: retained on the surviving member, so resumption is a
+	// reconfiguration, not a restart.
+	if loc := e.LatentLocation(1); loc != simgpu.MaskOf(0) {
+		t.Fatalf("latent location = %v, want {0}", loc)
+	}
+	if err := e.Finish(run); err == nil {
+		t.Fatal("Finish after preemption accepted")
+	}
+}
+
+func TestResizeNoOpAndGrow(t *testing.T) {
+	e := newEngine(t)
+	all := e.Capacity()
+	if got := e.Resize(0, all); got != nil {
+		t.Fatal("same-mask resize should be a no-op")
+	}
+	if e.Resizes() != 0 {
+		t.Fatalf("no-op counted: Resizes = %d", e.Resizes())
+	}
+
+	// Shrink to half, then grow back: arriving GPUs join the free pool.
+	half := simgpu.MaskRange(0, all.Count()/2)
+	e.Resize(0, half)
+	if e.Free() != half {
+		t.Fatalf("free = %v, want %v", e.Free(), half)
+	}
+	e.Resize(time.Second, all)
+	if e.Free() != all {
+		t.Fatalf("free after grow = %v, want %v", e.Free(), all)
+	}
+	if e.Resizes() != 2 {
+		t.Fatalf("Resizes = %d, want 2", e.Resizes())
+	}
+}
+
+// TestResizeGrowSkipsFailedGPUs: a GPU that is failed while outside the shard
+// does not join the free pool when the shard grows over it.
+func TestResizeGrowSkipsFailedGPUs(t *testing.T) {
+	e := newEngine(t)
+	all := e.Capacity()
+	half := simgpu.MaskRange(0, all.Count()/2)
+	e.Resize(0, half)
+	dead := all.Highest()
+	e.FailGPUs(0, dead)
+	e.Resize(time.Second, all)
+	if e.Free().Overlaps(dead) {
+		t.Fatal("failed GPU entered the free pool via resize")
+	}
+	if e.HealthyGPUs() != all.Count()-1 {
+		t.Fatalf("HealthyGPUs = %d, want %d", e.HealthyGPUs(), all.Count()-1)
+	}
+	// Recovery while owned returns it to service.
+	e.RecoverGPUs(dead)
+	if !e.Free().Overlaps(dead) {
+		t.Fatal("recovered GPU not freed")
+	}
+}
+
+// TestResizeShrinksParkedLatents: latents of requests between blocks lose
+// their donated shards but keep their entry (resumption pays the §5
+// re-transfer).
+func TestResizeShrinksParkedLatents(t *testing.T) {
+	e := newEngine(t, func(c *Config) { c.Noise = 0 })
+	states := mkStates(model.Res512, 20, 1)
+	run, err := e.Start(0, asg(simgpu.MaskOf(2, 3), 5, 1), states, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Finish(run); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Resize(run.End, e.Capacity().Without(simgpu.MaskOf(3))); got != nil {
+		t.Fatal("no run should be in flight")
+	}
+	if loc := e.LatentLocation(1); loc != simgpu.MaskOf(2) {
+		t.Fatalf("parked latent = %v, want {2}", loc)
+	}
+}
+
+// TestResizeInvalidatesDepartingWarmGroups: donating a warm group's member
+// tears down its communicator; disjoint warm groups stay warm.
+func TestResizeInvalidatesDepartingWarmGroups(t *testing.T) {
+	e := newEngine(t, func(c *Config) { c.Noise = 0 })
+	warm := func(g simgpu.Mask, id int) time.Duration {
+		t.Helper()
+		states := mkStates(model.Res1024, 50, id)
+		run, err := e.Start(0, asg(g, 5, id), states, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Finish(run); err != nil {
+			t.Fatal(err)
+		}
+		return run.End
+	}
+	end1 := warm(simgpu.MaskOf(0, 1), 1)
+	end2 := warm(simgpu.MaskOf(2, 3), 2)
+	end := max(end1, end2)
+
+	// Donate GPU 1, then take it back: {0,1} must re-warm, {2,3} must not.
+	e.Resize(end, e.Capacity().Without(simgpu.MaskOf(1)))
+	e.Resize(end, e.Capacity().Union(simgpu.MaskOf(1)))
+	states := mkStates(model.Res1024, 50, 3)
+	run3, err := e.Start(end, asg(simgpu.MaskOf(0, 1), 5, 3), states, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run3.Overhead == 0 {
+		t.Fatal("group overlapping the donated GPU should pay warm-up again")
+	}
+	fresh := mkStates(model.Res1024, 50, 4)
+	run4, err := e.Start(end, asg(simgpu.MaskOf(2, 3), 5, 4), fresh, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run4.Overhead != 0 {
+		t.Fatalf("disjoint warm group re-paid %v after unrelated resize", run4.Overhead)
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"tetriserve/internal/metrics"
+	"tetriserve/internal/model"
+	"tetriserve/internal/workload"
+)
+
+// TestElastic1ElasticBeatsStatic pins the experiment's headline claim as an
+// inequality, not just a golden byte-compare: under the shifting mix the
+// elastic fleet's offered-load SLO attainment must strictly beat both the
+// static equal split and the monolith.
+func TestElastic1ElasticBeatsStatic(t *testing.T) {
+	p := runElastic1Planes(goldenCtx())
+	if p.monoErr != nil || p.staticErr != nil || p.elasticErr != nil {
+		t.Fatalf("plane errors: mono=%v static=%v elastic=%v", p.monoErr, p.staticErr, p.elasticErr)
+	}
+	if len(p.elastic.Rebalances) == 0 {
+		t.Fatal("elastic plane applied no GPU moves; the comparison is vacuous")
+	}
+	mono, static, elastic := metrics.SAR(p.mono), offeredSAR(p.static), offeredSAR(p.elastic)
+	if elastic <= static {
+		t.Fatalf("elastic SAR %.3f does not beat static %.3f", elastic, static)
+	}
+	if elastic <= mono {
+		t.Fatalf("elastic SAR %.3f does not beat monolith %.3f", elastic, mono)
+	}
+}
+
+// TestHeteroHighResAffinity pins hetero1's routing claim: on the 4+2+1+1
+// split, the majority of admitted 1024px requests land on the 4-GPU shard
+// (index 0) and none on the 1-GPU shards, because only degree-4 blocks win
+// their deadlines once a queue forms.
+func TestHeteroHighResAffinity(t *testing.T) {
+	res, reqs, err := runHeteroSim(goldenCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[workload.RequestID]*workload.Request, len(reqs))
+	for _, r := range reqs {
+		byID[r.ID] = r
+	}
+	hires := make([]int, len(res.Shards))
+	total := 0
+	for id, shard := range res.Routed {
+		if byID[id].Res == model.Res1024 {
+			hires[shard]++
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("trace admitted no 1024px requests; the scenario asserts nothing")
+	}
+	if 2*hires[0] <= total {
+		t.Fatalf("4-GPU shard won %d of %d admitted 1024px requests, want a majority (placement %v)",
+			hires[0], total, hires)
+	}
+	for i := 2; i < len(hires); i++ {
+		if hires[i] != 0 {
+			t.Fatalf("1-GPU shard %d was routed %d 1024px requests (placement %v)", i, hires[i], hires)
+		}
+	}
+}

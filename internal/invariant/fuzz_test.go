@@ -242,7 +242,7 @@ func TestWarmColdEquivalence(t *testing.T) {
 // native Go fuzzing replays exactly those files as subtests of a plain
 // `go test ./...` — deleting the corpus would silently drop regressions.
 func TestSeedCorpusCommitted(t *testing.T) {
-	for _, target := range []string{"FuzzPlanRound", "FuzzControlLoop", "FuzzWarmStart"} {
+	for _, target := range []string{"FuzzPlanRound", "FuzzControlLoop", "FuzzElasticControlLoop", "FuzzWarmStart"} {
 		entries, err := os.ReadDir(filepath.Join("testdata", "fuzz", target))
 		if err != nil {
 			t.Fatalf("%s corpus missing: %v", target, err)
@@ -347,6 +347,71 @@ func FuzzControlLoop(f *testing.F) {
 		}
 		if a.Remaps != b.Remaps || a.RunsAborted != b.RunsAborted || a.Makespan != b.Makespan {
 			t.Fatalf("control loop telemetry diverged: %+v vs %+v", a, b)
+		}
+	})
+}
+
+// fuzzResizes derives a planned capacity-change schedule from a fuzz
+// primitive. Masks stay non-empty and inside the 8-GPU topology; shapes cover
+// a lone shrink, shrink-then-restore, and a donate-from-the-top slice so the
+// surviving mask is not always a prefix.
+func fuzzResizes(resizePick uint8, topo *simgpu.Topology) []simgpu.Resize {
+	all := topo.AllMask()
+	keep := 1 + int(resizePick)%all.Count()
+	switch resizePick % 4 {
+	case 0:
+		return nil
+	case 1:
+		return []simgpu.Resize{{At: 9 * time.Second, NewMask: simgpu.MaskRange(0, keep)}}
+	case 2:
+		return []simgpu.Resize{
+			{At: 7 * time.Second, NewMask: simgpu.MaskRange(0, keep)},
+			{At: 22 * time.Second, NewMask: all},
+		}
+	default:
+		low := all
+		for low.Count() > keep {
+			low = low.Without(low.Highest())
+		}
+		return []simgpu.Resize{
+			{At: 5 * time.Second, NewMask: all.Without(low)},
+			{At: 18 * time.Second, NewMask: all},
+		}
+	}
+}
+
+// FuzzElasticControlLoop is FuzzControlLoop with planned capacity changes
+// interleaved into the fault schedule: whatever resize/fault interleaving the
+// input derives, the oracle must hold through every capacity transition and
+// the whole run must replay bit-identically.
+func FuzzElasticControlLoop(f *testing.F) {
+	f.Add(uint64(3), uint8(10), uint8(0), uint8(0), uint8(2), uint8(1))
+	f.Add(uint64(11), uint8(20), uint8(0), uint8(2), uint8(4), uint8(2))
+	f.Add(uint64(5), uint8(8), uint8(1), uint8(1), uint8(1), uint8(3))
+	f.Add(uint64(9), uint8(16), uint8(4), uint8(2), uint8(6), uint8(7))
+	f.Fuzz(func(t *testing.T, seed uint64, nReqSel, schedPick, faultPick, rateSel, resizePick uint8) {
+		run := func() *sim.Result {
+			cfg := fuzzSimConfig(seed, nReqSel, schedPick, faultPick, rateSel)
+			cfg.Resizes = fuzzResizes(resizePick, cfg.Topo)
+			res, err := sim.Run(cfg)
+			if err != nil {
+				// Shrinking the cluster below a rigid policy's degree wedges
+				// it just like a fault does; the loop reports the deadlock
+				// rather than spinning.
+				if strings.Contains(err.Error(), "deadlock") {
+					t.Skip("scheduler cannot make progress on the shrunken cluster")
+				}
+				t.Fatalf("sim failed: %v", err)
+			}
+			return res
+		}
+		a, b := run(), run()
+		if !reflect.DeepEqual(a.Outcomes, b.Outcomes) {
+			t.Fatalf("elastic control loop is nondeterministic:\n first: %+v\nsecond: %+v", a.Outcomes, b.Outcomes)
+		}
+		if a.Resizes != b.Resizes || a.RunsPreempted != b.RunsPreempted ||
+			a.RunsAborted != b.RunsAborted || a.Makespan != b.Makespan {
+			t.Fatalf("elastic control loop telemetry diverged: %+v vs %+v", a, b)
 		}
 	})
 }

@@ -49,9 +49,12 @@ type Oracle struct {
 	est   *costmodel.Estimator
 	noise float64
 
-	busy   simgpu.Mask
-	failed simgpu.Mask
-	reqs   map[workload.RequestID]*reqState
+	// capacity is the oracle's independent ledger of the GPU set the shard
+	// owns; Resized transitions mutate it. busy/failed are tracked within it.
+	capacity simgpu.Mask
+	busy     simgpu.Mask
+	failed   simgpu.Mask
+	reqs     map[workload.RequestID]*reqState
 	// latents mirrors the engine's latent ledger: where each request's
 	// latent last materialized. Presence of an entry (even an empty mask
 	// after a fault) means the next placement is a reconfiguration.
@@ -62,6 +65,8 @@ type Oracle struct {
 	finalized  int
 	migrations int
 	plans      int
+	preempted  int
+	resizes    int
 
 	mu         sync.Mutex
 	violations []Violation
@@ -73,10 +78,15 @@ func New(cfg Config) *Oracle {
 	if noise == 0 && cfg.Profile != nil {
 		noise = cfg.Profile.Noise
 	}
+	capacity := cfg.Engine.Capacity & cfg.Topo.AllMask()
+	if capacity == 0 {
+		capacity = cfg.Topo.AllMask()
+	}
 	return &Oracle{
 		cfg:      cfg,
 		est:      costmodel.NewEstimator(cfg.Model, cfg.Topo),
 		noise:    noise,
+		capacity: capacity,
 		reqs:     make(map[workload.RequestID]*reqState),
 		latents:  make(map[workload.RequestID]simgpu.Mask),
 		inflight: make(map[engine.RunID]*engine.Run),
@@ -106,6 +116,8 @@ func (o *Oracle) Hooks() control.Hooks {
 		RunStarted:   o.onRunStarted,
 		RunFinished:  o.onRunFinished,
 		RunAborted:   o.onRunAborted,
+		RunPreempted: o.onRunPreempted,
+		Resized:      o.onResized,
 		GPUFailed:    o.onGPUFailed,
 		GPURecovered: o.onGPURecovered,
 		Finished:     o.onFinished,
@@ -157,11 +169,15 @@ func (o *Oracle) onAdmitted(now time.Duration, r *workload.Request) {
 
 func (o *Oracle) onPlanned(now time.Duration, ctx *sched.PlanContext, plan []sched.Assignment) {
 	o.plans++
-	// Double-entry free mask: the engine's idle view must equal the node
-	// minus the oracle's independently tracked busy and failed sets.
-	if expect := o.cfg.Topo.AllMask().Without(o.busy).Without(o.failed); ctx.Free != expect {
-		o.report(now, RuleConservation, "planner saw free=%v but ledger says %v (busy=%v failed=%v)",
-			ctx.Free, expect, o.busy, o.failed)
+	// Double-entry free mask: the engine's idle view must equal the owned
+	// capacity minus the oracle's independently tracked busy and failed sets
+	// (re-derived across resizes by onResized).
+	if expect := o.capacity.Without(o.busy).Without(o.failed); ctx.Free != expect {
+		o.report(now, RuleConservation, "planner saw free=%v but ledger says %v (capacity=%v busy=%v failed=%v)",
+			ctx.Free, expect, o.capacity, o.busy, o.failed)
+	}
+	if ctx.Capacity != 0 && ctx.Capacity != o.capacity {
+		o.report(now, RuleConservation, "planner saw capacity=%v but ledger says %v", ctx.Capacity, o.capacity)
 	}
 	// The pending snapshot must agree with the ledger request by request.
 	for _, st := range ctx.Pending {
@@ -191,6 +207,10 @@ func (o *Oracle) onRunStarted(now time.Duration, run *engine.Run) {
 	}
 	if g.Overlaps(o.failed) {
 		o.report(now, RuleCapacity, "block %d dispatched onto failed GPUs %v", run.ID, g&o.failed)
+	}
+	if g.Without(o.capacity) != 0 {
+		o.report(now, RuleCapacity, "block %d dispatched onto GPUs %v outside owned capacity %v",
+			run.ID, g.Without(o.capacity), o.capacity)
 	}
 	if run.Start != now {
 		o.report(now, RuleCostModel, "block %d starts at %s, not now", run.ID, run.Start)
@@ -310,6 +330,75 @@ func (o *Oracle) onRunAborted(now time.Duration, run *engine.Run, stepsDone map[
 	}
 }
 
+// onResized re-derives the capacity ledger across a planned capacity change.
+// It fires before the RunPreempted stream for the same resize, so busy GPUs
+// in the removed set are legal here — each such block must then be preempted
+// before the next plan, or the free-mask re-derivation in onPlanned trips.
+func (o *Oracle) onResized(now time.Duration, removed, added simgpu.Mask) {
+	o.resizes++
+	if removed == 0 && added == 0 {
+		o.report(now, RuleConservation, "no-op resize observed (hook contract: effective changes only)")
+	}
+	if removed.Overlaps(added) {
+		o.report(now, RuleConservation, "resize removes and adds GPUs %v at once", removed&added)
+	}
+	if removed.Without(o.capacity) != 0 {
+		o.report(now, RuleConservation, "resize removed GPUs %v the shard never owned (capacity=%v)",
+			removed.Without(o.capacity), o.capacity)
+	}
+	if added.Overlaps(o.capacity) {
+		o.report(now, RuleConservation, "resize added GPUs %v the shard already owns", added&o.capacity)
+	}
+	o.capacity = o.capacity.Without(removed).Union(added)
+	// Parked latents lose their departed shards (members of about-to-be-
+	// preempted blocks are overwritten again by onRunPreempted, matching the
+	// engine's sweep).
+	for id, m := range o.latents {
+		if m.Overlaps(removed) {
+			o.latents[id] = m.Without(removed)
+		}
+	}
+}
+
+// onRunPreempted mirrors onRunAborted for planned resizes: the block must
+// actually have lost GPUs to the resize (its group no longer fits the owned
+// capacity), steps are credited, and the latent survives on the retained,
+// healthy members — no work may be lost on a cooperative handoff.
+func (o *Oracle) onRunPreempted(now time.Duration, run *engine.Run, stepsDone map[workload.RequestID]int) {
+	if _, ok := o.inflight[run.ID]; !ok {
+		o.report(now, RuleConservation, "block %d preempted but was never started", run.ID)
+		return
+	}
+	if run.Asg.Group.Without(o.capacity) == 0 {
+		o.report(now, RuleConservation, "block %d preempted without losing a GPU (group=%v capacity=%v)",
+			run.ID, run.Asg.Group, o.capacity)
+	}
+	delete(o.inflight, run.ID)
+	o.busy = o.busy.Without(run.Asg.Group)
+	o.preempted++
+	for id, n := range run.Steps {
+		rec, ok := o.reqs[id]
+		if !ok {
+			continue
+		}
+		rec.running = false
+		done := stepsDone[id]
+		if done < 0 || done > n {
+			o.report(now, RuleConservation, "request %d credited %d steps of a %d-step block", id, done, n)
+		}
+		rec.remaining -= done
+		if rec.remaining < 0 {
+			o.report(now, RuleConservation, "request %d overshot its step budget by %d", id, -rec.remaining)
+		}
+		// Engine latent rule for resizes: survive on the group's retained
+		// (still-owned), healthy members; entry kept so the next placement is
+		// a paid reconfiguration.
+		if _, exists := o.latents[id]; exists || done > 0 {
+			o.latents[id] = (run.Asg.Group & o.capacity).Without(o.failed)
+		}
+	}
+}
+
 func (o *Oracle) onGPUFailed(now time.Duration, mask simgpu.Mask) {
 	if mask.Overlaps(o.failed) {
 		o.report(now, RuleConservation, "GPUs %v reported failed twice", mask&o.failed)
@@ -393,6 +482,14 @@ func (o *Oracle) VerifyResult(res *control.Result) error {
 	if res.Remaps != o.migrations {
 		o.report(at, RulePlacement, "engine charged %d remaps but the oracle observed %d migrations",
 			res.Remaps, o.migrations)
+	}
+	if res.RunsPreempted != o.preempted {
+		o.report(at, RuleConservation, "engine counted %d preemptions but the oracle observed %d",
+			res.RunsPreempted, o.preempted)
+	}
+	if res.Resizes != o.resizes {
+		o.report(at, RuleConservation, "engine counted %d resizes but the oracle observed %d",
+			res.Resizes, o.resizes)
 	}
 	return o.Err()
 }

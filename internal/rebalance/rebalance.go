@@ -1,0 +1,173 @@
+// Package rebalance is the elastic-capacity policy tier: it watches
+// per-shard feasibility-probe statistics (projected lateness slack, queued
+// GPU·seconds by resolution class) and decides which shards should donate
+// GPUs to which. The policy is deliberately a pure, deterministic function
+// of its inputs — the same probe snapshot always yields the same moves — so
+// the sharded simulator can replay rebalancing as virtual-clock events
+// bit-identically, and the live rebalancer is auditable from its logs.
+//
+// Mechanism lives elsewhere: callers translate a Move into a pair of
+// control.ApplyResize calls (shrink the donor's mask, grow the receiver's),
+// which take effect at each loop's next round boundary with full step credit
+// and latent handoff (engine.Resize). This package only picks the moves.
+package rebalance
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tetriserve/internal/model"
+)
+
+// ShardLoad summarizes one shard's probed state for a decision round.
+type ShardLoad struct {
+	// Name identifies the shard in logs and tests.
+	Name string
+	// HealthyGPUs is the shard's owned, non-failed device count
+	// (engine.HealthyGPUs) — the denominator of the drain estimate.
+	HealthyGPUs int
+	// QueueGPUSeconds is the backlog's cheapest-possible GPU·seconds
+	// (Feasibility.QueueGPUSeconds).
+	QueueGPUSeconds float64
+	// QueueByClass optionally splits the backlog by resolution class; when
+	// non-nil and QueueGPUSeconds is zero, its sum is used instead.
+	QueueByClass map[model.Resolution]float64
+	// WorstSlack is the most pessimistic probe slack across the resolution
+	// classes the caller probed (negative: the shard is projected late even
+	// under best-case packing).
+	WorstSlack time.Duration
+}
+
+// queue returns the effective backlog GPU·seconds.
+func (s ShardLoad) queue() float64 {
+	if s.QueueGPUSeconds > 0 || s.QueueByClass == nil {
+		return s.QueueGPUSeconds
+	}
+	var total float64
+	for _, v := range s.QueueByClass {
+		total += v
+	}
+	return total
+}
+
+// Move is one donate/receive decision: From gives GPUs devices to To (both
+// indices into the ShardLoad slice handed to Decide).
+type Move struct {
+	From, To int
+	GPUs     int
+}
+
+func (m Move) String() string {
+	return fmt.Sprintf("move %d GPU(s): shard[%d] -> shard[%d]", m.GPUs, m.From, m.To)
+}
+
+// Config tunes the policy.
+type Config struct {
+	// MinGPUs is the per-shard capacity floor a donor may not cross
+	// (default 1 — a shard is never drained to zero by policy).
+	MinGPUs int
+	// DrainGapSeconds is the minimum difference in projected drain time
+	// (queue GPU·seconds / healthy GPUs) between receiver and donor before a
+	// move is worth its reconfiguration cost (default 2s of drain imbalance).
+	DrainGapSeconds float64
+	// SlackFloor gates receivers: only shards whose worst probed slack is
+	// below it are eligible to receive (default 0 — the shard must be
+	// projected late somewhere before it pulls capacity).
+	SlackFloor time.Duration
+	// MaxMoves bounds moves per decision round (default 1); each extra move
+	// is evaluated against the post-move hypothetical capacities.
+	MaxMoves int
+}
+
+// DefaultConfig returns the paper-faithful conservative policy: single-GPU
+// moves, one per decision, only toward shards already projected late.
+func DefaultConfig() Config {
+	return Config{
+		MinGPUs:         1,
+		DrainGapSeconds: 2.0,
+		SlackFloor:      0,
+		MaxMoves:        1,
+	}
+}
+
+// Policy decides GPU moves from probe snapshots.
+type Policy struct {
+	cfg Config
+}
+
+// New builds a policy, applying Config defaults for zero fields.
+func New(cfg Config) *Policy {
+	if cfg.MinGPUs <= 0 {
+		cfg.MinGPUs = 1
+	}
+	if cfg.DrainGapSeconds <= 0 {
+		cfg.DrainGapSeconds = 2.0
+	}
+	if cfg.MaxMoves <= 0 {
+		cfg.MaxMoves = 1
+	}
+	return &Policy{cfg: cfg}
+}
+
+// drain is the fluid-model time for a shard to clear its backlog on its
+// (hypothetical) healthy count. A shard with work but no devices drains
+// never; an idle shard drains instantly.
+func drain(queueGPUSeconds float64, healthy int) float64 {
+	if healthy <= 0 {
+		if queueGPUSeconds > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return queueGPUSeconds / float64(healthy)
+}
+
+// Decide returns the moves for one decision round, most-beneficial first.
+// Determinism contract: identical loads yield identical moves; all ties
+// break toward the lowest shard index. An empty result means the fleet is
+// balanced within the configured gap (or no legal donor/receiver exists).
+func (p *Policy) Decide(loads []ShardLoad) []Move {
+	if len(loads) < 2 {
+		return nil
+	}
+	healthy := make([]int, len(loads))
+	for i, l := range loads {
+		healthy[i] = l.HealthyGPUs
+	}
+
+	var moves []Move
+	for n := 0; n < p.cfg.MaxMoves; n++ {
+		donor, receiver := -1, -1
+		var donorDrain, recvDrain float64
+		for i, l := range loads {
+			d := drain(l.queue(), healthy[i])
+			// Receiver: projected late (slack below floor), maximal drain.
+			if l.WorstSlack < p.cfg.SlackFloor && (receiver < 0 || d > recvDrain) {
+				receiver, recvDrain = i, d
+			}
+			// Donor: above the floor, minimal drain.
+			if healthy[i] > p.cfg.MinGPUs && (donor < 0 || d < donorDrain) {
+				donor, donorDrain = i, d
+			}
+		}
+		if donor < 0 || receiver < 0 || donor == receiver {
+			break
+		}
+		// The move must close a real gap: receiver drains DrainGapSeconds
+		// slower than the donor even after accounting for the donor's loss.
+		if math.IsInf(recvDrain, 1) {
+			recvDrain = math.MaxFloat64
+		}
+		if recvDrain-donorDrain < p.cfg.DrainGapSeconds {
+			break
+		}
+		if drain(loads[donor].queue(), healthy[donor]-1) > recvDrain {
+			break // the move would just swap who is overloaded
+		}
+		moves = append(moves, Move{From: donor, To: receiver, GPUs: 1})
+		healthy[donor]--
+		healthy[receiver]++
+	}
+	return moves
+}

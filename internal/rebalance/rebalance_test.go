@@ -1,0 +1,135 @@
+package rebalance
+
+import (
+	"testing"
+	"time"
+
+	"tetriserve/internal/model"
+)
+
+func loads(specs ...ShardLoad) []ShardLoad { return specs }
+
+func TestDecideMovesFromIdleToOverloaded(t *testing.T) {
+	p := New(DefaultConfig())
+	moves := p.Decide(loads(
+		ShardLoad{Name: "idle", HealthyGPUs: 4, QueueGPUSeconds: 0, WorstSlack: time.Second},
+		ShardLoad{Name: "hot", HealthyGPUs: 4, QueueGPUSeconds: 40, WorstSlack: -time.Second},
+	))
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v, want exactly one", moves)
+	}
+	m := moves[0]
+	if m.From != 0 || m.To != 1 || m.GPUs != 1 {
+		t.Fatalf("move = %+v, want 1 GPU 0→1", m)
+	}
+	if m.String() == "" {
+		t.Fatal("Move must describe itself")
+	}
+}
+
+func TestDecideBalancedFleetStaysPut(t *testing.T) {
+	p := New(DefaultConfig())
+	moves := p.Decide(loads(
+		ShardLoad{HealthyGPUs: 4, QueueGPUSeconds: 10, WorstSlack: -time.Second},
+		ShardLoad{HealthyGPUs: 4, QueueGPUSeconds: 11, WorstSlack: -time.Second},
+	))
+	if len(moves) != 0 {
+		t.Fatalf("balanced fleet moved: %v", moves)
+	}
+}
+
+func TestDecideRespectsSlackFloor(t *testing.T) {
+	// The heavy shard has a big queue but is comfortably meeting deadlines:
+	// no receiver qualifies, so nothing moves.
+	p := New(DefaultConfig())
+	moves := p.Decide(loads(
+		ShardLoad{HealthyGPUs: 4, QueueGPUSeconds: 0, WorstSlack: time.Second},
+		ShardLoad{HealthyGPUs: 4, QueueGPUSeconds: 100, WorstSlack: time.Second},
+	))
+	if len(moves) != 0 {
+		t.Fatalf("moved GPUs to a shard that is meeting its deadlines: %v", moves)
+	}
+}
+
+func TestDecideRespectsMinGPUs(t *testing.T) {
+	p := New(Config{MinGPUs: 2, DrainGapSeconds: 1, MaxMoves: 4})
+	moves := p.Decide(loads(
+		ShardLoad{HealthyGPUs: 2, QueueGPUSeconds: 0, WorstSlack: time.Second},
+		ShardLoad{HealthyGPUs: 2, QueueGPUSeconds: 50, WorstSlack: -time.Second},
+	))
+	if len(moves) != 0 {
+		t.Fatalf("donor at its MinGPUs floor still donated: %v", moves)
+	}
+}
+
+func TestDecideNeverSwapsOverload(t *testing.T) {
+	// Both shards are drowning; taking a GPU from one would just swap who is
+	// worst. The policy must hold still rather than thrash.
+	p := New(DefaultConfig())
+	moves := p.Decide(loads(
+		ShardLoad{HealthyGPUs: 1, QueueGPUSeconds: 30, WorstSlack: -time.Second},
+		ShardLoad{HealthyGPUs: 1, QueueGPUSeconds: 40, WorstSlack: -2 * time.Second},
+	))
+	if len(moves) != 0 {
+		t.Fatalf("policy swapped overload: %v", moves)
+	}
+}
+
+func TestDecideZeroCapacityShardWithWorkReceives(t *testing.T) {
+	// A shard holding work but no devices has infinite drain time: it must
+	// win receivership over any finite-drain shard.
+	p := New(DefaultConfig())
+	moves := p.Decide(loads(
+		ShardLoad{HealthyGPUs: 4, QueueGPUSeconds: 1, WorstSlack: time.Second},
+		ShardLoad{HealthyGPUs: 0, QueueGPUSeconds: 1, WorstSlack: -time.Second},
+	))
+	if len(moves) != 1 || moves[0].From != 0 || moves[0].To != 1 {
+		t.Fatalf("moves = %v, want 0→1", moves)
+	}
+}
+
+func TestDecideMaxMovesChainsHypothetically(t *testing.T) {
+	// With MaxMoves 2 the second decision must chain off the post-move GPU
+	// counts, not re-donate from the same stale snapshot.
+	p := New(Config{MinGPUs: 3, DrainGapSeconds: 0.5, MaxMoves: 2})
+	moves := p.Decide(loads(
+		ShardLoad{HealthyGPUs: 4, QueueGPUSeconds: 0, WorstSlack: time.Second},
+		ShardLoad{HealthyGPUs: 2, QueueGPUSeconds: 60, WorstSlack: -time.Second},
+	))
+	// First move leaves the donor at 3 = MinGPUs; the second round must find
+	// no eligible donor and stop.
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v, want exactly one (donor hits MinGPUs)", moves)
+	}
+}
+
+func TestDecideTiesBreakToLowestIndex(t *testing.T) {
+	p := New(DefaultConfig())
+	moves := p.Decide(loads(
+		ShardLoad{HealthyGPUs: 4, QueueGPUSeconds: 0, WorstSlack: time.Second},
+		ShardLoad{HealthyGPUs: 4, QueueGPUSeconds: 0, WorstSlack: time.Second},
+		ShardLoad{HealthyGPUs: 4, QueueGPUSeconds: 40, WorstSlack: -time.Second},
+		ShardLoad{HealthyGPUs: 4, QueueGPUSeconds: 40, WorstSlack: -time.Second},
+	))
+	if len(moves) != 1 || moves[0].From != 0 || moves[0].To != 2 {
+		t.Fatalf("moves = %v, want deterministic 0→2", moves)
+	}
+}
+
+func TestQueueByClassFallback(t *testing.T) {
+	// When the scalar queue signal is absent, the per-class map sums into it —
+	// the policy sees the same drain pressure either way.
+	byClass := ShardLoad{
+		HealthyGPUs:  4,
+		QueueByClass: map[model.Resolution]float64{model.Res256: 10, model.Res1024: 30},
+		WorstSlack:   -time.Second,
+	}
+	p := New(DefaultConfig())
+	moves := p.Decide(loads(
+		ShardLoad{HealthyGPUs: 4, QueueGPUSeconds: 0, WorstSlack: time.Second},
+		byClass,
+	))
+	if len(moves) != 1 || moves[0].To != 1 {
+		t.Fatalf("moves = %v, want the by-class shard to receive", moves)
+	}
+}

@@ -1,0 +1,119 @@
+package router
+
+// Probe caching: under burst, the router would otherwise fan out a fresh
+// feasibility probe to every shard for every arrival, multiplying
+// control-plane load exactly when the fleet is busiest (ROADMAP "router high
+// availability"). A short TTL cache bounds that amplification — within one
+// TTL window, each (shard, shape) pair is probed once and every concurrent
+// or subsequent arrival of the same shape reuses the projection — and
+// single-flight collapses concurrent misses so a thundering herd of
+// identical submissions costs one probe, not N.
+//
+// The TTL is a staleness bound the operator chooses: 0 disables caching
+// entirely (every decision probes live state — the deterministic-simulation
+// default), and small values (tens of milliseconds online) trade a bounded
+// slack error for O(1) probe load per shape per window. Capacity changes
+// invalidate eagerly via InvalidateProbeCache, so a resize is never masked
+// for a full TTL.
+
+import (
+	"sync"
+	"time"
+
+	"tetriserve/internal/control"
+	"tetriserve/internal/model"
+)
+
+// probeKey identifies one cached probe shape on one shard.
+type probeKey struct {
+	shard int
+	res   model.Resolution
+	steps int
+	slo   time.Duration
+}
+
+// probeEntry is one cache slot. done is closed once the leader's probe has
+// filled feas/err; followers block on it (single-flight).
+type probeEntry struct {
+	at   time.Duration
+	feas control.Feasibility
+	err  string
+	done chan struct{}
+}
+
+// probeCache is the TTL + single-flight probe cache.
+type probeCache struct {
+	ttl time.Duration
+
+	mu      sync.Mutex
+	entries map[probeKey]*probeEntry
+	hits    int
+	misses  int
+}
+
+func newProbeCache(ttl time.Duration) *probeCache {
+	return &probeCache{ttl: ttl, entries: map[probeKey]*probeEntry{}}
+}
+
+// lookup returns a live entry to read (hit) or a fresh entry the caller must
+// fill (miss, fill=true). On a hit the caller must wait on entry.done before
+// reading — a concurrent leader may still be probing.
+func (c *probeCache) lookup(now time.Duration, key probeKey) (e *probeEntry, fill bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.entries[key]; e != nil && now >= e.at && now-e.at <= c.ttl {
+		c.hits++
+		return e, false
+	}
+	e = &probeEntry{at: now, done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	return e, true
+}
+
+// invalidate empties the cache (capacity change, shard membership change).
+func (c *probeCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.entries)
+}
+
+func (c *probeCache) counters() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// probeShard is the router's single probe entry point: it consults the cache
+// when one is configured, collapsing concurrent identical probes onto one
+// leader, and reports whether the answer was served from cache.
+func (r *Router) probeShard(now time.Duration, i int, s Shard, res model.Resolution, steps int, slo time.Duration) (control.Feasibility, string, bool) {
+	if r.cache == nil {
+		f, err := s.ProbeFeasibility(res, steps, slo)
+		if err != nil {
+			return f, err.Error(), false
+		}
+		return f, "", false
+	}
+	e, fill := r.cache.lookup(now, probeKey{shard: i, res: res, steps: steps, slo: slo})
+	if fill {
+		f, err := s.ProbeFeasibility(res, steps, slo)
+		e.feas = f
+		if err != nil {
+			e.err = err.Error()
+		}
+		close(e.done)
+		return e.feas, e.err, false
+	}
+	<-e.done
+	return e.feas, e.err, true
+}
+
+// InvalidateProbeCache drops every cached probe. Call it when shard capacity
+// changes out-of-band (an applied resize): a stale projection over the old
+// GPU count must not steer admissions for the rest of its TTL.
+func (r *Router) InvalidateProbeCache() {
+	if r.cache != nil {
+		r.cache.invalidate()
+	}
+}

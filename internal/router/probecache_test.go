@@ -1,0 +1,162 @@
+package router
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tetriserve/internal/control"
+	"tetriserve/internal/model"
+)
+
+func TestProbeCacheHitWithinTTL(t *testing.T) {
+	a := &fakeShard{name: "a", feas: winnable(time.Second, 2)}
+	r := mustNew(t, Config{ProbeTTL: 100 * time.Millisecond}, a)
+
+	d1 := r.Route(0, "t", model.Res512, 0, 2*time.Second)
+	if d1.Probes[0].Cached {
+		t.Fatal("first probe reported cached")
+	}
+	d2 := r.Route(50*time.Millisecond, "t", model.Res512, 0, 2*time.Second)
+	if !d2.Probes[0].Cached {
+		t.Fatal("second probe within TTL not served from cache")
+	}
+	if a.probes != 1 {
+		t.Fatalf("shard probed %d times, want 1", a.probes)
+	}
+	if !d2.Accepted || d2.Slack != time.Second {
+		t.Fatalf("cached decision = %+v, want routed with the cached slack", d2)
+	}
+
+	st := r.Stats()
+	if st.ProbeCacheHits != 1 || st.ProbeCacheMisses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1, 1", st.ProbeCacheHits, st.ProbeCacheMisses)
+	}
+}
+
+func TestProbeCacheExpiryAndKeying(t *testing.T) {
+	a := &fakeShard{name: "a", feas: winnable(time.Second, 2)}
+	r := mustNew(t, Config{ProbeTTL: 100 * time.Millisecond}, a)
+
+	r.Route(0, "t", model.Res512, 0, 2*time.Second)
+	// Past the TTL: live probe again.
+	d := r.Route(150*time.Millisecond, "t", model.Res512, 0, 2*time.Second)
+	if d.Probes[0].Cached {
+		t.Fatal("expired entry served from cache")
+	}
+	if a.probes != 2 {
+		t.Fatalf("probes = %d, want 2", a.probes)
+	}
+	// Different shape (resolution) inside the TTL: its own entry.
+	d = r.Route(160*time.Millisecond, "t", model.Res1024, 0, 2*time.Second)
+	if d.Probes[0].Cached {
+		t.Fatal("different resolution shared a cache entry")
+	}
+	// Different SLO inside the TTL: also its own entry.
+	d = r.Route(170*time.Millisecond, "t", model.Res512, 0, 3*time.Second)
+	if d.Probes[0].Cached {
+		t.Fatal("different SLO shared a cache entry")
+	}
+}
+
+func TestProbeCacheDisabledByDefault(t *testing.T) {
+	a := &fakeShard{name: "a", feas: winnable(time.Second, 2)}
+	r := mustNew(t, Config{}, a)
+	r.Route(0, "t", model.Res512, 0, 2*time.Second)
+	d := r.Route(0, "t", model.Res512, 0, 2*time.Second)
+	if d.Probes[0].Cached {
+		t.Fatal("caching active without ProbeTTL")
+	}
+	if a.probes != 2 {
+		t.Fatalf("probes = %d, want 2 (every decision live)", a.probes)
+	}
+	st := r.Stats()
+	if st.ProbeCacheHits != 0 || st.ProbeCacheMisses != 0 {
+		t.Fatalf("cache counters active without a cache: %+v", st)
+	}
+}
+
+func TestInvalidateProbeCache(t *testing.T) {
+	a := &fakeShard{name: "a", feas: winnable(time.Second, 2)}
+	r := mustNew(t, Config{ProbeTTL: time.Hour}, a)
+	r.Route(0, "t", model.Res512, 0, 2*time.Second)
+	r.InvalidateProbeCache()
+	d := r.Route(time.Millisecond, "t", model.Res512, 0, 2*time.Second)
+	if d.Probes[0].Cached {
+		t.Fatal("stale entry survived invalidation")
+	}
+	if a.probes != 2 {
+		t.Fatalf("probes = %d, want 2", a.probes)
+	}
+}
+
+// blockingShard parks probes on a gate so the test can hold several callers
+// in flight at once.
+type blockingShard struct {
+	fakeShard
+	gate  chan struct{}
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *blockingShard) ProbeFeasibility(res model.Resolution, steps int, slo time.Duration) (control.Feasibility, error) {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+	<-s.gate
+	return s.feas, s.err
+}
+
+func TestProbeCacheSingleFlight(t *testing.T) {
+	s := &blockingShard{
+		fakeShard: fakeShard{name: "a", feas: winnable(time.Second, 2)},
+		gate:      make(chan struct{}),
+	}
+	r := mustNew(t, Config{ProbeTTL: time.Hour}, s)
+
+	const callers = 8
+	var wg sync.WaitGroup
+	decs := make([]Decision, callers)
+	for i := range callers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			decs[i] = r.Route(0, "t", model.Res512, 0, 2*time.Second)
+		}()
+	}
+	// Wait until the leader is parked inside the shard probe, then release.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		calls := s.calls
+		s.mu.Unlock()
+		if calls >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no probe reached the shard")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(s.gate)
+	wg.Wait()
+
+	s.mu.Lock()
+	calls := s.calls
+	s.mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("shard probed %d times under concurrent identical routes, want 1 (single-flight)", calls)
+	}
+	cached := 0
+	for _, d := range decs {
+		if !d.Accepted {
+			t.Fatalf("decision not accepted: %+v", d)
+		}
+		if d.Probes[0].Cached {
+			cached++
+		}
+	}
+	if cached != callers-1 {
+		t.Fatalf("cached followers = %d, want %d", cached, callers-1)
+	}
+}

@@ -66,6 +66,9 @@ type ProbeResult struct {
 	// Err is the probe error, if any ("" otherwise); an erroring shard is
 	// simply not a candidate.
 	Err string
+	// Cached is true when the projection was served from the probe cache
+	// (Config.ProbeTTL > 0) rather than a live shard probe.
+	Cached bool
 }
 
 // Decision is the full routing verdict for one submission.
@@ -105,6 +108,12 @@ type Config struct {
 	OverloadFactor float64
 	// MinRetryAfter floors the Retry-After hint (default 1 s).
 	MinRetryAfter time.Duration
+	// ProbeTTL enables the probe cache: feasibility answers are reused for
+	// identical (shard, resolution, steps, slo) probes within TTL of the
+	// caller's clock, and concurrent identical misses are collapsed onto one
+	// in-flight probe (single-flight). 0 disables caching — every decision
+	// probes live shard state, the deterministic-simulation default.
+	ProbeTTL time.Duration
 	// Observer, when set, receives every decision synchronously (the
 	// telemetry plane's attachment point). It must not call back into the
 	// router.
@@ -144,6 +153,7 @@ type admission struct {
 type Router struct {
 	cfg    Config
 	shards []Shard
+	cache  *probeCache // nil unless Config.ProbeTTL > 0
 
 	mu          sync.Mutex
 	ledger      []admission // FIFO within the fairness window
@@ -157,12 +167,16 @@ func New(cfg Config, shards []Shard) (*Router, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("router: at least one shard is required")
 	}
-	return &Router{
+	r := &Router{
 		cfg:         cfg.withDefaults(),
 		shards:      shards,
 		tenants:     map[string]*tenantLedger{},
 		shardRouted: make([]int, len(shards)),
-	}, nil
+	}
+	if r.cfg.ProbeTTL > 0 {
+		r.cache = newProbeCache(r.cfg.ProbeTTL)
+	}
+	return r, nil
 }
 
 // Route decides where (whether) to place one submission. now is the caller's
@@ -187,10 +201,9 @@ func (r *Router) Route(now time.Duration, tenant string, res model.Resolution, s
 	healthy, known := 0, false
 	var service float64
 	for i, s := range r.shards {
-		f, err := s.ProbeFeasibility(res, steps, slo)
-		pr := ProbeResult{Shard: s.Name(), Feas: f}
-		if err != nil {
-			pr.Err = err.Error()
+		f, errStr, cached := r.probeShard(now, i, s, res, steps, slo)
+		pr := ProbeResult{Shard: s.Name(), Feas: f, Err: errStr, Cached: cached}
+		if errStr != "" {
 			dec.Probes = append(dec.Probes, pr)
 			continue
 		}
@@ -366,9 +379,13 @@ type Stats struct {
 	Shed       int `json:"shed"`
 	Unknown    int `json:"unknown_resolution"`
 	// EarlyRejectRate is (Infeasible+Shed)/Decisions.
-	EarlyRejectRate float64       `json:"early_reject_rate"`
-	Shards          []ShardStats  `json:"shards,omitempty"`
-	Tenants         []TenantStats `json:"tenants,omitempty"`
+	EarlyRejectRate float64 `json:"early_reject_rate"`
+	// ProbeCacheHits/ProbeCacheMisses count per-shard probe lookups served
+	// from / filled into the probe cache (both 0 when ProbeTTL is unset).
+	ProbeCacheHits   int           `json:"probe_cache_hits,omitempty"`
+	ProbeCacheMisses int           `json:"probe_cache_misses,omitempty"`
+	Shards           []ShardStats  `json:"shards,omitempty"`
+	Tenants          []TenantStats `json:"tenants,omitempty"`
 }
 
 // Stats returns a point-in-time aggregate snapshot.
@@ -378,6 +395,9 @@ func (r *Router) Stats() Stats {
 	st := r.stats
 	if st.Decisions > 0 {
 		st.EarlyRejectRate = float64(st.Infeasible+st.Shed) / float64(st.Decisions)
+	}
+	if r.cache != nil {
+		st.ProbeCacheHits, st.ProbeCacheMisses = r.cache.counters()
 	}
 	st.Shards = make([]ShardStats, len(r.shards))
 	for i, s := range r.shards {

@@ -102,6 +102,12 @@ type faultCmd struct {
 	recover bool
 }
 
+// resizeCmd is an elastic capacity change handled on the loop goroutine: the
+// loop's usable GPU set becomes exactly mask at its next round boundary.
+type resizeCmd struct {
+	mask simgpu.Mask
+}
+
 // probeCmd is a feasibility probe handled on the loop goroutine (the probe
 // reads loop state, which only that goroutine may touch).
 type probeCmd struct {
@@ -122,11 +128,12 @@ type Driver struct {
 	prof *costmodel.Profile
 	clk  *clock.Real
 
-	arrive chan *Job
-	faultc chan faultCmd
-	snapc  chan chan *control.Result
-	probec chan probeCmd
-	stop   chan struct{}
+	arrive  chan *Job
+	faultc  chan faultCmd
+	resizec chan resizeCmd
+	snapc   chan chan *control.Result
+	probec  chan probeCmd
+	stop    chan struct{}
 	// stopped closes after the loop goroutine has published its final
 	// result snapshot.
 	stopped chan struct{}
@@ -151,9 +158,12 @@ type Driver struct {
 	startFailed  int
 	runsAborted  int
 	roundTicks   int
-	// gpuBusy and failed mirror engine telemetry the same way.
-	gpuBusy float64
-	failed  simgpu.Mask
+	runsPreempted int
+	resizes       int
+	// gpuBusy, failed and capacity mirror engine telemetry the same way.
+	gpuBusy  float64
+	failed   simgpu.Mask
+	capacity simgpu.Mask
 	// oracle is set by the loop goroutine before the control loop starts
 	// (guarded by mu for the cross-goroutine read in InvariantViolations).
 	oracle *invariant.Oracle
@@ -180,12 +190,17 @@ func NewDriver(cfg DriverConfig) (*Driver, error) {
 		prof:    prof,
 		arrive:  make(chan *Job, 256),
 		faultc:  make(chan faultCmd, 16),
+		resizec: make(chan resizeCmd, 16),
 		snapc:   make(chan chan *control.Result),
 		probec:  make(chan probeCmd),
 		stop:    make(chan struct{}),
 		stopped: make(chan struct{}),
 		jobs:    make(map[workload.RequestID]*Job),
 		plane:   telemetry.NewPlane(),
+	}
+	d.capacity = cfg.Topo.AllMask()
+	if cfg.EngineCfg != nil && cfg.EngineCfg.Capacity != 0 {
+		d.capacity = cfg.EngineCfg.Capacity & cfg.Topo.AllMask()
 	}
 	d.plane.SetClusterSize(cfg.Topo.N)
 	d.plane.BindGPUBusy(func() float64 {
@@ -241,6 +256,25 @@ func (d *Driver) FailGPUs(mask simgpu.Mask) error {
 // RecoverGPUs returns previously failed GPUs to service.
 func (d *Driver) RecoverGPUs(mask simgpu.Mask) error {
 	return d.sendFault(faultCmd{mask: mask, recover: true})
+}
+
+// Resize stages an elastic capacity change: the loop's usable GPU set becomes
+// exactly mask at its next round boundary (immediately for event-driven
+// schedulers). Unlike FailGPUs, departing GPUs hand their work off — in-flight
+// blocks are preempted with full step credit and requeued, never dropped as
+// fault victims. Returns an error only if the driver is stopped.
+func (d *Driver) Resize(mask simgpu.Mask) error {
+	select {
+	case <-d.stop:
+		return fmt.Errorf("server: driver stopped")
+	default:
+	}
+	select {
+	case d.resizec <- resizeCmd{mask: mask}:
+		return nil
+	case <-d.stop:
+		return fmt.Errorf("server: driver stopped")
+	}
 }
 
 func (d *Driver) sendFault(cmd faultCmd) error {
@@ -407,8 +441,15 @@ type Stats struct {
 	// RoundTicks counts fired round boundaries (0 for event-driven
 	// schedulers); the τ grid stays anchored even under late wake-ups.
 	RoundTicks int `json:"round_ticks"`
+	// RunsPreempted counts blocks preempted (with full credit) by elastic
+	// capacity changes; Resizes counts applied capacity changes.
+	RunsPreempted int `json:"runs_preempted,omitempty"`
+	Resizes       int `json:"resizes,omitempty"`
 	// FailedGPUs lists devices currently out of service.
 	FailedGPUs []int `json:"failed_gpus,omitempty"`
+	// CapacityGPUs lists the devices this loop currently owns (the elastic
+	// capacity mask; the full topology unless resized).
+	CapacityGPUs []int `json:"capacity_gpus,omitempty"`
 }
 
 // Snapshot returns aggregate serving statistics.
@@ -424,11 +465,16 @@ func (d *Driver) Snapshot() Stats {
 		GPUBusyS:     d.gpuBusy,
 		PlanRejected: d.planRejected,
 		StartFailed:  d.startFailed,
-		RunsAborted:  d.runsAborted,
-		RoundTicks:   d.roundTicks,
+		RunsAborted:   d.runsAborted,
+		RoundTicks:    d.roundTicks,
+		RunsPreempted: d.runsPreempted,
+		Resizes:       d.resizes,
 	}
 	for _, g := range d.failed.IDs() {
 		st.FailedGPUs = append(st.FailedGPUs, int(g))
+	}
+	for _, g := range d.capacity.IDs() {
+		st.CapacityGPUs = append(st.CapacityGPUs, int(g))
 	}
 	if d.completed > 0 {
 		st.SAR = float64(d.met) / float64(d.completed)
@@ -575,13 +621,19 @@ func (d *Driver) loop() {
 		busy := eng.GPUBusySeconds()
 		failed := eng.FailedGPUs()
 		aborted := eng.RunsAborted()
+		preempted := eng.RunsPreempted()
+		resizes := eng.Resizes()
+		capacity := eng.Capacity()
 		d.mu.Lock()
 		d.planRejected = res.PlanRejected
 		d.startFailed = res.StartFailed
 		d.roundTicks = res.RoundTicks
 		d.runsAborted = aborted
+		d.runsPreempted = preempted
+		d.resizes = resizes
 		d.gpuBusy = busy
 		d.failed = failed
+		d.capacity = capacity
 		d.mu.Unlock()
 	}
 
@@ -630,6 +682,8 @@ func (d *Driver) loop() {
 			} else {
 				ctl.Fail(cmd.mask)
 			}
+		case cmd := <-d.resizec:
+			ctl.ApplyResize(cmd.mask)
 		case reply := <-d.snapc:
 			reply <- ctl.SnapshotResult()
 		case cmd := <-d.probec:

@@ -26,6 +26,7 @@ import (
 //	GET  /v1/profile              → offline-profiled step times
 //	POST /v1/probe                {width, height, steps?, slo_ms} → feasibility
 //	POST /v1/faults               {fail_gpus?, recover_gpus?} → Stats
+//	POST /v1/resize               {gpus:[ids]} | {num_gpus:N} → Stats
 //	GET  /v1/trace                → JSONL event log (same format as tetrisim export)
 //	GET  /v1/trace?follow=1       → live event feed (SSE with Accept:
 //	                                text/event-stream, flushed JSONL otherwise)
@@ -62,6 +63,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/profile", a.handleProfile)
 	mux.HandleFunc("POST /v1/probe", a.handleProbe)
 	mux.HandleFunc("POST /v1/faults", a.handleFaults)
+	mux.HandleFunc("POST /v1/resize", a.handleResize)
 	mux.HandleFunc("GET /v1/trace", a.handleTrace)
 	mux.HandleFunc("GET /v1/rounds", a.handleRounds)
 	mux.Handle("GET /metrics", a.Driver.Telemetry().Registry.Handler())
@@ -280,6 +282,62 @@ func (a *API) handleFaults(w http.ResponseWriter, r *http.Request) {
 			a.httpError(w, http.StatusConflict, "%v", err)
 			return
 		}
+	}
+	a.writeJSON(w, http.StatusOK, a.Driver.Snapshot())
+}
+
+// ResizeRequest is the elastic capacity-change payload: either the explicit
+// GPU ids the shard should own, or a count (the lowest-id N GPUs — keeping
+// capacity a contiguous prefix preserves buddy alignment for group formation).
+type ResizeRequest struct {
+	GPUs    []int `json:"gpus,omitempty"`
+	NumGPUs int   `json:"num_gpus,omitempty"`
+}
+
+// handleResize stages an elastic capacity change on the serving loop. The new
+// capacity takes effect at the next round boundary: in-flight blocks on
+// departing GPUs are preempted with full step credit and requeued (latent
+// handoff), never dropped as fault victims. Responds with the pre-application
+// stats snapshot; poll GET /v1/stats for capacity_gpus to confirm the change
+// landed.
+func (a *API) handleResize(w http.ResponseWriter, r *http.Request) {
+	var req ResizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		a.httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	n := a.Driver.cfg.Topo.N
+	var mask simgpu.Mask
+	switch {
+	case len(req.GPUs) > 0 && req.NumGPUs > 0:
+		a.httpError(w, http.StatusBadRequest, "gpus and num_gpus are mutually exclusive")
+		return
+	case len(req.GPUs) > 0:
+		for _, id := range req.GPUs {
+			if id < 0 || id >= n {
+				a.httpError(w, http.StatusBadRequest, "GPU %d outside node of %d GPUs", id, n)
+				return
+			}
+			m := simgpu.MaskOf(simgpu.GPUID(id))
+			if mask&m != 0 {
+				a.httpError(w, http.StatusBadRequest, "duplicate GPU %d", id)
+				return
+			}
+			mask |= m
+		}
+	case req.NumGPUs > 0:
+		if req.NumGPUs > n {
+			a.httpError(w, http.StatusBadRequest, "num_gpus %d exceeds node of %d GPUs", req.NumGPUs, n)
+			return
+		}
+		mask = simgpu.MaskRange(0, req.NumGPUs)
+	default:
+		a.httpError(w, http.StatusBadRequest, "gpus or num_gpus required")
+		return
+	}
+	if err := a.Driver.Resize(mask); err != nil {
+		a.httpError(w, http.StatusConflict, "%v", err)
+		return
 	}
 	a.writeJSON(w, http.StatusOK, a.Driver.Snapshot())
 }

@@ -15,6 +15,7 @@ import (
 	"tetriserve/internal/control"
 	"tetriserve/internal/model"
 	"tetriserve/internal/router"
+	"tetriserve/internal/simgpu"
 	"tetriserve/internal/telemetry"
 	"tetriserve/internal/workload"
 )
@@ -45,6 +46,26 @@ func (s *LocalShard) ProbeFeasibility(res model.Resolution, steps int, slo time.
 // Submit implements RouterShard.
 func (s *LocalShard) Submit(prompt workload.Prompt, res model.Resolution, slo time.Duration) (Job, error) {
 	return s.Driver.Submit(prompt, res, slo)
+}
+
+// ResizableShard is a pool whose GPU count the elastic rebalancer can change.
+// Resize requests the shard own exactly its lowest-id n GPUs (capacity stays
+// a contiguous prefix, preserving buddy alignment for group formation); the
+// change lands at the shard loop's next round boundary.
+type ResizableShard interface {
+	RouterShard
+	Resize(n int) error
+}
+
+// Resize implements ResizableShard.
+func (s *LocalShard) Resize(n int) error {
+	return s.Driver.Resize(simgpu.MaskRange(0, n))
+}
+
+// Resize implements ResizableShard over HTTP (POST /v1/resize).
+func (s *RemoteShard) Resize(n int) error {
+	var st Stats
+	return s.post("/v1/resize", ResizeRequest{NumGPUs: n}, &st)
 }
 
 // RemoteShard speaks the shard API (POST /v1/probe, POST

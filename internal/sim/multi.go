@@ -28,6 +28,11 @@ type ShardSpec struct {
 	Profile *costmodel.Profile
 	// Engine overrides execution physics for this shard.
 	Engine *engine.Config
+	// Capacity restricts the shard to a subset of its topology's GPUs at
+	// start (elastic serving: build shards on a common full-size topology
+	// and slice it, so rebalancing can grow a shard without changing its
+	// profile). Zero means the full topology.
+	Capacity simgpu.Mask
 }
 
 // ShardedConfig describes a router-over-shards simulation: the same request
@@ -44,6 +49,11 @@ type ShardedConfig struct {
 	// Router tunes admission (weights, fairness window, overload factor).
 	// Shards and Observer are wired by the harness.
 	Router router.Config
+	// Rebalance enables elastic GPU rebalancing between shards: on a fixed
+	// virtual-time cadence the harness probes every shard, asks the policy
+	// for donate/receive moves, and applies them as capacity resizes that
+	// land at each loop's next round boundary. Nil disables rebalancing.
+	Rebalance *RebalanceConfig
 	// DropLateFactor, CheckInvariants and MaxVirtualTime carry the
 	// single-loop Config's semantics, applied per shard.
 	DropLateFactor  float64
@@ -67,6 +77,9 @@ type ShardedResult struct {
 	Router   router.Stats
 	// Routed maps each admitted request ID to its shard index.
 	Routed map[workload.RequestID]int
+	// Rebalances lists applied elastic GPU moves in decision order (empty
+	// without ShardedConfig.Rebalance).
+	Rebalances []RebalanceEvent
 }
 
 // Offered returns the total offered load (admitted + rejected).
@@ -117,6 +130,8 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 	loops := make([]*control.Loop, len(cfg.Shards))
 	oracles := make([]*invariant.Oracle, len(cfg.Shards))
 	shards := make([]router.Shard, len(cfg.Shards))
+	names := make([]string, len(cfg.Shards))
+	alls := make([]simgpu.Mask, len(cfg.Shards))
 	for i, spec := range cfg.Shards {
 		if spec.Topo == nil || spec.Scheduler == nil {
 			return nil, fmt.Errorf("sim: shard %d needs Topo and Scheduler", i)
@@ -129,6 +144,9 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 		engCfg := engine.DefaultConfig()
 		if spec.Engine != nil {
 			engCfg = *spec.Engine
+		}
+		if spec.Capacity != 0 {
+			engCfg.Capacity = spec.Capacity
 		}
 		ctlCfg := control.Config{
 			Model:          cfg.Model,
@@ -164,12 +182,19 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 		if name == "" {
 			name = fmt.Sprintf("shard%d", i)
 		}
+		names[i] = name
+		alls[i] = spec.Topo.AllMask()
 		shards[i] = loopShard{name: name, l: l}
 	}
 
 	rt, err := router.New(cfg.Router, shards)
 	if err != nil {
 		return nil, err
+	}
+
+	var reb *rebalancer
+	if cfg.Rebalance != nil {
+		reb = newRebalancer(cfg.Rebalance, loops, names, alls)
 	}
 
 	out := &ShardedResult{Routed: map[workload.RequestID]int{}}
@@ -188,6 +213,22 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 		for i, l := range loops {
 			if ev := l.NextEvent(); ev != nil && (ei < 0 || ev.At < et) {
 				ei, et = i, ev.At
+			}
+		}
+		// Elastic rebalancing shares the virtual clock: a decision instant
+		// due at or before the next event (or arrival) runs first, so the
+		// probe → decide → resize round is a fixed grid point of the run —
+		// re-executions replay it bit-identically.
+		if reb != nil {
+			cand, hasCand := et, ei >= 0
+			if hasArrival && (!hasCand || cfg.Requests[next].Arrival < cand) {
+				cand, hasCand = cfg.Requests[next].Arrival, true
+			}
+			if hasCand && cand >= reb.next {
+				at := reb.next
+				clk.Advance(at)
+				reb.decide(at)
+				continue
 			}
 		}
 		if hasArrival && (ei < 0 || cfg.Requests[next].Arrival <= et) {
@@ -226,5 +267,8 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 		out.Shards[i] = res
 	}
 	out.Router = rt.Stats()
+	if reb != nil {
+		out.Rebalances = reb.events
+	}
 	return out, nil
 }

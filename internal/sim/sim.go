@@ -68,6 +68,11 @@ type Config struct {
 	// requeueing them — the recovery ablation the failure sweep compares
 	// against.
 	NoRequeueOnFault bool
+	// Resizes schedules planned capacity changes (elastic shard grow or
+	// shrink). Each takes effect at the loop's next round boundary after its
+	// At: in-flight blocks on departing GPUs are preempted with full step
+	// credit and requeued (latent handoff), never dropped as fault victims.
+	Resizes []simgpu.Resize
 	// Hooks are optional observer callbacks (telemetry planes, custom
 	// probes) composed onto the control loop before the invariant oracle.
 	Hooks control.Hooks
@@ -133,6 +138,11 @@ func newSimulator(cfg Config) (*simulator, error) {
 			return nil, err
 		}
 	}
+	for _, r := range cfg.Resizes {
+		if err := r.Validate(cfg.Topo); err != nil {
+			return nil, err
+		}
+	}
 
 	clk := clock.NewVirtual()
 	ctlCfg := control.Config{
@@ -174,6 +184,9 @@ func newSimulator(cfg Config) (*simulator, error) {
 	}
 	for _, f := range cfg.Faults {
 		ctl.ScheduleFault(f)
+	}
+	for _, r := range cfg.Resizes {
+		ctl.ScheduleResize(r)
 	}
 	ctl.Begin()
 	return &simulator{cfg: cfg, clk: clk, ctl: ctl, oracle: oracle}, nil
