@@ -44,6 +44,7 @@ fuzz:
 	$(GO) test ./internal/invariant -run '^$$' -fuzz '^FuzzControlLoop$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/invariant -run '^$$' -fuzz '^FuzzElasticControlLoop$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/invariant -run '^$$' -fuzz '^FuzzWarmStart$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/invariant -run '^$$' -fuzz '^FuzzCacheAwarePlan$$' -fuzztime $(FUZZTIME)
 
 # End-to-end smoke test of the telemetry plane against a real daemon:
 # scrape /metrics, read /v1/rounds, follow the live trace, run tetrictl top.

@@ -114,6 +114,70 @@ func benchPlanCtx(depth int) *sched.PlanContext {
 	}
 }
 
+// benchRescueState shapes one request so no plain option can survive but a
+// cache-assisted tail still clears the deadline: 20 of 200 steps computed, a
+// quality budget of half the steps, and an SLO placed between the best
+// cached projection (plus ample rescue margin) and the plain-service lower
+// bound. The planner must walk the full rescue path — per-option cache
+// intervals, budget clipping, and the cacheFeasibleAt gate — for each one.
+func benchRescueState(id int, res model.Resolution) *sched.RequestState {
+	const steps, remaining, budget, maxInterval = 200, 180, 100, 4
+	tmin, _ := benchProf.MinStepTime(res)
+	done := steps - remaining
+	start := done
+	if start < sched.CacheProtectedSteps {
+		start = sched.CacheProtectedSteps
+	}
+	a := sched.ApproxSteps(steps-sched.CacheProtectedSteps-start, maxInterval)
+	if a > budget {
+		a = budget
+	}
+	gamma := benchProf.CachedStepRelCost()
+	bound := time.Duration(remaining-a)*tmin +
+		time.Duration(float64(a)*gamma*float64(tmin))
+	return &sched.RequestState{
+		Req: &workload.Request{
+			ID:            workload.RequestID(id),
+			Res:           res,
+			Steps:         steps,
+			SLO:           bound + 300*time.Millisecond,
+			QualityBudget: budget,
+		},
+		Remaining: remaining,
+	}
+}
+
+// benchPlanCtxCached is benchPlanCtx with the step-cache dimension live:
+// every other request is deadline-infeasible at interval 1 but rescuable
+// within its quality budget, so the round decision mixes plain packing with
+// cache-assisted rescues.
+func benchPlanCtxCached(depth int) *sched.PlanContext {
+	resList := model.StandardResolutions()
+	pending := make([]*sched.RequestState, depth)
+	for i := range pending {
+		res := resList[i%len(resList)]
+		if i%2 == 1 {
+			pending[i] = benchRescueState(i, res)
+			continue
+		}
+		pending[i] = &sched.RequestState{
+			Req: &workload.Request{
+				ID:    workload.RequestID(i),
+				Res:   res,
+				Steps: 50,
+				SLO:   5 * time.Second,
+			},
+			Remaining: 50,
+		}
+	}
+	return &sched.PlanContext{
+		Free:    benchTopo.AllMask(),
+		Pending: pending,
+		Profile: benchProf,
+		Topo:    benchTopo,
+	}
+}
+
 // BenchmarkPlanLatency measures one TetriServe round decision for queue
 // depths the paper tabulates — the <10 ms control-plane claim. With the
 // default warm-start configuration the fixed snapshot is answered from the
@@ -124,6 +188,28 @@ func BenchmarkPlanLatency(b *testing.B) {
 		b.Run(fmt.Sprintf("queue=%d", depth), func(b *testing.B) {
 			s := core.NewScheduler(benchProf, benchTopo, core.DefaultConfig())
 			ctx := benchPlanCtx(depth)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Plan(ctx)
+			}
+		})
+	}
+}
+
+// BenchmarkPlanLatencyCached measures the round decision with the step-cache
+// dimension enabled (MaxCacheInterval 4) at the snapshot depths: half the
+// queue needs a cache-assisted rescue, so the number prices the schedulable
+// per-step cost knob against the plain PlanLatency baseline. The hot path
+// must stay allocation-free — cached variants alias the candidate's fixed
+// option buffer.
+func BenchmarkPlanLatencyCached(b *testing.B) {
+	for _, depth := range []int{256, 4096} {
+		b.Run(fmt.Sprintf("queue=%d", depth), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.MaxCacheInterval = 4
+			s := core.NewScheduler(benchProf, benchTopo, cfg)
+			ctx := benchPlanCtxCached(depth)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -81,6 +81,57 @@ func benchCtx(depth int) *sched.PlanContext {
 	}
 }
 
+// planLatencyCached mirrors BenchmarkPlanLatencyCached: the round decision
+// with the step-cache dimension enabled (MaxCacheInterval 4) on a queue
+// where half the requests need a cache-assisted rescue. The delta against
+// PlanLatency at the same depth prices the schedulable per-step cost knob.
+func planLatencyCached(depth int) func(*testing.B) {
+	return func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.MaxCacheInterval = 4
+		s := core.NewScheduler(benchProf, benchTopo, cfg)
+		ctx := benchCtxCached(depth)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Plan(ctx)
+		}
+	}
+}
+
+// benchCtxCached is benchCtx with every other request reshaped so no plain
+// option survives but a cache-assisted tail still clears the deadline: 20 of
+// 200 steps computed, a quality budget of half the steps, and an SLO placed
+// between the best cached projection (plus ample rescue margin) and the
+// plain-service lower bound.
+func benchCtxCached(depth int) *sched.PlanContext {
+	const steps, remaining, budget, maxInterval = 200, 180, 100, 4
+	ctx := benchCtx(depth)
+	for i, st := range ctx.Pending {
+		if i%2 == 0 {
+			continue
+		}
+		tmin, _ := benchProf.MinStepTime(st.Req.Res)
+		done := steps - remaining
+		start := done
+		if start < sched.CacheProtectedSteps {
+			start = sched.CacheProtectedSteps
+		}
+		a := sched.ApproxSteps(steps-sched.CacheProtectedSteps-start, maxInterval)
+		if a > budget {
+			a = budget
+		}
+		gamma := benchProf.CachedStepRelCost()
+		bound := time.Duration(remaining-a)*tmin +
+			time.Duration(float64(a)*gamma*float64(tmin))
+		st.Req.Steps = steps
+		st.Req.SLO = bound + 300*time.Millisecond
+		st.Req.QualityBudget = budget
+		st.Remaining = remaining
+	}
+	return ctx
+}
+
 // warmStartPlan isolates the incremental planner's three regimes at one
 // queue depth. "cold" disables warm start entirely — the honest full-solve
 // number (and the denominator of the warm-start speedup). "steady" perturbs
@@ -325,6 +376,8 @@ func main() {
 		{"PlanLatency/queue=256", planLatency(256)},
 		{"PlanLatency/queue=1024", planLatency(1024)},
 		{"PlanLatency/queue=4096", planLatency(4096)},
+		{"PlanLatencyCached/queue=256", planLatencyCached(256)},
+		{"PlanLatencyCached/queue=4096", planLatencyCached(4096)},
 		{"WarmStartPlan/cold/queue=4096", warmStartPlan("cold", 4096)},
 		{"WarmStartPlan/steady/queue=4096", warmStartPlan("steady", 4096)},
 		{"WarmStartPlan/churn/queue=4096", warmStartPlan("churn", 4096)},

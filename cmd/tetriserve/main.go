@@ -49,6 +49,8 @@ func main() {
 	granularity := flag.Int("granularity", 5, "TetriServe step granularity per round")
 	useCache := flag.Bool("cache", false, "enable Nirvana-style approximate latent cache")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	cacheInterval := flag.Int("cache-interval", 1, "shard mode: max step-cache interval the planner may assign (1 = caching off, max 8)")
+	qualityBudget := flag.Float64("quality-budget", 0, "shard mode: fraction of each job's steps the planner may approximate via the step cache (0..1)")
 	shardList := flag.String("shards", "", "router mode: comma-separated shard base URLs (name=url or url)")
 	tenantWeights := flag.String("tenant-weights", "", "router mode: comma-separated tenant=weight pairs")
 	probeTTL := flag.Duration("probe-ttl", 0, "router mode: cache shard feasibility probes for this long (0 = off)")
@@ -61,7 +63,11 @@ func main() {
 
 	switch *mode {
 	case "shard":
-		runShard(*addr, *mdlName, *topoName, *speedup, *schedName, *granularity, *useCache, *pprofOn)
+		knobs, err := parseCacheKnobs(*cacheInterval, *qualityBudget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runShard(*addr, *mdlName, *topoName, *speedup, *schedName, *granularity, *useCache, *pprofOn, knobs)
 	case "router":
 		runRouter(routerOptions{
 			addr:           *addr,
@@ -79,7 +85,7 @@ func main() {
 	}
 }
 
-func runShard(addr, mdlName, topoName string, speedup float64, schedName string, granularity int, useCache, pprofOn bool) {
+func runShard(addr, mdlName, topoName string, speedup float64, schedName string, granularity int, useCache, pprofOn bool, knobs cacheKnobs) {
 	mdl, err := model.ByName(mdlName)
 	if err != nil {
 		log.Fatal(err)
@@ -88,12 +94,15 @@ func runShard(addr, mdlName, topoName string, speedup float64, schedName string,
 	if err != nil {
 		log.Fatal(err)
 	}
-	sc, err := buildScheduler(schedName, granularity, mdl, topo)
+	sc, err := buildScheduler(schedName, granularity, knobs.interval, mdl, topo)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	cfg := server.DriverConfig{Model: mdl, Topo: topo, Scheduler: sc, Speedup: speedup}
+	cfg := server.DriverConfig{
+		Model: mdl, Topo: topo, Scheduler: sc, Speedup: speedup,
+		QualityBudgetFrac: knobs.budgetFrac,
+	}
 	if useCache {
 		cfg.Cache = cache.New(cache.DefaultConfig())
 	}
@@ -307,12 +316,13 @@ func parseRebalanceGPUs(list string, nShards int) (init, max []int, err error) {
 }
 
 // buildScheduler resolves the -scheduler flag.
-func buildScheduler(name string, granularity int, mdl *model.Model, topo *simgpu.Topology) (sched.Scheduler, error) {
+func buildScheduler(name string, granularity, cacheInterval int, mdl *model.Model, topo *simgpu.Topology) (sched.Scheduler, error) {
 	switch {
 	case name == "tetriserve":
 		prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
 		cfg := core.DefaultConfig()
 		cfg.StepGranularity = granularity
+		cfg.MaxCacheInterval = cacheInterval
 		return core.NewScheduler(prof, topo, cfg), nil
 	case strings.HasPrefix(name, "sp"):
 		k, err := strconv.Atoi(strings.TrimPrefix(name, "sp"))

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseCacheKnobs(t *testing.T) {
+	for _, tc := range []struct {
+		interval int
+		budget   float64
+		wantErr  error
+	}{
+		{1, 0, nil},
+		{4, 0.5, nil},
+		{8, 1, nil},
+		{0, 0, ErrBadCacheInterval},
+		{-2, 0.5, ErrBadCacheInterval},
+		{9, 0.5, ErrBadCacheInterval},
+		{4, -0.1, ErrBadQualityBudget},
+		{4, 1.5, ErrBadQualityBudget},
+	} {
+		got, err := parseCacheKnobs(tc.interval, tc.budget)
+		if tc.wantErr == nil {
+			if err != nil {
+				t.Fatalf("parseCacheKnobs(%d, %v): unexpected error %v", tc.interval, tc.budget, err)
+			}
+			if got.interval != tc.interval || got.budgetFrac != tc.budget {
+				t.Fatalf("parseCacheKnobs(%d, %v) = %+v", tc.interval, tc.budget, got)
+			}
+			continue
+		}
+		if !errors.Is(err, tc.wantErr) {
+			t.Fatalf("parseCacheKnobs(%d, %v) error %v, want errors.Is %v", tc.interval, tc.budget, err, tc.wantErr)
+		}
+	}
+}

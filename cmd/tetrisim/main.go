@@ -23,6 +23,10 @@
 //	-fail-gpus S   comma-separated GPU ids to fail-stop (timeline/export)
 //	-fail-at D     virtual time of the fail-stop (default 30s)
 //	-recover-at D  virtual time the GPUs return (0 = never)
+//	-cache-interval N  max step-cache cadence the planner may assign
+//	               (timeline/export, tetriserve scheduler; 1 = caching off)
+//	-quality-budget F  fraction of each request's steps the planner may
+//	               approximate via the step cache (timeline/export; 0..1)
 package main
 
 import (
@@ -58,9 +62,16 @@ func main() {
 	failAt := flag.Duration("fail-at", 30*time.Second, "virtual time at which -fail-gpus fail")
 	recoverAt := flag.Duration("recover-at", 0, "virtual time at which failed GPUs recover (0 = never)")
 	metricsDump := flag.Bool("metrics", false, "attach the telemetry plane during timeline/export and dump /metrics text to stderr at exit")
+	cacheInterval := flag.Int("cache-interval", 1, "max step-cache interval the planner may assign (timeline/export; 1 = caching off, max 8)")
+	qualityBudget := flag.Float64("quality-budget", 0, "fraction of each request's steps the planner may approximate via the step cache (timeline/export; 0..1)")
 	flag.Parse()
 
 	faults, err := simgpu.ParseFaults(*failGPUs, *failAt, *recoverAt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tetrisim:", err)
+		os.Exit(2)
+	}
+	knobs, err := parseCacheKnobs(*cacheInterval, *qualityBudget)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tetrisim:", err)
 		os.Exit(2)
@@ -92,7 +103,7 @@ func main() {
 		if len(args) > 1 {
 			schedName = args[1]
 		}
-		if err := runTimelineOrExport(args[0], schedName, ctx, faults, *metricsDump); err != nil {
+		if err := runTimelineOrExport(args[0], schedName, ctx, faults, *metricsDump, knobs); err != nil {
 			fmt.Fprintln(os.Stderr, "tetrisim:", err)
 			os.Exit(1)
 		}
@@ -167,14 +178,16 @@ func dumpProfiles() {
 // and either renders the GPU-occupancy chart (the CLI counterpart of
 // Figure 1) or emits the structured JSONL event log. Injected faults let
 // the recovery rescheduling be watched on the timeline.
-func runTimelineOrExport(mode, schedName string, ctx experiments.Context, faults []simgpu.Fault, metricsDump bool) error {
+func runTimelineOrExport(mode, schedName string, ctx experiments.Context, faults []simgpu.Fault, metricsDump bool, knobs cacheKnobs) error {
 	mdl := model.FLUX()
 	topo := simgpu.H100x8()
 	prof := costmodel.BuildProfile(costmodel.NewEstimator(mdl, topo), costmodel.ProfilerConfig{})
 	var sc sched.Scheduler
 	switch schedName {
 	case "tetriserve":
-		sc = core.NewScheduler(prof, topo, core.DefaultConfig())
+		cfg := core.DefaultConfig()
+		cfg.MaxCacheInterval = knobs.interval
+		sc = core.NewScheduler(prof, topo, cfg)
 	case "sp1", "sp2", "sp4", "sp8":
 		k, _ := strconv.Atoi(strings.TrimPrefix(schedName, "sp"))
 		sc = sched.NewFixedSP(k)
@@ -204,6 +217,11 @@ func runTimelineOrExport(mode, schedName string, ctx experiments.Context, faults
 		NumRequests: n,
 		Seed:        seed,
 	})
+	if knobs.budgetFrac > 0 {
+		for _, r := range reqs {
+			r.QualityBudget = int(knobs.budgetFrac * float64(r.Steps))
+		}
+	}
 	simCfg := sim.Config{
 		Model: mdl, Topo: topo, Scheduler: sc, Requests: reqs, Profile: prof,
 		Faults: faults,
@@ -255,5 +273,5 @@ func usage() {
   tetrisim list
   tetrisim [-seed N] [-n N] [-rate R] [-quick] [-markdown] run <id>... | run all
   tetrisim profile
-  tetrisim [-seed N] [-n N] [-rate R] [-metrics] [-fail-gpus 1,3 [-fail-at 30s] [-recover-at 90s]] timeline [tetriserve|sp1|sp2|sp4|sp8|rssp|edf]`)
+  tetrisim [-seed N] [-n N] [-rate R] [-metrics] [-cache-interval N] [-quality-budget F] [-fail-gpus 1,3 [-fail-at 30s] [-recover-at 90s]] timeline [tetriserve|sp1|sp2|sp4|sp8|rssp|edf]`)
 }

@@ -501,15 +501,16 @@ func (l *Loop) onRunDone(now time.Duration, run *engine.Run) error {
 	delete(l.inflight, run.ID)
 	delete(l.runEv, run.ID)
 	l.res.Runs = append(l.res.Runs, RunRecord{
-		Start:      run.Start,
-		End:        run.End,
-		Degree:     run.Degree,
-		Steps:      run.Asg.Steps,
-		Requests:   l.captureIDs(run.Asg.Requests),
-		Res:        run.Res,
-		Group:      run.Asg.Group,
-		BestEffort: run.Asg.BestEffort,
-		Batched:    run.Batched,
+		Start:         run.Start,
+		End:           run.End,
+		Degree:        run.Degree,
+		Steps:         run.Asg.Steps,
+		Requests:      l.captureIDs(run.Asg.Requests),
+		Res:           run.Res,
+		Group:         run.Asg.Group,
+		BestEffort:    run.Asg.BestEffort,
+		Batched:       run.Batched,
+		CacheInterval: run.Asg.CacheInterval,
 	})
 
 	// Iterate members in assignment order, not map order, so decode-queue
@@ -523,6 +524,7 @@ func (l *Loop) onRunDone(now time.Duration, run *engine.Run) error {
 		l.clearRunning(st)
 		st.Started = true
 		st.Remaining -= steps
+		st.QualityUsed += sched.ApproxSteps(steps, run.Asg.CacheInterval)
 		st.LastGroup = run.Asg.Group
 		st.StepsByDegree.Add(run.Degree, steps)
 		if st.Remaining <= 0 {
@@ -736,16 +738,17 @@ func (l *Loop) onGPUFail(now time.Duration, mask simgpu.Mask) {
 		}
 		delete(l.inflight, f.Run.ID)
 		l.res.Runs = append(l.res.Runs, RunRecord{
-			Start:      f.Run.Start,
-			End:        now,
-			Degree:     f.Run.Degree,
-			Steps:      f.Run.Asg.Steps,
-			Requests:   l.captureIDs(f.Run.Asg.Requests),
-			Res:        f.Run.Res,
-			Group:      f.Run.Asg.Group,
-			BestEffort: f.Run.Asg.BestEffort,
-			Batched:    f.Run.Batched,
-			Aborted:    true,
+			Start:         f.Run.Start,
+			End:           now,
+			Degree:        f.Run.Degree,
+			Steps:         f.Run.Asg.Steps,
+			Requests:      l.captureIDs(f.Run.Asg.Requests),
+			Res:           f.Run.Res,
+			Group:         f.Run.Asg.Group,
+			BestEffort:    f.Run.Asg.BestEffort,
+			Batched:       f.Run.Batched,
+			CacheInterval: f.Run.Asg.CacheInterval,
+			Aborted:       true,
 		})
 		for _, id := range f.Run.Asg.Requests {
 			done, ok := f.StepsDone[id]
@@ -757,6 +760,11 @@ func (l *Loop) onGPUFail(now time.Duration, mask simgpu.Mask) {
 			if done > 0 {
 				st.Started = true
 				st.Remaining -= done
+				// Credit the completed prefix's approximated steps with the
+				// same ApproxSteps convention the planner budgeted with, so a
+				// fault can never leak quality budget (ApproxSteps is monotone
+				// in the step count: credit ≤ the full block's debit).
+				st.QualityUsed += sched.ApproxSteps(done, f.Run.Asg.CacheInterval)
 				st.StepsByDegree.Add(f.Run.Degree, done)
 			}
 			switch {
@@ -826,17 +834,18 @@ func (l *Loop) applyResize(now time.Duration, newMask simgpu.Mask) {
 		}
 		delete(l.inflight, p.Run.ID)
 		l.res.Runs = append(l.res.Runs, RunRecord{
-			Start:      p.Run.Start,
-			End:        now,
-			Degree:     p.Run.Degree,
-			Steps:      p.Run.Asg.Steps,
-			Requests:   l.captureIDs(p.Run.Asg.Requests),
-			Res:        p.Run.Res,
-			Group:      p.Run.Asg.Group,
-			BestEffort: p.Run.Asg.BestEffort,
-			Batched:    p.Run.Batched,
-			Aborted:    true,
-			Preempted:  true,
+			Start:         p.Run.Start,
+			End:           now,
+			Degree:        p.Run.Degree,
+			Steps:         p.Run.Asg.Steps,
+			Requests:      l.captureIDs(p.Run.Asg.Requests),
+			Res:           p.Run.Res,
+			Group:         p.Run.Asg.Group,
+			BestEffort:    p.Run.Asg.BestEffort,
+			Batched:       p.Run.Batched,
+			CacheInterval: p.Run.Asg.CacheInterval,
+			Aborted:       true,
+			Preempted:     true,
 		})
 		for _, id := range p.Run.Asg.Requests {
 			done, ok := p.StepsDone[id]
@@ -848,6 +857,8 @@ func (l *Loop) applyResize(now time.Duration, newMask simgpu.Mask) {
 			if done > 0 {
 				st.Started = true
 				st.Remaining -= done
+				// Same prefix-credit convention as the fault path.
+				st.QualityUsed += sched.ApproxSteps(done, p.Run.Asg.CacheInterval)
 				st.StepsByDegree.Add(p.Run.Degree, done)
 			}
 			switch {
@@ -1006,28 +1017,30 @@ func (l *Loop) finish(now time.Duration, st *sched.RequestState) {
 	// identical in sim and driver by construction.
 	if l.cfg.DropLateFactor > 0 && completion > l.dropLimit(r) {
 		l.finalize(now, Outcome{
-			ID:       r.ID,
-			Res:      r.Res,
-			Arrival:  r.Arrival,
-			Deadline: r.Deadline(),
-			Dropped:  true,
-			Cause:    DropTimeout,
-			Steps:    r.Steps - r.SkippedSteps,
-			Skipped:  r.SkippedSteps,
+			ID:           r.ID,
+			Res:          r.Res,
+			Arrival:      r.Arrival,
+			Deadline:     r.Deadline(),
+			Dropped:      true,
+			Cause:        DropTimeout,
+			Steps:        r.Steps - r.SkippedSteps,
+			Skipped:      r.SkippedSteps,
+			Approximated: st.QualityUsed,
 		})
 		return
 	}
 	out := Outcome{
-		ID:         r.ID,
-		Res:        r.Res,
-		Arrival:    r.Arrival,
-		Deadline:   r.Deadline(),
-		Completion: completion,
-		Met:        completion <= r.Deadline(),
-		Latency:    completion - r.Arrival,
-		AvgDegree:  st.AvgDegree(),
-		Steps:      r.Steps - r.SkippedSteps,
-		Skipped:    r.SkippedSteps,
+		ID:           r.ID,
+		Res:          r.Res,
+		Arrival:      r.Arrival,
+		Deadline:     r.Deadline(),
+		Completion:   completion,
+		Met:          completion <= r.Deadline(),
+		Latency:      completion - r.Arrival,
+		AvgDegree:    st.AvgDegree(),
+		Steps:        r.Steps - r.SkippedSteps,
+		Skipped:      r.SkippedSteps,
+		Approximated: st.QualityUsed,
 	}
 	l.res.Outcomes = append(l.res.Outcomes, out)
 	l.done[r.ID] = true
@@ -1045,14 +1058,15 @@ func (l *Loop) drop(now time.Duration, st *sched.RequestState, cause DropCause) 
 	r := st.Req
 	l.eng.ReleaseLatent(r.ID)
 	l.finalize(now, Outcome{
-		ID:       r.ID,
-		Res:      r.Res,
-		Arrival:  r.Arrival,
-		Deadline: r.Deadline(),
-		Dropped:  true,
-		Cause:    cause,
-		Steps:    r.Steps - r.SkippedSteps,
-		Skipped:  r.SkippedSteps,
+		ID:           r.ID,
+		Res:          r.Res,
+		Arrival:      r.Arrival,
+		Deadline:     r.Deadline(),
+		Dropped:      true,
+		Cause:        cause,
+		Steps:        r.Steps - r.SkippedSteps,
+		Skipped:      r.SkippedSteps,
+		Approximated: st.QualityUsed,
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tetriserve/internal/model"
+	"tetriserve/internal/sched"
 )
 
 // Feasibility is the read-only deadline projection the admission router
@@ -59,6 +60,17 @@ type Feasibility struct {
 	// latency for the probed resolution and the degree achieving it.
 	MinStepTime   time.Duration
 	MinStepDegree int
+	// MaxCacheInterval is the shard scheduler's step-cache ceiling (1 when
+	// the scheduler does not expose or enable the cache dimension). When it
+	// exceeds 1, CachedFinish projects the best cache-assisted completion —
+	// every approximable step (outside the protected first/last
+	// sched.CacheProtectedSteps) served at the discounted cost — and
+	// CachedWinnable reports CachedFinish ≤ Deadline. With caching off both
+	// mirror ProjectedFinish/Winnable exactly, so consumers that read the
+	// cached projection behave bit-identically on cache-oblivious shards.
+	MaxCacheInterval int
+	CachedFinish     time.Duration
+	CachedWinnable   bool
 }
 
 // ProbeFeasibility projects deadline feasibility for a hypothetical request
@@ -94,12 +106,14 @@ func (l *Loop) ProbeFeasibility(res model.Resolution, steps int, slo time.Durati
 	// a 2-GPU shard would promise 8-way step times it can never run.
 	f.MinStepTime, f.MinStepDegree = l.minStepTimeWithin(res, f.HealthyGPUs)
 	f.ServiceGPUSeconds = float64(steps) * l.minGPUSecondsWithin(res, f.HealthyGPUs)
+	f.MaxCacheInterval = l.maxCacheInterval()
 	if f.HealthyGPUs <= 0 {
 		// A fully failed pool can never win; pin the projection at the
 		// deadline horizon so Slack reports "late by the whole budget".
 		f.ProjectedStart = f.Deadline
 		f.ProjectedFinish = f.Deadline + slo
 		f.Slack = f.Deadline - f.ProjectedFinish
+		f.CachedFinish = f.ProjectedFinish
 		return f, nil
 	}
 
@@ -137,7 +151,37 @@ func (l *Loop) ProbeFeasibility(res model.Resolution, steps int, slo time.Durati
 	f.ProjectedFinish = f.ProjectedStart + time.Duration(steps)*f.MinStepTime + l.dispatchDelay()
 	f.Winnable = f.ProjectedFinish <= f.Deadline
 	f.Slack = f.Deadline - f.ProjectedFinish
+
+	// Cache-assisted projection: the same fluid bound with every approximable
+	// step (outside the protected first/last N, ignoring any per-request
+	// budget — the probed request is hypothetical and has none yet) served at
+	// the γ-discounted cost. With caching off this collapses to the plain
+	// projection exactly (a = 0 path is not taken; the fields are copied).
+	f.CachedFinish = f.ProjectedFinish
+	f.CachedWinnable = f.Winnable
+	if f.MaxCacheInterval > 1 {
+		a := sched.ApproxSteps(steps-2*sched.CacheProtectedSteps, f.MaxCacheInterval)
+		if a > 0 {
+			gamma := l.cfg.Profile.CachedStepRelCost()
+			service := time.Duration(steps-a)*f.MinStepTime +
+				time.Duration(float64(a)*gamma*float64(f.MinStepTime))
+			f.CachedFinish = f.ProjectedStart + service + l.dispatchDelay()
+			f.CachedWinnable = f.CachedFinish <= f.Deadline
+		}
+	}
 	return f, nil
+}
+
+// maxCacheInterval reports the scheduler's step-cache ceiling via an optional
+// interface assertion (core.Scheduler exposes MaxCacheInterval; baselines do
+// not and probe as cache-oblivious).
+func (l *Loop) maxCacheInterval() int {
+	if s, ok := l.cfg.Scheduler.(interface{ MaxCacheInterval() int }); ok {
+		if c := s.MaxCacheInterval(); c > 1 {
+			return c
+		}
+	}
+	return 1
 }
 
 // minGPUSecondsWithin is the cheapest profiled per-step GPU·seconds for res

@@ -39,6 +39,10 @@ type Outcome struct {
 	AvgDegree float64
 	Steps     int
 	Skipped   int
+	// Approximated counts steps served from the step cache (approximated
+	// rather than fully computed) across the request's lifetime — always
+	// ≤ the request's QualityBudget, 0 when caching never engaged.
+	Approximated int
 }
 
 // RunRecord logs one executed block for timeline metrics.
@@ -51,6 +55,9 @@ type RunRecord struct {
 	Group      simgpu.Mask
 	BestEffort bool
 	Batched    bool
+	// CacheInterval > 1 marks a cache-assisted block (every interval-th step
+	// computed, the rest approximated).
+	CacheInterval int
 	// Aborted marks a block killed mid-flight by a GPU fault; End is the
 	// fault time, not the planned completion.
 	Aborted bool

@@ -24,6 +24,11 @@ type option struct {
 	// survive is sv_i(m): not definitely late at the next round start if
 	// this option runs.
 	survive bool
+	// cacheInterval > 1 marks a step-cache-assisted option: stepTime and q
+	// are computed at the discounted T(res, k, cacheInterval) and running it
+	// spends sched.ApproxSteps(q, cacheInterval) of the request's quality
+	// budget. 0 for plain options.
+	cacheInterval int
 }
 
 // candidate is a request together with its per-round options. Candidates
@@ -32,10 +37,11 @@ type candidate struct {
 	st *sched.RequestState
 	// options holds runnable options (q > 0), lowest degree first —
 	// matching Figure 6's shape of spending cheap degrees early. It aliases
-	// optbuf (a minimal-GPU-hour mix has at most two degrees), so building
-	// options allocates nothing.
+	// optbuf (a minimal-GPU-hour mix has at most two degrees, each of which
+	// may add one cache-assisted variant), so building options allocates
+	// nothing.
 	options []option
-	optbuf  [2]option
+	optbuf  [4]option
 	// surviveNone is sv_i(none).
 	surviveNone bool
 	// tmin is the fastest profiled step time for the resolution.
@@ -82,8 +88,139 @@ func (s *Scheduler) buildCandidate(prof *costmodel.Profile, now, tNext time.Dura
 			survive:   survive,
 		})
 	}
+	s.addCachedOptions(prof, tNext, st, c)
 	return true
 }
+
+// addCachedOptions extends a candidate with the step-cache dimension when NO
+// base option survives at plain tmin — the deadline is infeasible at
+// interval 1 at every degree. Two regimes, both gated on MaxCacheInterval > 1
+// so default planning stays bit-identical:
+//
+//   - The request is still inside the protected prefix (fewer than
+//     CacheProtectedSteps effective steps computed): no cached block may run
+//     yet, but if the best cache-assisted tail after this round's plain block
+//     still meets the deadline, the base options are marked surviving — the
+//     DP keeps the request prioritized through the prefix instead of starving
+//     it before a rescue becomes legal.
+//   - The prefix is done: each base option gains a variant at the cheapest
+//     cache interval (the least quality spent per step) whose post-block
+//     best-case projection clears the deadline. Base options stay
+//     non-surviving so the DP realizes the rescue (runs the cached block) —
+//     deferring at the same survival value would spend rounds without
+//     spending budget and convert nothing.
+//
+// Caching is strictly a rescue: a request with a surviving plain option never
+// trades deadline headroom for GPU savings, since a cache-assisted
+// "survivor" projected at best case has no slack against queueing.
+func (s *Scheduler) addCachedOptions(prof *costmodel.Profile, tNext time.Duration, st *sched.RequestState, c *candidate) {
+	maxC := s.cfg.MaxCacheInterval
+	if maxC <= 1 {
+		return
+	}
+	for oi := range c.options {
+		if c.options[oi].survive {
+			return
+		}
+	}
+	budgetLeft := st.Req.QualityBudget - st.QualityUsed
+	if budgetLeft <= 0 {
+		return
+	}
+	total := st.Req.Steps - st.Req.SkippedSteps
+	done := total - st.Remaining
+	// The protection zone forbids approximating the first/last N effective
+	// steps; maxQ is the largest cached block startable at `done`.
+	maxQ := st.Remaining - sched.CacheProtectedSteps
+	if done < sched.CacheProtectedSteps {
+		for oi := range c.options {
+			o := &c.options[oi]
+			if s.cacheFeasibleAt(prof, st, tNext, st.Remaining-o.q, done+o.q, budgetLeft) {
+				o.survive = true
+			}
+		}
+		return
+	}
+	if maxQ <= 0 {
+		return
+	}
+	window := s.window()
+	base := len(c.options)
+	for oi := 0; oi < base; oi++ {
+		o := &c.options[oi]
+		for ci := 2; ci <= maxC; ci++ {
+			tc := time.Duration(float64(o.stepTime) * prof.CacheDiscount(ci))
+			q := int(window / tc)
+			if q > maxQ {
+				q = maxQ
+			}
+			// Spend no more quality than the budget allows: shrink the block
+			// until its approximated-step count fits.
+			for q > 0 && sched.ApproxSteps(q, ci) > budgetLeft {
+				q--
+			}
+			if q <= 0 {
+				continue
+			}
+			if !s.cacheFeasibleAt(prof, st, tNext, st.Remaining-q, done+q,
+				budgetLeft-sched.ApproxSteps(q, ci)) {
+				continue
+			}
+			c.options = append(c.options, option{
+				degree:        o.degree,
+				planSteps:     o.planSteps,
+				stepTime:      tc,
+				q:             q,
+				survive:       true,
+				cacheInterval: ci,
+			})
+			break
+		}
+	}
+}
+
+// cacheFeasibleAt reports whether `remaining` steps, resuming at tStart with
+// `done` effective steps already computed and budgetLeft quality to spend,
+// can still meet st's deadline in the best cache-assisted case: every
+// approximable step (outside the protected first/last CacheProtectedSteps,
+// capped by the budget) runs at γ·tmin, the rest at plain tmin, with
+// cacheRescueMargin of slack absorbing round quantization and jitter. This
+// single projection backs the definitely-late relief, the protected-prefix
+// survival flip, and the per-option rescue gate, so a request is kept alive
+// for the cache dimension exactly when a rescue can still be realized.
+func (s *Scheduler) cacheFeasibleAt(prof *costmodel.Profile, st *sched.RequestState, tStart time.Duration, remaining, done, budgetLeft int) bool {
+	// a is the best-case approximated-step count ahead; 0 (no approximable
+	// span or no budget left) degrades the projection to plain service —
+	// still feasible when the remainder is small enough.
+	a := 0
+	if s.cfg.MaxCacheInterval > 1 && budgetLeft > 0 {
+		total := st.Req.Steps - st.Req.SkippedSteps
+		start := done
+		if start < sched.CacheProtectedSteps {
+			start = sched.CacheProtectedSteps
+		}
+		if span := total - sched.CacheProtectedSteps - start; span > 0 {
+			a = sched.ApproxSteps(span, s.cfg.MaxCacheInterval)
+			if a > budgetLeft {
+				a = budgetLeft
+			}
+		}
+	}
+	tmin := s.minStep(prof, st.Req.Res)
+	gamma := prof.CachedStepRelCost()
+	minRemaining := time.Duration(remaining-a)*tmin + time.Duration(float64(a)*gamma*float64(tmin))
+	return tStart+minRemaining+s.cacheRescueMargin() <= st.Deadline()
+}
+
+// cacheRescueMargin is the deadline slack a cache-assisted rescue must
+// clear beyond its best-case projection: a quarter round, absorbing round
+// quantization and step-time jitter so rescues are planned only when they
+// are likely to convert, not when they would land on the deadline edge.
+// The margin must stay below the full-budget discount benefit
+// (budget·(1−γ)·tmin) or no rescue can ever fire: a request only enters the
+// rescue path once plain service is already infeasible, so the discount has
+// to cover both the shortfall and the margin.
+func (s *Scheduler) cacheRescueMargin() time.Duration { return s.tau / 4 }
 
 // mixEntry is one (degree, steps) element of an allocation plan.
 type mixEntry struct {

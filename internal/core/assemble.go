@@ -27,6 +27,11 @@ type placed struct {
 	// aligned reports the block fits the round window (the tick waits for
 	// aligned blocks only).
 	aligned bool
+	// cacheInterval > 1 marks a step-cache-assisted block: stepTime and
+	// steps were derived at the discounted cost and the block stays
+	// single-request (no batching, no elastic scale-up — the cadence and
+	// quality ledger are per-request).
+	cacheInterval int
 }
 
 // assemble turns DP selections into concrete assignments: placement
@@ -62,7 +67,7 @@ func (s *Scheduler) assemble(ctx *sched.PlanContext, sels []selection, cands []*
 
 	for _, sel := range ordered {
 		opt := sel.cand.options[sel.optIdx]
-		p := s.place(ctx, free, sel.cand, opt.degree)
+		p := s.place(ctx, free, sel.cand, opt.degree, opt.cacheInterval)
 		if p == nil {
 			s.placementFailures++
 			continue
@@ -93,7 +98,7 @@ func (s *Scheduler) assemble(ctx *sched.PlanContext, sels []selection, cands []*
 			break
 		}
 		opt := c.options[0]
-		p := s.place(ctx, free, c, opt.degree)
+		p := s.place(ctx, free, c, opt.degree, opt.cacheInterval)
 		if p == nil {
 			continue
 		}
@@ -186,11 +191,12 @@ func (s *Scheduler) assemble(ctx *sched.PlanContext, sels []selection, cands []*
 			sc.ids = append(sc.ids, m.st.Req.ID)
 		}
 		plan = append(plan, sched.Assignment{
-			Requests:     sc.ids[start:len(sc.ids):len(sc.ids)],
-			Group:        p.group,
-			Steps:        p.steps,
-			RoundAligned: p.aligned,
-			BestEffort:   p.bestEffort,
+			Requests:      sc.ids[start:len(sc.ids):len(sc.ids)],
+			Group:         p.group,
+			Steps:         p.steps,
+			RoundAligned:  p.aligned,
+			BestEffort:    p.bestEffort,
+			CacheInterval: p.cacheInterval,
 		})
 	}
 	sc.plan = plan
@@ -199,17 +205,29 @@ func (s *Scheduler) assemble(ctx *sched.PlanContext, sels []selection, cands []*
 
 // place maps a (candidate, degree) onto a concrete free group, degrading to
 // smaller degrees when alignment fails. The block is taken from the scratch
-// placement arena; returns nil if not even one GPU is available.
-func (s *Scheduler) place(ctx *sched.PlanContext, free simgpu.Mask, c *candidate, degree int) *placed {
+// placement arena; returns nil if not even one GPU is available. A cache
+// interval > 1 prices steps at the discounted cost and re-clips the block to
+// the quality budget and protection zone at whatever degree placement lands
+// on.
+func (s *Scheduler) place(ctx *sched.PlanContext, free simgpu.Mask, c *candidate, degree, interval int) *placed {
 	window := s.window()
 	for k := degree; k >= 1; k /= 2 {
 		t := ctx.Profile.StepTime(c.st.Req.Res, k)
+		if interval > 1 {
+			t = ctx.Profile.StepTimeCached(c.st.Req.Res, k, interval)
+		}
 		q := int(window / t)
 		if q <= 0 {
 			continue
 		}
 		if q > c.st.Remaining {
 			q = c.st.Remaining
+		}
+		if interval > 1 {
+			q = clipCachedSteps(c.st, q, interval)
+			if q <= 0 {
+				continue
+			}
 		}
 		var g simgpu.Mask
 		if s.cfg.PlacementPreservation {
@@ -221,10 +239,32 @@ func (s *Scheduler) place(ctx *sched.PlanContext, free simgpu.Mask, c *candidate
 			continue
 		}
 		sc := &s.scratch
-		sc.placed = append(sc.placed, placed{cand: c, degree: k, steps: q, stepTime: t, group: g, aligned: true})
+		sc.placed = append(sc.placed, placed{
+			cand: c, degree: k, steps: q, stepTime: t, group: g, aligned: true,
+			cacheInterval: interval,
+		})
 		return &sc.placed[len(sc.placed)-1]
 	}
 	return nil
+}
+
+// clipCachedSteps shrinks a cached block so it stays outside the protected
+// first/last steps and within the request's remaining quality budget.
+// Returns 0 when no cached block is currently legal.
+func clipCachedSteps(st *sched.RequestState, q, interval int) int {
+	total := st.Req.Steps - st.Req.SkippedSteps
+	done := total - st.Remaining
+	if done < sched.CacheProtectedSteps {
+		return 0
+	}
+	if maxQ := st.Remaining - sched.CacheProtectedSteps; q > maxQ {
+		q = maxQ
+	}
+	budgetLeft := st.Req.QualityBudget - st.QualityUsed
+	for q > 0 && sched.ApproxSteps(q, interval) > budgetLeft {
+		q--
+	}
+	return q
 }
 
 // batchSmall merges width-1 placements of the same small resolution into
@@ -235,7 +275,7 @@ func (s *Scheduler) batchSmall(ctx *sched.PlanContext, placedList []*placed, fre
 	sc := &s.scratch
 	batchable := sc.batchable[:0]
 	for _, p := range placedList {
-		if p.degree != 1 || len(p.members) > 0 || p.bestEffort {
+		if p.degree != 1 || len(p.members) > 0 || p.bestEffort || p.cacheInterval > 1 {
 			continue
 		}
 		// Latent tokens = pixels/16² for both models; batching only pays
@@ -356,7 +396,10 @@ func (s *Scheduler) scaleUp(ctx *sched.PlanContext, placedList []*placed, free s
 			return gain > bestGain
 		}
 		for _, p := range placedList {
-			if p == nil || p.group == 0 || len(p.members) > 0 {
+			if p == nil || p.group == 0 || len(p.members) > 0 || p.cacheInterval > 1 {
+				// Cached blocks are excluded: growing one re-prices its steps
+				// at a new degree mid-ledger, and its quality spend was
+				// clipped for the emitted (degree, steps) pair.
 				continue
 			}
 			k2 := p.degree * 2

@@ -48,8 +48,10 @@ type selection struct {
 }
 
 // dpProfile packs everything the DP transition reads from a candidate:
-// bit 0 = surviveNone, bits 1-2 = option count, then one 16-bit field per
-// option (degree<<1 | survive). Two candidates with equal profiles induce
+// bit 0 = surviveNone, bits 1-3 = option count (≤ 4: two mix degrees, each
+// with at most one cache-assisted variant), then one 15-bit field per option
+// (degree<<5 | cacheInterval<<1 | survive; degree ≤ 64 fits 7 bits, interval
+// ≤ MaxCacheIntervalCap fits 4). Two candidates with equal profiles induce
 // identical row transitions and identical back-pointer rows.
 func dpProfile(c *candidate) uint64 {
 	p := uint64(len(c.options)) << 1
@@ -57,11 +59,11 @@ func dpProfile(c *candidate) uint64 {
 		p |= 1
 	}
 	for oi, o := range c.options {
-		f := uint64(o.degree) << 1
+		f := uint64(o.degree)<<5 | uint64(o.cacheInterval)<<1
 		if o.survive {
 			f |= 1
 		}
-		p |= f << (3 + 16*oi)
+		p |= f << (4 + 15*oi)
 	}
 	return p
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"tetriserve/internal/costmodel"
 	"tetriserve/internal/sched"
 	"tetriserve/internal/stats"
 	"tetriserve/internal/workload"
@@ -177,6 +178,153 @@ func TestDPMatchesExhaustiveOptimum(t *testing.T) {
 			min := shrink(ki)
 			t.Fatalf("instance %d: DP met %d, exhaustive met %d\nshrunk counterexample (DP %d vs exhaustive %d):\n%s",
 				i, dp, ex, dpMet(min), exhaustiveMet(min), min)
+		}
+	}
+}
+
+// randCachedTimes draws a per-request, per-degree cache-discounted step
+// time inside [10ms, plain]. Staying within the [10ms, 20ms) band keeps the
+// construction's two-wave argument intact (the exhaustive solver still
+// cannot fit a second dispatch wave before any deadline), so the instance
+// remains a pure max-cardinality knapsack even with cached variants.
+func randCachedTimes(rng *stats.RNG, ki knapsackInstance) []map[int]time.Duration {
+	tc := make([]map[int]time.Duration, len(ki.reqs))
+	for i, r := range ki.reqs {
+		tc[i] = make(map[int]time.Duration, len(r.stepTime))
+		for k, t := range r.stepTime {
+			lo := 10 * time.Millisecond
+			tc[i][k] = lo + time.Duration(rng.Intn(int(t-lo)+1))
+		}
+	}
+	return tc
+}
+
+// dpMetCached mirrors dpMet but augments each degree with a step-cache
+// variant at the drawn discounted time — the shape addCachedOptions
+// produces. The DP treats cached options as ordinary knapsack choices (same
+// width, different step time), so optimality must be unaffected.
+func dpMetCached(ki knapsackInstance, cached []map[int]time.Duration, interval int) int {
+	s := &Scheduler{}
+	cands := make([]*candidate, len(ki.reqs))
+	for i, r := range ki.reqs {
+		c := &candidate{
+			st: &sched.RequestState{
+				Req:       &workload.Request{ID: workload.RequestID(i), Steps: 1, SLO: r.deadline},
+				Remaining: 1,
+			},
+		}
+		for _, k := range ki.degrees {
+			if r.stepTime[k] <= r.deadline {
+				c.options = append(c.options, option{
+					degree:    k,
+					planSteps: 1,
+					stepTime:  r.stepTime[k],
+					q:         1,
+					survive:   true,
+				})
+			}
+			// The cached variant is never slower; it is feasible whenever
+			// the plain option is (and possibly when it is not).
+			if tc := cached[i][k]; tc <= r.deadline {
+				c.options = append(c.options, option{
+					degree:        k,
+					planSteps:     1,
+					stepTime:      tc,
+					q:             1,
+					survive:       true,
+					cacheInterval: interval,
+				})
+			}
+		}
+		cands[i] = c
+	}
+	met := 0
+	for _, sel := range s.packDP(cands, ki.n) {
+		if sel.optIdx >= 0 && sel.cand.options[sel.optIdx].survive {
+			met++
+		}
+	}
+	return met
+}
+
+// exhaustiveMetCached feeds the Appendix B solver the per-degree best
+// variant — the optimum over option sets that carry a cached variant per
+// degree, since widths are equal and survival at a degree only needs its
+// cheapest variant.
+func exhaustiveMetCached(ki knapsackInstance, cached []map[int]time.Duration) int {
+	scaled := ki
+	scaled.reqs = make([]knapsackReq, len(ki.reqs))
+	for i, r := range ki.reqs {
+		st := make(map[int]time.Duration, len(r.stepTime))
+		for k, t := range r.stepTime {
+			st[k] = t
+			if tc := cached[i][k]; tc < t {
+				st[k] = tc
+			}
+		}
+		scaled.reqs[i] = knapsackReq{deadline: r.deadline, stepTime: st}
+	}
+	return exhaustiveMet(scaled)
+}
+
+// TestDPMatchesExhaustiveOptimumWithCachedOptions extends the Appendix B
+// property to the cache dimension: augmenting every request's option set
+// with a same-degree discounted variant (exactly what addCachedOptions
+// emits) must leave the group-knapsack DP optimal — equal to the exhaustive
+// optimum over the per-degree cheapest variants.
+func TestDPMatchesExhaustiveOptimumWithCachedOptions(t *testing.T) {
+	rng := stats.NewRNG(20260808)
+	const instances = 1200
+	for i := 0; i < instances; i++ {
+		ki := randKnapsackInstance(rng)
+		cached := randCachedTimes(rng, ki)
+		interval := 2 + rng.Intn(7) // 2..8
+		dp, ex := dpMetCached(ki, cached, interval), exhaustiveMetCached(ki, cached)
+		if dp != ex {
+			t.Fatalf("instance %d (interval %d): DP with cached options met %d, exhaustive met %d\ncached=%v\n%s",
+				i, interval, dp, ex, cached, ki)
+		}
+	}
+}
+
+// TestCacheEstimatorProperties pins the T(res, k, cacheInterval) estimator's
+// contract: interval 1 is exactly the legacy T(res, k), the discount never
+// exceeds 1, and both the discount and the amortized step time are
+// non-increasing in the interval.
+func TestCacheEstimatorProperties(t *testing.T) {
+	for _, gamma := range []float64{0.05, 0.3, 0.5, 0.9, 1.0} {
+		if d := costmodel.CacheDiscount(gamma, 1); d != 1 {
+			t.Fatalf("CacheDiscount(%v, 1) = %v, want exactly 1", gamma, d)
+		}
+		if d := costmodel.CacheDiscount(gamma, 0); d != 1 {
+			t.Fatalf("CacheDiscount(%v, 0) = %v, want exactly 1", gamma, d)
+		}
+		prev := 1.0
+		for c := 2; c <= 16; c++ {
+			d := costmodel.CacheDiscount(gamma, c)
+			if d > 1 {
+				t.Fatalf("CacheDiscount(%v, %d) = %v > 1", gamma, c, d)
+			}
+			if d > prev {
+				t.Fatalf("CacheDiscount(%v, %d) = %v increased from %v", gamma, c, d, prev)
+			}
+			prev = d
+		}
+	}
+	for _, res := range testProf.Resolutions() {
+		for _, k := range testProf.Degrees() {
+			base := testProf.StepTime(res, k)
+			if got := testProf.StepTimeCached(res, k, 1); got != base {
+				t.Fatalf("StepTimeCached(%v, %d, 1) = %v, want legacy %v exactly", res, k, got, base)
+			}
+			prev := base
+			for c := 2; c <= 8; c++ {
+				tc := testProf.StepTimeCached(res, k, c)
+				if tc > prev {
+					t.Fatalf("StepTimeCached(%v, %d, %d) = %v increased from %v", res, k, c, tc, prev)
+				}
+				prev = tc
+			}
 		}
 	}
 }

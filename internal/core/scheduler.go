@@ -97,6 +97,14 @@ type Config struct {
 	// deadlines collapse onto one memo entry — the candidate-pruning lever
 	// for 10k-deep queues. Default 0 (exact budgets, paper behavior).
 	DeadlineBucket time.Duration
+	// MaxCacheInterval caps the step-cache cadence the planner may assign:
+	// at interval c, one step in c runs fully and the rest reuse cached
+	// features at the profile's discounted cost. The planner spends a
+	// request's quality budget (Request.QualityBudget) only to flip an
+	// otherwise-infeasible deadline, never inside the first/last
+	// sched.CacheProtectedSteps steps. Default 1 (caching off — planning is
+	// bit-identical to the cache-oblivious scheduler).
+	MaxCacheInterval int
 	// Workers, when > 1, parallelizes candidate construction (the
 	// per-request mix solves) and wide DP row updates across goroutines.
 	// The merge order is fixed, so plans are bit-identical to the
@@ -126,9 +134,16 @@ func DefaultConfig() Config {
 		QuantizationAwareMix:  true,
 		BatchTokenCap:         1024,
 		WarmStart:             true,
+		MaxCacheInterval:      1,
 		Seed:                  7,
 	}
 }
+
+// MaxCacheIntervalCap bounds the cache cadence: beyond one full step in
+// eight, approximation error compounds past what any quality budget should
+// license (and the DP fingerprint packs the interval in 4 bits). Config
+// values above the cap are clamped; flag parsers should reject them loudly.
+const MaxCacheIntervalCap = 8
 
 func (c *Config) normalize() {
 	if c.StepGranularity <= 0 {
@@ -154,6 +169,12 @@ func (c *Config) normalize() {
 	}
 	if c.WarmStartMinReuse < 0 {
 		c.WarmStartMinReuse = 0
+	}
+	if c.MaxCacheInterval < 1 {
+		c.MaxCacheInterval = 1
+	}
+	if c.MaxCacheInterval > MaxCacheIntervalCap {
+		c.MaxCacheInterval = MaxCacheIntervalCap
 	}
 	if c.DeadlineBucket < 0 {
 		c.DeadlineBucket = 0
@@ -263,6 +284,11 @@ func (s *Scheduler) Overhead() time.Duration { return s.cfg.SchedOverhead }
 // EagerAdmission reports whether the driver should also invoke Plan on
 // request arrival (in addition to round boundaries).
 func (s *Scheduler) EagerAdmission() bool { return s.cfg.EagerAdmission }
+
+// MaxCacheInterval reports the configured step-cache cap (1 = caching off).
+// The control loop's feasibility probe asserts for this method to project
+// cache-assisted service times without depending on the concrete type.
+func (s *Scheduler) MaxCacheInterval() int { return s.cfg.MaxCacheInterval }
 
 // Rounds returns how many rounds have been planned (diagnostics).
 func (s *Scheduler) Rounds() int { return s.roundsPlanned }

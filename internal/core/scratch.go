@@ -159,9 +159,23 @@ func (s *Scheduler) degCfgs(prof *costmodel.Profile, res model.Resolution) []deg
 }
 
 // definitelyLate mirrors sched.RequestState.DefinitelyLate through the
-// tmin cache.
+// tmin cache. With step caching enabled, a request is only definitely late
+// if it misses its deadline even after spending its whole remaining quality
+// budget at the maximum cache interval — the cache dimension turns some
+// would-be drops back into packable candidates.
 func (s *Scheduler) definitelyLate(prof *costmodel.Profile, st *sched.RequestState, now time.Duration) bool {
-	return now+time.Duration(st.Remaining)*s.minStep(prof, st.Req.Res) > st.Deadline()
+	tmin := s.minStep(prof, st.Req.Res)
+	if now+time.Duration(st.Remaining)*tmin <= st.Deadline() {
+		return false
+	}
+	// Same projection (and margin) as the rescue gate in addCachedOptions: a
+	// request is only kept alive for the cache dimension when a rescue could
+	// actually be planned for it — relief without a plannable rescue would
+	// let doomed requests linger in the active set and displace on-time work.
+	total := st.Req.Steps - st.Req.SkippedSteps
+	done := total - st.Remaining
+	budgetLeft := st.Req.QualityBudget - st.QualityUsed
+	return !s.cacheFeasibleAt(prof, st, now, st.Remaining, done, budgetLeft)
 }
 
 // putMix1 / putMix2 materialize a mix into the per-plan slab, returning a

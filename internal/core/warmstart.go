@@ -29,24 +29,32 @@ import (
 // reqKey fingerprints one request's planner-visible state: every field of
 // RequestState (and its Request) that any planning stage reads. Remaining
 // drives the mix and survival tests, lastGroup drives placement
-// preservation, arrival+slo fix the deadline.
+// preservation, arrival+slo fix the deadline, and the quality ledger
+// (budget minus used, plus total steps for the protection zone) drives the
+// cache dimension.
 type reqKey struct {
-	id        workload.RequestID
-	res       model.Resolution
-	remaining int
-	lastGroup simgpu.Mask
-	arrival   time.Duration
-	slo       time.Duration
+	id            workload.RequestID
+	res           model.Resolution
+	remaining     int
+	lastGroup     simgpu.Mask
+	arrival       time.Duration
+	slo           time.Duration
+	steps         int
+	qualityBudget int
+	qualityUsed   int
 }
 
 func makeReqKey(st *sched.RequestState) reqKey {
 	return reqKey{
-		id:        st.Req.ID,
-		res:       st.Req.Res,
-		remaining: st.Remaining,
-		lastGroup: st.LastGroup,
-		arrival:   st.Req.Arrival,
-		slo:       st.Req.SLO,
+		id:            st.Req.ID,
+		res:           st.Req.Res,
+		remaining:     st.Remaining,
+		lastGroup:     st.LastGroup,
+		arrival:       st.Req.Arrival,
+		slo:           st.Req.SLO,
+		steps:         st.Req.Steps - st.Req.SkippedSteps,
+		qualityBudget: st.Req.QualityBudget,
+		qualityUsed:   st.QualityUsed,
 	}
 }
 

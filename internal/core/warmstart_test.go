@@ -224,4 +224,65 @@ func TestPlanZeroAllocSteadyState(t *testing.T) {
 			t.Fatalf("cold Plan allocates %.1f times per call, want 0", avg)
 		}
 	})
+
+	// Step-cache dimension: every other request is reshaped so no plain
+	// option survives but a cache-assisted tail clears the deadline, and
+	// warm start is off so every call rebuilds candidates through the full
+	// rescue path (per-option cache intervals, budget clipping,
+	// cacheFeasibleAt). Cached variants must alias the candidate's fixed
+	// option buffer — the knob may not reintroduce allocation.
+	t.Run("cached", func(t *testing.T) {
+		s := newTestScheduler(t, func(c *Config) {
+			c.WarmStart = false
+			c.MaxCacheInterval = 4
+		})
+		pending := mkPending()
+		for i, st := range pending {
+			if i%2 == 0 {
+				continue
+			}
+			reshapeRescue(st, 4)
+		}
+		ctx := mkCtx(0, testTopo.AllMask(), pending...)
+		s.Plan(ctx)
+		s.Plan(ctx)
+		rescued := false
+		for _, a := range s.Plan(ctx) {
+			if a.CacheInterval > 1 {
+				rescued = true
+				break
+			}
+		}
+		if !rescued {
+			t.Fatal("no cache-assisted assignment planned; the guard is not exercising the rescue path")
+		}
+		if avg := testing.AllocsPerRun(100, func() { s.Plan(ctx) }); avg != 0 {
+			t.Fatalf("cache-enabled Plan allocates %.1f times per call, want 0", avg)
+		}
+	})
+}
+
+// reshapeRescue makes st deadline-infeasible at interval 1 but rescuable at
+// maxInterval within a budget of half its steps: 20 of 200 steps computed,
+// the SLO placed between the best cached projection (plus ample rescue
+// margin) and the plain-service lower bound.
+func reshapeRescue(st *sched.RequestState, maxInterval int) {
+	const steps, remaining, budget = 200, 180, 100
+	tmin, _ := testProf.MinStepTime(st.Req.Res)
+	done := steps - remaining
+	start := done
+	if start < sched.CacheProtectedSteps {
+		start = sched.CacheProtectedSteps
+	}
+	a := sched.ApproxSteps(steps-sched.CacheProtectedSteps-start, maxInterval)
+	if a > budget {
+		a = budget
+	}
+	gamma := testProf.CachedStepRelCost()
+	bound := time.Duration(remaining-a)*tmin +
+		time.Duration(float64(a)*gamma*float64(tmin))
+	st.Req.Steps = steps
+	st.Req.SLO = bound + 300*time.Millisecond
+	st.Req.QualityBudget = budget
+	st.Remaining = remaining
 }

@@ -16,11 +16,15 @@ import (
 
 // profileJSON is the serialized form.
 type profileJSON struct {
-	Model   string             `json:"model"`
-	Topo    string             `json:"topology"`
-	Noise   float64            `json:"noise"`
-	Degrees []int              `json:"degrees"`
-	Entries []profileEntryJSON `json:"entries"`
+	Model   string  `json:"model"`
+	Topo    string  `json:"topology"`
+	Noise   float64 `json:"noise"`
+	// CachedStepRelCost is γ, the cache-approximated step's relative cost;
+	// omitted (0) in profiles that predate the cache dimension, in which
+	// case loading falls back to DefaultCachedStepRelCost.
+	CachedStepRelCost float64            `json:"cached_step_rel_cost,omitempty"`
+	Degrees           []int              `json:"degrees"`
+	Entries           []profileEntryJSON `json:"entries"`
 }
 
 type profileEntryJSON struct {
@@ -36,10 +40,11 @@ type profileEntryJSON struct {
 // MarshalJSON implements json.Marshaler with deterministic entry order.
 func (p *Profile) MarshalJSON() ([]byte, error) {
 	out := profileJSON{
-		Model:   p.ModelName,
-		Topo:    p.TopoName,
-		Noise:   p.Noise,
-		Degrees: p.degrees,
+		Model:             p.ModelName,
+		Topo:              p.TopoName,
+		Noise:             p.Noise,
+		CachedStepRelCost: p.cachedRelCost,
+		Degrees:           p.degrees,
 	}
 	keys := make([]Key, 0, len(p.entries))
 	for k := range p.entries {
@@ -74,10 +79,20 @@ func (p *Profile) UnmarshalJSON(data []byte) error {
 	if len(in.Degrees) == 0 || len(in.Entries) == 0 {
 		return fmt.Errorf("costmodel: profile missing degrees or entries")
 	}
+	if in.CachedStepRelCost < 0 || in.CachedStepRelCost > 1 {
+		return fmt.Errorf("costmodel: cached_step_rel_cost %v outside [0, 1]", in.CachedStepRelCost)
+	}
 	p.ModelName = in.Model
 	p.TopoName = in.Topo
 	p.Noise = in.Noise
+	p.cachedRelCost = in.CachedStepRelCost
 	p.degrees = in.Degrees
+	// A loaded table is as real as a freshly built one: version must land
+	// ≥ 1 so derived caches keyed on (profile, version) never alias a loaded
+	// profile with the zero value, and loading over an existing table must
+	// bump — the entries or the discount table may differ, and memoized
+	// mixes derived from the old values have to invalidate.
+	p.version++
 	p.entries = make(map[Key]Entry, len(in.Entries))
 	for _, e := range in.Entries {
 		if e.MeanUS <= 0 {

@@ -68,3 +68,68 @@ func TestProfileUnmarshalValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestProfileGammaRoundTrip pins the cache dimension's calibration through
+// serialization: a recalibrated γ survives the round trip exactly, and an
+// untouched profile (γ unset) still reports the calibrated default on load.
+func TestProfileGammaRoundTrip(t *testing.T) {
+	orig := buildFluxProfile(t)
+	orig.SetCachedStepRelCost(0.45)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Profile
+	if err := json.Unmarshal(data, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.CachedStepRelCost(); got != 0.45 {
+		t.Fatalf("γ after round trip = %v, want 0.45", got)
+	}
+	for _, c := range []int{1, 2, 4, 8} {
+		if a, b := orig.CacheDiscount(c), loaded.CacheDiscount(c); a != b {
+			t.Fatalf("CacheDiscount(%d) drifted across round trip: %v vs %v", c, a, b)
+		}
+	}
+
+	// Pre-cache-dimension profiles (no cached_step_rel_cost field) load
+	// with the calibrated default rather than a zero discount.
+	legacy := buildFluxProfile(t)
+	legacyData, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacyLoaded Profile
+	if err := json.Unmarshal(legacyData, &legacyLoaded); err != nil {
+		t.Fatal(err)
+	}
+	if got := legacyLoaded.CachedStepRelCost(); got != DefaultCachedStepRelCost {
+		t.Fatalf("legacy γ = %v, want default %v", got, DefaultCachedStepRelCost)
+	}
+}
+
+// TestProfileVersionAfterUnmarshal guards the cache-invalidation contract:
+// a loaded profile's version must land ≥ 1 (derived caches keyed on
+// (profile, version) must never alias the zero value) and loading over an
+// existing in-memory table must bump its version so memoized mixes
+// derived from the old entries or discount table invalidate.
+func TestProfileVersionAfterUnmarshal(t *testing.T) {
+	data, err := json.Marshal(buildFluxProfile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fresh Profile
+	if err := json.Unmarshal(data, &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Version() < 1 {
+		t.Fatalf("freshly loaded profile version = %d, want >= 1", fresh.Version())
+	}
+	before := fresh.Version()
+	if err := json.Unmarshal(data, &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Version() <= before {
+		t.Fatalf("reloading did not bump version: %d -> %d", before, fresh.Version())
+	}
+}

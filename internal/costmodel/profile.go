@@ -47,10 +47,19 @@ type Profile struct {
 	Noise   float64
 	degrees []int
 	entries map[Key]Entry
-	// version counts mutations (Extend calls that added entries) so readers
-	// holding derived caches can detect staleness cheaply.
+	// cachedRelCost is γ, the relative cost of a cache-approximated step
+	// (TaylorSeer/cache-dit style residual reuse): a cached step still pays
+	// γ·T for the shallow layers and the residual patch-up. 0 < γ ≤ 1.
+	cachedRelCost float64
+	// version counts mutations (Extend calls that added entries, discount
+	// recalibrations) so readers holding derived caches can detect staleness
+	// cheaply.
 	version uint64
 }
+
+// DefaultCachedStepRelCost is the calibrated relative cost γ of a
+// cache-approximated step, used when a profile predates the cache dimension.
+const DefaultCachedStepRelCost = 0.3
 
 // Version identifies the current table contents; it changes whenever Extend
 // grows the profile. Two calls returning the same value bracket a span with
@@ -89,6 +98,52 @@ func (p *Profile) StepTimeBatch(res model.Resolution, k, bs int) time.Duration {
 // deadline-aware allocator minimizes.
 func (p *Profile) GPUSeconds(res model.Resolution, k int) float64 {
 	return float64(k) * p.StepTime(res, k).Seconds()
+}
+
+// CachedStepRelCost returns γ — the relative cost of a cache-approximated
+// step. Profiles serialized before the cache dimension existed report the
+// calibrated default.
+func (p *Profile) CachedStepRelCost() float64 {
+	if p.cachedRelCost <= 0 || p.cachedRelCost > 1 {
+		return DefaultCachedStepRelCost
+	}
+	return p.cachedRelCost
+}
+
+// SetCachedStepRelCost recalibrates γ and bumps Version so memoized mixes
+// derived from the old discount table invalidate. Values outside (0, 1]
+// reset to the default.
+func (p *Profile) SetCachedStepRelCost(gamma float64) {
+	p.cachedRelCost = gamma
+	p.version++
+}
+
+// CacheDiscount is the per-step cost multiplier at cache interval c: one
+// full step out of every c, the remaining c−1 at relative cost gamma.
+// Interval ≤ 1 (caching off) is exactly 1 so the legacy cost model is
+// untouched; the discount is non-increasing in c for any gamma ≤ 1.
+func CacheDiscount(gamma float64, interval int) float64 {
+	if interval <= 1 {
+		return 1
+	}
+	return (1 + gamma*float64(interval-1)) / float64(interval)
+}
+
+// CacheDiscount returns the profile's per-step cost multiplier at cache
+// interval c — the third axis of T(res, k, cacheInterval).
+func (p *Profile) CacheDiscount(interval int) float64 {
+	return CacheDiscount(p.CachedStepRelCost(), interval)
+}
+
+// StepTimeCached is T(res, k, cacheInterval): the amortized per-step latency
+// when every cacheInterval-th step runs fully and the rest reuse cached
+// features. Interval ≤ 1 is exactly StepTime(res, k).
+func (p *Profile) StepTimeCached(res model.Resolution, k, interval int) time.Duration {
+	t := p.StepTime(res, k)
+	if interval <= 1 {
+		return t
+	}
+	return time.Duration(float64(t) * p.CacheDiscount(interval))
 }
 
 // MinStepTime returns the fastest profiled per-step latency for res and the
@@ -143,6 +198,9 @@ type ProfilerConfig struct {
 	// Noise is the relative per-step jitter σ/μ; defaults to 0.002,
 	// consistent with Table 1's sub-0.7 % CVs.
 	Noise float64
+	// CachedStepRelCost is γ, the relative cost of a cache-approximated
+	// step; defaults to DefaultCachedStepRelCost.
+	CachedStepRelCost float64
 	// Seed makes profiling deterministic.
 	Seed uint64
 }
@@ -160,6 +218,9 @@ func (c *ProfilerConfig) defaults() {
 	if c.Noise == 0 {
 		c.Noise = 0.002
 	}
+	if c.CachedStepRelCost <= 0 || c.CachedStepRelCost > 1 {
+		c.CachedStepRelCost = DefaultCachedStepRelCost
+	}
 	if c.Seed == 0 {
 		c.Seed = 42
 	}
@@ -173,12 +234,13 @@ func BuildProfile(est *Estimator, cfg ProfilerConfig) *Profile {
 	cfg.defaults()
 	rng := stats.NewRNG(cfg.Seed)
 	p := &Profile{
-		ModelName: est.Model.Name,
-		TopoName:  est.Topo.Name,
-		Noise:     cfg.Noise,
-		degrees:   est.Topo.Degrees(),
-		entries:   make(map[Key]Entry),
-		version:   1,
+		ModelName:     est.Model.Name,
+		TopoName:      est.Topo.Name,
+		Noise:         cfg.Noise,
+		degrees:       est.Topo.Degrees(),
+		entries:       make(map[Key]Entry),
+		cachedRelCost: cfg.CachedStepRelCost,
+		version:       1,
 	}
 	for _, res := range cfg.Resolutions {
 		for _, k := range p.degrees {

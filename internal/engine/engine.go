@@ -93,6 +93,10 @@ type Engine struct {
 	groups *simgpu.GroupRegistry
 	rng    *stats.RNG
 	cfg    Config
+	// gamma is the profile's cache-approximated step cost (γ): blocks
+	// dispatched with CacheInterval > 1 realize the same discounted per-step
+	// time the planner priced.
+	gamma float64
 
 	// capacity is the GPU set this engine may use right now; Resize mutates
 	// it at round boundaries. free ⊆ capacity and failed∩capacity are the
@@ -135,6 +139,10 @@ func New(mdl *model.Model, topo *simgpu.Topology, prof *costmodel.Profile, cfg C
 	if capacity == 0 {
 		capacity = topo.AllMask()
 	}
+	gamma := costmodel.DefaultCachedStepRelCost
+	if prof != nil {
+		gamma = prof.CachedStepRelCost()
+	}
 	e := &Engine{
 		topo:     topo,
 		mdl:      mdl,
@@ -142,6 +150,7 @@ func New(mdl *model.Model, topo *simgpu.Topology, prof *costmodel.Profile, cfg C
 		groups:   simgpu.NewGroupRegistry(topo),
 		rng:      stats.NewRNG(cfg.Seed),
 		cfg:      cfg,
+		gamma:    gamma,
 		capacity: capacity,
 		free:     capacity,
 		runs:     make(map[RunID]*Run),
@@ -243,6 +252,14 @@ func (e *Engine) Start(now time.Duration, asg sched.Assignment, states map[workl
 	// One jitter draw scales the whole block; per-step noise averages out
 	// as 1/√q, which the single draw approximates conservatively.
 	realized := costmodel.Jitter(nominal, e.cfg.Noise, e.rng)
+	if c := asg.CacheInterval; c > 1 {
+		// Step caching elides compute on the approximated steps: the whole
+		// block's realized per-step time shrinks by the same discount the
+		// planner priced, so fault/resize credit (elapsed ÷ StepTime) stays
+		// consistent with the cache-aware schedule. Interval ≤ 1 takes no
+		// branch, keeping cache-oblivious runs bit-identical.
+		realized = time.Duration(float64(realized) * costmodel.CacheDiscount(e.gamma, c))
+	}
 	maxSteps := 0
 	for _, n := range steps {
 		if n > maxSteps {

@@ -73,8 +73,12 @@ func (e *Engine) FailGPUs(now time.Duration, mask simgpu.Mask) []*RunFailure {
 			stepsDone[id] = d
 			// The latent survives only on the group's live members; the
 			// entry is kept (even when empty) so the next placement is a
-			// reconfiguration, not a free first placement.
-			if d > 0 || e.latents[id] != 0 {
+			// reconfiguration, not a free first placement. Presence of the
+			// entry — not a non-empty mask — is the "has started" test: the
+			// transfer onto this group was already paid at block start, so
+			// even a request whose previous latent was wholly lost now has
+			// its state on the group's survivors.
+			if _, started := e.latents[id]; d > 0 || started {
 				e.latents[id] = run.Asg.Group.Without(e.failed)
 			}
 		}

@@ -81,7 +81,11 @@ func (e *Engine) Resize(now time.Duration, newMask simgpu.Mask) []*RunPreemption
 				d = n
 			}
 			stepsDone[id] = d
-			if d > 0 || e.latents[id] != 0 {
+			// Presence-based "has started" test, matching the fault path: the
+			// transfer onto this group was paid at block start, so the latent
+			// lives on the retained, healthy members even if the previous
+			// latent mask was wholly lost.
+			if _, started := e.latents[id]; d > 0 || started {
 				e.latents[id] = run.Asg.Group.Without(departing).Without(e.failed)
 			}
 		}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+
+	"tetriserve/internal/metrics"
+)
+
+// TestCacheplan1CacheAwareBeatsOblivious pins the tentpole claim behind the
+// cacheplan1 golden: on the overloaded bursty trace, the cache-aware planner
+// strictly beats the cache-oblivious one on offered-load SLO attainment —
+// and does so by actually spending the cache dimension, not by accident.
+func TestCacheplan1CacheAwareBeatsOblivious(t *testing.T) {
+	p := runCacheplan1Planes(goldenCtx())
+	if p.obliviousErr != nil {
+		t.Fatalf("cache-oblivious plane failed: %v", p.obliviousErr)
+	}
+	if p.awareErr != nil {
+		t.Fatalf("cache-aware plane failed: %v", p.awareErr)
+	}
+
+	// Vacuousness guards: the aware plane must have emitted cache-assisted
+	// blocks and approximated steps, and the oblivious plane must have none.
+	awareCached, obliviousCached := 0, 0
+	for _, r := range p.aware.Runs {
+		if r.CacheInterval > 1 {
+			awareCached++
+		}
+	}
+	for _, r := range p.oblivious.Runs {
+		if r.CacheInterval > 1 {
+			obliviousCached++
+		}
+	}
+	if awareCached == 0 {
+		t.Fatal("cache-aware plane emitted no cache-assisted blocks; the ablation is vacuous")
+	}
+	if obliviousCached != 0 {
+		t.Fatalf("cache-oblivious plane emitted %d cache-assisted blocks", obliviousCached)
+	}
+	awareApprox := 0
+	for _, o := range p.aware.Outcomes {
+		awareApprox += o.Approximated
+	}
+	if awareApprox == 0 {
+		t.Fatal("cache-aware plane approximated no steps")
+	}
+	for _, o := range p.oblivious.Outcomes {
+		if o.Approximated != 0 {
+			t.Fatalf("cache-oblivious plane approximated %d steps on request %d", o.Approximated, o.ID)
+		}
+	}
+
+	oblivious, aware := metrics.SAR(p.oblivious), metrics.SAR(p.aware)
+	if aware <= oblivious {
+		t.Fatalf("cache-aware SAR %.4f does not beat cache-oblivious %.4f", aware, oblivious)
+	}
+}

@@ -19,7 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "table1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9",
 		"table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"table4", "table5", "table6", "ext1", "ext2", "fault1", "routed1",
-		"elastic1", "hetero1",
+		"elastic1", "hetero1", "cacheplan1",
 	}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {

@@ -10,14 +10,15 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden experiment tables under testdata/")
 
-// goldenIDs are the experiments pinned byte-for-byte. All six are pure
+// goldenIDs are the experiments pinned byte-for-byte. All seven are pure
 // simulation artifacts — no wall-clock-dependent cells (which excludes
 // table6's solver timing) — so quick-mode output is fully deterministic.
 // Quick mode also attaches the invariant oracle to every cell, making each
 // golden regeneration a complete invariant audit of the planner and engine
 // (routed1 additionally audits the admission router and the multi-shard
-// harness; elastic1 audits every capacity transition the rebalancer applies).
-var goldenIDs = []string{"fig7", "fig8", "table5", "fault1", "routed1", "elastic1"}
+// harness; elastic1 audits every capacity transition the rebalancer applies;
+// cacheplan1 audits the step-cache dimension, quality ledger included).
+var goldenIDs = []string{"fig7", "fig8", "table5", "fault1", "routed1", "elastic1", "cacheplan1"}
 
 // goldenCtx pins every knob the tables depend on; the Context defaults are
 // free to evolve without invalidating the goldens.

@@ -242,7 +242,7 @@ func TestWarmColdEquivalence(t *testing.T) {
 // native Go fuzzing replays exactly those files as subtests of a plain
 // `go test ./...` — deleting the corpus would silently drop regressions.
 func TestSeedCorpusCommitted(t *testing.T) {
-	for _, target := range []string{"FuzzPlanRound", "FuzzControlLoop", "FuzzElasticControlLoop", "FuzzWarmStart"} {
+	for _, target := range []string{"FuzzPlanRound", "FuzzControlLoop", "FuzzElasticControlLoop", "FuzzWarmStart", "FuzzCacheAwarePlan"} {
 		entries, err := os.ReadDir(filepath.Join("testdata", "fuzz", target))
 		if err != nil {
 			t.Fatalf("%s corpus missing: %v", target, err)
@@ -378,6 +378,105 @@ func fuzzResizes(resizePick uint8, topo *simgpu.Topology) []simgpu.Resize {
 			{At: 18 * time.Second, NewMask: all},
 		}
 	}
+}
+
+// fuzzCacheSimConfig derives a simulation instance with the step-cache
+// dimension enabled: always the TetriServe scheduler (the only policy with
+// the cache knob), MaxCacheInterval from cacheSel, and per-request quality
+// budgets varied deterministically from budgetSel (including 0 — caching
+// forbidden — so the mix always exercises the legacy path too). Both runs of
+// the same input must build identical configs.
+func fuzzCacheSimConfig(seed uint64, nReqSel, faultPick, rateSel, cacheSel, budgetSel uint8) sim.Config {
+	prof, topo := fuzzProfile(8)
+	mdl := model.FLUX()
+	nReq := 1 + int(nReqSel)%24
+	rate := 6 + float64(rateSel%8)*8
+
+	cfg := core.DefaultConfig()
+	cfg.WallClock = frozenWall
+	cfg.MaxCacheInterval = 2 + int(cacheSel)%7 // 2..8
+
+	var faults []simgpu.Fault
+	switch faultPick % 3 {
+	case 1:
+		faults = []simgpu.Fault{{GPU: simgpu.GPUID(faultPick % 8), FailAt: 10 * time.Second}}
+	case 2:
+		faults = []simgpu.Fault{
+			{GPU: simgpu.GPUID(faultPick % 8), FailAt: 8 * time.Second, RecoverAt: 25 * time.Second},
+			{GPU: simgpu.GPUID((faultPick + 3) % 8), FailAt: 15 * time.Second},
+		}
+	}
+
+	reqs := workload.Generate(workload.GeneratorConfig{
+		Model:       mdl,
+		Mix:         workload.UniformMix(),
+		Arrivals:    workload.PoissonArrivals{PerMinute: rate},
+		SLO:         workload.NewSLOPolicy(1.2),
+		NumRequests: nReq,
+		Seed:        seed,
+	})
+	for i, r := range reqs {
+		// Budgets 0..Steps/2, spread across the trace so every run mixes
+		// cache-forbidden, tight, and generous requests.
+		r.QualityBudget = (int(budgetSel) + i*5) % (r.Steps/2 + 1)
+	}
+
+	return sim.Config{
+		Model:           mdl,
+		Topo:            topo,
+		Scheduler:       core.NewScheduler(prof, topo, cfg),
+		Requests:        reqs,
+		Profile:         prof,
+		DropLateFactor:  4.0,
+		Faults:          faults,
+		CheckInvariants: true,
+	}
+}
+
+// FuzzCacheAwarePlan interleaves the step-cache knobs (MaxCacheInterval,
+// per-request quality budgets) with faults and planned capacity resizes under
+// the strict oracle: every plan's cached blocks must respect the quality
+// budget and protection zone (RuleQuality), the quality ledger must conserve
+// through aborts and preemptions, the whole run must replay bit-identically,
+// and no finalized request may exceed its budget.
+func FuzzCacheAwarePlan(f *testing.F) {
+	f.Add(uint64(3), uint8(10), uint8(0), uint8(2), uint8(2), uint8(4), uint8(0))
+	f.Add(uint64(11), uint8(20), uint8(2), uint8(4), uint8(0), uint8(9), uint8(2))
+	f.Add(uint64(5), uint8(8), uint8(1), uint8(1), uint8(6), uint8(0), uint8(3))
+	f.Add(uint64(9), uint8(16), uint8(2), uint8(6), uint8(3), uint8(25), uint8(7))
+	f.Fuzz(func(t *testing.T, seed uint64, nReqSel, faultPick, rateSel, cacheSel, budgetSel, resizePick uint8) {
+		run := func() *sim.Result {
+			cfg := fuzzCacheSimConfig(seed, nReqSel, faultPick, rateSel, cacheSel, budgetSel)
+			cfg.Resizes = fuzzResizes(resizePick, cfg.Topo)
+			res, err := sim.Run(cfg)
+			if err != nil {
+				if strings.Contains(err.Error(), "deadlock") {
+					t.Skip("scheduler cannot make progress on the shrunken cluster")
+				}
+				t.Fatalf("sim failed: %v", err)
+			}
+			return res
+		}
+		a, b := run(), run()
+		if !reflect.DeepEqual(a.Outcomes, b.Outcomes) {
+			t.Fatalf("cache-aware loop is nondeterministic:\n first: %+v\nsecond: %+v", a.Outcomes, b.Outcomes)
+		}
+		if a.Resizes != b.Resizes || a.RunsPreempted != b.RunsPreempted ||
+			a.RunsAborted != b.RunsAborted || a.Makespan != b.Makespan {
+			t.Fatalf("cache-aware loop telemetry diverged: %+v vs %+v", a, b)
+		}
+		// Budget conservation, double-checked outside the oracle: the budget
+		// each request was admitted with bounds its finalized approximation.
+		budget := map[workload.RequestID]int{}
+		for _, r := range fuzzCacheSimConfig(seed, nReqSel, faultPick, rateSel, cacheSel, budgetSel).Requests {
+			budget[r.ID] = r.QualityBudget
+		}
+		for _, out := range a.Outcomes {
+			if out.Approximated > budget[out.ID] {
+				t.Fatalf("request %d approximated %d steps over its budget %d", out.ID, out.Approximated, budget[out.ID])
+			}
+		}
+	})
 }
 
 // FuzzElasticControlLoop is FuzzControlLoop with planned capacity changes

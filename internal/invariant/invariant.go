@@ -69,6 +69,7 @@ const (
 	RulePlacement    = "placement"    // migration accounting
 	RuleConservation = "conservation" // request/GPU bookkeeping drains
 	RuleOutcome      = "outcome"      // outcome self-consistency
+	RuleQuality      = "quality"      // step-cache budget and protection zone
 )
 
 // CheckPlan validates one plan against the snapshot it was produced from:
@@ -109,6 +110,30 @@ func CheckPlan(ctx *sched.PlanContext, plan []sched.Assignment, tau time.Duratio
 				i, a.Group, a.Group&used)
 		}
 		used |= a.Group
+
+		// Step-cache legality (§4.2 cache dimension): cache-assisted blocks
+		// serve one request (approximated steps cannot be shared across batch
+		// members), stay within the request's quality budget under the same
+		// ApproxSteps accounting the control loop credits with, and never
+		// touch the protected first/last CacheProtectedSteps steps.
+		if a.CacheInterval > 1 {
+			if len(a.Requests) != 1 {
+				add(RuleQuality, "assignment %d caches at interval %d with %d batched requests",
+					i, a.CacheInterval, len(a.Requests))
+			} else if st, ok := pending[a.Requests[0]]; ok {
+				apx := sched.ApproxSteps(a.Steps, a.CacheInterval)
+				if st.QualityUsed+apx > st.Req.QualityBudget {
+					add(RuleQuality, "request %d cached block approximates %d steps with %d/%d budget used",
+						a.Requests[0], apx, st.QualityUsed, st.Req.QualityBudget)
+				}
+				total := st.Req.Steps - st.Req.SkippedSteps
+				done := total - st.Remaining
+				if done < sched.CacheProtectedSteps || done+a.Steps > total-sched.CacheProtectedSteps {
+					add(RuleQuality, "request %d cached block [%d,%d) enters the protected zone (total %d, protect %d)",
+						a.Requests[0], done, done+a.Steps, total, sched.CacheProtectedSteps)
+				}
+			}
+		}
 
 		var first *sched.RequestState
 		for _, id := range a.Requests {

@@ -39,6 +39,12 @@ type reqState struct {
 	deadline  time.Duration
 	remaining int
 	running   bool
+	// qualityUsed/qualityBudget is the oracle's double-entry of the step-cache
+	// quality ledger: approximated steps credited with the same ApproxSteps
+	// convention the control loop uses, checked against the request's budget
+	// at every credit and against Outcome.Approximated at retirement.
+	qualityUsed   int
+	qualityBudget int
 }
 
 // Oracle audits a control.Loop through its lifecycle hooks. All transition
@@ -159,10 +165,11 @@ func (o *Oracle) onAdmitted(now time.Duration, r *workload.Request) {
 		o.report(now, RuleConservation, "request %d admitted with %d effective steps", r.ID, remaining)
 	}
 	o.reqs[r.ID] = &reqState{
-		res:       r.Res,
-		arrival:   r.Arrival,
-		deadline:  r.Deadline(),
-		remaining: remaining,
+		res:           r.Res,
+		arrival:       r.Arrival,
+		deadline:      r.Deadline(),
+		remaining:     remaining,
+		qualityBudget: r.QualityBudget,
 	}
 	o.admitted++
 }
@@ -249,6 +256,16 @@ func (o *Oracle) onRunStarted(now time.Duration, run *engine.Run) {
 		o.report(now, RuleCostModel, "block %d projects finish %s, cost model implies %s", run.ID, run.End, want)
 	}
 	nominal := o.est.StepTime(run.Res, g, len(run.Asg.Requests))
+	// Cache-assisted blocks realize the γ-discounted step time (the engine
+	// discounts after jitter, so the envelope transfers to the discounted
+	// nominal exactly).
+	if c := run.Asg.CacheInterval; c > 1 {
+		gamma := costmodel.DefaultCachedStepRelCost
+		if o.cfg.Profile != nil {
+			gamma = o.cfg.Profile.CachedStepRelCost()
+		}
+		nominal = time.Duration(float64(nominal) * costmodel.CacheDiscount(gamma, c))
+	}
 	if !o.withinJitter(run.StepTime, nominal) {
 		o.report(now, RuleCostModel,
 			"block %d realized step time %s outside the jitter envelope of nominal %s (noise=%.4f)",
@@ -292,7 +309,24 @@ func (o *Oracle) onRunFinished(now time.Duration, run *engine.Run) {
 		if rec.remaining < 0 {
 			o.report(now, RuleConservation, "request %d overshot its step budget by %d", id, -rec.remaining)
 		}
+		o.creditQuality(now, id, rec, n, run.Asg.CacheInterval)
 		o.latents[id] = run.Asg.Group
+	}
+}
+
+// creditQuality charges a (possibly partial) cache-assisted block's
+// approximated steps to the oracle's quality ledger — the same ApproxSteps
+// prefix convention the control loop credits with — and trips RuleQuality if
+// the request ever exceeds its budget.
+func (o *Oracle) creditQuality(now time.Duration, id workload.RequestID, rec *reqState, steps, interval int) {
+	apx := sched.ApproxSteps(steps, interval)
+	if apx == 0 {
+		return
+	}
+	rec.qualityUsed += apx
+	if rec.qualityUsed > rec.qualityBudget {
+		o.report(now, RuleQuality, "request %d approximated %d steps, exceeding its quality budget %d",
+			id, rec.qualityUsed, rec.qualityBudget)
 	}
 }
 
@@ -321,6 +355,7 @@ func (o *Oracle) onRunAborted(now time.Duration, run *engine.Run, stepsDone map[
 		if rec.remaining < 0 {
 			o.report(now, RuleConservation, "request %d overshot its step budget by %d", id, -rec.remaining)
 		}
+		o.creditQuality(now, id, rec, done, run.Asg.CacheInterval)
 		// Mirror the engine's latent rule: the shard survives on the group's
 		// live members, and the entry is kept so the next placement is a paid
 		// reconfiguration.
@@ -390,6 +425,7 @@ func (o *Oracle) onRunPreempted(now time.Duration, run *engine.Run, stepsDone ma
 		if rec.remaining < 0 {
 			o.report(now, RuleConservation, "request %d overshot its step budget by %d", id, -rec.remaining)
 		}
+		o.creditQuality(now, id, rec, done, run.Asg.CacheInterval)
 		// Engine latent rule for resizes: survive on the group's retained
 		// (still-owned), healthy members; entry kept so the next placement is
 		// a paid reconfiguration.
@@ -436,16 +472,25 @@ func (o *Oracle) onFinished(now time.Duration, out control.Outcome) {
 		o.report(now, RuleOutcome, "request %d SLO verdict %v contradicts completion %s vs deadline %s",
 			out.ID, out.Met, out.Completion, out.Deadline)
 	}
+	if out.Approximated != rec.qualityUsed {
+		o.report(now, RuleQuality, "request %d retired with %d approximated steps but the ledger credited %d",
+			out.ID, out.Approximated, rec.qualityUsed)
+	}
 	o.retire(out.ID)
 }
 
 func (o *Oracle) onDropped(now time.Duration, out control.Outcome) {
-	if _, ok := o.reqs[out.ID]; !ok {
+	rec, ok := o.reqs[out.ID]
+	if !ok {
 		o.report(now, RuleConservation, "request %d dropped but is not in the ledger", out.ID)
 		return
 	}
 	if !out.Dropped {
 		o.report(now, RuleOutcome, "request %d retired through the drop path without Dropped set", out.ID)
+	}
+	if out.Approximated != rec.qualityUsed {
+		o.report(now, RuleQuality, "request %d dropped with %d approximated steps but the ledger credited %d",
+			out.ID, out.Approximated, rec.qualityUsed)
 	}
 	o.retire(out.ID)
 }

@@ -87,6 +87,11 @@ type Decision struct {
 	// Slack is the chosen shard's projected deadline slack (accepted), or
 	// the best (least negative) slack across shards (infeasible).
 	Slack time.Duration
+	// CacheAssisted marks an acceptance that relied on the chosen shard's
+	// step-cache projection: no shard could win the deadline outright, but
+	// this one can if its scheduler spends quality budget on cached steps.
+	// Always false when every shard is cache-oblivious.
+	CacheAssisted bool
 	// RetryAfter is the client back-off hint for rejections.
 	RetryAfter time.Duration
 	// Probes holds every shard's projection, in shard order.
@@ -197,6 +202,7 @@ func (r *Router) Route(now time.Duration, tenant string, res model.Resolution, s
 	// Probe every shard; feasibility is cheap (a read-only walk of tracked
 	// state) and the explainer wants the full picture either way.
 	best, bestSlack := -1, time.Duration(0)
+	bestCached, bestCachedSlack := -1, time.Duration(0)
 	worstCase, worstSet := time.Duration(0), false
 	healthy, known := 0, false
 	var service float64
@@ -216,12 +222,27 @@ func (r *Router) Route(now time.Duration, tenant string, res model.Resolution, s
 		if f.Winnable && (best < 0 || f.Slack > bestSlack) {
 			best, bestSlack = i, f.Slack
 		}
+		// Second tier: shards that only win via their step-cache projection.
+		// Preferred less than outright winners (approximation costs quality),
+		// consulted only when no shard wins plain. Cache-oblivious shards
+		// report CachedWinnable == Winnable, so this tier stays empty — and
+		// routing stays bit-identical — unless a shard enables the cache.
+		if !f.Winnable && f.CachedWinnable {
+			if cs := f.Deadline - f.CachedFinish; bestCached < 0 || cs > bestCachedSlack {
+				bestCached, bestCachedSlack = i, cs
+			}
+		}
 		// lateness = −Slack; track the smallest across shards for the
 		// Retry-After hint ("come back once the least-loaded queue has
 		// drained by this much").
 		if !worstSet || -f.Slack < worstCase {
 			worstCase, worstSet = -f.Slack, true
 		}
+	}
+
+	if best < 0 && bestCached >= 0 {
+		best, bestSlack = bestCached, bestCachedSlack
+		dec.CacheAssisted = true
 	}
 
 	switch {
@@ -246,6 +267,7 @@ func (r *Router) Route(now time.Duration, tenant string, res model.Resolution, s
 		dec.Reason = ReasonShed
 		dec.Shard = -1
 		dec.ShardName = ""
+		dec.CacheAssisted = false
 		dec.RetryAfter = r.cfg.MinRetryAfter
 	}
 	r.record(now, dec, service)

@@ -59,6 +59,9 @@ type RequestState struct {
 	// StepsByDegree tallies executed steps per parallelism degree, feeding
 	// the Figure 11 average-degree analysis.
 	StepsByDegree DegreeTally
+	// QualityUsed counts the steps already approximated via step caching;
+	// QualityUsed never exceeds Req.QualityBudget.
+	QualityUsed int
 	// Started reports whether any step has executed.
 	Started bool
 }
@@ -92,6 +95,25 @@ func (s *RequestState) AvgDegree() float64 {
 	return float64(weighted) / float64(steps)
 }
 
+// CacheProtectedSteps is N, the shared protection zone: the first and last N
+// effective steps of a request are never cache-approximated — early steps
+// set global structure, late steps refine detail, and both degrade output
+// quality disproportionately (the exemplar step-caching systems protect the
+// same zones).
+const CacheProtectedSteps = 4
+
+// ApproxSteps returns how many of q consecutive steps run cache-approximated
+// at interval c: step j of the block (0-based) executes fully iff j%c == 0.
+// Interval ≤ 1 approximates nothing. This is the single quality-accounting
+// function the planner, control loop, checker, and oracle all share — one
+// definition, so their ledgers can never drift.
+func ApproxSteps(q, c int) int {
+	if c <= 1 || q <= 0 {
+		return 0
+	}
+	return q - (q+c-1)/c
+}
+
 // Assignment instructs the engine to execute Steps denoising steps for each
 // listed request on Group. Multiple requests form a selectively-batched
 // step block and must share a resolution.
@@ -104,6 +126,11 @@ type Assignment struct {
 	RoundAligned bool
 	// BestEffort marks the ≤1-GPU lane for already-late requests.
 	BestEffort bool
+	// CacheInterval c > 1 runs only every c-th step fully and approximates
+	// the rest from cached features, discounting per-step cost by the
+	// profile's CacheDiscount(c). 0 or 1 means no caching. Cached blocks are
+	// single-request (approximation cadence is per-request state).
+	CacheInterval int
 }
 
 // Validate checks structural sanity against a topology.
@@ -201,6 +228,9 @@ func (c *PlanChecker) Validate(ctx *PlanContext, plan []Assignment) error {
 			return fmt.Errorf("sched: assignment %d overlaps another assignment on %v", i, a.Group)
 		}
 		used |= a.Group
+		if c := a.CacheInterval; c > 1 && len(a.Requests) != 1 {
+			return fmt.Errorf("sched: assignment %d caches at interval %d but batches %d requests", i, c, len(a.Requests))
+		}
 		var firstRes *RequestState
 		for _, id := range a.Requests {
 			st, ok := pending[id]
@@ -216,6 +246,18 @@ func (c *PlanChecker) Validate(ctx *PlanContext, plan []Assignment) error {
 			// assignments must not.
 			if len(a.Requests) == 1 && a.Steps > st.Remaining {
 				return fmt.Errorf("sched: request %d assigned %d steps but only %d remain", id, a.Steps, st.Remaining)
+			}
+			if c := a.CacheInterval; c > 1 {
+				if used := st.QualityUsed + ApproxSteps(a.Steps, c); used > st.Req.QualityBudget {
+					return fmt.Errorf("sched: request %d would approximate %d steps over budget %d",
+						id, used, st.Req.QualityBudget)
+				}
+				total := st.Req.Steps - st.Req.SkippedSteps
+				done := total - st.Remaining
+				if done < CacheProtectedSteps || done+a.Steps > total-CacheProtectedSteps {
+					return fmt.Errorf("sched: request %d cached block [%d,%d) enters the protected first/last %d steps of %d",
+						id, done, done+a.Steps, CacheProtectedSteps, total)
+				}
 			}
 			if firstRes == nil {
 				firstRes = st

@@ -94,6 +94,11 @@ type DriverConfig struct {
 	// the oracle records it and InvariantViolations exposes the list, so a
 	// live deployment degrades loudly instead of dying.
 	CheckInvariants bool
+	// QualityBudgetFrac > 0 grants every submitted job a step-cache quality
+	// budget of this fraction of its steps (floored), letting a cache-aware
+	// scheduler approximate that many steps to rescue tight deadlines.
+	// 0 (the default) disables the cache dimension for all jobs.
+	QualityBudgetFrac float64
 }
 
 // faultCmd is an injected fault-plane command handled on the loop goroutine.
@@ -669,13 +674,17 @@ func (d *Driver) loop() {
 			if d.cfg.AdmitAnyResolution && !d.prof.Has(res) {
 				d.prof.Extend(costmodel.NewEstimator(d.cfg.Model, d.cfg.Topo), res)
 			}
-			ctl.Arrive(&workload.Request{
+			req := &workload.Request{
 				ID:     job.ID,
 				Prompt: job.prompt,
 				Res:    res,
 				Steps:  job.Steps,
 				SLO:    job.SLO,
-			})
+			}
+			if f := d.cfg.QualityBudgetFrac; f > 0 {
+				req.QualityBudget = int(f * float64(job.Steps))
+			}
+			ctl.Arrive(req)
 		case cmd := <-d.faultc:
 			if cmd.recover {
 				ctl.Recover(cmd.mask)

@@ -26,6 +26,10 @@ type Request struct {
 	Steps int
 	// SkippedSteps records how many initial steps a cache hit removed.
 	SkippedSteps int
+	// QualityBudget bounds how many steps the scheduler may approximate via
+	// step caching over the request's lifetime (0 = caching forbidden). The
+	// planner spends it only when the deadline is otherwise infeasible.
+	QualityBudget int
 	// Arrival is the absolute arrival time.
 	Arrival time.Duration
 	// SLO is the relative latency budget; Deadline = Arrival + SLO.
