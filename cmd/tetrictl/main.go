@@ -6,6 +6,9 @@
 //	tetrictl load -n 40 -rate 12 -mix uniform   # generate load and report SAR
 //	tetrictl tail                               # follow the live trace stream
 //	tetrictl top                                # one-shot telemetry dashboard
+//	tetrictl top -shards                        # fleet dashboard (router + every shard)
+//	tetrictl trace t-12                         # one request's span timeline
+//	tetrictl fleet                              # fleet health: router, shards, rebalancer
 package main
 
 import (
@@ -50,6 +53,10 @@ func main() {
 		err = cmdTail(cli, args[1:])
 	case "top":
 		err = cmdTop(cli, args[1:])
+	case "trace":
+		err = cmdTrace(cli, args[1:])
+	case "fleet":
+		err = cmdFleet(cli, args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -266,7 +273,11 @@ func cmdTail(c *client, args []string) error {
 func cmdTop(c *client, args []string) error {
 	fs := flag.NewFlagSet("top", flag.ExitOnError)
 	nRounds := fs.Int("rounds", 5, "number of recent rounds to show")
+	shards := fs.Bool("shards", false, "fleet mode: -server points at a router; merge every shard's stats into one table")
 	_ = fs.Parse(args)
+	if *shards {
+		return topShards(c)
+	}
 
 	resp, err := c.http.Get(c.base + "/metrics")
 	if err != nil {
@@ -370,6 +381,8 @@ func usage() {
   tetrictl [-server URL] stats
   tetrictl [-server URL] load [-n N] [-rate R] [-mix uniform|skewed] [-speedup S] [-seed N]
   tetrictl [-server URL] tail [-for D]
-  tetrictl [-server URL] top [-rounds N]`)
+  tetrictl [-server URL] top [-rounds N] [-shards]
+  tetrictl [-server URL] trace <trace-id | request-id>
+  tetrictl [-server URL] fleet [-history N]`)
 	_ = model.StandardResolutions // documented sizes come from the model package
 }

@@ -179,6 +179,7 @@ func runRouter(opt routerOptions) {
 		}
 		reb.Start()
 		defer reb.Stop()
+		api.AttachRebalancer(reb)
 		log.Printf("tetriserve: elastic rebalancing every %s (gap %.1fs, min %d GPUs)",
 			opt.rebalanceEvery, opt.rebalanceGap, opt.rebalanceMin)
 	}

@@ -46,6 +46,18 @@ type StepTrimmer interface {
 	OnComplete(p workload.Prompt, res model.Resolution, now time.Duration)
 }
 
+// RequeueCause explains why a running request went back to the pending
+// queue: a GPU fault aborted its block, or an elastic capacity change
+// preempted it with a planned handoff. Ordinary end-of-block requeues fire
+// no hook (the request stays logically running between rounds).
+type RequeueCause string
+
+// Requeue causes.
+const (
+	RequeueFault  RequeueCause = "fault"
+	RequeueResize RequeueCause = "resize"
+)
+
 // Hooks are optional per-transition callbacks for adapter-side bookkeeping
 // (the driver's job-state mirror) and for observers such as the
 // internal/invariant oracle. Every field may be nil. Hooks run on the loop's
@@ -59,10 +71,17 @@ type Hooks struct {
 	Admitted func(now time.Duration, r *workload.Request)
 	// Started fires when a request joins a dispatched block.
 	Started func(now time.Duration, id workload.RequestID)
-	// Requeued fires when a fault aborts a request's block and the survivor
-	// returns to the pending queue (not on ordinary end-of-block requeues,
-	// which keep the request logically running from the caller's view).
-	Requeued func(now time.Duration, id workload.RequestID)
+	// Requeued fires when a fault or a capacity resize interrupts a
+	// request's block and the survivor returns to the pending queue (not on
+	// ordinary end-of-block requeues, which keep the request logically
+	// running from the caller's view). cause says which interruption it was.
+	Requeued func(now time.Duration, id workload.RequestID, cause RequeueCause)
+	// StepsElided fires when a retired block (completed, aborted or
+	// preempted) credited approximated steps against a request's quality
+	// budget — the per-request record of where step caching spent quality.
+	// approx is the number of steps the block's cache interval approximated
+	// for this request. Only fires when approx > 0.
+	StepsElided func(now time.Duration, id workload.RequestID, approx int)
 	// Finished fires for completed requests, Dropped for expired ones
 	// (timeout policy or no-requeue fault ablation).
 	Finished func(now time.Duration, o Outcome)
@@ -116,7 +135,8 @@ func (h Hooks) Then(next Hooks) Hooks {
 		Arriving:     chain2(h.Arriving, next.Arriving),
 		Admitted:     chain2(h.Admitted, next.Admitted),
 		Started:      chain2(h.Started, next.Started),
-		Requeued:     chain2(h.Requeued, next.Requeued),
+		Requeued:     chain3(h.Requeued, next.Requeued),
+		StepsElided:  chain3(h.StepsElided, next.StepsElided),
 		Finished:     chain2(h.Finished, next.Finished),
 		Dropped:      chain2(h.Dropped, next.Dropped),
 		PlanRejected: chain2(h.PlanRejected, next.PlanRejected),
@@ -524,7 +544,12 @@ func (l *Loop) onRunDone(now time.Duration, run *engine.Run) error {
 		l.clearRunning(st)
 		st.Started = true
 		st.Remaining -= steps
-		st.QualityUsed += sched.ApproxSteps(steps, run.Asg.CacheInterval)
+		if approx := sched.ApproxSteps(steps, run.Asg.CacheInterval); approx > 0 {
+			st.QualityUsed += approx
+			if l.cfg.Hooks.StepsElided != nil {
+				l.cfg.Hooks.StepsElided(now, id, approx)
+			}
+		}
 		st.LastGroup = run.Asg.Group
 		st.StepsByDegree.Add(run.Degree, steps)
 		if st.Remaining <= 0 {
@@ -764,7 +789,12 @@ func (l *Loop) onGPUFail(now time.Duration, mask simgpu.Mask) {
 				// same ApproxSteps convention the planner budgeted with, so a
 				// fault can never leak quality budget (ApproxSteps is monotone
 				// in the step count: credit ≤ the full block's debit).
-				st.QualityUsed += sched.ApproxSteps(done, f.Run.Asg.CacheInterval)
+				if approx := sched.ApproxSteps(done, f.Run.Asg.CacheInterval); approx > 0 {
+					st.QualityUsed += approx
+					if l.cfg.Hooks.StepsElided != nil {
+						l.cfg.Hooks.StepsElided(now, id, approx)
+					}
+				}
 				st.StepsByDegree.Add(f.Run.Degree, done)
 			}
 			switch {
@@ -779,7 +809,7 @@ func (l *Loop) onGPUFail(now time.Duration, mask simgpu.Mask) {
 			default:
 				l.pending = append(l.pending, st)
 				if l.cfg.Hooks.Requeued != nil {
-					l.cfg.Hooks.Requeued(now, id)
+					l.cfg.Hooks.Requeued(now, id, RequeueFault)
 				}
 			}
 		}
@@ -858,7 +888,12 @@ func (l *Loop) applyResize(now time.Duration, newMask simgpu.Mask) {
 				st.Started = true
 				st.Remaining -= done
 				// Same prefix-credit convention as the fault path.
-				st.QualityUsed += sched.ApproxSteps(done, p.Run.Asg.CacheInterval)
+				if approx := sched.ApproxSteps(done, p.Run.Asg.CacheInterval); approx > 0 {
+					st.QualityUsed += approx
+					if l.cfg.Hooks.StepsElided != nil {
+						l.cfg.Hooks.StepsElided(now, id, approx)
+					}
+				}
 				st.StepsByDegree.Add(p.Run.Degree, done)
 			}
 			switch {
@@ -869,7 +904,7 @@ func (l *Loop) applyResize(now time.Duration, newMask simgpu.Mask) {
 			default:
 				l.pending = append(l.pending, st)
 				if l.cfg.Hooks.Requeued != nil {
-					l.cfg.Hooks.Requeued(now, id)
+					l.cfg.Hooks.Requeued(now, id, RequeueResize)
 				}
 			}
 		}

@@ -83,8 +83,10 @@ func TestApplyResizeEventDrivenPreemptsAndRequeues(t *testing.T) {
 			group = run.Asg.Group
 		}
 	}
-	cfg.Hooks.Requeued = func(now time.Duration, id workload.RequestID) {
+	var requeueCauses []RequeueCause
+	cfg.Hooks.Requeued = func(now time.Duration, id workload.RequestID, cause RequeueCause) {
 		requeued = append(requeued, id)
+		requeueCauses = append(requeueCauses, cause)
 	}
 	l, err := New(cfg, clk)
 	if err != nil {
@@ -115,6 +117,9 @@ func TestApplyResizeEventDrivenPreemptsAndRequeues(t *testing.T) {
 	}
 	if len(requeued) != 1 || requeued[0] != 0 {
 		t.Fatalf("requeued = %v, want [0]", requeued)
+	}
+	if len(requeueCauses) != 1 || requeueCauses[0] != RequeueResize {
+		t.Fatalf("requeue causes = %v, want [resize]", requeueCauses)
 	}
 
 	drainQueue(t, l, clk)

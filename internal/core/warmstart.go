@@ -69,11 +69,11 @@ type replayState struct {
 	// must still invalidate the cached plan.
 	capacity simgpu.Mask
 	prof     *costmodel.Profile
-	profVer uint64
-	topo    *simgpu.Topology
-	pending []reqKey
-	running []reqKey
-	plan    []sched.Assignment
+	profVer  uint64
+	topo     *simgpu.Topology
+	pending  []reqKey
+	running  []reqKey
+	plan     []sched.Assignment
 	// failures is how many placement failures the cached solve recorded, so
 	// a replay keeps the diagnostic counters identical to a re-solve.
 	failures int

@@ -16,9 +16,9 @@ import (
 
 // profileJSON is the serialized form.
 type profileJSON struct {
-	Model   string  `json:"model"`
-	Topo    string  `json:"topology"`
-	Noise   float64 `json:"noise"`
+	Model string  `json:"model"`
+	Topo  string  `json:"topology"`
+	Noise float64 `json:"noise"`
 	// CachedStepRelCost is γ, the cache-approximated step's relative cost;
 	// omitted (0) in profiles that predate the cache dimension, in which
 	// case loading falls back to DefaultCachedStepRelCost.

@@ -105,7 +105,7 @@ type Engine struct {
 	free     simgpu.Mask
 	failed   simgpu.Mask
 	runs     map[RunID]*Run
-	nextRun RunID
+	nextRun  RunID
 	// pool is the Run free list fed by Release; Start drains it so the
 	// steady-state dispatch path performs no per-run allocation.
 	pool []*Run

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"tetriserve/internal/core"
+	"tetriserve/internal/lifecycle"
 	"tetriserve/internal/metrics"
 	"tetriserve/internal/model"
 	"tetriserve/internal/sched"
@@ -81,28 +82,34 @@ func cacheplanTrace(ctx Context, mdl *model.Model) []*workload.Request {
 type cacheplan1Planes struct {
 	oblivious, aware       *sim.Result
 	obliviousErr, awareErr error
+	// obliviousRec/awareRec are the planes' lifecycle recorders (phase
+	// decomposition).
+	obliviousRec, awareRec *lifecycle.Recorder
 }
 
 func runCacheplan1Planes(ctx Context) cacheplan1Planes {
 	ctx = ctx.withDefaults()
 	f := fix("flux-h100")
 
-	run := func(maxInterval int) (*sim.Result, error) {
+	run := func(maxInterval int) (*sim.Result, *lifecycle.Recorder, error) {
 		cfg := core.DefaultConfig()
 		cfg.MaxCacheInterval = maxInterval
-		return sim.Run(sim.Config{
+		rec := lifecycle.NewRecorder(lifecycle.Config{})
+		res, err := sim.Run(sim.Config{
 			Model:           f.mdl,
 			Topo:            f.topo,
 			Scheduler:       core.NewScheduler(f.prof, f.topo, cfg),
 			Requests:        cacheplanTrace(ctx, f.mdl),
 			Profile:         f.prof,
+			Hooks:           rec.Hooks(),
 			DropLateFactor:  4.0,
 			CheckInvariants: ctx.Quick,
 		})
+		return res, rec, err
 	}
 	var p cacheplan1Planes
-	p.oblivious, p.obliviousErr = run(1)
-	p.aware, p.awareErr = run(cacheplan1Interval)
+	p.oblivious, p.obliviousRec, p.obliviousErr = run(1)
+	p.aware, p.awareRec, p.awareErr = run(cacheplan1Interval)
 	return p
 }
 
@@ -139,5 +146,13 @@ func runCacheplan1(ctx Context) []*tablefmt.Table {
 	tbl.AddNote(fmt.Sprintf("identical bursty trace at %.1fx rate, %.1fx SLO; every request carries a quality budget of steps/2", cacheplan1RateScale, cacheplan1SLOScale))
 	tbl.AddNote("cached blocks run one request each at a discounted per-step cost; approx steps stay within budget")
 	tbl.AddNote(fmt.Sprintf("the first/last %d steps of every request are never approximated", sched.CacheProtectedSteps))
+	if p.obliviousErr == nil && p.awareErr == nil {
+		phases := phaseDecomposition("Step-cache-aware packing: phase decomposition",
+			[]phasePlane{
+				{label: "cache-oblivious (interval 1)", recs: []*lifecycle.Recorder{p.obliviousRec}},
+				{label: fmt.Sprintf("cache-aware (interval <= %d)", cacheplan1Interval), recs: []*lifecycle.Recorder{p.awareRec}},
+			})
+		return []*tablefmt.Table{tbl, phases}
+	}
 	return []*tablefmt.Table{tbl}
 }

@@ -138,6 +138,7 @@ func runElastic1Planes(ctx Context) elastic1Planes {
 			Shards:          elasticShardSpecs(f.mdl, 4, 2),
 			Requests:        shiftingTrace(ctx, f.mdl, rate, elastic1SLOScale),
 			Rebalance:       reb,
+			Lifecycle:       true,
 			DropLateFactor:  4.0,
 			CheckInvariants: ctx.Quick,
 		})
@@ -192,6 +193,7 @@ func runElastic1(ctx Context) []*tablefmt.Table {
 	tbl.AddNote("SAR (offered) counts router-rejected requests as misses; GPU moves = applied rebalance donations")
 	tbl.AddNote("elastic shards share one full-size profile and own capacity slices; moves land at round boundaries")
 
+	out := []*tablefmt.Table{tbl}
 	if p.elasticErr == nil && p.elastic != nil && len(p.elastic.Rebalances) > 0 {
 		moves := tablefmt.New("Elastic serving: applied GPU moves", "t (s)", "from", "to", "donated slot", "received slot")
 		for _, ev := range p.elastic.Rebalances {
@@ -200,9 +202,16 @@ func runElastic1(ctx Context) []*tablefmt.Table {
 				ev.Donated.String(), ev.Received.String())
 		}
 		moves.AddNote("slot ids are per-shard (each shard owns a slice of its own 8-wide id space)")
-		return []*tablefmt.Table{tbl, moves}
+		out = append(out, moves)
 	}
-	return []*tablefmt.Table{tbl}
+	if p.staticErr == nil && p.elasticErr == nil && p.static != nil && p.elastic != nil {
+		out = append(out, phaseDecomposition("Elastic serving: phase decomposition (static vs elastic)",
+			[]phasePlane{
+				{label: "static 4x2 + router", recs: p.static.Lifecycles},
+				{label: "elastic 4-shard + router", recs: p.elastic.Lifecycles},
+			}))
+	}
+	return out
 }
 
 // heteroShardSpecs builds the 4+2+1+1 split used by hetero1.

@@ -1,0 +1,75 @@
+package experiments
+
+// Phase-latency decomposition: where a request's SLO budget actually goes.
+// The lifecycle recorders attached to each serving plane decompose every
+// finalized request into plan-wait (admitted but not yet considered by a
+// plan), queue (considered but not dispatched), and compute segments; this
+// table reports the per-class means so the experiments can show *why* a
+// plane wins — e.g. elastic rebalancing trading queue time for compute time
+// on the high-res classes.
+
+import (
+	"fmt"
+	"sort"
+
+	"tetriserve/internal/lifecycle"
+	"tetriserve/internal/tablefmt"
+)
+
+// phasePlane is one serving plane's recorders (one per shard; a single-loop
+// plane passes one).
+type phasePlane struct {
+	label string
+	recs  []*lifecycle.Recorder
+}
+
+// phaseDecomposition merges each plane's per-class phase aggregates across
+// its shards and renders mean per-request latencies.
+func phaseDecomposition(title string, planes []phasePlane) *tablefmt.Table {
+	tbl := tablefmt.New(title,
+		"Serving plane", "Class", "requests", "plan-wait (ms)", "queue (ms)", "compute (ms)", "compute share")
+	for _, pl := range planes {
+		agg := map[string]*lifecycle.ClassPhases{}
+		for _, rec := range pl.recs {
+			if rec == nil {
+				continue
+			}
+			for _, cp := range rec.Phases() {
+				a, ok := agg[cp.Class]
+				if !ok {
+					a = &lifecycle.ClassPhases{Class: cp.Class}
+					agg[cp.Class] = a
+				}
+				a.Requests += cp.Requests
+				a.PlanWaitS += cp.PlanWaitS
+				a.QueueS += cp.QueueS
+				a.ComputeS += cp.ComputeS
+			}
+		}
+		classes := make([]string, 0, len(agg))
+		for class := range agg {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			a := agg[class]
+			n := float64(a.Requests)
+			if n == 0 {
+				continue
+			}
+			total := a.PlanWaitS + a.QueueS + a.ComputeS
+			share := 0.0
+			if total > 0 {
+				share = a.ComputeS / total
+			}
+			tbl.AddRow(pl.label, class, fmt.Sprint(a.Requests),
+				fmt.Sprintf("%.1f", 1e3*a.PlanWaitS/n),
+				fmt.Sprintf("%.1f", 1e3*a.QueueS/n),
+				fmt.Sprintf("%.1f", 1e3*a.ComputeS/n),
+				fm(share))
+		}
+	}
+	tbl.AddNote("per-request means over finalized (completed or dropped) requests, from the lifecycle span recorders")
+	tbl.AddNote("plan-wait = admitted but not yet considered by a plan; queue = considered but not dispatched")
+	return tbl
+}

@@ -137,6 +137,7 @@ func runRouted1(ctx Context) []*tablefmt.Table {
 		Model:           f.mdl,
 		Shards:          routedShards(f.mdl, 4, 2),
 		Requests:        mkTrace(),
+		Lifecycle:       true,
 		DropLateFactor:  4.0,
 		CheckInvariants: ctx.Quick,
 	})
@@ -179,7 +180,9 @@ func runRouted1(ctx Context) []*tablefmt.Table {
 			balance.AddRow(st.Name, fmt.Sprint(st.Routed), fmt.Sprint(len(s.Outcomes)),
 				fm(metrics.SAR(s)), fm(s.GPUBusySeconds))
 		}
-		return []*tablefmt.Table{tbl, balance}
+		phases := phaseDecomposition("Routed serving: phase decomposition (router + 4x2)",
+			[]phasePlane{{label: "router + 4x2", recs: routed.Lifecycles}})
+		return []*tablefmt.Table{tbl, balance, phases}
 	}
 	return []*tablefmt.Table{tbl}
 }

@@ -26,6 +26,7 @@ import (
 	"tetriserve/internal/costmodel"
 	"tetriserve/internal/engine"
 	"tetriserve/internal/invariant"
+	"tetriserve/internal/lifecycle"
 	"tetriserve/internal/model"
 	"tetriserve/internal/sched"
 	"tetriserve/internal/simgpu"
@@ -61,6 +62,12 @@ type Job struct {
 	Latency   time.Duration      `json:"latency_ns"`
 	MetSLO    bool               `json:"met_slo"`
 	AvgDegree float64            `json:"avg_degree"`
+	// TraceID is the fleet-wide lifecycle trace identifier (router-minted on
+	// routed submissions, shard-derived otherwise).
+	TraceID string `json:"trace_id,omitempty"`
+	// Tenant is the admission-fairness identity the router attributed the
+	// request to ("" = default).
+	Tenant string `json:"tenant,omitempty"`
 
 	// prompt keeps the structured form for the cache; not serialized.
 	prompt workload.Prompt
@@ -99,6 +106,11 @@ type DriverConfig struct {
 	// scheduler approximate that many steps to rescue tight deadlines.
 	// 0 (the default) disables the cache dimension for all jobs.
 	QualityBudgetFrac float64
+	// ShardName labels this driver's lifecycle timelines (the shard field in
+	// exported spans); "" omits the label.
+	ShardName string
+	// LifecycleCapacity bounds retained finalized timelines (default 4096).
+	LifecycleCapacity int
 }
 
 // faultCmd is an injected fault-plane command handled on the loop goroutine.
@@ -159,10 +171,10 @@ type Driver struct {
 	dropped   int
 	// Health counters mirrored from the control loop's Result under mu so
 	// Snapshot never races the loop goroutine that owns it.
-	planRejected int
-	startFailed  int
-	runsAborted  int
-	roundTicks   int
+	planRejected  int
+	startFailed   int
+	runsAborted   int
+	roundTicks    int
 	runsPreempted int
 	resizes       int
 	// gpuBusy, failed and capacity mirror engine telemetry the same way.
@@ -178,6 +190,10 @@ type Driver struct {
 	// counter is bound to the mutex mirror above, so /metrics and /v1/stats
 	// agree exactly.
 	plane *telemetry.Plane
+	// rec assembles per-request span timelines from the same hook stream;
+	// finalized timelines feed the plane's phase histograms and attainment
+	// gauges via ObserveTimeline.
+	rec *lifecycle.Recorder
 }
 
 // NewDriver builds and validates a driver (not yet running).
@@ -203,6 +219,11 @@ func NewDriver(cfg DriverConfig) (*Driver, error) {
 		jobs:    make(map[workload.RequestID]*Job),
 		plane:   telemetry.NewPlane(),
 	}
+	d.rec = lifecycle.NewRecorder(lifecycle.Config{
+		Shard:       cfg.ShardName,
+		Capacity:    cfg.LifecycleCapacity,
+		OnFinalized: d.plane.ObserveTimeline,
+	})
 	d.capacity = cfg.Topo.AllMask()
 	if cfg.EngineCfg != nil && cfg.EngineCfg.Capacity != 0 {
 		d.capacity = cfg.EngineCfg.Capacity & cfg.Topo.AllMask()
@@ -219,6 +240,15 @@ func NewDriver(cfg DriverConfig) (*Driver, error) {
 // Telemetry exposes the live telemetry plane for the HTTP layer (/metrics,
 // /v1/rounds, /v1/trace?follow=1) and tests.
 func (d *Driver) Telemetry() *telemetry.Plane { return d.plane }
+
+// Lifecycle exposes the span-timeline recorder (GET /v1/requests/{id}).
+func (d *Driver) Lifecycle() *lifecycle.Recorder { return d.rec }
+
+// Timeline returns a deep copy of a request's span timeline by trace ID or
+// decimal job ID. Safe to call concurrently with the loop.
+func (d *Driver) Timeline(key string) (*lifecycle.Timeline, bool) {
+	return d.rec.Lookup(key)
+}
 
 // Profile exposes the offline-profiled cost table.
 func (d *Driver) Profile() *costmodel.Profile { return d.prof }
@@ -306,6 +336,13 @@ var ErrUnknownResolution = errors.New("resolution not profiled")
 
 // Submit enqueues a generation request and returns a snapshot of its job.
 func (d *Driver) Submit(prompt workload.Prompt, res model.Resolution, slo time.Duration) (Job, error) {
+	return d.SubmitTraced(prompt, res, slo, "", "")
+}
+
+// SubmitTraced is Submit with fleet-trace context: traceID is the
+// router-minted lifecycle trace identifier ("" lets the recorder derive
+// one from the job ID) and tenant the admission-fairness identity.
+func (d *Driver) SubmitTraced(prompt workload.Prompt, res model.Resolution, slo time.Duration, traceID, tenant string) (Job, error) {
 	if !res.Valid() {
 		return Job{}, fmt.Errorf("server: invalid resolution %v", res)
 	}
@@ -330,15 +367,22 @@ func (d *Driver) Submit(prompt workload.Prompt, res model.Resolution, slo time.D
 	d.mu.Lock()
 	id := d.nextID
 	d.nextID++
+	if traceID == "" {
+		// Shard-local derivation, matching the lifecycle recorder's fallback,
+		// so every job carries a queryable trace id.
+		traceID = fmt.Sprintf("req-%d", id)
+	}
 	job := &Job{
-		ID:     id,
-		Prompt: prompt.Text,
-		Width:  res.W,
-		Height: res.H,
-		Steps:  d.cfg.Model.DefaultSteps,
-		State:  JobQueued,
-		SLO:    slo,
-		prompt: prompt,
+		ID:      id,
+		Prompt:  prompt.Text,
+		Width:   res.W,
+		Height:  res.H,
+		Steps:   d.cfg.Model.DefaultSteps,
+		State:   JobQueued,
+		SLO:     slo,
+		TraceID: traceID,
+		Tenant:  tenant,
+		prompt:  prompt,
 	}
 	d.jobs[id] = job
 	d.queued++
@@ -462,14 +506,14 @@ func (d *Driver) Snapshot() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	st := Stats{
-		Completed:    d.completed,
-		MetSLO:       d.met,
-		Queued:       d.queued,
-		Running:      d.running,
-		Dropped:      d.dropped,
-		GPUBusyS:     d.gpuBusy,
-		PlanRejected: d.planRejected,
-		StartFailed:  d.startFailed,
+		Completed:     d.completed,
+		MetSLO:        d.met,
+		Queued:        d.queued,
+		Running:       d.running,
+		Dropped:       d.dropped,
+		GPUBusyS:      d.gpuBusy,
+		PlanRejected:  d.planRejected,
+		StartFailed:   d.startFailed,
 		RunsAborted:   d.runsAborted,
 		RoundTicks:    d.roundTicks,
 		RunsPreempted: d.runsPreempted,
@@ -521,11 +565,11 @@ func (d *Driver) hooks() control.Hooks {
 			}
 			d.mu.Unlock()
 		},
-		Requeued: func(now time.Duration, id workload.RequestID) {
-			// Fault path only: the survivor goes back to the queue until the
-			// next plan re-packs it. Ordinary end-of-block requeues keep the
-			// job "running" from the client's perspective — its block is
-			// merely between rounds.
+		Requeued: func(now time.Duration, id workload.RequestID, _ control.RequeueCause) {
+			// Fault/resize interruptions only: the survivor goes back to the
+			// queue until the next plan re-packs it. Ordinary end-of-block
+			// requeues keep the job "running" from the client's perspective —
+			// its block is merely between rounds.
 			d.mu.Lock()
 			if j, ok := d.jobs[id]; ok && j.State == JobRunning {
 				j.State = JobQueued
@@ -593,7 +637,7 @@ func (d *Driver) loop() {
 		// arrive at any moment) and never panics on scheduler bugs — it
 		// counts them and retries at the next event.
 		Perpetual: true,
-		Hooks:     d.hooks().Then(d.plane.Hooks()),
+		Hooks:     d.hooks().Then(d.plane.Hooks()).Then(d.rec.Hooks()),
 	}
 	if d.cfg.Cache != nil {
 		ctlCfg.Trimmer = cacheTrimmer{c: d.cfg.Cache}
@@ -675,11 +719,13 @@ func (d *Driver) loop() {
 				d.prof.Extend(costmodel.NewEstimator(d.cfg.Model, d.cfg.Topo), res)
 			}
 			req := &workload.Request{
-				ID:     job.ID,
-				Prompt: job.prompt,
-				Res:    res,
-				Steps:  job.Steps,
-				SLO:    job.SLO,
+				ID:      job.ID,
+				Prompt:  job.prompt,
+				Res:     res,
+				Steps:   job.Steps,
+				SLO:     job.SLO,
+				TraceID: job.TraceID,
+				Tenant:  job.Tenant,
 			}
 			if f := d.cfg.QualityBudgetFrac; f > 0 {
 				req.QualityBudget = int(f * float64(job.Steps))

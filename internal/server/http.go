@@ -21,7 +21,10 @@ import (
 // API wraps a Driver with the HTTP surface:
 //
 //	POST /v1/images/generations   {prompt, width, height, slo_ms?} → Job
+//	                              (X-Tetriserve-Trace / X-Tetriserve-Tenant
+//	                              headers carry router-minted trace context)
 //	GET  /v1/jobs/{id}            → Job
+//	GET  /v1/requests/{id}        → lifecycle span timeline (trace or job id)
 //	GET  /v1/stats                → Stats
 //	GET  /v1/profile              → offline-profiled step times
 //	POST /v1/probe                {width, height, steps?, slo_ms} → feasibility
@@ -59,6 +62,7 @@ func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/images/generations", a.handleGenerate)
 	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJob)
+	mux.HandleFunc("GET /v1/requests/{id}", a.handleRequestTimeline)
 	mux.HandleFunc("GET /v1/stats", a.handleStats)
 	mux.HandleFunc("GET /v1/profile", a.handleProfile)
 	mux.HandleFunc("POST /v1/probe", a.handleProbe)
@@ -105,7 +109,11 @@ func (a *API) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		a.httpError(w, http.StatusBadRequest, "width/height must be positive multiples of 16")
 		return
 	}
-	job, err := a.Driver.Submit(a.hashPrompt(req.Prompt), res, time.Duration(req.SLOMillis)*time.Millisecond)
+	// Router-minted trace context rides in on headers (live path); direct
+	// submissions get a shard-derived trace id.
+	job, err := a.Driver.SubmitTraced(a.hashPrompt(req.Prompt), res,
+		time.Duration(req.SLOMillis)*time.Millisecond,
+		r.Header.Get(TraceHeader), r.Header.Get(TenantHeader))
 	if err != nil {
 		// A resolution the profile knows nothing about is a malformed request
 		// for this deployment (400); transient serving conditions stay 422.
@@ -132,6 +140,23 @@ func (a *API) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	a.writeJSON(w, http.StatusOK, job)
+}
+
+// TraceHeader and TenantHeader carry router-minted fleet-trace context on
+// shard submissions.
+const (
+	TraceHeader  = "X-Tetriserve-Trace"
+	TenantHeader = "X-Tetriserve-Tenant"
+)
+
+func (a *API) handleRequestTimeline(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("id")
+	tl, ok := a.Driver.Timeline(key)
+	if !ok {
+		a.httpError(w, http.StatusNotFound, "no timeline for request %q", key)
+		return
+	}
+	a.writeJSON(w, http.StatusOK, tl)
 }
 
 func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {

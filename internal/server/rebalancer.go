@@ -63,10 +63,27 @@ type LiveRebalancer struct {
 	stopped chan struct{}
 	once    sync.Once
 
-	mu     sync.Mutex
-	counts []int
-	moves  int
+	mu      sync.Mutex
+	counts  []int
+	moves   int
+	history []MoveRecord
 }
+
+// MoveRecord is one applied GPU move, kept in a bounded history ring for the
+// fleet view.
+type MoveRecord struct {
+	// AtUnixMS is the wall-clock time the move was applied, in Unix
+	// milliseconds.
+	AtUnixMS int64  `json:"at_unix_ms"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+	// FromGPUs/ToGPUs are the post-move requested counts.
+	FromGPUs int `json:"from_gpus"`
+	ToGPUs   int `json:"to_gpus"`
+}
+
+// moveHistoryCap bounds the rebalance history retained for GET /v1/fleet.
+const moveHistoryCap = 64
 
 // NewLiveRebalancer validates the configuration and builds a rebalancer (not
 // yet running).
@@ -130,6 +147,14 @@ func (r *LiveRebalancer) Counts() []int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]int(nil), r.counts...)
+}
+
+// History returns the most recent applied moves, oldest first (bounded to
+// moveHistoryCap entries).
+func (r *LiveRebalancer) History() []MoveRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]MoveRecord(nil), r.history...)
 }
 
 func (r *LiveRebalancer) loop() {
@@ -197,6 +222,16 @@ func (r *LiveRebalancer) decide() {
 			}
 			r.mu.Lock()
 			r.moves++
+			r.history = append(r.history, MoveRecord{
+				AtUnixMS: time.Now().UnixMilli(),
+				From:     loads[m.From].Name,
+				To:       loads[m.To].Name,
+				FromGPUs: counts[m.From],
+				ToGPUs:   counts[m.To],
+			})
+			if len(r.history) > moveHistoryCap {
+				r.history = r.history[len(r.history)-moveHistoryCap:]
+			}
 			r.mu.Unlock()
 			r.logf("server: rebalanced 1 GPU %s → %s (%d → %d GPUs)",
 				loads[m.From].Name, loads[m.To].Name, counts[m.From], counts[m.To])

@@ -3,16 +3,20 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"tetriserve/internal/control"
+	"tetriserve/internal/lifecycle"
 	"tetriserve/internal/model"
 	"tetriserve/internal/router"
 	"tetriserve/internal/simgpu"
@@ -26,6 +30,26 @@ import (
 type RouterShard interface {
 	router.Shard
 	Submit(prompt workload.Prompt, res model.Resolution, slo time.Duration) (Job, error)
+}
+
+// TracedSubmitter is the optional extension shards implement to accept
+// router-minted fleet-trace context alongside a submission. Shards without
+// it still serve; their timelines just carry shard-derived trace ids.
+type TracedSubmitter interface {
+	SubmitTraced(prompt workload.Prompt, res model.Resolution, slo time.Duration, traceID, tenant string) (Job, error)
+}
+
+// StatsFetcher is the optional extension the fleet view uses to pull a
+// shard's serving statistics.
+type StatsFetcher interface {
+	FetchStats() (Stats, error)
+}
+
+// TimelineFetcher is the optional extension the router's request-timeline
+// proxy uses. ok=false (with nil error) means the shard has no timeline for
+// the key.
+type TimelineFetcher interface {
+	FetchTimeline(key string) (*lifecycle.Timeline, bool, error)
 }
 
 // LocalShard adapts an in-process Driver (its Probe/Submit are already
@@ -46,6 +70,20 @@ func (s *LocalShard) ProbeFeasibility(res model.Resolution, steps int, slo time.
 // Submit implements RouterShard.
 func (s *LocalShard) Submit(prompt workload.Prompt, res model.Resolution, slo time.Duration) (Job, error) {
 	return s.Driver.Submit(prompt, res, slo)
+}
+
+// SubmitTraced implements TracedSubmitter.
+func (s *LocalShard) SubmitTraced(prompt workload.Prompt, res model.Resolution, slo time.Duration, traceID, tenant string) (Job, error) {
+	return s.Driver.SubmitTraced(prompt, res, slo, traceID, tenant)
+}
+
+// FetchStats implements StatsFetcher.
+func (s *LocalShard) FetchStats() (Stats, error) { return s.Driver.Snapshot(), nil }
+
+// FetchTimeline implements TimelineFetcher.
+func (s *LocalShard) FetchTimeline(key string) (*lifecycle.Timeline, bool, error) {
+	tl, ok := s.Driver.Timeline(key)
+	return tl, ok, nil
 }
 
 // ResizableShard is a pool whose GPU count the elastic rebalancer can change.
@@ -92,12 +130,40 @@ func NewRemoteShard(name, baseURL string) *RemoteShard {
 // Name returns the shard's display name.
 func (s *RemoteShard) Name() string { return s.ShardName }
 
+// errShardNotFound marks a 404 from a shard (no such job/timeline) so
+// callers can distinguish "not here" from transport failure.
+var errShardNotFound = errors.New("not found")
+
 func (s *RemoteShard) post(path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return err
+	return s.do(http.MethodPost, path, nil, in, out)
+}
+
+func (s *RemoteShard) get(path string, out any) error {
+	return s.do(http.MethodGet, path, nil, nil, out)
+}
+
+func (s *RemoteShard) do(method, path string, hdr map[string]string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
 	}
-	resp, err := s.Client.Post(s.BaseURL+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(method, s.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("shard %s: %w", s.ShardName, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdr {
+		if v != "" {
+			req.Header.Set(k, v)
+		}
+	}
+	resp, err := s.Client.Do(req)
 	if err != nil {
 		return fmt.Errorf("shard %s: %w", s.ShardName, err)
 	}
@@ -105,6 +171,9 @@ func (s *RemoteShard) post(path string, in, out any) error {
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
 		return fmt.Errorf("shard %s: %w", s.ShardName, err)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("shard %s: %w", s.ShardName, errShardNotFound)
 	}
 	if resp.StatusCode/100 != 2 {
 		var e struct {
@@ -132,11 +201,39 @@ func (s *RemoteShard) ProbeFeasibility(res model.Resolution, steps int, slo time
 
 // Submit implements RouterShard over HTTP.
 func (s *RemoteShard) Submit(prompt workload.Prompt, res model.Resolution, slo time.Duration) (Job, error) {
+	return s.SubmitTraced(prompt, res, slo, "", "")
+}
+
+// SubmitTraced implements TracedSubmitter over HTTP: the trace context
+// rides in the X-Tetriserve-Trace / X-Tetriserve-Tenant headers.
+func (s *RemoteShard) SubmitTraced(prompt workload.Prompt, res model.Resolution, slo time.Duration, traceID, tenant string) (Job, error) {
 	var job Job
-	err := s.post("/v1/images/generations", GenerateRequest{
-		Prompt: prompt.Text, Width: res.W, Height: res.H, SLOMillis: slo.Milliseconds(),
-	}, &job)
+	err := s.do(http.MethodPost, "/v1/images/generations",
+		map[string]string{TraceHeader: traceID, TenantHeader: tenant},
+		GenerateRequest{
+			Prompt: prompt.Text, Width: res.W, Height: res.H, SLOMillis: slo.Milliseconds(),
+		}, &job)
 	return job, err
+}
+
+// FetchStats implements StatsFetcher over HTTP (GET /v1/stats).
+func (s *RemoteShard) FetchStats() (Stats, error) {
+	var st Stats
+	err := s.get("/v1/stats", &st)
+	return st, err
+}
+
+// FetchTimeline implements TimelineFetcher over HTTP (GET /v1/requests/{id}).
+func (s *RemoteShard) FetchTimeline(key string) (*lifecycle.Timeline, bool, error) {
+	var tl lifecycle.Timeline
+	err := s.get("/v1/requests/"+url.PathEscape(key), &tl)
+	if errors.Is(err, errShardNotFound) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return &tl, true, nil
 }
 
 // RouterAPI is the admission/routing front end — the -mode router HTTP
@@ -148,6 +245,11 @@ func (s *RemoteShard) Submit(prompt workload.Prompt, res model.Resolution, slo t
 //	                           400 for unknown resolutions
 //	GET  /v1/router/stats    → admission counters, per-shard and per-tenant
 //	GET  /v1/router/stats?explain=K → + the last K routing decisions
+//	GET  /v1/requests/{id}   → lifecycle span timeline, proxied from the
+//	                           shard the trace was routed to
+//	GET  /v1/fleet           → one aggregated fleet document (router stats,
+//	                           per-shard stats + attainment + queue depth,
+//	                           probe-cache hit rate, rebalance history)
 //	GET  /metrics            → Prometheus text exposition (router metrics)
 //	GET  /healthz            → 200 ok
 //
@@ -162,6 +264,18 @@ type RouterAPI struct {
 	plane      *telemetry.RouterPlane
 	start      time.Time
 	hashPrompt func(string) workload.Prompt
+
+	// mu guards trace-id minting and the trace → shard placement map (a
+	// bounded FIFO: traceCap newest routed requests stay resolvable without
+	// fanning the timeline proxy out to every shard).
+	mu         sync.Mutex
+	traceSeq   uint64
+	traceShard map[string]int
+	traceFIFO  []string
+	traceCap   int
+
+	// reb, when attached, contributes elastic rebalance history to /v1/fleet.
+	reb *LiveRebalancer
 }
 
 // NewRouterAPI wires shards behind a router with telemetry attached.
@@ -171,6 +285,8 @@ func NewRouterAPI(cfg router.Config, shards []RouterShard) (*RouterAPI, error) {
 		plane:      telemetry.NewRouterPlane(nil),
 		start:      time.Now(),
 		hashPrompt: HashPrompt,
+		traceShard: map[string]int{},
+		traceCap:   16384,
 	}
 	cfg.Observer = a.plane.Observe
 	rs := make([]router.Shard, len(shards))
@@ -188,6 +304,26 @@ func NewRouterAPI(cfg router.Config, shards []RouterShard) (*RouterAPI, error) {
 // Router exposes the underlying router (stats, tests).
 func (a *RouterAPI) Router() *router.Router { return a.rt }
 
+// AttachRebalancer lets /v1/fleet report elastic GPU-move history.
+func (a *RouterAPI) AttachRebalancer(rb *LiveRebalancer) { a.reb = rb }
+
+// mintTrace allocates the next fleet-wide trace id and records the shard
+// the request landed on.
+func (a *RouterAPI) mintTrace(shard int) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.traceSeq++
+	id := fmt.Sprintf("t-%d", a.traceSeq)
+	if len(a.traceFIFO) >= a.traceCap {
+		evict := a.traceFIFO[0]
+		a.traceFIFO = a.traceFIFO[1:]
+		delete(a.traceShard, evict)
+	}
+	a.traceShard[id] = shard
+	a.traceFIFO = append(a.traceFIFO, id)
+	return id
+}
+
 // Telemetry exposes the router telemetry plane.
 func (a *RouterAPI) Telemetry() *telemetry.RouterPlane { return a.plane }
 
@@ -196,6 +332,8 @@ func (a *RouterAPI) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/generate", a.handleGenerate)
 	mux.HandleFunc("GET /v1/router/stats", a.handleStats)
+	mux.HandleFunc("GET /v1/requests/{id}", a.handleRequestTimeline)
+	mux.HandleFunc("GET /v1/fleet", a.handleFleet)
 	mux.Handle("GET /metrics", a.plane.Registry.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -272,18 +410,134 @@ func (a *RouterAPI) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job, err := a.shards[dec.Shard].Submit(a.hashPrompt(req.Prompt), res, slo)
+	// Mint the fleet-wide trace id at admission; shards that understand
+	// traced submissions thread it through their lifecycle recorder.
+	trace := a.mintTrace(dec.Shard)
+	var job Job
+	var err error
+	if ts, ok := a.shards[dec.Shard].(TracedSubmitter); ok {
+		job, err = ts.SubmitTraced(a.hashPrompt(req.Prompt), res, slo, trace, req.Tenant)
+	} else {
+		job, err = a.shards[dec.Shard].Submit(a.hashPrompt(req.Prompt), res, slo)
+	}
 	if err != nil {
 		// The probe said winnable but the shard refused (stopped, raced a
 		// restart): surface as 503, the one transient case left.
 		a.httpError(w, http.StatusServiceUnavailable, "shard %s: %v", dec.ShardName, err)
 		return
 	}
+	if job.TraceID == "" {
+		job.TraceID = trace
+	}
 	a.writeJSON(w, http.StatusAccepted, RoutedJob{
 		Job:     job,
 		Shard:   dec.ShardName,
 		SlackUS: dec.Slack.Microseconds(),
 	})
+}
+
+// handleRequestTimeline proxies GET /v1/requests/{id} to the shard the
+// trace was routed to (falling back to asking every shard when the
+// placement map no longer remembers the trace).
+func (a *RouterAPI) handleRequestTimeline(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("id")
+	a.mu.Lock()
+	idx, known := a.traceShard[key]
+	a.mu.Unlock()
+	order := make([]int, 0, len(a.shards))
+	if known {
+		order = append(order, idx)
+	} else {
+		for i := range a.shards {
+			order = append(order, i)
+		}
+	}
+	var lastErr error
+	for _, i := range order {
+		tf, ok := a.shards[i].(TimelineFetcher)
+		if !ok {
+			continue
+		}
+		tl, found, err := tf.FetchTimeline(key)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if found {
+			if tl.Shard == "" {
+				tl.Shard = a.shards[i].Name()
+			}
+			a.writeJSON(w, http.StatusOK, tl)
+			return
+		}
+	}
+	if lastErr != nil {
+		a.httpError(w, http.StatusBadGateway, "timeline %q: %v", key, lastErr)
+		return
+	}
+	a.httpError(w, http.StatusNotFound, "no timeline for request %q", key)
+}
+
+// fleetShardView is one shard's slice of the fleet document.
+type fleetShardView struct {
+	Name string `json:"name"`
+	// Reachable is false when the shard's stats fetch failed; Error then
+	// carries the reason and Stats is zero.
+	Reachable bool   `json:"reachable"`
+	Error     string `json:"error,omitempty"`
+	Stats     Stats  `json:"stats"`
+	// QueueDepth and Attainment lift the two headline signals out of Stats.
+	QueueDepth int     `json:"queue_depth"`
+	Attainment float64 `json:"attainment"`
+}
+
+// fleetRebalanceView summarizes the elastic rebalancer for the fleet doc.
+type fleetRebalanceView struct {
+	Moves     int          `json:"moves"`
+	GPUCounts []int        `json:"gpu_counts"`
+	History   []MoveRecord `json:"history"`
+}
+
+// fleetView is the GET /v1/fleet response: the fleet's health in one
+// document.
+type fleetView struct {
+	Router router.Stats `json:"router"`
+	// ProbeCacheHitRate is hits / (hits + misses), 0 when never probed.
+	ProbeCacheHitRate float64             `json:"probe_cache_hit_rate"`
+	Shards            []fleetShardView    `json:"shards"`
+	Rebalancer        *fleetRebalanceView `json:"rebalancer,omitempty"`
+}
+
+func (a *RouterAPI) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	view := fleetView{Router: a.rt.Stats()}
+	if probes := view.Router.ProbeCacheHits + view.Router.ProbeCacheMisses; probes > 0 {
+		view.ProbeCacheHitRate = float64(view.Router.ProbeCacheHits) / float64(probes)
+	}
+	for _, s := range a.shards {
+		sv := fleetShardView{Name: s.Name()}
+		if sf, ok := s.(StatsFetcher); ok {
+			st, err := sf.FetchStats()
+			if err != nil {
+				sv.Error = err.Error()
+			} else {
+				sv.Reachable = true
+				sv.Stats = st
+				sv.QueueDepth = st.Queued
+				sv.Attainment = st.SAR
+			}
+		} else {
+			sv.Error = "shard does not expose stats"
+		}
+		view.Shards = append(view.Shards, sv)
+	}
+	if a.reb != nil {
+		view.Rebalancer = &fleetRebalanceView{
+			Moves:     a.reb.Moves(),
+			GPUCounts: a.reb.Counts(),
+			History:   a.reb.History(),
+		}
+	}
+	a.writeJSON(w, http.StatusOK, view)
 }
 
 // routerStatsView is the /v1/router/stats response.

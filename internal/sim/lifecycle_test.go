@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tetriserve/internal/lifecycle"
+)
+
+// TestRunShardedLifecycleTimelines: every admitted request gets a complete
+// finalized timeline with a router-minted trace id, retrievable through
+// ShardedResult.Timeline, and the phase decomposition accounts for it.
+func TestRunShardedLifecycleTimelines(t *testing.T) {
+	res, err := RunSharded(ShardedConfig{
+		Model:          testMdl,
+		Shards:         shardSpecs(2, 2),
+		Requests:       smallMixTrace(40, 9, 30, 1.5),
+		Lifecycle:      true,
+		DropLateFactor: 4.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Lifecycles) != 2 {
+		t.Fatalf("got %d recorders, want 2", len(res.Lifecycles))
+	}
+	finalized := 0
+	for _, rec := range res.Lifecycles {
+		finalized += rec.Finalized()
+	}
+	admitted := 0
+	for _, s := range res.Shards {
+		admitted += len(s.Outcomes)
+	}
+	if finalized != admitted {
+		t.Fatalf("finalized %d timelines, want %d (one per admitted request)", finalized, admitted)
+	}
+
+	// Trace IDs are minted in admission order: t-1 .. t-<admitted>.
+	seen := 0
+	for i := 1; i <= admitted; i++ {
+		key := "t-" + itoa(i)
+		tl, ok := res.Timeline(key)
+		if !ok {
+			t.Fatalf("trace %s missing", key)
+		}
+		if !tl.Done {
+			t.Errorf("trace %s not finalized", key)
+		}
+		// A complete timeline starts with admission and ends with a verdict.
+		if tl.Spans[0].Kind != lifecycle.SpanAdmission {
+			t.Errorf("trace %s starts with %s", key, tl.Spans[0].Kind)
+		}
+		last := tl.Spans[len(tl.Spans)-1].Kind
+		if last != lifecycle.SpanFinish && last != lifecycle.SpanDrop {
+			t.Errorf("trace %s ends with %s", key, last)
+		}
+		if !tl.Dropped {
+			has := false
+			for _, s := range tl.Spans {
+				if s.Kind == lifecycle.SpanCompute {
+					has = true
+				}
+			}
+			if !has {
+				t.Errorf("trace %s finished without a compute span", key)
+			}
+		}
+		seen++
+	}
+	if seen != admitted {
+		t.Fatalf("found %d timelines, want %d", seen, admitted)
+	}
+
+	// The per-class phase decomposition covers every finalized request.
+	classed := 0
+	for _, rec := range res.Lifecycles {
+		for _, cp := range rec.Phases() {
+			classed += cp.Requests
+		}
+	}
+	if classed != admitted {
+		t.Fatalf("phase decomposition covers %d, want %d", classed, admitted)
+	}
+}
+
+// TestRunShardedSpanSinkDeterministic: two identical runs must stream
+// byte-identical span logs — the acceptance bar for reproducible timelines.
+func TestRunShardedSpanSinkDeterministic(t *testing.T) {
+	run := func() *bytes.Buffer {
+		var buf bytes.Buffer
+		_, err := RunSharded(ShardedConfig{
+			Model:             testMdl,
+			Shards:            shardSpecs(2, 2),
+			Requests:          smallMixTrace(40, 9, 30, 1.5),
+			SpanSink:          &buf,
+			LifecycleCapacity: 4, // far below admitted count: sink must still see everything
+			DropLateFactor:    4.0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	a, b := run(), run()
+	if a.Len() == 0 {
+		t.Fatal("span sink got no output")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("span logs diverged between identical runs")
+	}
+	// Every line is a standalone JSON timeline.
+	for i, line := range strings.Split(strings.TrimSpace(a.String()), "\n") {
+		var tl lifecycle.Timeline
+		if err := json.Unmarshal([]byte(line), &tl); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if tl.TraceID == "" || tl.Shard == "" {
+			t.Fatalf("line %d missing trace/shard: %s", i, line)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"tetriserve/internal/clock"
@@ -9,6 +10,7 @@ import (
 	"tetriserve/internal/costmodel"
 	"tetriserve/internal/engine"
 	"tetriserve/internal/invariant"
+	"tetriserve/internal/lifecycle"
 	"tetriserve/internal/model"
 	"tetriserve/internal/router"
 	"tetriserve/internal/sched"
@@ -54,6 +56,20 @@ type ShardedConfig struct {
 	// for donate/receive moves, and applies them as capacity resizes that
 	// land at each loop's next round boundary. Nil disables rebalancing.
 	Rebalance *RebalanceConfig
+	// Lifecycle attaches a per-shard request lifecycle recorder
+	// (internal/lifecycle): every admitted request gets a span-structured
+	// timeline keyed by a deterministic trace ID ("t-<admission-seq>")
+	// minted at the routing instant. Timestamps are virtual-clock
+	// microseconds, so repeated runs reproduce timelines bit-identically.
+	Lifecycle bool
+	// SpanSink, when set, receives one JSON line per finalized timeline
+	// (implies Lifecycle). Memory stays bounded: the in-memory rings keep
+	// only LifecycleCapacity timelines per shard while the sink streams
+	// everything.
+	SpanSink io.Writer
+	// LifecycleCapacity bounds retained finalized timelines per shard
+	// (default 4096).
+	LifecycleCapacity int
 	// DropLateFactor, CheckInvariants and MaxVirtualTime carry the
 	// single-loop Config's semantics, applied per shard.
 	DropLateFactor  float64
@@ -80,6 +96,23 @@ type ShardedResult struct {
 	// Rebalances lists applied elastic GPU moves in decision order (empty
 	// without ShardedConfig.Rebalance).
 	Rebalances []RebalanceEvent
+	// Lifecycles holds each shard's lifecycle recorder, parallel to Shards
+	// (nil unless ShardedConfig.Lifecycle or SpanSink is set).
+	Lifecycles []*lifecycle.Recorder
+}
+
+// Timeline looks a finalized timeline up by trace ID or decimal request ID,
+// searching shards in index order.
+func (r *ShardedResult) Timeline(key string) (*lifecycle.Timeline, bool) {
+	for _, rec := range r.Lifecycles {
+		if rec == nil {
+			continue
+		}
+		if tl, ok := rec.Lookup(key); ok {
+			return tl, true
+		}
+	}
+	return nil, false
 }
 
 // Offered returns the total offered load (admitted + rejected).
@@ -132,9 +165,18 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 	shards := make([]router.Shard, len(cfg.Shards))
 	names := make([]string, len(cfg.Shards))
 	alls := make([]simgpu.Mask, len(cfg.Shards))
+	recordLifecycle := cfg.Lifecycle || cfg.SpanSink != nil
+	var recs []*lifecycle.Recorder
+	if recordLifecycle {
+		recs = make([]*lifecycle.Recorder, len(cfg.Shards))
+	}
 	for i, spec := range cfg.Shards {
 		if spec.Topo == nil || spec.Scheduler == nil {
 			return nil, fmt.Errorf("sim: shard %d needs Topo and Scheduler", i)
+		}
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("shard%d", i)
 		}
 		prof := spec.Profile
 		if prof == nil {
@@ -172,16 +214,20 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 		if cfg.CheckInvariants {
 			oracles[i] = invariant.Attach(&ctlCfg)
 		}
+		if recordLifecycle {
+			recs[i] = lifecycle.NewRecorder(lifecycle.Config{
+				Shard:    name,
+				Capacity: cfg.LifecycleCapacity,
+				Sink:     cfg.SpanSink,
+			})
+			ctlCfg.Hooks = ctlCfg.Hooks.Then(recs[i].Hooks())
+		}
 		l, err := control.New(ctlCfg, clk)
 		if err != nil {
 			return nil, fmt.Errorf("sim: shard %d: %w", i, err)
 		}
 		l.Begin()
 		loops[i] = l
-		name := spec.Name
-		if name == "" {
-			name = fmt.Sprintf("shard%d", i)
-		}
 		names[i] = name
 		alls[i] = spec.Topo.AllMask()
 		shards[i] = loopShard{name: name, l: l}
@@ -235,8 +281,19 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 			r := cfg.Requests[next]
 			next++
 			clk.Advance(r.Arrival)
-			dec := rt.Route(r.Arrival, tenant(r), r.Res, r.Steps, r.SLO)
+			tn := tenant(r)
+			dec := rt.Route(r.Arrival, tn, r.Res, r.Steps, r.SLO)
 			if dec.Accepted {
+				// Mint the fleet-wide trace id at admission, exactly like the
+				// live router: the admission sequence number is deterministic
+				// for a fixed trace, so trace IDs (and the timelines keyed by
+				// them) reproduce bit-identically across runs.
+				if r.TraceID == "" {
+					r.TraceID = fmt.Sprintf("t-%d", len(out.Routed)+1)
+				}
+				if r.Tenant == "" {
+					r.Tenant = tn
+				}
 				out.Routed[r.ID] = dec.Shard
 				loops[dec.Shard].Arrive(r)
 			} else {
@@ -269,6 +326,14 @@ func RunSharded(cfg ShardedConfig) (*ShardedResult, error) {
 	out.Router = rt.Stats()
 	if reb != nil {
 		out.Rebalances = reb.events
+	}
+	out.Lifecycles = recs
+	if recordLifecycle {
+		for i, rec := range recs {
+			if err := rec.SinkErr(); err != nil {
+				return nil, fmt.Errorf("sim: shard %d span sink: %w", i, err)
+			}
+		}
 	}
 	return out, nil
 }

@@ -47,6 +47,47 @@ func TestBusSlowSubscriberDropsCounted(t *testing.T) {
 	}
 }
 
+// TestBusDropCounterCountsOnlyRealDrops: successful deliveries must never
+// bump the dropped counter — it moves only when a subscriber's buffer is
+// actually full (regression guard for the drop-accounting path).
+func TestBusDropCounterCountsOnlyRealDrops(t *testing.T) {
+	r := NewRegistry()
+	dropped := r.Counter("dropped_total", "help")
+	b := NewBus(dropped, nil)
+
+	// Fast subscriber with room for everything: zero drops.
+	fast, cancelFast := b.Subscribe(16)
+	for i := 0; i < 10; i++ {
+		b.Publish(trace.Event{AtUS: int64(i)})
+	}
+	if got := dropped.Value(); got != 0 {
+		t.Fatalf("dropped = %v after 10 buffered deliveries, want 0", got)
+	}
+	for i := 0; i < 10; i++ {
+		<-fast
+	}
+
+	// Mixed fleet: the slow subscriber (buffer 3, never read) drops 7 of 10,
+	// the fast one keeps up. Only the slow subscriber's losses are counted.
+	_, cancelSlow := b.Subscribe(3)
+	defer cancelSlow()
+	for i := 0; i < 10; i++ {
+		b.Publish(trace.Event{AtUS: int64(i)})
+		<-fast // drain so the fast subscriber never fills
+	}
+	if got := dropped.Value(); got != 7 {
+		t.Fatalf("dropped = %v, want 7 (slow subscriber only)", got)
+	}
+
+	// A cancelled subscriber's full buffer must stop counting against us.
+	cancelFast()
+	before := dropped.Value()
+	b.Publish(trace.Event{AtUS: 99})
+	if got := dropped.Value(); got != before+1 {
+		t.Fatalf("dropped moved by %v, want exactly 1 (the remaining slow subscriber)", got-before)
+	}
+}
+
 func TestBusFanOut(t *testing.T) {
 	b := NewBus(nil, nil)
 	a, cancelA := b.Subscribe(8)

@@ -5,6 +5,7 @@ import (
 
 	"tetriserve/internal/control"
 	"tetriserve/internal/engine"
+	"tetriserve/internal/lifecycle"
 	"tetriserve/internal/model"
 	"tetriserve/internal/sched"
 	"tetriserve/internal/simgpu"
@@ -18,6 +19,13 @@ import (
 var (
 	LatencyBuckets     = []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32, 64}
 	PlanLatencyBuckets = []float64{1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 0.1}
+	// RoundDurationBuckets covers the τ grid (50–250 ms typical) plus the
+	// overrun-deferral tail where a noisy block pushes the boundary out.
+	RoundDurationBuckets = []float64{0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	// PhaseBuckets resolve the per-phase latency decomposition: plan-wait
+	// and queue phases live in the tens-of-milliseconds-to-seconds range,
+	// compute segments up to the largest resolutions' multi-second blocks.
+	PhaseBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8, 16}
 )
 
 // Plane bundles the three telemetry pillars — metrics registry, round
@@ -31,7 +39,9 @@ type Plane struct {
 
 	requests, completed, sloMet *Counter
 	dropped                     map[control.DropCause]*Counter
-	requeued                    *Counter
+	requeued                    map[control.RequeueCause]*Counter
+	requeuedVec                 *CounterVec
+	stepsElided                 *Counter
 	planCalls, planRejected     *Counter
 	startFailed, roundTicks     *Counter
 	runsBatched, runsSolo       *Counter
@@ -39,8 +49,14 @@ type Plane struct {
 	queueDepth, runningReqs     *Gauge
 	failedGPUs, totalGPUs       *Gauge
 	planLatency                 *Histogram
+	roundDuration               *Histogram
+	lastTick                    time.Duration
+	tickSeen                    bool
 	e2e                         *HistogramVec
 	e2eByRes                    map[model.Resolution]*Histogram
+	phaseSeconds                *HistogramVec
+	attainment                  *GaugeVec
+	attainByTenant              map[string]*sloWindow
 
 	// phase mirrors the driver's job-state machine (queued → running →
 	// terminal) so the queue gauges agree with /v1/stats by construction.
@@ -71,8 +87,8 @@ func NewPlane() *Plane {
 			control.DropTimeout: droppedVec.With(string(control.DropTimeout)),
 			control.DropFault:   droppedVec.With(string(control.DropFault)),
 		},
-		requeued: reg.Counter("tetriserve_requeued_total",
-			"Requests returned to the queue after a GPU fault aborted their block."),
+		stepsElided: reg.Counter("tetriserve_steps_elided_total",
+			"Denoising steps approximated via step caching across retired blocks."),
 		planCalls: reg.Counter("tetriserve_plan_calls_total",
 			"Scheduler invocations."),
 		planRejected: reg.Counter("tetriserve_plan_rejected_total",
@@ -93,10 +109,24 @@ func NewPlane() *Plane {
 			"GPUs in the cluster topology."),
 		planLatency: reg.Histogram("tetriserve_plan_latency_seconds",
 			"Scheduler solve latency per plan call.", PlanLatencyBuckets),
+		roundDuration: reg.Histogram("tetriserve_round_duration_seconds",
+			"Effective τ round length (grid gap between consecutive fired boundaries, overrun deferral included).", RoundDurationBuckets),
 		e2e: reg.HistogramVec("tetriserve_e2e_latency_seconds",
 			"End-to-end latency of completed requests, by resolution.", LatencyBuckets, "resolution"),
 		e2eByRes: map[model.Resolution]*Histogram{},
-		phase:    map[workload.RequestID]uint8{},
+		phaseSeconds: reg.HistogramVec("tetriserve_phase_seconds",
+			"Per-request phase latency decomposition (plan-wait, queue, compute), by resolution class.", PhaseBuckets, "phase", "class"),
+		attainment: reg.GaugeVec("tetriserve_slo_attainment",
+			"SLO attainment over finalized requests, by tenant.", "tenant"),
+		attainByTenant: map[string]*sloWindow{},
+		phase:          map[workload.RequestID]uint8{},
+	}
+	requeuedVec := reg.CounterVec("tetriserve_requeued_total",
+		"Requests returned to the queue after a fault or resize interrupted their block, by cause.", "cause")
+	p.requeuedVec = requeuedVec
+	p.requeued = map[control.RequeueCause]*Counter{
+		control.RequeueFault:  requeuedVec.With(string(control.RequeueFault)),
+		control.RequeueResize: requeuedVec.With(string(control.RequeueResize)),
 	}
 	runsVec := reg.CounterVec("tetriserve_runs_total",
 		"Executed step blocks, split by selective batching.", "batched")
@@ -130,13 +160,14 @@ func (p *Plane) Hooks() control.Hooks {
 		Admitted:     p.onAdmitted,
 		Started:      p.onStarted,
 		Requeued:     p.onRequeued,
+		StepsElided:  func(_ time.Duration, _ workload.RequestID, approx int) { p.stepsElided.Add(float64(approx)) },
 		Finished:     p.onFinished,
 		Dropped:      p.onDropped,
 		PlanComputed: p.onPlanComputed,
 		Planned:      p.onPlanned,
 		PlanRejected: p.onPlanRejected,
 		StartFailed:  func(time.Duration, error) { p.startFailed.Inc() },
-		RoundTick:    func(time.Duration, time.Duration) { p.roundTicks.Inc() },
+		RoundTick:    p.onRoundTick,
 		RunStarted:   p.onRunStarted,
 		RunFinished:  p.onRunFinished,
 		RunAborted:   p.onRunAborted,
@@ -167,13 +198,31 @@ func (p *Plane) onStarted(now time.Duration, id workload.RequestID) {
 	}
 }
 
-func (p *Plane) onRequeued(now time.Duration, id workload.RequestID) {
-	p.requeued.Inc()
+func (p *Plane) onRequeued(now time.Duration, id workload.RequestID, cause control.RequeueCause) {
+	c, ok := p.requeued[cause]
+	if !ok {
+		// Future causes still count under their own label.
+		c = p.requeuedVec.With(string(cause))
+		p.requeued[cause] = c
+	}
+	c.Inc()
 	if p.phase[id] == phaseRunning {
 		p.phase[id] = phaseQueued
 		p.runningReqs.Dec()
 		p.queueDepth.Inc()
 	}
+}
+
+// onRoundTick counts the boundary and observes the effective round length —
+// the gap between consecutive fired grid points, which exceeds τ exactly
+// when overrun deferral pushed the boundary out.
+func (p *Plane) onRoundTick(at, now time.Duration) {
+	p.roundTicks.Inc()
+	if p.tickSeen {
+		p.roundDuration.Observe((at - p.lastTick).Seconds())
+	}
+	p.lastTick = at
+	p.tickSeen = true
 }
 
 // retire clears a request's queue-position gauge at finalization.
@@ -276,6 +325,38 @@ func (p *Plane) onRunAborted(now time.Duration, run *engine.Run, _ map[workload.
 	if p.Bus.Active() {
 		p.Bus.Publish(runEvent(trace.KindBlockEnd, now, run))
 	}
+}
+
+// sloWindow accumulates one tenant's attainment behind its exported gauge.
+type sloWindow struct {
+	met, done int
+	g         *Gauge
+}
+
+// ObserveTimeline feeds one finalized lifecycle timeline into the phase
+// histograms and the per-tenant attainment gauges — wire it as the
+// lifecycle.Recorder's OnFinalized callback. Runs on the loop goroutine.
+func (p *Plane) ObserveTimeline(tl *lifecycle.Timeline) {
+	for kind, secs := range tl.PhaseSeconds() {
+		switch kind {
+		case lifecycle.SpanPlanWait, lifecycle.SpanQueue, lifecycle.SpanCompute:
+			p.phaseSeconds.With(string(kind), tl.Class).Observe(secs)
+		}
+	}
+	w, ok := p.attainByTenant[tl.Tenant]
+	if !ok {
+		tenant := tl.Tenant
+		if tenant == "" {
+			tenant = "default"
+		}
+		w = &sloWindow{g: p.attainment.With(tenant)}
+		p.attainByTenant[tl.Tenant] = w
+	}
+	w.done++
+	if tl.Met {
+		w.met++
+	}
+	w.g.Set(float64(w.met) / float64(w.done))
 }
 
 // runEvent materializes a block event in the exact shape trace.FromResult

@@ -229,6 +229,14 @@ func (v *CounterVec) With(labelVals ...string) *Counter {
 	return &Counter{m: v.f.child(labelVals)}
 }
 
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(labelVals ...string) *Gauge {
+	return &Gauge{m: v.f.child(labelVals)}
+}
+
 // HistogramVec is a labeled histogram family.
 type HistogramVec struct{ f *family }
 
@@ -258,6 +266,11 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 // Gauge registers (or returns) an unlabeled gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	return &Gauge{m: r.family(name, help, KindGauge, nil).child(nil)}
+}
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, KindGauge, nil, labelKeys...)}
 }
 
 // GaugeFunc registers a gauge pulled from fn at scrape time.

@@ -85,6 +85,38 @@ func TestRouterLogRingEviction(t *testing.T) {
 	}
 }
 
+// TestRouterLogSnapshotBeyondCapacity: asking for more decisions than the
+// ring can hold (?explain=K with K > capacity) returns exactly the retained
+// window, oldest first, at every fill level — empty, partial, wrapped, and
+// wrapped multiple times.
+func TestRouterLogSnapshotBeyondCapacity(t *testing.T) {
+	const capacity = 4
+	l := NewRouterLog(capacity)
+	if snap := l.Snapshot(100); len(snap) != 0 {
+		t.Fatalf("empty log Snapshot(100) = %d entries", len(snap))
+	}
+	check := func(total int) {
+		t.Helper()
+		want := total
+		if want > capacity {
+			want = capacity
+		}
+		snap := l.Snapshot(total + 1000) // far beyond capacity
+		if len(snap) != want {
+			t.Fatalf("after %d adds, Snapshot(big) = %d entries, want %d", total, len(snap), want)
+		}
+		for i, d := range snap {
+			if wantAt := time.Duration(total-want+i) * time.Second; d.At != wantAt {
+				t.Fatalf("after %d adds, snap[%d].At = %v, want %v", total, i, d.At, wantAt)
+			}
+		}
+	}
+	for i := 0; i < 3*capacity; i++ {
+		l.Add(router.Decision{At: time.Duration(i) * time.Second})
+		check(i + 1)
+	}
+}
+
 func TestRouterLogSnapshotCopiesProbes(t *testing.T) {
 	l := NewRouterLog(2)
 	d := router.Decision{Probes: []router.ProbeResult{{Shard: "a"}}}

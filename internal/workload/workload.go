@@ -34,6 +34,14 @@ type Request struct {
 	Arrival time.Duration
 	// SLO is the relative latency budget; Deadline = Arrival + SLO.
 	SLO time.Duration
+	// TraceID is the fleet-wide lifecycle trace identifier, minted at router
+	// admission and propagated to the serving shard (HTTP header on the live
+	// path, this field on the sim path). Empty when the request entered a
+	// shard directly; the lifecycle recorder then derives one from ID.
+	TraceID string
+	// Tenant is the admission-fairness identity ("" = default tenant),
+	// carried for per-tenant SLO attainment accounting.
+	Tenant string
 }
 
 // Deadline returns the absolute completion deadline D_i.

@@ -7,8 +7,12 @@ set -euo pipefail
 
 ADDR="${ADDR:-127.0.0.1:8933}"
 BASE="http://$ADDR"
+SHARD_A_ADDR="${SHARD_A_ADDR:-127.0.0.1:8934}"
+SHARD_B_ADDR="${SHARD_B_ADDR:-127.0.0.1:8935}"
+ROUTER_ADDR="${ROUTER_ADDR:-127.0.0.1:8936}"
+ROUTER_BASE="http://$ROUTER_ADDR"
 TMP="$(mktemp -d)"
-trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+trap 'kill "$SERVE_PID" "$SHARD_A_PID" "$SHARD_B_PID" "$ROUTER_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 echo "== building =="
 go build -o "$TMP/tetriserve" ./cmd/tetriserve
@@ -76,4 +80,71 @@ lines=$(wc -l <"$TMP/tail.jsonl")
 grep -q '"kind":"arrival"' "$TMP/tail.jsonl"
 grep -q '"kind":"complete"' "$TMP/tail.jsonl"
 
-echo "obs-smoke OK ($lines live events)"
+# --- fleet section: router + 2 shards, one traced request end-to-end -------
+
+echo "== starting 2 shards + router =="
+"$TMP/tetriserve" -addr "$SHARD_A_ADDR" -speedup 50 &
+SHARD_A_PID=$!
+"$TMP/tetriserve" -addr "$SHARD_B_ADDR" -speedup 50 &
+SHARD_B_PID=$!
+for addr in "$SHARD_A_ADDR" "$SHARD_B_ADDR"; do
+  for i in $(seq 1 50); do
+    curl -fsS "http://$addr/v1/stats" >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  curl -fsS "http://$addr/v1/stats" >/dev/null
+done
+"$TMP/tetriserve" -mode router -addr "$ROUTER_ADDR" \
+  -shards "a=http://$SHARD_A_ADDR,b=http://$SHARD_B_ADDR" &
+ROUTER_PID=$!
+for i in $(seq 1 50); do
+  curl -fsS "$ROUTER_BASE/v1/router/stats" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "$ROUTER_BASE/v1/router/stats" >/dev/null
+
+echo "== routed traced request =="
+curl -fsS -X POST "$ROUTER_BASE/v1/generate" \
+  -H 'Content-Type: application/json' \
+  -d '{"prompt":"fleet smoke","width":512,"height":512,"slo_ms":30000,"tenant":"smoke"}' \
+  >"$TMP/routed.json"
+trace=$(sed -n 's/.*"trace_id":"\([^"]*\)".*/\1/p' "$TMP/routed.json")
+[ -n "$trace" ] || { echo "routed job carries no trace_id: $(cat "$TMP/routed.json")" >&2; exit 1; }
+echo "   trace $trace"
+
+# Wait for the timeline to finalize, then assert its shape.
+for i in $(seq 1 100); do
+  curl -fsS "$ROUTER_BASE/v1/requests/$trace" >"$TMP/timeline.json" 2>/dev/null || true
+  grep -q '"done":true' "$TMP/timeline.json" 2>/dev/null && break
+  sleep 0.3
+done
+grep -q '"done":true' "$TMP/timeline.json" || { echo "timeline never finalized" >&2; exit 1; }
+spans=$(grep -o '"kind":' "$TMP/timeline.json" | wc -l)
+[ "$spans" -ge 4 ] || { echo "timeline has only $spans spans, want >=4" >&2; exit 1; }
+grep -q '"kind":"admission"' "$TMP/timeline.json"
+grep -q '"kind":"compute"' "$TMP/timeline.json"
+grep -q '"kind":"finish"' "$TMP/timeline.json"
+grep -q '"tenant":"smoke"' "$TMP/timeline.json"
+echo "   timeline finalized with $spans spans"
+
+echo "== /v1/fleet aggregates both shards =="
+curl -fsS "$ROUTER_BASE/v1/fleet" >"$TMP/fleet.json"
+grep -q '"name":"a"' "$TMP/fleet.json"
+grep -q '"name":"b"' "$TMP/fleet.json"
+grep -q '"routed":1' "$TMP/fleet.json"
+reachable=$(grep -o '"reachable":true' "$TMP/fleet.json" | wc -l)
+[ "$reachable" -eq 2 ] || { echo "fleet reports $reachable reachable shards, want 2" >&2; exit 1; }
+
+echo "== tetrictl trace / fleet / top -shards =="
+"$TMP/tetrictl" -server "$ROUTER_BASE" trace "$trace"
+"$TMP/tetrictl" -server "$ROUTER_BASE" fleet
+"$TMP/tetrictl" -server "$ROUTER_BASE" top -shards
+
+echo "== shard metrics carry the lifecycle histograms =="
+curl -fsS "http://$SHARD_A_ADDR/metrics" >"$TMP/shard_metrics.txt"
+curl -fsS "http://$SHARD_B_ADDR/metrics" >>"$TMP/shard_metrics.txt"
+grep -q '^# TYPE tetriserve_phase_seconds histogram$' "$TMP/shard_metrics.txt"
+grep -q '^# TYPE tetriserve_round_duration_seconds histogram$' "$TMP/shard_metrics.txt"
+grep -q 'tetriserve_slo_attainment{tenant="smoke"}' "$TMP/shard_metrics.txt"
+
+echo "obs-smoke OK ($lines live events, fleet trace $trace: $spans spans)"
